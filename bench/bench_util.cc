@@ -1,0 +1,163 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stacknoc::bench {
+
+namespace {
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+} // namespace
+
+BenchEnv
+env()
+{
+    BenchEnv e;
+    e.warmup = envU64("STTNOC_WARMUP", 3000);
+    e.measure = envU64("STTNOC_CYCLES", 20000);
+    e.case3Mixes = static_cast<int>(envU64("STTNOC_MIXES", 4));
+    e.seed = envU64("STTNOC_SEED", 1);
+    e.appCap = static_cast<int>(envU64("STTNOC_APPS", 0));
+    return e;
+}
+
+std::vector<std::string>
+capApps(std::vector<std::string> apps, const BenchEnv &e)
+{
+    if (e.appCap > 0 && static_cast<int>(apps.size()) > e.appCap)
+        apps.resize(static_cast<std::size_t>(e.appCap));
+    return apps;
+}
+
+RunResult
+runOne(const system::Scenario &scenario,
+       const std::vector<std::string> &apps, const BenchEnv &e,
+       const std::function<void(system::SystemConfig &)> &mutate)
+{
+    system::SystemConfig cfg;
+    cfg.scenario = scenario;
+    cfg.apps = apps;
+    cfg.seed = e.seed;
+    if (mutate)
+        mutate(cfg);
+
+    system::CmpSystem sys(cfg);
+    sys.warmup(e.warmup);
+    sys.run(e.measure);
+
+    RunResult r;
+    r.metrics = sys.metrics();
+    r.minIpc = r.metrics.minIpc();
+    r.meanIpc = r.metrics.meanIpc();
+    r.instructionThroughput = r.metrics.instructionThroughput();
+    r.netLatency = r.metrics.avgNetworkLatency;
+    r.queueLatency = r.metrics.avgBankQueueLatency;
+    r.uncoreLatency = r.metrics.avgUncoreLatency;
+    r.energyUJ = r.metrics.energy.totalUJ();
+
+    if (const auto *gap =
+            sys.cacheStats().findDistribution("gap_after_write")) {
+        for (std::size_t b = 0; b < gap->numBins(); ++b)
+            r.gapFractions.push_back(gap->binFraction(b));
+    }
+    if (sys.probe()) {
+        for (int h = 1; h <= 3; ++h)
+            r.reqAtHops[h] = sys.probe()->avgRequestsAtHops(h);
+    }
+
+    const double instrs = static_cast<double>(
+        sys.coreStats().counter("instructions_committed").value());
+    if (instrs > 0) {
+        auto pki = [&](const char *counter_name) {
+            return 1000.0 *
+                   static_cast<double>(
+                       sys.cacheStats().counter(counter_name).value()) /
+                   instrs;
+        };
+        // Load misses plus no-allocate store writes: every one becomes
+        // an L2 access, matching the paper's Table 3 accounting.
+        r.l1mpki = pki("l1_misses") + pki("l1_store_writes");
+        r.l2rpki = pki("l2_gets");
+        r.l2wpki = pki("l2_stores");
+        r.wbpki = pki("l2_putm");
+        const double accesses = static_cast<double>(
+            sys.cacheStats().counter("l2_gets").value() +
+            sys.cacheStats().counter("l2_getm").value() +
+            sys.cacheStats().counter("l2_stores").value());
+        if (accesses > 0) {
+            r.l2MissRatio =
+                static_cast<double>(
+                    sys.cacheStats().counter("l2_misses").value()) /
+                accesses;
+        }
+    }
+    return r;
+}
+
+double
+AloneIpcCache::aloneIpc(const system::Scenario &scenario,
+                        const std::string &app)
+{
+    const auto key = std::make_pair(scenario.name, app);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    const RunResult r = runOne(scenario, {app}, env_);
+    cache_[key] = r.meanIpc;
+    return r.meanIpc;
+}
+
+void
+printRule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+void
+printLabel(const std::string &label)
+{
+    std::printf("%-16s", label.c_str());
+}
+
+void
+printCell(double value, int precision)
+{
+    std::printf(" %9.*f", precision, value);
+}
+
+void
+printHeader(const std::string &name)
+{
+    std::printf(" %9s", name.size() > 9
+                            ? name.substr(name.size() - 9).c_str()
+                            : name.c_str());
+}
+
+void
+endRow()
+{
+    std::putchar('\n');
+}
+
+void
+banner(const std::string &title, const BenchEnv &e)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("warmup=%llu cycles, measure=%llu cycles, seed=%llu\n",
+                static_cast<unsigned long long>(e.warmup),
+                static_cast<unsigned long long>(e.measure),
+                static_cast<unsigned long long>(e.seed));
+}
+
+} // namespace stacknoc::bench

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction benchmark harnesses: run
+ * length control through environment variables, single-experiment
+ * execution, and fixed-width table printing.
+ *
+ * Environment knobs:
+ *   STTNOC_WARMUP  warm-up cycles per run  (default 3000)
+ *   STTNOC_CYCLES  measured cycles per run (default 20000)
+ *   STTNOC_MIXES   Case-3 mixes to run     (default 4, paper uses 32)
+ *   STTNOC_SEED    experiment seed         (default 1)
+ *   STTNOC_APPS    cap on apps per panel   (default 0 = all)
+ */
+
+#ifndef STACKNOC_BENCH_BENCH_UTIL_HH
+#define STACKNOC_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "system/cmp_system.hh"
+
+namespace stacknoc::bench {
+
+/** Run-length and repetition knobs. */
+struct BenchEnv
+{
+    Cycle warmup = 3000;
+    Cycle measure = 20000;
+    int case3Mixes = 4;
+    std::uint64_t seed = 1;
+    int appCap = 0; //!< 0 = no cap
+};
+
+/** @return knobs parsed from the environment. */
+BenchEnv env();
+
+/** Everything a figure needs from one simulation run. */
+struct RunResult
+{
+    system::Metrics metrics;
+    double minIpc = 0;
+    double meanIpc = 0;
+    double instructionThroughput = 0;
+    double netLatency = 0;   //!< mean packet network latency
+    double queueLatency = 0; //!< mean bank queuing latency
+    double uncoreLatency = 0; //!< mean L1-miss round trip
+    double energyUJ = 0;
+    /** Figure-3 gap-after-write distribution (fractions per bin). */
+    std::vector<double> gapFractions;
+    /** Figure-3/13 probe: avg requests at H hops, H = 1..3. */
+    double reqAtHops[4] = {0, 0, 0, 0};
+    /** Measured characterisation (per kilo-instruction). */
+    double l1mpki = 0, l2rpki = 0, l2wpki = 0, wbpki = 0;
+    double l2MissRatio = 0;
+};
+
+/**
+ * Build, warm up, and measure one system.
+ *
+ * @param scenario design point.
+ * @param apps one entry (replicated) or one per core.
+ * @param e run lengths and seed.
+ * @param mutate optional hook to adjust the SystemConfig before build.
+ */
+RunResult runOne(const system::Scenario &scenario,
+                 const std::vector<std::string> &apps, const BenchEnv &e,
+                 const std::function<void(system::SystemConfig &)>
+                     &mutate = nullptr);
+
+/**
+ * Memoising runner for "alone" IPC baselines: 64 copies of @p app under
+ * @p scenario. Cached per (scenario name, app).
+ */
+class AloneIpcCache
+{
+  public:
+    explicit AloneIpcCache(const BenchEnv &e) : env_(e) {}
+
+    double aloneIpc(const system::Scenario &scenario,
+                    const std::string &app);
+
+  private:
+    BenchEnv env_;
+    std::map<std::pair<std::string, std::string>, double> cache_;
+};
+
+/** Truncate @p apps to the STTNOC_APPS cap (0 = keep all). */
+std::vector<std::string> capApps(std::vector<std::string> apps,
+                                 const BenchEnv &e);
+
+// --- table printing -------------------------------------------------
+
+/** Print a rule like "----". */
+void printRule(int width);
+
+/** Print the left-hand label cell. */
+void printLabel(const std::string &label);
+
+/** Print one numeric cell with @p precision decimals. */
+void printCell(double value, int precision = 2);
+
+/** Print a header cell. */
+void printHeader(const std::string &name);
+
+/** End the row. */
+void endRow();
+
+/** Print the standard harness banner for a figure/table. */
+void banner(const std::string &title, const BenchEnv &e);
+
+} // namespace stacknoc::bench
+
+#endif // STACKNOC_BENCH_BENCH_UTIL_HH

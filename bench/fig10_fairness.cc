@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 10: maximum slowdown (Eq. 3, smaller is better) of each
+ * application in the Case-2 mix, for MRAM-64TSB vs MRAM-4TSB-WB —
+ * the paper's fairness result: the WB scheme stops bursty writers from
+ * starving the read-intensive co-runners.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workload/mixes.hh"
+
+using namespace stacknoc;
+
+int
+main()
+{
+    setVerbose(false);
+    const bench::BenchEnv e = bench::env();
+    bench::banner("Figure 10: max slowdown per app in Case-2", e);
+
+    const auto mix = workload::mixCase2();
+    const auto apps = workload::case2Apps();
+    const std::vector<system::Scenario> scenarios{
+        system::scenarios::sttram64Tsb(),
+        system::scenarios::sttram4TsbWb()};
+
+    bench::AloneIpcCache alone(e);
+
+    std::printf("%-16s", "app");
+    for (const auto &sc : scenarios)
+        bench::printHeader(sc.name);
+    bench::endRow();
+    bench::printRule(16 + 10 * 2);
+
+    std::vector<std::vector<double>> slowdowns(apps.size());
+    for (const auto &sc : scenarios) {
+        const auto r = bench::runOne(sc, mix, e);
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            // Cores running app a: indices a*16 .. a*16+15 (16 copies).
+            double worst = 0.0;
+            const double alone_ipc = alone.aloneIpc(sc, apps[a]);
+            for (int c = static_cast<int>(a) * 16;
+                 c < (static_cast<int>(a) + 1) * 16; ++c) {
+                const double shared =
+                    r.metrics.ipc[static_cast<std::size_t>(c)];
+                if (shared > 0)
+                    worst = std::max(worst, alone_ipc / shared);
+            }
+            slowdowns[a].push_back(worst);
+        }
+    }
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        bench::printLabel(apps[a]);
+        for (const double v : slowdowns[a])
+            bench::printCell(v);
+        bench::endRow();
+    }
+    std::printf("\nSmaller is better; the paper reports the WB scheme "
+                "cutting the read apps' max slowdown by ~14%%.\n");
+    return 0;
+}

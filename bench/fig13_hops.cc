@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 13: sensitivity to the parent-child distance H.
+ * (a) average number of re-orderable request packets in a cache-layer
+ *     router at 1, 2 and 3 hops from their destination bank;
+ * (b) mean IPC of the WB scheme with H = 1, 2, 3, normalised to the
+ *     SRAM-64TSB baseline (the paper's "IPC improvement" axis).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace stacknoc;
+
+int
+main()
+{
+    setVerbose(false);
+    const bench::BenchEnv e = bench::env();
+    bench::banner("Figure 13: parent-child hop distance sensitivity", e);
+
+    const std::vector<std::string> named = bench::capApps(
+        {"ferret", "facesim", "streamcluster", "x264", "lbm", "hmmer",
+         "libquantum", "sphinx", "sap", "sjas", "tpcc", "sjbb"}, e);
+
+    // (a) Occupancy by distance, from the restricted baseline.
+    std::printf("\n-- (a) requests per occupied router at H hops --\n");
+    std::printf("%-16s %8s %8s %8s\n", "app", "1 hop", "2 hop", "3 hop");
+    bench::printRule(44);
+    double sums[4] = {0, 0, 0, 0};
+    for (const auto &app : named) {
+        const auto r =
+            bench::runOne(system::scenarios::sttram4Tsb(), {app}, e);
+        std::printf("%-16s %8.2f %8.2f %8.2f\n", app.c_str(),
+                    r.reqAtHops[1], r.reqAtHops[2], r.reqAtHops[3]);
+        for (int h = 1; h <= 3; ++h)
+            sums[h] += r.reqAtHops[h];
+    }
+    std::printf("%-16s %8.2f %8.2f %8.2f\n", "Avg.",
+                sums[1] / static_cast<double>(named.size()),
+                sums[2] / static_cast<double>(named.size()),
+                sums[3] / static_cast<double>(named.size()));
+
+    // (b) IPC vs H for the WB scheme.
+    std::printf("\n-- (b) WB-scheme IPC vs H (normalised to "
+                "SRAM-64TSB) --\n");
+    const std::vector<std::string> perf_apps = bench::capApps(
+        {"tpcc", "sap", "streamcluster", "lbm", "hmmer", "x264"}, e);
+    double base_sum = 0.0;
+    for (const auto &app : perf_apps) {
+        base_sum += bench::runOne(system::scenarios::sram64Tsb(), {app},
+                                  e).meanIpc;
+    }
+    std::printf("%-8s %12s\n", "H", "norm. IPC");
+    bench::printRule(22);
+    for (const int hops : {1, 2, 3}) {
+        auto sc = system::scenarios::sttram4TsbWb();
+        sc.parentHops = hops;
+        double sum = 0.0;
+        for (const auto &app : perf_apps)
+            sum += bench::runOne(sc, {app}, e).meanIpc;
+        std::printf("%-8d %12.3f\n", hops, sum / base_sum);
+    }
+    std::printf("\nPaper: H=1 offers too few packets to re-order, H=3 "
+                "estimates congestion poorly; H=2 is the sweet spot.\n");
+    return 0;
+}

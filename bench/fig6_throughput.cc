@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 6: system throughput of the six design scenarios, normalised
+ * to SRAM-64TSB — IPC (slowest thread) for the server and PARSEC
+ * multi-threaded panels, instruction throughput for the SPEC-2006
+ * multi-programmed panel.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workload/app_profiles.hh"
+
+using namespace stacknoc;
+using bench::BenchEnv;
+
+namespace {
+
+struct Panel
+{
+    const char *title;
+    bool useThroughput; //!< instruction throughput vs slowest-thread IPC
+    std::vector<std::string> apps;
+};
+
+double
+metricOf(const bench::RunResult &r, bool use_throughput)
+{
+    return use_throughput ? r.instructionThroughput : r.minIpc;
+}
+
+void
+runPanel(const Panel &panel, const BenchEnv &e)
+{
+    const auto scenarios = system::scenarios::figureSix();
+    std::printf("\n-- %s (normalised to %s; %s) --\n", panel.title,
+                scenarios[0].name.c_str(),
+                panel.useThroughput ? "instruction throughput"
+                                    : "slowest-thread IPC");
+    bench::printLabel("app");
+    for (const auto &sc : scenarios)
+        bench::printHeader(sc.name);
+    bench::endRow();
+    bench::printRule(16 + 10 * 6);
+
+    std::vector<double> sums(scenarios.size(), 0.0);
+    const auto apps = bench::capApps(panel.apps, e);
+    for (const auto &app : apps) {
+        bench::printLabel(app);
+        double base = 0.0;
+        for (std::size_t s = 0; s < scenarios.size(); ++s) {
+            const auto r = bench::runOne(scenarios[s], {app}, e);
+            const double v = metricOf(r, panel.useThroughput);
+            if (s == 0)
+                base = v;
+            const double norm = base > 0 ? v / base : 0.0;
+            sums[s] += norm;
+            bench::printCell(norm);
+        }
+        bench::endRow();
+    }
+    bench::printLabel("Avg.");
+    for (std::size_t s = 0; s < scenarios.size(); ++s)
+        bench::printCell(sums[s] / static_cast<double>(apps.size()));
+    bench::endRow();
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    const BenchEnv e = bench::env();
+    bench::banner("Figure 6: throughput of the six design scenarios", e);
+
+    const Panel panels[] = {
+        {"SERVER", false, {"sap", "sjbb", "tpcc", "sjas"}},
+        {"PARSEC", false,
+         {"ferret", "facesim", "vips", "canneal", "dedup",
+          "streamcluster", "blackscholes", "bodytrack", "fluidanimate",
+          "freqmine", "raytrace", "swaptions", "x264"}},
+        {"SPEC2006 (64 copies, multiprogrammed)", true,
+         {"soplex", "cactus", "lbm", "hmmer", "gobmk", "milc",
+          "libquantum", "gemsfdtd", "mcf", "xalancbmk", "leslie",
+          "omnetpp", "povray"}},
+    };
+    for (const auto &panel : panels)
+        runPanel(panel, e);
+    return 0;
+}

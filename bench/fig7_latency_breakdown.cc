@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 7: packet latency broken into network latency and queuing
+ * latency at the banks, across the six design scenarios. SRAM-64TSB is
+ * printed in absolute cycles (the paper shows exact percentages for
+ * it); every other scenario is normalised to SRAM-64TSB.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace stacknoc;
+
+int
+main()
+{
+    setVerbose(false);
+    const bench::BenchEnv e = bench::env();
+    bench::banner("Figure 7: network vs bank-queuing latency", e);
+
+    const std::vector<std::string> apps{"sap", "sjbb", "streamcluster",
+                                        "lbm", "hmmer"};
+    const auto scenarios = system::scenarios::figureSix();
+
+    std::printf("%-16s %-10s", "app", "metric");
+    for (const auto &sc : scenarios)
+        bench::printHeader(sc.name);
+    bench::endRow();
+    bench::printRule(26 + 10 * 6);
+
+    for (const auto &app : bench::capApps(apps, e)) {
+        std::vector<double> nets, queues;
+        for (const auto &sc : scenarios) {
+            const auto r = bench::runOne(sc, {app}, e);
+            nets.push_back(r.netLatency);
+            queues.push_back(r.queueLatency);
+        }
+        // Percentage split of the uncore packet latency, like the
+        // paper's stacked "Percent" bars.
+        std::printf("%-16s %-10s", app.c_str(), "net lat%");
+        for (std::size_t s = 0; s < nets.size(); ++s) {
+            const double total = nets[s] + queues[s];
+            bench::printCell(total > 0 ? 100.0 * nets[s] / total : 0.0,
+                             1);
+        }
+        bench::endRow();
+        std::printf("%-16s %-10s", "", "queue lat%");
+        for (std::size_t s = 0; s < queues.size(); ++s) {
+            const double total = nets[s] + queues[s];
+            bench::printCell(total > 0 ? 100.0 * queues[s] / total : 0.0,
+                             1);
+        }
+        bench::endRow();
+        std::printf("%-16s %-10s", "", "total(cyc)");
+        for (std::size_t s = 0; s < nets.size(); ++s)
+            bench::printCell(nets[s] + queues[s], 1);
+        bench::endRow();
+    }
+    std::printf("\nnet/queue rows: share of the uncore packet latency "
+                "(network vs bank queuing); total row: absolute "
+                "cycles.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 9: weighted speedup (WS, Eq. 2) and instruction throughput
+ * (IT, Eq. 1) of the multi-programmed case studies — Case-1 (all write
+ * intensive), Case-2 (bursty-write + read intensive), Case-3 (aggregate
+ * over randomly drawn mixes; the paper uses 32, STTNOC_MIXES controls
+ * how many run here). Values normalised to SRAM-64TSB.
+ */
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workload/mixes.hh"
+
+using namespace stacknoc;
+
+namespace {
+
+struct CaseResult
+{
+    double ws = 0.0;
+    double it = 0.0;
+};
+
+CaseResult
+runMix(const system::Scenario &sc, const workload::Mix &mix,
+       const bench::BenchEnv &e, bench::AloneIpcCache &alone)
+{
+    const auto r = bench::runOne(sc, mix, e);
+    std::vector<double> alone_ipc;
+    for (const auto &app : mix)
+        alone_ipc.push_back(alone.aloneIpc(sc, app));
+    CaseResult out;
+    out.ws = system::weightedSpeedup(r.metrics.ipc, alone_ipc);
+    out.it = r.instructionThroughput;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    const bench::BenchEnv e = bench::env();
+    bench::banner("Figure 9: multiprogrammed case studies (WS and IT, "
+                  "normalised to SRAM-64TSB)", e);
+
+    const auto scenarios = system::scenarios::figureSix();
+    bench::AloneIpcCache alone(e);
+
+    struct Case
+    {
+        const char *name;
+        std::vector<workload::Mix> mixes;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"Case-1 (write intensive)", {workload::mixCase1()}});
+    cases.push_back({"Case-2 (bursty+read mix)", {workload::mixCase2()}});
+    auto case3 = workload::mixesCase3(e.seed);
+    if (static_cast<int>(case3.size()) > e.case3Mixes)
+        case3.resize(static_cast<std::size_t>(e.case3Mixes));
+    cases.push_back({"Case-3 (aggregate mixes)", std::move(case3)});
+
+    for (const auto &c : cases) {
+        std::printf("\n-- %s (%zu mix%s) --\n", c.name, c.mixes.size(),
+                    c.mixes.size() == 1 ? "" : "es");
+        std::printf("%-10s", "metric");
+        for (const auto &sc : scenarios)
+            bench::printHeader(sc.name);
+        bench::endRow();
+        bench::printRule(10 + 10 * 6);
+
+        std::vector<double> ws(scenarios.size(), 0.0);
+        std::vector<double> it(scenarios.size(), 0.0);
+        for (const auto &mix : c.mixes) {
+            for (std::size_t s = 0; s < scenarios.size(); ++s) {
+                const auto res = runMix(scenarios[s], mix, e, alone);
+                ws[s] += res.ws;
+                it[s] += res.it;
+            }
+        }
+        std::printf("%-10s", "WS");
+        for (std::size_t s = 0; s < scenarios.size(); ++s)
+            bench::printCell(ws[0] > 0 ? ws[s] / ws[0] : 0.0);
+        bench::endRow();
+        std::printf("%-10s", "IT");
+        for (std::size_t s = 0; s < scenarios.size(); ++s)
+            bench::printCell(it[0] > 0 ? it[s] / it[0] : 0.0);
+        bench::endRow();
+    }
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the substrate components:
+ * router pipeline throughput, tag array operations, the synthetic
+ * stream generator, the congestion estimators, and whole-system
+ * simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/tag_array.hh"
+#include "common/rng.hh"
+#include "noc/network.hh"
+#include "noc/routing.hh"
+#include "sim/simulator.hh"
+#include "sttnoc/estimator.hh"
+#include "system/cmp_system.hh"
+#include "workload/synthetic_stream.hh"
+
+using namespace stacknoc;
+
+namespace {
+
+void
+BM_RouterIdleTick(benchmark::State &state)
+{
+    Simulator sim;
+    const MeshShape shape(8, 8, 2);
+    noc::ArbitrationPolicy policy;
+    noc::Network net(sim, shape, noc::NocParams{},
+                     std::make_unique<noc::ZxyRouting>(shape), policy);
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_RouterIdleTick);
+
+void
+BM_NetworkLoadedTick(benchmark::State &state)
+{
+    Simulator sim;
+    const MeshShape shape(8, 8, 2);
+    noc::ArbitrationPolicy policy;
+    noc::Network net(sim, shape, noc::NocParams{},
+                     std::make_unique<noc::ZxyRouting>(shape), policy);
+    Rng rng(1);
+    Cycle t = 0;
+    for (auto _ : state) {
+        for (NodeId n = 0; n < 128; ++n) {
+            if (rng.chance(0.05)) {
+                net.ni(n).send(
+                    noc::makePacket(noc::PacketClass::DataResp, n,
+                                    static_cast<NodeId>(rng.below(128))),
+                    t);
+            }
+        }
+        sim.step();
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_NetworkLoadedTick);
+
+void
+BM_TagArrayFindHit(benchmark::State &state)
+{
+    cache::TagArray tags(64, 4);
+    for (BlockAddr a = 0; a < 256; ++a)
+        tags.allocate(a, nullptr);
+    BlockAddr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tags.find(a));
+        a = (a + 1) % 256;
+    }
+}
+BENCHMARK(BM_TagArrayFindHit);
+
+void
+BM_TagArrayAllocateEvict(benchmark::State &state)
+{
+    cache::TagArray tags(64, 4);
+    BlockAddr a = 0;
+    for (auto _ : state) {
+        cache::TagEntry evicted;
+        benchmark::DoNotOptimize(tags.allocate(a++, &evicted));
+    }
+}
+BENCHMARK(BM_TagArrayAllocateEvict);
+
+void
+BM_SyntheticStreamNext(benchmark::State &state)
+{
+    workload::StreamParams params;
+    workload::SyntheticStream stream(workload::findApp("tpcc"), 0, 1,
+                                     params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stream.next());
+}
+BENCHMARK(BM_SyntheticStreamNext);
+
+void
+BM_WindowEstimatorForward(benchmark::State &state)
+{
+    const MeshShape shape(8, 8, 2);
+    sttnoc::RegionMap rm(shape, sttnoc::RegionConfig{});
+    sttnoc::ParentMap pm(rm, 2);
+    sttnoc::SttAwareParams params;
+    sttnoc::WindowEstimator est(rm, pm, params);
+    auto pkt = noc::makePacket(noc::PacketClass::StoreWrite, 7, 75);
+    pkt->destBank = rm.bankOfNode(75);
+    Cycle t = 0;
+    for (auto _ : state) {
+        est.onForward(pkt->destBank, *pkt, 91, t++);
+        benchmark::DoNotOptimize(est.estimate(pkt->destBank, t));
+    }
+}
+BENCHMARK(BM_WindowEstimatorForward);
+
+void
+BM_FullSystemCycle(benchmark::State &state)
+{
+    setVerbose(false);
+    system::SystemConfig cfg;
+    cfg.scenario = system::scenarios::sttram4TsbWb();
+    cfg.apps = {"tpcc"};
+    system::CmpSystem sys(cfg);
+    sys.run(2000); // warm
+    for (auto _ : state)
+        sys.run(1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullSystemCycle);
+
+} // namespace
+
+BENCHMARK_MAIN();

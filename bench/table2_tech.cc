@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 2: SRAM and STT-RAM bank parameters at 32 nm, as encoded in the
+ * technology model — printed in the paper's row format so the encoding
+ * is auditable against the original.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "mem/tech.hh"
+
+using namespace stacknoc;
+
+int
+main()
+{
+    const auto e = bench::env();
+    bench::banner("Table 2: SRAM and STT-RAM comparison at 32nm", e);
+    std::printf("%-14s %9s %9s %9s %11s %9s %9s %9s %9s\n", "bank",
+                "area(mm2)", "rdE(nJ)", "wrE(nJ)", "leak(mW)", "rd(ns)",
+                "wr(ns)", "rd(cyc)", "wr(cyc)");
+    bench::printRule(96);
+    for (const auto tech :
+         {mem::CacheTech::Sram, mem::CacheTech::SttRam}) {
+        const auto &t = mem::bankTech(tech);
+        std::printf("%-14s %8.2f %9.3f %9.3f %11.1f %9.3f %9.2f %9llu "
+                    "%9llu\n",
+                    t.name, t.areaMm2, t.readEnergyNJ, t.writeEnergyNJ,
+                    t.leakagePowerMW, t.readLatencyNs, t.writeLatencyNs,
+                    static_cast<unsigned long long>(t.readCycles),
+                    static_cast<unsigned long long>(t.writeCycles));
+    }
+    std::printf("\nwrite/read latency ratio (STT-RAM): %llux -- the "
+                "\"11x router hop latency\" of Section 3.2\n",
+                static_cast<unsigned long long>(
+                    mem::bankTech(mem::CacheTech::SttRam).writeCycles /
+                    3));
+    return 0;
+}

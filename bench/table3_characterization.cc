@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 3: measured characterisation of all 42 synthetic applications
+ * running alone on the baseline STT-RAM CMP, next to the paper's
+ * targets. Validates that the workload generator reproduces the rates
+ * the evaluation depends on.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workload/app_profiles.hh"
+
+using namespace stacknoc;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::BenchEnv e = bench::env();
+    // Characterisation converges quickly; use a shorter default window.
+    if (e.measure > 10000)
+        e.measure = 10000;
+    bench::banner(
+        "Table 3: application characterisation (measured vs paper)", e);
+
+    std::printf("%-14s %6s | %8s %8s | %8s %8s | %8s %8s | %8s %8s\n",
+                "app", "bursty", "l1mpki", "(paper)", "l2rpki", "(paper)",
+                "l2wpki", "(paper)", "l2miss%", "(paper)");
+    bench::printRule(110);
+
+    const auto scenario = system::scenarios::sttram64Tsb();
+    auto apps = std::vector<std::string>{};
+    for (const auto &a : workload::appTable())
+        apps.push_back(a.name);
+    apps = bench::capApps(apps, e);
+
+    for (const auto &name : apps) {
+        const auto &p = workload::findApp(name);
+        const auto r = bench::runOne(scenario, {name}, e);
+        const double paper_miss_ratio =
+            p.l1mpki > 0 ? 100.0 * std::min(1.0, p.l2mpki / p.l1mpki)
+                         : 0.0;
+        std::printf("%-14s %6s | %8.2f %8.2f | %8.2f %8.2f | %8.2f %8.2f"
+                    " | %8.1f %8.1f\n",
+                    name.c_str(), p.bursty ? "High" : "Low",
+                    r.l1mpki, p.l1mpki, r.l2rpki, p.l2rpki,
+                    r.l2wpki, p.l2wpki, 100.0 * r.l2MissRatio,
+                    paper_miss_ratio);
+    }
+    std::printf("\nl1mpki(meas) counts load misses + store writes; "
+                "l2wpki = StoreWrite rate, l2rpki = GetS rate.\n");
+    return 0;
+}

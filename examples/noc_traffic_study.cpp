@@ -1,0 +1,96 @@
+/**
+ * @file
+ * NoC-only example: the network substrate is usable stand-alone, below
+ * the CMP system layer. This study injects uniform-random synthetic
+ * traffic into the two-layer mesh at increasing rates and plots the
+ * latency-throughput curve for plain Z-X-Y routing versus the region-
+ * restricted TSB routing — the classic interconnect-paper experiment,
+ * built from the public noc:: API plus a custom traffic driver.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "noc/network.hh"
+#include "noc/routing.hh"
+#include "sim/simulator.hh"
+#include "sttnoc/region_map.hh"
+#include "sttnoc/region_routing.hh"
+
+using namespace stacknoc;
+
+namespace {
+
+/** Sinks everything; the NI records the latency statistics. */
+class Sink : public noc::NetworkClient
+{
+  public:
+    void deliver(noc::PacketPtr, Cycle) override {}
+};
+
+double
+measure(bool restricted, double injection_rate)
+{
+    Simulator sim;
+    const MeshShape shape(8, 8, 2);
+    noc::ArbitrationPolicy policy;
+
+    sttnoc::RegionMap regions(shape, sttnoc::RegionConfig{});
+    std::unique_ptr<noc::RoutingFunction> routing;
+    if (restricted)
+        routing = std::make_unique<sttnoc::RegionRouting>(regions);
+    else
+        routing = std::make_unique<noc::ZxyRouting>(shape);
+
+    noc::Network net(sim, shape, noc::NocParams{}, std::move(routing),
+                     policy);
+    if (restricted) {
+        for (int r = 0; r < regions.numRegions(); ++r)
+            net.topology().widenDownLink(regions.tsbCoreNode(r), 2);
+    }
+
+    std::vector<Sink> sinks(static_cast<std::size_t>(shape.totalNodes()));
+    for (NodeId n = 0; n < shape.totalNodes(); ++n)
+        net.ni(n).setClient(&sinks[static_cast<std::size_t>(n)]);
+
+    // Cores send 1-flit requests to random banks; banks answer nothing
+    // (open-loop injection, the standard methodology).
+    Rng rng(42);
+    for (Cycle t = 0; t < 12000; ++t) {
+        for (NodeId core = 0; core < 64; ++core) {
+            if (!rng.chance(injection_rate))
+                continue;
+            const NodeId bank = static_cast<NodeId>(64 + rng.below(64));
+            auto pkt = noc::makePacket(noc::PacketClass::ReadReq, core,
+                                       bank);
+            pkt->destBank = regions.bankOfNode(bank);
+            net.ni(core).send(std::move(pkt), t);
+        }
+        sim.step();
+    }
+    const auto *lat =
+        net.stats().findAverage("packet_network_latency");
+    return lat ? lat->mean() : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Uniform-random core->bank traffic, 8x8x2 mesh\n");
+    std::printf("%12s %14s %16s\n", "inj rate", "ZXY (64 TSV)",
+                "region (4 TSB)");
+    std::printf("---------------------------------------------\n");
+    for (const double rate : {0.005, 0.01, 0.02, 0.04, 0.08, 0.12}) {
+        std::printf("%12.3f %14.1f %16.1f\n", rate,
+                    measure(false, rate), measure(true, rate));
+    }
+    std::printf("\nLatency in cycles. The restricted configuration "
+                "saturates earlier: the price of the serialisation "
+                "points that make bank-busy prediction possible.\n");
+    return 0;
+}

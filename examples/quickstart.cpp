@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: build the paper's 64-core / 64-bank stacked CMP with the
+ * STT-RAM-aware WB scheme, run a workload, and print the headline
+ * numbers. Start here.
+ */
+
+#include <cstdio>
+
+#include "system/cmp_system.hh"
+
+int
+main()
+{
+    using namespace stacknoc;
+    setVerbose(false);
+
+    // 1. Pick a design point. scenarios:: provides every configuration
+    //    evaluated in the paper; this is the proposed scheme.
+    system::SystemConfig cfg;
+    cfg.scenario = system::scenarios::sttram4TsbWb();
+
+    // 2. Pick a workload: one name runs 64 copies/threads of that
+    //    Table 3 application; 64 names give a per-core mix.
+    cfg.apps = {"tpcc"};
+
+    // 3. Build and run: warm up, then measure.
+    system::CmpSystem sys(cfg);
+    sys.warmup(3000);
+    sys.run(20000);
+
+    // 4. Read the results.
+    const system::Metrics m = sys.metrics();
+    std::printf("scenario             %s\n", cfg.scenario.name.c_str());
+    std::printf("cores x banks        %d x %d\n", sys.numCores(),
+                sys.numBanks());
+    std::printf("mean IPC             %.3f\n", m.meanIpc());
+    std::printf("instr throughput     %.2f\n", m.instructionThroughput());
+    std::printf("packet network lat   %.1f cycles\n", m.avgNetworkLatency);
+    std::printf("bank queue lat       %.1f cycles\n",
+                m.avgBankQueueLatency);
+    std::printf("uncore energy        %.1f uJ\n", m.energy.totalUJ());
+
+    // Bonus: compare against the SRAM baseline in three lines.
+    cfg.scenario = system::scenarios::sram64Tsb();
+    system::CmpSystem baseline(cfg);
+    baseline.warmup(3000);
+    baseline.run(20000);
+    const double speedup =
+        m.meanIpc() / baseline.metrics().meanIpc();
+    std::printf("\nIPC vs SRAM-64TSB    %.2fx\n", speedup);
+    std::printf("energy vs SRAM-64TSB %.2fx\n",
+                m.energy.totalUJ() /
+                    baseline.metrics().energy.totalUJ());
+    return 0;
+}

@@ -1,0 +1,111 @@
+#include "cache/tag_array.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc::cache {
+
+TagArray::TagArray(int num_sets, int ways)
+    : numSets_(num_sets), ways_(ways),
+      entries_(static_cast<std::size_t>(num_sets) *
+               static_cast<std::size_t>(ways))
+{
+    panic_if(num_sets <= 0 || ways <= 0, "bad tag array geometry");
+}
+
+std::size_t
+TagArray::setBase(BlockAddr addr) const
+{
+    return (addr % static_cast<std::uint64_t>(numSets_)) *
+           static_cast<std::size_t>(ways_);
+}
+
+TagEntry *
+TagArray::find(BlockAddr addr)
+{
+    const std::size_t base = setBase(addr);
+    for (int w = 0; w < ways_; ++w) {
+        TagEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.addr == addr) {
+            e.lastUse = ++useClock_;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+const TagEntry *
+TagArray::peek(BlockAddr addr) const
+{
+    const std::size_t base = setBase(addr);
+    for (int w = 0; w < ways_; ++w) {
+        const TagEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.addr == addr)
+            return &e;
+    }
+    return nullptr;
+}
+
+TagEntry *
+TagArray::allocate(BlockAddr addr, TagEntry *evicted)
+{
+    panic_if(peek(addr) != nullptr, "allocate of resident block %llx",
+             static_cast<unsigned long long>(addr));
+    const std::size_t base = setBase(addr);
+    TagEntry *victim = nullptr;
+    for (int w = 0; w < ways_; ++w) {
+        TagEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.pinned)
+            continue;
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (!victim)
+        return nullptr; // whole set pinned: caller retries
+    if (victim->valid) {
+        if (evicted)
+            *evicted = *victim;
+        --validCount_;
+    }
+    *victim = TagEntry{};
+    victim->addr = addr;
+    victim->valid = true;
+    victim->lastUse = ++useClock_;
+    ++validCount_;
+    return victim;
+}
+
+bool
+TagArray::invalidate(BlockAddr addr)
+{
+    const std::size_t base = setBase(addr);
+    for (int w = 0; w < ways_; ++w) {
+        TagEntry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.addr == addr) {
+            e = TagEntry{};
+            --validCount_;
+            return true;
+        }
+    }
+    return false;
+}
+
+const TagEntry *
+TagArray::anyResident(std::uint64_t salt) const
+{
+    if (validCount_ == 0)
+        return nullptr;
+    const std::size_t n = entries_.size();
+    const std::size_t start = static_cast<std::size_t>(salt % n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const TagEntry &e = entries_[(start + i) % n];
+        if (e.valid && !e.pinned)
+            return &e;
+    }
+    return nullptr;
+}
+
+} // namespace stacknoc::cache

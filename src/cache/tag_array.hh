@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A set-associative tag array with true-LRU replacement, shared by the
+ * L1 caches and the L2 banks ("real tags" mode).
+ */
+
+#ifndef STACKNOC_CACHE_TAG_ARRAY_HH
+#define STACKNOC_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stacknoc::cache {
+
+/** One cached block. `state` is protocol-defined (MESI for the L1s). */
+struct TagEntry
+{
+    BlockAddr addr = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Protocol-defined state byte (coherence::L1State for L1 tags). */
+    std::uint8_t state = 0;
+    /** Blocks with in-flight transactions must not be evicted. */
+    bool pinned = false;
+    std::uint64_t lastUse = 0;
+};
+
+/**
+ * numSets x ways blocks. Lookup, allocation with LRU victimisation
+ * (skipping pinned entries), and invalidation.
+ */
+class TagArray
+{
+  public:
+    TagArray(int num_sets, int ways);
+
+    /** @return the entry holding @p addr, or nullptr. Updates LRU. */
+    TagEntry *find(BlockAddr addr);
+
+    /** @return the entry holding @p addr without touching LRU state. */
+    const TagEntry *peek(BlockAddr addr) const;
+
+    /**
+     * Allocate a frame for @p addr (which must not be present).
+     * The LRU non-pinned entry of the set is chosen; if it was valid its
+     * contents are copied to @p evicted.
+     *
+     * @return the (re-initialised, valid) entry, or nullptr when every
+     * way of the set is pinned (caller must retry later).
+     */
+    TagEntry *allocate(BlockAddr addr, TagEntry *evicted);
+
+    /** Drop @p addr if present. @return whether it was present. */
+    bool invalidate(BlockAddr addr);
+
+    /** @return a resident, non-pinned block of the cache, or nullptr.
+     *  Used by workload generators to synthesise re-references.
+     *  @param salt selects among candidates deterministically. */
+    const TagEntry *anyResident(std::uint64_t salt) const;
+
+    int numSets() const { return numSets_; }
+    int ways() const { return ways_; }
+    int validCount() const { return validCount_; }
+
+  private:
+    std::size_t setBase(BlockAddr addr) const;
+
+    int numSets_;
+    int ways_;
+    int validCount_ = 0;
+    std::uint64_t useClock_ = 0;
+    std::vector<TagEntry> entries_;
+};
+
+} // namespace stacknoc::cache
+
+#endif // STACKNOC_CACHE_TAG_ARRAY_HH

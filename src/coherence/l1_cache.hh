@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The private per-core L1 cache and its MESI requester-side controller.
+ *
+ * Table 1: 32 KB, 4-way, 128 B blocks, 2-cycle hits, write-back, 32
+ * MSHRs. The L1 talks to its core through direct calls (no network) and
+ * to the L2 home banks through the node's network interface.
+ */
+
+#ifndef STACKNOC_COHERENCE_L1_CACHE_HH
+#define STACKNOC_COHERENCE_L1_CACHE_HH
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/tag_array.hh"
+#include "sim/stats.hh"
+#include "sim/ticking.hh"
+#include "noc/network_interface.hh"
+#include "coherence/messages.hh"
+
+namespace stacknoc::coherence {
+
+/** Static address-interleaved mapping of blocks to L2 home banks. */
+struct HomeMap
+{
+    int numBanks = 64;
+    NodeId cacheLayerBase = 64;
+
+    BankId
+    bankOf(BlockAddr addr) const
+    {
+        return static_cast<BankId>(
+            addr % static_cast<std::uint64_t>(numBanks));
+    }
+
+    NodeId homeNode(BlockAddr addr) const
+    {
+        return cacheLayerBase + bankOf(addr);
+    }
+};
+
+/** Store-buffer depth: outstanding fire-and-forget store writes. */
+constexpr std::size_t kStoreBufferDepth = 16;
+
+/** L1 geometry and timing. */
+struct L1Config
+{
+    int sets = 64; //!< 32 KB / 128 B blocks / 4 ways
+    int ways = 4;
+    Cycle hitLatency = 2;
+    int mshrs = 32;
+};
+
+/**
+ * One L1 cache. access() returns false when the request cannot be
+ * accepted this cycle (MSHR full, conflicting outstanding transaction,
+ * or a pending writeback to the same block); the core retries.
+ */
+class L1Cache : public Ticking, public noc::NetworkClient
+{
+  public:
+    /**
+     * @param l1name component name.
+     * @param core owning core id (== its core-layer node id).
+     * @param out packet injection port (the node's NI in production).
+     * @param home block-to-bank mapping.
+     * @param config cache geometry.
+     * @param group statistics group shared by all L1s.
+     */
+    L1Cache(std::string l1name, CoreId core, noc::PacketSender &out,
+            const HomeMap &home, const L1Config &config,
+            stats::Group &group);
+
+    /**
+     * Start a memory operation.
+     *
+     * @param is_write store (needs M) vs load (needs S/E/M).
+     * @param addr block address.
+     * @param l2_hit_hint trace annotation: would this hit in L2?
+     * @param on_done invoked once when the operation completes.
+     * @return false when the core must retry next cycle.
+     */
+    bool access(bool is_write, BlockAddr addr, bool l2_hit_hint,
+                std::function<void(Cycle)> on_done, Cycle now);
+
+    void deliver(noc::PacketPtr pkt, Cycle now) override;
+    void tick(Cycle now) override;
+
+    /** @return MESI state of @p addr (I when absent). */
+    L1State state(BlockAddr addr) const;
+
+    /** @return whether @p addr is present in a stable readable state. */
+    bool isResident(BlockAddr addr) const;
+
+    /** @return some stable resident block, for re-reference synthesis. */
+    const cache::TagEntry *anyResident(std::uint64_t salt) const
+    {
+        return tags_.anyResident(salt);
+    }
+
+    int mshrsInUse() const { return static_cast<int>(mshrs_.size()); }
+    CoreId core() const { return core_; }
+
+  private:
+    struct Mshr
+    {
+        bool isWrite;
+        Cycle startedAt;
+        std::function<void(Cycle)> onDone;
+    };
+
+    void sendRequest(noc::PacketClass cls, CohKind kind, BlockAddr addr,
+                     bool l2_hit_hint, Cycle now);
+    void completeMiss(BlockAddr addr, L1State final_state, Cycle now);
+    void handleInv(const noc::Packet &pkt, Cycle now);
+    void handleRecall(const noc::Packet &pkt, Cycle now);
+
+    CoreId core_;
+    noc::PacketSender &out_;
+    HomeMap home_;
+    L1Config config_;
+    cache::TagArray tags_;
+
+    std::unordered_map<BlockAddr, Mshr> mshrs_;
+    std::unordered_set<BlockAddr> pendingPutM_;
+    std::vector<std::pair<Cycle, std::function<void(Cycle)>>> delayed_;
+
+    stats::Counter &hits_;
+    stats::Counter &misses_;
+    stats::Counter &storeWrites_;
+    stats::Counter &upgrades_;
+    stats::Counter &writebacks_;
+    stats::Counter &invsReceived_;
+    stats::Counter &recallsReceived_;
+    stats::Counter &retries_;
+    stats::Average &missLatency_;
+};
+
+} // namespace stacknoc::coherence
+
+#endif // STACKNOC_COHERENCE_L1_CACHE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * MESI protocol message encoding on top of the network's opaque
+ * ProtoInfo payload.
+ *
+ * Packet classes carry the size/vnet semantics; the protocol opcode
+ * lives in ProtoInfo::kind, flags in ProtoInfo::flags, the requesting
+ * core in ProtoInfo::origin, and small integers (ack counts, granted
+ * state) in ProtoInfo::aux.
+ */
+
+#ifndef STACKNOC_COHERENCE_MESSAGES_HH
+#define STACKNOC_COHERENCE_MESSAGES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "noc/packet.hh"
+
+namespace stacknoc::coherence {
+
+/** Protocol opcodes (ProtoInfo::kind). */
+enum class CohKind : std::uint8_t {
+    GetS = 1,    //!< read miss (ReadReq packet)
+    GetM,        //!< upgrade, store hit on a Shared block (WriteReq)
+    WriteL2,     //!< no-allocate store miss (StoreWrite packet)
+    PutM,        //!< dirty writeback (WritebackReq packet)
+    Inv,         //!< directory -> sharer invalidation (CohCtrl)
+    InvAck,      //!< sharer -> directory (CohCtrl)
+    Recall,      //!< directory -> owner (CohCtrl)
+    RecallData,  //!< owner -> directory, dirty data (CohData)
+    RecallAck,   //!< owner -> directory, no data (CohCtrl)
+    Data,        //!< directory -> requester fill (DataResp)
+    UpgradeAck,  //!< directory -> requester M grant, no data (Ack)
+    WbAck,       //!< directory -> writer (Ack)
+    Unblock,     //!< requester -> directory: grant installed (CohCtrl)
+};
+
+/** ProtoInfo::flags bits. */
+enum CohFlags : std::uint8_t {
+    kFlagDirty = 1 << 0,       //!< RecallData carries modified data
+    kFlagL2Hit = 1 << 1,       //!< trace hint: this access hits in L2
+    kFlagPutMInFlight = 1 << 2, //!< RecallAck: a PutM is already en route
+    kFlagShared = 1 << 3,      //!< workload hint: block is shared
+};
+
+/** L1 grant states (ProtoInfo::aux of Data / UpgradeAck). */
+enum class Grant : std::uint16_t { S = 0, E = 1, M = 2 };
+
+/** MESI states of a block in an L1 (stored in TagEntry::state). */
+enum class L1State : std::uint8_t {
+    I = 0,
+    S,
+    E,
+    M,
+    IS,  //!< transient: GetS outstanding
+    IM,  //!< transient: GetM outstanding (no prior copy)
+    SM,  //!< transient: upgrade outstanding (held S)
+};
+
+/** @return printable L1 state name. */
+const char *l1StateName(L1State s);
+
+/** @return the coherence opcode of @p pkt. */
+inline CohKind
+kindOf(const noc::Packet &pkt)
+{
+    return static_cast<CohKind>(pkt.info.kind);
+}
+
+/** Stamp the opcode and requester onto a packet. */
+inline void
+setKind(noc::Packet &pkt, CohKind kind, CoreId origin)
+{
+    pkt.info.kind = static_cast<std::uint8_t>(kind);
+    pkt.info.origin = static_cast<std::uint32_t>(origin);
+}
+
+/** @return requester/origin core of @p pkt. */
+inline CoreId
+originOf(const noc::Packet &pkt)
+{
+    return static_cast<CoreId>(pkt.info.origin);
+}
+
+} // namespace stacknoc::coherence
+
+#endif // STACKNOC_COHERENCE_MESSAGES_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Coordinates for the two-layer 3D mesh used throughout the paper.
+ *
+ * Node numbering is row-major within a layer; layer 0 is the core layer,
+ * layer 1 the stacked cache layer. For the paper's 8x8x2 configuration,
+ * core nodes are 0..63 and cache nodes 64..127, matching Figure 4.
+ */
+
+#ifndef STACKNOC_COMMON_GEOMETRY_HH
+#define STACKNOC_COMMON_GEOMETRY_HH
+
+#include <cstdlib>
+
+#include "common/types.hh"
+
+namespace stacknoc {
+
+/** A position in the two-layer mesh. */
+struct Coord
+{
+    int x = 0;     //!< column, 0..width-1
+    int y = 0;     //!< row, 0..height-1
+    int layer = 0; //!< 0 = core layer, 1 = cache layer
+
+    bool operator==(const Coord &o) const = default;
+};
+
+/**
+ * Dimensions of the stacked mesh and the node<->coordinate mapping.
+ * Immutable after construction.
+ */
+class MeshShape
+{
+  public:
+    MeshShape(int width, int height, int layers)
+        : width_(width), height_(height), layers_(layers)
+    {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int layers() const { return layers_; }
+    int nodesPerLayer() const { return width_ * height_; }
+    int totalNodes() const { return nodesPerLayer() * layers_; }
+
+    /** @return flat node id of a coordinate. */
+    NodeId
+    node(const Coord &c) const
+    {
+        return static_cast<NodeId>(
+            c.layer * nodesPerLayer() + c.y * width_ + c.x);
+    }
+
+    NodeId node(int x, int y, int layer) const { return node({x, y, layer}); }
+
+    /** @return coordinate of a flat node id. */
+    Coord
+    coord(NodeId n) const
+    {
+        const int per = nodesPerLayer();
+        Coord c;
+        c.layer = static_cast<int>(n) / per;
+        const int rem = static_cast<int>(n) % per;
+        c.y = rem / width_;
+        c.x = rem % width_;
+        return c;
+    }
+
+    bool
+    contains(const Coord &c) const
+    {
+        return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_ &&
+               c.layer >= 0 && c.layer < layers_;
+    }
+
+    /** Manhattan distance counting the inter-layer hop as one hop. */
+    int
+    hopDistance(NodeId a, NodeId b) const
+    {
+        const Coord ca = coord(a);
+        const Coord cb = coord(b);
+        return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y) +
+               std::abs(ca.layer - cb.layer);
+    }
+
+    /** In-layer Manhattan distance (ignores the layer coordinate). */
+    int
+    planarDistance(NodeId a, NodeId b) const
+    {
+        const Coord ca = coord(a);
+        const Coord cb = coord(b);
+        return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+    }
+
+  private:
+    int width_;
+    int height_;
+    int layers_;
+};
+
+} // namespace stacknoc
+
+#endif // STACKNOC_COMMON_GEOMETRY_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (a stacknoc bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something works but not as well as it should.
+ * inform() - plain status output.
+ */
+
+#ifndef STACKNOC_COMMON_LOGGING_HH
+#define STACKNOC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace stacknoc {
+
+namespace detail {
+
+/** Formats printf-style arguments into a std::string. */
+std::string vformat(const char *fmt, std::va_list args);
+
+/** printf-style convenience wrapper around vformat(). */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Global verbosity switch; when false, inform() output is suppressed. */
+void setVerbose(bool verbose);
+
+/** @return current verbosity. */
+bool verbose();
+
+} // namespace stacknoc
+
+/** Abort on a simulator bug. Never use for user errors. */
+#define panic(...) \
+    ::stacknoc::detail::panicImpl(__FILE__, __LINE__, \
+                                  ::stacknoc::detail::format(__VA_ARGS__))
+
+/** Exit(1) on a user/configuration error. */
+#define fatal(...) \
+    ::stacknoc::detail::fatalImpl(__FILE__, __LINE__, \
+                                  ::stacknoc::detail::format(__VA_ARGS__))
+
+/** Warn about degraded but survivable behaviour. */
+#define warn(...) \
+    ::stacknoc::detail::warnImpl(::stacknoc::detail::format(__VA_ARGS__))
+
+/** Informational message (suppressed when not verbose). */
+#define inform(...) \
+    ::stacknoc::detail::informImpl(::stacknoc::detail::format(__VA_ARGS__))
+
+/** panic() unless the given invariant holds. */
+#define panic_if(cond, ...)            \
+    do {                               \
+        if (cond) {                    \
+            panic(__VA_ARGS__);        \
+        }                              \
+    } while (0)
+
+/** fatal() unless the given user-facing requirement holds. */
+#define fatal_if(cond, ...)            \
+    do {                               \
+        if (cond) {                    \
+            fatal(__VA_ARGS__);        \
+        }                              \
+    } while (0)
+
+#endif // STACKNOC_COMMON_LOGGING_HH

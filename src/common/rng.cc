@@ -1,0 +1,91 @@
+#include "common/rng.hh"
+
+namespace stacknoc {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+    // Avoid the all-zero state (astronomically unlikely, but cheap to fix).
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    // Lemire-style rejection-free mapping is fine for simulation purposes;
+    // modulo bias is negligible for the bounds we use (<= 2^32).
+    return next() % bound;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double probability)
+{
+    if (probability <= 0.0)
+        return false;
+    if (probability >= 1.0)
+        return true;
+    return uniform() < probability;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    return lo + static_cast<std::int64_t>(
+        below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+std::uint32_t
+Rng::burstLength(double continue_prob, std::uint32_t max_len)
+{
+    std::uint32_t len = 1;
+    while (len < max_len && chance(continue_prob))
+        ++len;
+    return len;
+}
+
+} // namespace stacknoc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic component in stacknoc owns its own Rng seeded from the
+ * experiment seed, so results are bit-identical across runs and do not
+ * depend on component tick order.
+ */
+
+#ifndef STACKNOC_COMMON_RNG_HH
+#define STACKNOC_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace stacknoc {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Small, fast, and good enough
+ * statistical quality for workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion so any 64-bit seed is acceptable. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound) (bound must be > 0). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with the given probability (clamped to [0,1]). */
+    bool chance(double probability);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Geometric-ish bounded burst length in [1, max_len]. */
+    std::uint32_t burstLength(double continue_prob, std::uint32_t max_len);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace stacknoc
+
+#endif // STACKNOC_COMMON_RNG_HH

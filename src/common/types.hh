@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every stacknoc module.
+ */
+
+#ifndef STACKNOC_COMMON_TYPES_HH
+#define STACKNOC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace stacknoc {
+
+/** Simulation time in clock cycles (3 GHz core clock in the paper). */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/**
+ * Flat node identifier. In the two-layer 8x8 configuration of the paper,
+ * nodes 0..63 form the core layer and 64..127 the cache layer, row-major
+ * within each layer.
+ */
+using NodeId = std::int32_t;
+
+/** Sentinel for an invalid node. */
+constexpr NodeId kInvalidNode = -1;
+
+/** Cache-block address (already shifted right by log2(block size)). */
+using BlockAddr = std::uint64_t;
+
+/** Index of a core (0..numCores-1). */
+using CoreId = std::int32_t;
+
+/** Index of an L2 cache bank (0..numBanks-1). */
+using BankId = std::int32_t;
+
+/** Sentinel for an invalid bank. */
+constexpr BankId kInvalidBank = -1;
+
+} // namespace stacknoc
+
+#endif // STACKNOC_COMMON_TYPES_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The trace-driven out-of-order core model of Table 1: 128-entry
+ * instruction window, 2-wide fetch/commit, at most one memory operation
+ * issued per cycle, in-order commit blocking at the ROB head.
+ *
+ * Non-memory instructions are abstracted to unit work; memory latency —
+ * the quantity the paper's mechanism changes — is fully modelled through
+ * the L1/L2/directory/network stack. Memory-level parallelism emerges
+ * from the window: younger memory operations keep issuing while the
+ * head's miss is outstanding.
+ */
+
+#ifndef STACKNOC_CPU_CORE_HH
+#define STACKNOC_CPU_CORE_HH
+
+#include <deque>
+#include <memory>
+
+#include "sim/stats.hh"
+#include "sim/ticking.hh"
+#include "coherence/l1_cache.hh"
+
+namespace stacknoc::cpu {
+
+/** One instruction from a workload stream. */
+struct TraceOp
+{
+    bool isMem = false;
+    bool isWrite = false;
+    BlockAddr addr = 0;
+    /** Trace annotation: would this access hit in the L2? */
+    bool l2Hit = true;
+    /** Data dependence on the previous memory operation: this op may
+     *  not issue until the previous one completes (bounds MLP). */
+    bool dependsOnPrev = false;
+};
+
+/** An infinite per-core instruction source. */
+class InstructionStream
+{
+  public:
+    virtual ~InstructionStream() = default;
+
+    /** Produce the next instruction in program order. */
+    virtual TraceOp next() = 0;
+};
+
+/** Core pipeline parameters (Table 1). */
+struct CoreConfig
+{
+    int robEntries = 128;
+    int fetchWidth = 2;
+    int commitWidth = 2;
+    int memIssuePerCycle = 1;
+};
+
+/** One core: fetches from its stream, issues memory ops to its L1. */
+class Core : public Ticking
+{
+  public:
+    /**
+     * @param cname component name.
+     * @param id core id.
+     * @param l1 the core's private L1 (must outlive the core).
+     * @param stream instruction source (must outlive the core).
+     * @param config pipeline widths.
+     * @param group statistics group shared by all cores.
+     */
+    Core(std::string cname, CoreId id, coherence::L1Cache &l1,
+         InstructionStream &stream, const CoreConfig &config,
+         stats::Group &group);
+
+    void tick(Cycle now) override;
+
+    /** Instructions committed since construction (or the last reset). */
+    std::uint64_t committed() const { return committed_; }
+
+    /** Zero the committed-instruction count (end of warm-up). */
+    void resetCommitted() { committed_ = 0; }
+
+    CoreId id() const { return id_; }
+
+    /** Occupancy of the instruction window. */
+    std::size_t robOccupancy() const { return rob_.size(); }
+
+  private:
+    struct RobEntry
+    {
+        TraceOp op;
+        bool issued = false;
+        /** Shared with the L1 completion callback. */
+        std::shared_ptr<bool> done;
+    };
+
+    void commit(Cycle now);
+    void issue(Cycle now);
+    void fetch(Cycle now);
+
+    CoreId id_;
+    coherence::L1Cache &l1_;
+    InstructionStream &stream_;
+    CoreConfig config_;
+    std::deque<RobEntry> rob_;
+    std::size_t issueCursor_ = 0; //!< oldest possibly-unissued ROB index
+    /** Completion flag of the most recently issued memory operation. */
+    std::shared_ptr<bool> lastMemDone_;
+    std::uint64_t committed_ = 0;
+
+    stats::Counter &committedStat_;
+    stats::Counter &memOpsStat_;
+    stats::Counter &stallCyclesStat_;
+};
+
+} // namespace stacknoc::cpu
+
+#endif // STACKNOC_CPU_CORE_HH

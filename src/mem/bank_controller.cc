@@ -1,0 +1,205 @@
+#include "mem/bank_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stacknoc::mem {
+
+BankController::BankController(CacheTech tech,
+                               const BankControllerConfig &config,
+                               stats::Group &group)
+    : bank_(tech, group), config_(config),
+      queueLatency_(group.average("bank_queue_latency")),
+      served_(group.counter("bank_requests_served")),
+      bufferHits_(group.counter("write_buffer_hits")),
+      preemptions_(group.counter("write_buffer_preemptions")),
+      gapAfterWrite_(group.distribution("gap_after_write",
+                                        {16, 33, 66, 99, 132, 165}))
+{
+}
+
+void
+BankController::enqueue(BankRequest req, Cycle now)
+{
+    // Figure 3: distribution of accesses that follow a write request to
+    // the same bank.
+    if (lastWasWrite_ && lastArrival_ != kCycleNever)
+        gapAfterWrite_.sample(now - lastArrival_);
+    lastArrival_ = now;
+    lastWasWrite_ = req.isWrite;
+
+    req.enqueuedAt = now;
+    queue_.push_back(std::move(req));
+}
+
+bool
+BankController::idle(Cycle now) const
+{
+    return queue_.empty() && buffer_.empty() && !current_ &&
+           !drainDoneAt_ && delayed_.empty() && !bank_.busy(now);
+}
+
+void
+BankController::completeDue(Cycle now)
+{
+    if (current_ && now >= current_->doneAt) {
+        served_.inc();
+        if (current_->req.onDone)
+            current_->req.onDone(now);
+        current_.reset();
+    }
+    if (drainDoneAt_ && now >= *drainDoneAt_) {
+        panic_if(buffer_.empty() || !buffer_.front().draining,
+                 "drain completion without a draining entry");
+        buffer_.pop_front();
+        drainDoneAt_.reset();
+    }
+    for (auto it = delayed_.begin(); it != delayed_.end();) {
+        if (now >= it->at) {
+            served_.inc();
+            if (it->req.onDone)
+                it->req.onDone(now);
+            it = delayed_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+BankRequest
+BankController::takeNextPlain()
+{
+    if (!config_.readPriority || queue_.front().isWrite == false) {
+        BankRequest req = std::move(queue_.front());
+        queue_.pop_front();
+        return req;
+    }
+    // Read priority: serve the oldest queued read ahead of any write.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (!it->isWrite) {
+            BankRequest req = std::move(*it);
+            queue_.erase(it);
+            return req;
+        }
+    }
+    BankRequest req = std::move(queue_.front());
+    queue_.pop_front();
+    return req;
+}
+
+void
+BankController::startPlain(Cycle now)
+{
+    if (current_ || queue_.empty() || bank_.busy(now))
+        return;
+    BankRequest req = takeNextPlain();
+    queueLatency_.sample(static_cast<double>(now - req.enqueuedAt));
+    const Cycle done =
+        req.isWrite ? bank_.startWrite(now) : bank_.startRead(now);
+    current_ = InFlight{std::move(req), done};
+}
+
+bool
+BankController::bufferContains(BlockAddr addr) const
+{
+    return std::any_of(buffer_.begin(), buffer_.end(),
+                       [&](const BufferedWrite &w) {
+                           return w.addr == addr;
+                       });
+}
+
+void
+BankController::startBuffered(Cycle now)
+{
+    // Admit demand requests in order; every request pays the 1-cycle
+    // read/write detection before any action (Section 4.4).
+    while (!queue_.empty()) {
+        BankRequest &front = queue_.front();
+        if (now < front.enqueuedAt + config_.checkCycles)
+            break;
+        if (front.isWrite) {
+            const bool buffer_free =
+                static_cast<int>(buffer_.size()) <
+                config_.writeBufferEntries;
+            if (!buffer_free)
+                break; // wait for a drain to free an entry
+            BankRequest req = std::move(front);
+            queue_.pop_front();
+            buffer_.push_back(BufferedWrite{req.addr, false});
+            queueLatency_.sample(static_cast<double>(
+                now - req.enqueuedAt));
+            delayed_.push_back(
+                DelayedDone{now + config_.bufferAccessCycles,
+                            std::move(req)});
+            continue;
+        }
+        // Read: the buffer is searched in parallel with the bank.
+        if (bufferContains(front.addr)) {
+            BankRequest req = std::move(front);
+            queue_.pop_front();
+            bufferHits_.inc();
+            queueLatency_.sample(static_cast<double>(
+                now - req.enqueuedAt));
+            delayed_.push_back(
+                DelayedDone{now + config_.bufferAccessCycles,
+                            std::move(req)});
+            continue;
+        }
+        if (bank_.busy(now)) {
+            // Read preemption: abort an in-progress drain write; the
+            // unfinished write stays buffered and restarts later.
+            if (drainDoneAt_ && config_.readPreemption) {
+                bank_.abort(now);
+                buffer_.front().draining = false;
+                drainDoneAt_.reset();
+                preemptions_.inc();
+            } else {
+                break; // demand read already occupies the bank
+            }
+        }
+        if (current_)
+            break; // one demand access at a time
+        BankRequest req = std::move(front);
+        queue_.pop_front();
+        const Cycle done = bank_.startRead(now);
+        queueLatency_.sample(static_cast<double>(now - req.enqueuedAt));
+        current_ = InFlight{std::move(req), done};
+        break;
+    }
+
+    // Drain the oldest buffered write when the bank has nothing better
+    // to do.
+    if (!drainDoneAt_ && !current_ && !buffer_.empty() &&
+        !bank_.busy(now)) {
+        buffer_.front().draining = true;
+        drainDoneAt_ = bank_.startWrite(now);
+    }
+}
+
+void
+BankController::tick(Cycle now)
+{
+    completeDue(now);
+    if (config_.writeBuffer) {
+        startBuffered(now);
+        return;
+    }
+    // Plain-mode read preemption: abort an in-service write when a
+    // read is waiting, and put the write back at the head of the queue.
+    if (config_.readPriority && current_ && current_->req.isWrite &&
+        bank_.writingNow(now)) {
+        const bool read_waiting =
+            std::any_of(queue_.begin(), queue_.end(),
+                        [](const BankRequest &r) { return !r.isWrite; });
+        if (read_waiting) {
+            bank_.abort(now);
+            queue_.push_front(std::move(current_->req));
+            current_.reset();
+            preemptions_.inc();
+        }
+    }
+    startPlain(now);
+}
+
+} // namespace stacknoc::mem

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The per-bank request scheduler: FIFO service of reads and writes onto
+ * the bank port, optionally through the Sun et al. (HPCA'09) SRAM write
+ * buffer with read preemption — the BUFF-20 baseline of Section 4.4.
+ */
+
+#ifndef STACKNOC_MEM_BANK_CONTROLLER_HH
+#define STACKNOC_MEM_BANK_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/stats.hh"
+#include "mem/bank_model.hh"
+
+namespace stacknoc::mem {
+
+/** One timed request against a bank. */
+struct BankRequest
+{
+    bool isWrite = false;
+    BlockAddr addr = 0;
+    Cycle enqueuedAt = 0;
+    /** Invoked once when the access completes. */
+    std::function<void(Cycle)> onDone;
+};
+
+/** Configuration of the bank front-end. */
+struct BankControllerConfig
+{
+    /** Enable the Sun et al. SRAM write buffer. */
+    bool writeBuffer = false;
+    /** Buffer capacity (the paper's comparison uses 20 entries). */
+    int writeBufferEntries = 20;
+    /** Allow reads to abort an in-progress buffer-drain write. */
+    bool readPreemption = true;
+    /** Read/write detection overhead on every request (1 cycle). */
+    Cycle checkCycles = 1;
+    /** SRAM-speed access latency of the buffer itself. */
+    Cycle bufferAccessCycles = 3;
+
+    /**
+     * Plain-mode read priority (the paper's Section 5 notes the network
+     * scheme complements Sun et al.'s read preemption): queued reads
+     * are served before queued writes, and a read may abort an
+     * in-service write, which then restarts from scratch.
+     */
+    bool readPriority = false;
+};
+
+/**
+ * Serialises requests onto a BankModel. Owners call tick() once per
+ * cycle and enqueue() at any time; completions fire the request's onDone.
+ */
+class BankController
+{
+  public:
+    /**
+     * @param tech bank technology.
+     * @param config front-end configuration.
+     * @param group shared statistics group for all banks.
+     */
+    BankController(CacheTech tech, const BankControllerConfig &config,
+                   stats::Group &group);
+
+    /** Add a request. */
+    void enqueue(BankRequest req, Cycle now);
+
+    /** Advance one cycle: complete and start work. */
+    void tick(Cycle now);
+
+    /** Requests waiting for service (demand queue only). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Writes parked in the write buffer. */
+    std::size_t bufferDepth() const { return buffer_.size(); }
+
+    /** @return true when nothing is queued, buffered, or in flight. */
+    bool idle(Cycle now) const;
+
+    const BankModel &bank() const { return bank_; }
+
+  private:
+    struct InFlight
+    {
+        BankRequest req;
+        Cycle doneAt;
+    };
+
+    struct BufferedWrite
+    {
+        BlockAddr addr;
+        bool draining = false;
+    };
+
+    struct DelayedDone
+    {
+        Cycle at;
+        BankRequest req;
+    };
+
+    void completeDue(Cycle now);
+    void startPlain(Cycle now);
+    void startBuffered(Cycle now);
+    bool bufferContains(BlockAddr addr) const;
+
+    /** Pop the next plain-mode request honouring read priority. */
+    BankRequest takeNextPlain();
+
+    BankModel bank_;
+    BankControllerConfig config_;
+
+    std::deque<BankRequest> queue_;
+    std::optional<InFlight> current_;        //!< demand op on the bank
+    std::deque<BufferedWrite> buffer_;
+    std::optional<Cycle> drainDoneAt_;       //!< drain write in flight
+    std::vector<DelayedDone> delayed_;       //!< buffer-speed completions
+
+    /** Figure-3 probe: arrival-gap tracking after a write request. */
+    Cycle lastArrival_ = kCycleNever;
+    bool lastWasWrite_ = false;
+
+    stats::Average &queueLatency_;
+    stats::Counter &served_;
+    stats::Counter &bufferHits_;
+    stats::Counter &preemptions_;
+    stats::Distribution &gapAfterWrite_;
+};
+
+} // namespace stacknoc::mem
+
+#endif // STACKNOC_MEM_BANK_CONTROLLER_HH

@@ -1,0 +1,48 @@
+#include "mem/bank_model.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc::mem {
+
+BankModel::BankModel(CacheTech tech, stats::Group &group)
+    : tech_(tech), params_(bankTech(tech)),
+      reads_(group.counter("bank_reads")),
+      writes_(group.counter("bank_writes")),
+      busyCycles_(group.counter("bank_busy_cycles")),
+      aborts_(group.counter("bank_write_aborts"))
+{
+}
+
+Cycle
+BankModel::startRead(Cycle now)
+{
+    panic_if(busy(now), "bank read started while busy");
+    busyUntil_ = now + params_.readCycles;
+    currentIsWrite_ = false;
+    reads_.inc();
+    busyCycles_.inc(params_.readCycles);
+    return busyUntil_;
+}
+
+Cycle
+BankModel::startWrite(Cycle now)
+{
+    panic_if(busy(now), "bank write started while busy");
+    busyUntil_ = now + params_.writeCycles;
+    currentIsWrite_ = true;
+    writes_.inc();
+    busyCycles_.inc(params_.writeCycles);
+    return busyUntil_;
+}
+
+void
+BankModel::abort(Cycle now)
+{
+    panic_if(!busy(now), "abort with no access in flight");
+    // Return the unused busy cycles to the accounting.
+    busyCycles_.inc(0); // busy cycles already charged; keep conservative
+    busyUntil_ = now;
+    aborts_.inc();
+}
+
+} // namespace stacknoc::mem

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The raw timed data array of one L2 bank: a single read/write port with
+ * technology-dependent occupancy and per-access energy accounting.
+ */
+
+#ifndef STACKNOC_MEM_BANK_MODEL_HH
+#define STACKNOC_MEM_BANK_MODEL_HH
+
+#include "common/types.hh"
+#include "sim/stats.hh"
+#include "mem/tech.hh"
+
+namespace stacknoc::mem {
+
+/**
+ * Models bank-port occupancy: an access started at t occupies the bank
+ * until t + latency. Callers must check busy() before starting an access
+ * (the BankController serialises requests).
+ */
+class BankModel
+{
+  public:
+    /**
+     * @param tech cell technology (decides latencies and energies).
+     * @param group statistics group shared by all banks of the system.
+     */
+    BankModel(CacheTech tech, stats::Group &group);
+
+    bool busy(Cycle now) const { return now < busyUntil_; }
+    Cycle busyUntil() const { return busyUntil_; }
+
+    /** Begin a read. @return completion cycle. */
+    Cycle startRead(Cycle now);
+
+    /** Begin a write. @return completion cycle. */
+    Cycle startWrite(Cycle now);
+
+    /**
+     * Abort the in-flight access (read preemption of a write): the bank
+     * becomes free immediately; the energy already spent is kept.
+     */
+    void abort(Cycle now);
+
+    /** @return true when a write is currently occupying the port. */
+    bool writingNow(Cycle now) const
+    {
+        return busy(now) && currentIsWrite_;
+    }
+
+    CacheTech tech() const { return tech_; }
+    const BankTechParams &params() const { return params_; }
+
+  private:
+    CacheTech tech_;
+    const BankTechParams &params_;
+    Cycle busyUntil_ = 0;
+    bool currentIsWrite_ = false;
+
+    stats::Counter &reads_;
+    stats::Counter &writes_;
+    stats::Counter &busyCycles_;
+    stats::Counter &aborts_;
+};
+
+} // namespace stacknoc::mem
+
+#endif // STACKNOC_MEM_BANK_MODEL_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * On-chip memory controllers: fixed-latency DRAM behind the four corner
+ * nodes of the cache layer (Table 1).
+ */
+
+#ifndef STACKNOC_MEM_MEMORY_CONTROLLER_HH
+#define STACKNOC_MEM_MEMORY_CONTROLLER_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/ticking.hh"
+#include "noc/network_interface.hh"
+#include "mem/tech.hh"
+
+namespace stacknoc::mem {
+
+/**
+ * Receives MemReq/MemWrite packets from L2 banks, services them with a
+ * fixed 320-cycle DRAM access (bounded outstanding requests), and
+ * returns MemResp fill data over the response virtual network.
+ */
+class MemoryController : public Ticking, public noc::NetworkClient
+{
+  public:
+    /**
+     * @param mcname component name.
+     * @param node the cache-layer node this controller shares.
+     * @param ni the node's network interface, used to inject responses.
+     * @param params DRAM parameters.
+     * @param group shared statistics group for all controllers.
+     */
+    MemoryController(std::string mcname, NodeId node,
+                     noc::NetworkInterface &ni, const DramParams &params,
+                     stats::Group &group);
+
+    void deliver(noc::PacketPtr pkt, Cycle now) override;
+    void tick(Cycle now) override;
+
+    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t inFlight() const { return inflight_.size(); }
+
+  private:
+    struct Access
+    {
+        noc::PacketPtr pkt;
+        Cycle doneAt;
+    };
+
+    NodeId node_;
+    noc::NetworkInterface &ni_;
+    DramParams params_;
+    std::deque<noc::PacketPtr> queue_;
+    std::vector<Access> inflight_;
+
+    stats::Counter &reads_;
+    stats::Counter &writes_;
+    stats::Average &queueLatency_;
+};
+
+} // namespace stacknoc::mem
+
+#endif // STACKNOC_MEM_MEMORY_CONTROLLER_HH

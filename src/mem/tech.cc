@@ -1,0 +1,29 @@
+#include "mem/tech.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc::mem {
+
+const char *
+cacheTechName(CacheTech tech)
+{
+    return tech == CacheTech::Sram ? "SRAM" : "STT-RAM";
+}
+
+const BankTechParams &
+bankTech(CacheTech tech)
+{
+    // Table 2: SRAM and STT-RAM comparison at 32nm.
+    static const BankTechParams sram{
+        "1MB SRAM", 1.0, 3.03, 0.168, 0.168, 444.6, 0.702, 0.702, 3, 3};
+    static const BankTechParams sttram{
+        "4MB STT-RAM", 4.0, 3.39, 0.278, 0.765, 190.5, 0.880, 10.67, 3,
+        33};
+    switch (tech) {
+      case CacheTech::Sram: return sram;
+      case CacheTech::SttRam: return sttram;
+      default: panic("unknown cache technology");
+    }
+}
+
+} // namespace stacknoc::mem

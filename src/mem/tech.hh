@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Memory technology parameters at 32 nm — a transcription of the paper's
+ * Table 2 (derived by the authors from CACTI 6.0 and STT-RAM prototype
+ * scaling). Latencies are in cycles of the 3 GHz core clock.
+ */
+
+#ifndef STACKNOC_MEM_TECH_HH
+#define STACKNOC_MEM_TECH_HH
+
+#include "common/types.hh"
+
+namespace stacknoc::mem {
+
+/** The cell technology an L2 bank is built from. */
+enum class CacheTech { Sram, SttRam };
+
+/** @return printable name ("SRAM" / "STT-RAM"). */
+const char *cacheTechName(CacheTech tech);
+
+/** Per-bank technology parameters (one row of Table 2). */
+struct BankTechParams
+{
+    const char *name;
+    double capacityMB;      //!< bank capacity in MB
+    double areaMm2;         //!< bank area in mm^2
+    double readEnergyNJ;    //!< energy per read access
+    double writeEnergyNJ;   //!< energy per write access
+    double leakagePowerMW;  //!< leakage power at 80 C
+    double readLatencyNs;
+    double writeLatencyNs;
+    Cycle readCycles;       //!< read latency at 3 GHz
+    Cycle writeCycles;      //!< write latency at 3 GHz
+};
+
+/** @return the Table 2 row for @p tech. */
+const BankTechParams &bankTech(CacheTech tech);
+
+/** Clock frequency assumed throughout (Table 1). */
+constexpr double kClockGHz = 3.0;
+
+/**
+ * Main-memory parameters (Table 1: 4 GB DRAM, 320-cycle access, four
+ * on-chip controllers). Table 1's "16 outstanding requests" is a
+ * per-processor limit; each controller serves many processors, so its
+ * in-flight window is sized so DRAM does not become the whole-system
+ * bottleneck (the paper's evaluation is bank- and NoC-bound).
+ */
+struct DramParams
+{
+    Cycle accessCycles = 320;
+    int maxInFlight = 64;
+    double accessEnergyNJ = 15.0; //!< off-chip access, not in uncore energy
+};
+
+} // namespace stacknoc::mem
+
+#endif // STACKNOC_MEM_TECH_HH

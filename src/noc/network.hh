@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The assembled 3D network: topology, routers, NIs, and their wiring.
+ */
+
+#ifndef STACKNOC_NOC_NETWORK_HH
+#define STACKNOC_NOC_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "noc/network_interface.hh"
+#include "noc/params.hh"
+#include "noc/policy.hh"
+#include "noc/router.hh"
+#include "noc/routing.hh"
+#include "noc/topology.hh"
+
+namespace stacknoc::noc {
+
+/**
+ * Builds a complete two-layer mesh network and registers every router and
+ * NI with the Simulator. The Network owns the topology, the routing
+ * function, the routers, the NIs, and the NI-router links; the arbitration
+ * policy is owned by the caller (it usually needs wider system knowledge).
+ */
+class Network
+{
+  public:
+    /**
+     * @param sim simulator to register components with.
+     * @param shape mesh dimensions.
+     * @param params network parameters.
+     * @param routing routing function (ownership transferred).
+     * @param policy arbitration policy; must outlive the Network.
+     */
+    Network(Simulator &sim, const MeshShape &shape, const NocParams &params,
+            std::unique_ptr<RoutingFunction> routing,
+            ArbitrationPolicy &policy);
+
+    Router &router(NodeId n) { return *routers_.at(std::size_t(n)); }
+    const Router &router(NodeId n) const
+    {
+        return *routers_.at(std::size_t(n));
+    }
+
+    NetworkInterface &ni(NodeId n) { return *nis_.at(std::size_t(n)); }
+
+    Topology &topology() { return topo_; }
+    const Topology &topology() const { return topo_; }
+
+    const MeshShape &shape() const { return topo_.shape(); }
+    const NocParams &params() const { return params_; }
+    const RoutingFunction &routing() const { return *routing_; }
+
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
+    /** Sum of flits buffered in every router (for drain checks). */
+    int totalBufferedFlits() const;
+
+  private:
+    NocParams params_;
+    stats::Group stats_;
+    Topology topo_;
+    std::unique_ptr<RoutingFunction> routing_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+    std::vector<std::unique_ptr<Link>> niLinks_;
+};
+
+} // namespace stacknoc::noc
+
+#endif // STACKNOC_NOC_NETWORK_HH

@@ -1,0 +1,207 @@
+#include "noc/network_interface.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc::noc {
+
+NetworkInterface::NetworkInterface(std::string niname, NodeId id,
+                                   const NocParams &params,
+                                   stats::Group &net_stats)
+    : Ticking(std::move(niname)), id_(id), params_(params),
+      injVcs_(static_cast<std::size_t>(params.totalVcs())),
+      ejectVcs_(static_cast<std::size_t>(params.totalVcs())),
+      packetsInjected_(net_stats.counter("packets_injected")),
+      packetsEjected_(net_stats.counter("packets_ejected")),
+      netLatency_(net_stats.average("packet_network_latency")),
+      totalLatency_(net_stats.average("packet_total_latency")),
+      niQueueLatency_(net_stats.average("packet_ni_queue_latency"))
+{
+}
+
+void
+NetworkInterface::connect(Link *to_router, Link *from_router)
+{
+    toRouter_ = to_router;
+    fromRouter_ = from_router;
+    for (auto &vc : injVcs_)
+        vc.credits = params_.vcDepth;
+}
+
+void
+NetworkInterface::send(PacketPtr pkt, Cycle now)
+{
+    panic_if(pkt == nullptr, "NI %d: null packet", id_);
+    panic_if(pkt->src != id_, "NI %d: packet source mismatch (%s)", id_,
+             pkt->toString().c_str());
+    pkt->createdAt = now;
+    injectQueue_.push_back(std::move(pkt));
+}
+
+void
+NetworkInterface::tick(Cycle now)
+{
+    // Credits returned by the router's Local input port.
+    if (toRouter_) {
+        while (auto c = toRouter_->credit.receive(now)) {
+            auto &vc = injVcs_[static_cast<std::size_t>(c->vc)];
+            ++vc.credits;
+            panic_if(vc.credits > params_.vcDepth,
+                     "NI %d: credit overflow", id_);
+        }
+    }
+    receive(now);
+    inject(now);
+}
+
+void
+NetworkInterface::receive(Cycle now)
+{
+    if (!fromRouter_)
+        return;
+    // Arriving flits land in per-VC ejection buffers. Credits return
+    // only when a flit is consumed, so a client refusing admission backs
+    // traffic up into the router and onward through the network.
+    while (auto lf = fromRouter_->data.receive(now)) {
+        auto &vc = ejectVcs_[static_cast<std::size_t>(lf->vc)];
+        panic_if(static_cast<int>(vc.buffer.size()) >= params_.vcDepth,
+                 "NI %d: ejection buffer overflow", id_);
+        vc.buffer.push_back(lf->flit);
+    }
+    drainEjectBuffers(now);
+}
+
+NetworkClient *
+NetworkInterface::targetFor(const Packet &pkt) const
+{
+    if ((pkt.cls == PacketClass::MemReq ||
+         pkt.cls == PacketClass::MemWrite) && memClient_) {
+        return memClient_;
+    }
+    return client_;
+}
+
+void
+NetworkInterface::drainEjectBuffers(Cycle now)
+{
+    for (std::size_t v = 0; v < ejectVcs_.size(); ++v) {
+        auto &vc = ejectVcs_[v];
+        while (!vc.buffer.empty()) {
+            Flit &front = vc.buffer.front();
+            if (front.head() && !vc.committed) {
+                // Admission control happens once, at the head. ProbeAck
+                // and unknown-client packets are always sunk.
+                NetworkClient *target =
+                    front.pkt->cls == PacketClass::ProbeAck
+                        ? nullptr
+                        : targetFor(*front.pkt);
+                if (target && !target->tryAccept(*front.pkt))
+                    break; // hold; no credit returned
+                vc.committed = true;
+            }
+            fromRouter_->credit.push(now, Credit{static_cast<int>(v)});
+            const bool is_tail = front.tail();
+            PacketPtr pkt = front.pkt;
+            vc.buffer.pop_front();
+            if (is_tail) {
+                vc.committed = false;
+                pkt->ejectedAt = now;
+                packetsEjected_.inc();
+                if (pkt->injectedAt != kCycleNever) {
+                    netLatency_.sample(
+                        static_cast<double>(now - pkt->injectedAt));
+                    totalLatency_.sample(
+                        static_cast<double>(now - pkt->createdAt));
+                }
+                dispatch(std::move(pkt), now);
+            }
+        }
+    }
+}
+
+int
+NetworkInterface::ejectBufferedFlits() const
+{
+    int n = 0;
+    for (const auto &vc : ejectVcs_)
+        n += static_cast<int>(vc.buffer.size());
+    return n;
+}
+
+void
+NetworkInterface::dispatch(PacketPtr pkt, Cycle now)
+{
+    if (pkt->cls == PacketClass::ProbeAck) {
+        if (probeSink_)
+            probeSink_->onProbeAck(*pkt, now);
+        return;
+    }
+
+    // Echo a window-based-estimator probe back to the parent router node.
+    if (pkt->probeStamp >= 0 && pkt->probeParent != kInvalidNode &&
+        isRestrictedRequest(pkt->cls)) {
+        auto ack = makePacket(PacketClass::ProbeAck, id_, pkt->probeParent);
+        ack->info.aux = static_cast<std::uint16_t>(pkt->probeStamp);
+        ack->info.origin = static_cast<std::uint32_t>(pkt->destBank);
+        send(std::move(ack), now);
+    }
+
+    if (NetworkClient *target = targetFor(*pkt))
+        target->deliver(std::move(pkt), now);
+}
+
+void
+NetworkInterface::inject(Cycle now)
+{
+    if (!toRouter_)
+        return;
+
+    // Assign queued packets to free VCs of their virtual network.
+    for (auto it = injectQueue_.begin(); it != injectQueue_.end();) {
+        const int vn = vnetOf((*it)->cls);
+        const int base = params_.vnetBase(vn);
+        int free_vc = -1;
+        for (int v = base;
+             v < base + params_.vcsPerVnet[static_cast<std::size_t>(vn)];
+             ++v) {
+            if (!injVcs_[static_cast<std::size_t>(v)].pkt) {
+                free_vc = v;
+                break;
+            }
+        }
+        if (free_vc < 0) {
+            ++it;
+            continue;
+        }
+        auto &vc = injVcs_[static_cast<std::size_t>(free_vc)];
+        vc.pkt = std::move(*it);
+        vc.nextSeq = 0;
+        it = injectQueue_.erase(it);
+    }
+
+    // Send one flit per cycle (the NI-router link is a regular link).
+    const int vcs = static_cast<int>(injVcs_.size());
+    for (int off = 0; off < vcs; ++off) {
+        const int vi = (rrInjVc_ + off) % vcs;
+        auto &vc = injVcs_[static_cast<std::size_t>(vi)];
+        if (!vc.pkt || vc.credits <= 0)
+            continue;
+        Flit flit;
+        flit.pkt = vc.pkt;
+        flit.seq = vc.nextSeq;
+        toRouter_->data.push(now, LinkFlit{flit, vi});
+        --vc.credits;
+        if (flit.head()) {
+            vc.pkt->injectedAt = now;
+            packetsInjected_.inc();
+            niQueueLatency_.sample(
+                static_cast<double>(now - vc.pkt->createdAt));
+        }
+        ++vc.nextSeq;
+        if (vc.nextSeq >= vc.pkt->numFlits)
+            vc.pkt = nullptr; // tail sent; free the injection VC
+        rrInjVc_ = (vi + 1) % vcs;
+        break;
+    }
+}
+
+} // namespace stacknoc::noc

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Network interfaces: packetisation, injection, ejection, and delivery to
+ * the attached protocol agent.
+ */
+
+#ifndef STACKNOC_NOC_NETWORK_INTERFACE_HH
+#define STACKNOC_NOC_NETWORK_INTERFACE_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/ticking.hh"
+#include "noc/packet.hh"
+#include "noc/params.hh"
+#include "noc/topology.hh"
+
+namespace stacknoc::noc {
+
+/** Anything that can receive packets from its local NI. */
+class NetworkClient
+{
+  public:
+    virtual ~NetworkClient() = default;
+
+    /**
+     * Admission control, consulted once per packet when its head flit
+     * reaches the front of an NI ejection buffer. Returning false holds
+     * the packet in the NI (and, through withheld credits, backs traffic
+     * up into the network — the paper's "queued at the network
+     * interface"). Returning true may reserve client resources; the
+     * packet is then guaranteed to be deliver()ed.
+     */
+    virtual bool
+    tryAccept(const Packet &pkt)
+    {
+        (void)pkt;
+        return true;
+    }
+
+    /** A fully reassembled packet has arrived at this node. */
+    virtual void deliver(PacketPtr pkt, Cycle now) = 0;
+};
+
+/**
+ * Anything that can inject packets. NetworkInterface is the production
+ * implementation; protocol unit tests substitute recording fakes.
+ */
+class PacketSender
+{
+  public:
+    virtual ~PacketSender() = default;
+
+    /** Queue @p pkt for injection at cycle @p now. */
+    virtual void send(PacketPtr pkt, Cycle now) = 0;
+
+    /** Packets waiting behind this sender (store-buffer backpressure). */
+    virtual std::size_t backlog() const { return 0; }
+};
+
+/** Receiver of window-based-estimator timestamp echoes. */
+class ProbeSink
+{
+  public:
+    virtual ~ProbeSink() = default;
+
+    /**
+     * A ProbeAck reached the node it addresses. @p pkt carries the child
+     * bank in info.origin and the 8-bit timestamp in info.aux.
+     */
+    virtual void onProbeAck(const Packet &pkt, Cycle now) = 0;
+};
+
+/**
+ * The per-node network interface. Serialises packets into flits toward
+ * the router's Local input port (respecting credits), reassembles arriving
+ * flits, and dispatches completed packets to the attached client(s).
+ *
+ * Ejection is an infinite sink: every received flit is credited back
+ * immediately, so the network always drains at its destinations.
+ */
+class NetworkInterface : public Ticking, public PacketSender
+{
+  public:
+    NetworkInterface(std::string name, NodeId id, const NocParams &params,
+                     stats::Group &net_stats);
+
+    /**
+     * @param to_router link from this NI into the router's Local port.
+     * @param from_router link from the router's Local port to this NI.
+     */
+    void connect(Link *to_router, Link *from_router);
+
+    /** Primary protocol agent at this node (L1 controller or L2 bank). */
+    void setClient(NetworkClient *client) { client_ = client; }
+
+    /** Memory controller co-located at this node, if any. */
+    void setMemClient(NetworkClient *client) { memClient_ = client; }
+
+    /** Estimator hub receiving ProbeAck packets addressed to this node. */
+    void setProbeSink(ProbeSink *sink) { probeSink_ = sink; }
+
+    /**
+     * Queue @p pkt for injection. Always succeeds (the injection queue is
+     * unbounded; the network applies backpressure through credits).
+     */
+    void send(PacketPtr pkt, Cycle now) override;
+
+    void tick(Cycle now) override;
+
+    NodeId nodeId() const { return id_; }
+
+    /** Packets waiting to start serialisation. */
+    std::size_t injectQueueDepth() const { return injectQueue_.size(); }
+
+    std::size_t backlog() const override { return injectQueue_.size(); }
+
+    /** @return true when nothing is queued or being serialised. */
+    bool
+    idle() const
+    {
+        if (!injectQueue_.empty())
+            return false;
+        for (const auto &vc : injVcs_)
+            if (vc.pkt)
+                return false;
+        for (const auto &vc : ejectVcs_)
+            if (!vc.buffer.empty())
+                return false;
+        return true;
+    }
+
+    /** Flits parked in ejection buffers (for drain checks). */
+    int ejectBufferedFlits() const;
+
+  private:
+    struct InjVc
+    {
+        PacketPtr pkt;   //!< packet being serialised (null when free)
+        int nextSeq = 0;
+        int credits = 0;
+    };
+
+    struct EjectVc
+    {
+        std::deque<Flit> buffer;
+        bool committed = false; //!< current packet accepted by client
+    };
+
+    void receive(Cycle now);
+    void drainEjectBuffers(Cycle now);
+    void inject(Cycle now);
+    void dispatch(PacketPtr pkt, Cycle now);
+
+    /** @return the client a packet of this class is destined for. */
+    NetworkClient *targetFor(const Packet &pkt) const;
+
+    NodeId id_;
+    NocParams params_;
+    Link *toRouter_ = nullptr;
+    Link *fromRouter_ = nullptr;
+    NetworkClient *client_ = nullptr;
+    NetworkClient *memClient_ = nullptr;
+    ProbeSink *probeSink_ = nullptr;
+
+    std::deque<PacketPtr> injectQueue_;
+    std::vector<InjVc> injVcs_;
+    std::vector<EjectVc> ejectVcs_;
+    int rrInjVc_ = 0;
+
+    stats::Counter &packetsInjected_;
+    stats::Counter &packetsEjected_;
+    stats::Average &netLatency_;
+    stats::Average &totalLatency_;
+    stats::Average &niQueueLatency_;
+};
+
+} // namespace stacknoc::noc
+
+#endif // STACKNOC_NOC_NETWORK_INTERFACE_HH

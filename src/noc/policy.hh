@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pluggable arbitration policy — the hook through which the paper's
+ * STT-RAM-aware re-ordering modifies VC and switch allocation.
+ */
+
+#ifndef STACKNOC_NOC_POLICY_HH
+#define STACKNOC_NOC_POLICY_HH
+
+#include "common/types.hh"
+#include "noc/packet.hh"
+
+namespace stacknoc::noc {
+
+/**
+ * Consulted by every router during VC allocation and switch allocation.
+ *
+ * The default implementation reproduces a conventional, architecture-
+ * oblivious round-robin router: every packet is eligible and all packets
+ * share one priority class.
+ */
+class ArbitrationPolicy
+{
+  public:
+    virtual ~ArbitrationPolicy() = default;
+
+    /**
+     * May router @p router forward the head flit of @p pkt this cycle?
+     * Returning false holds the packet in its input VC (the paper's
+     * "delaying accesses to busy banks").
+     */
+    virtual bool
+    eligible(NodeId router, Packet &pkt, Cycle now)
+    {
+        (void)router; (void)pkt; (void)now;
+        return true;
+    }
+
+    /**
+     * Priority class of @p pkt at router @p router; smaller wins.
+     * Ties are broken round-robin.
+     */
+    virtual int
+    priorityClass(NodeId router, const Packet &pkt, Cycle now)
+    {
+        (void)router; (void)pkt; (void)now;
+        return 0;
+    }
+
+    /**
+     * Notification that router @p router granted switch traversal to the
+     * head flit of @p pkt. This is where the STT-RAM-aware policy starts
+     * busy counters and tags estimation probes.
+     */
+    virtual void
+    onForward(NodeId router, Packet &pkt, Cycle now)
+    {
+        (void)router; (void)pkt; (void)now;
+    }
+};
+
+} // namespace stacknoc::noc
+
+#endif // STACKNOC_NOC_POLICY_HH

@@ -1,0 +1,386 @@
+#include "noc/router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stacknoc::noc {
+
+Router::Router(std::string rname, NodeId id, const NocParams &params,
+               const RoutingFunction &routing, ArbitrationPolicy &policy,
+               stats::Group &net_stats)
+    : Ticking(std::move(rname)), id_(id), params_(params),
+      routing_(routing), policy_(policy),
+      flitsIn_(net_stats.counter("flits_buffered")),
+      flitsOut_(net_stats.counter("flits_switched")),
+      packetsForwarded_(net_stats.counter("packets_forwarded"))
+{
+    const int vcs = params_.totalVcs();
+    for (auto &ip : in_)
+        ip.vcs.resize(static_cast<std::size_t>(vcs));
+    for (auto &op : out_) {
+        op.credits.assign(static_cast<std::size_t>(vcs), params_.vcDepth);
+        op.vcBusy.assign(static_cast<std::size_t>(vcs), false);
+    }
+}
+
+void
+Router::connectIn(Dir d, Link *link)
+{
+    in_[static_cast<std::size_t>(static_cast<int>(d))].link = link;
+}
+
+void
+Router::connectOut(Dir d, Link *link)
+{
+    out_[static_cast<std::size_t>(static_cast<int>(d))].link = link;
+}
+
+void
+Router::tick(Cycle now)
+{
+    receiveCredits(now);
+    receiveFlits(now);
+    routeCompute(now);
+    vcAllocate(now);
+    switchAllocateAndTraverse(now);
+}
+
+void
+Router::receiveCredits(Cycle now)
+{
+    for (auto &op : out_) {
+        if (!op.link)
+            continue;
+        while (auto c = op.link->credit.receive(now)) {
+            auto &credit = op.credits[static_cast<std::size_t>(c->vc)];
+            ++credit;
+            panic_if(credit > params_.vcDepth,
+                     "router %d: credit overflow on vc %d", id_, c->vc);
+        }
+    }
+}
+
+void
+Router::receiveFlits(Cycle now)
+{
+    for (auto &ip : in_) {
+        if (!ip.link)
+            continue;
+        while (auto lf = ip.link->data.receive(now)) {
+            auto &vc = ip.vcs[static_cast<std::size_t>(lf->vc)];
+            panic_if(static_cast<int>(vc.buffer.size()) >= params_.vcDepth,
+                     "router %d: input buffer overflow on vc %d", id_,
+                     lf->vc);
+            Flit flit = lf->flit;
+            flit.arrivedAt = now;
+            const bool was_empty = vc.buffer.empty();
+            vc.buffer.push_back(std::move(flit));
+            flitsIn_.inc();
+            if (vc.buffer.back().head() && was_empty &&
+                vc.status == VcStatus::Idle) {
+                changeStatus(vc, VcStatus::Routing);
+            }
+        }
+    }
+}
+
+void
+Router::routeCompute(Cycle)
+{
+    if (routingCount_ == 0)
+        return;
+    for (auto &ip : in_) {
+        for (auto &vc : ip.vcs) {
+            if (vc.status != VcStatus::Routing || vc.buffer.empty())
+                continue;
+            const Flit &front = vc.buffer.front();
+            panic_if(!front.head(),
+                     "router %d: routing a non-head flit of %s", id_,
+                     front.pkt->toString().c_str());
+            vc.outDir = front.pkt->dest == id_
+                            ? Dir::Local
+                            : routing_.route(id_, *front.pkt);
+            changeStatus(vc, VcStatus::WaitVa);
+        }
+    }
+}
+
+void
+Router::vcAllocate(Cycle now)
+{
+    if (waitVaCount_ == 0)
+        return;
+
+    // Collect every waiting candidate in one pass over the input VCs.
+    struct Cand
+    {
+        int flat;
+        VirtualChannel *vc;
+        int dir;
+        int vnet;
+        int cls;
+    };
+    static thread_local std::vector<Cand> cands;
+    cands.clear();
+    int flat = 0;
+    for (auto &ip : in_) {
+        for (auto &vc : ip.vcs) {
+            ++flat;
+            if (vc.status != VcStatus::WaitVa || vc.buffer.empty())
+                continue;
+            Packet &pkt = *vc.buffer.front().pkt;
+            if (!policy_.eligible(id_, pkt, now))
+                continue;
+            cands.push_back({flat - 1, &vc,
+                             static_cast<int>(vc.outDir),
+                             vnetOf(pkt.cls),
+                             policy_.priorityClass(id_, pkt, now)});
+        }
+    }
+    if (cands.empty())
+        return;
+
+    // Hand each free output VC of each (port, vnet) to the highest-
+    // priority candidate; ties break round-robin on the flat VC index.
+    for (int d = 0; d < kNumDirs; ++d) {
+        OutPort &op = out_[static_cast<std::size_t>(d)];
+        if (!op.link)
+            continue;
+        for (int vn = 0; vn < kNumVnets; ++vn) {
+            static thread_local std::vector<Cand *> group;
+            group.clear();
+            for (auto &c : cands) {
+                if (c.dir == d && c.vnet == vn && c.vc)
+                    group.push_back(&c);
+            }
+            if (group.empty())
+                continue;
+
+            std::vector<int> free_vcs;
+            const int base = params_.vnetBase(vn);
+            for (int v = base; v < base + params_.vcsPerVnet[
+                     static_cast<std::size_t>(vn)]; ++v) {
+                if (!op.vcBusy[static_cast<std::size_t>(v)])
+                    free_vcs.push_back(v);
+            }
+            if (free_vcs.empty())
+                continue;
+
+            if (group.size() > 1) {
+                std::stable_sort(group.begin(), group.end(),
+                    [&](const Cand *a, const Cand *b) {
+                        if (a->cls != b->cls)
+                            return a->cls < b->cls;
+                        const int ra =
+                            (a->flat - op.rrVa + 1000000) % 1000000;
+                        const int rb =
+                            (b->flat - op.rrVa + 1000000) % 1000000;
+                        return ra < rb;
+                    });
+            }
+
+            std::size_t granted = 0;
+            for (Cand *c : group) {
+                if (granted >= free_vcs.size())
+                    break;
+                const int out_vc = free_vcs[granted++];
+                changeStatus(*c->vc, VcStatus::Active);
+                c->vc->outVc = out_vc;
+                c->vc->vaDoneAt = now;
+                op.vcBusy[static_cast<std::size_t>(out_vc)] = true;
+                op.rrVa = c->flat + 1;
+                c->vc = nullptr; // consumed
+            }
+        }
+    }
+}
+
+void
+Router::switchAllocateAndTraverse(Cycle now)
+{
+    struct Request
+    {
+        InPort *ip;
+        VirtualChannel *vc;
+        int inPortIdx;
+        int vcIdx;
+        int cls;
+    };
+
+    if (activeCount_ == 0)
+        return;
+    // Input stage: each input port nominates up to as many VCs as its
+    // incoming link delivers per cycle (a 256-bit TSB keeps its doubled
+    // datapath through the entry router's switch).
+    static thread_local std::vector<Request> nominees;
+    nominees.clear();
+    for (int pi = 0; pi < kNumDirs; ++pi) {
+        InPort &ip = in_[static_cast<std::size_t>(pi)];
+        const int vcs = static_cast<int>(ip.vcs.size());
+        const int speedup = ip.link ? ip.link->bandwidth : 1;
+
+        static thread_local std::vector<Request> ready;
+        ready.clear();
+        for (int off = 0; off < vcs; ++off) {
+            const int vi = (ip.rrSaVc + off) % vcs;
+            VirtualChannel &vc = ip.vcs[static_cast<std::size_t>(vi)];
+            if (vc.status != VcStatus::Active || vc.buffer.empty())
+                continue;
+            const Flit &front = vc.buffer.front();
+            if (front.arrivedAt >= now || vc.vaDoneAt >= now)
+                continue;
+            OutPort &op = out_[static_cast<std::size_t>(
+                static_cast<int>(vc.outDir))];
+            if (op.credits[static_cast<std::size_t>(vc.outVc)] <= 0)
+                continue;
+            Packet &pkt = *front.pkt;
+            if (front.head() && !policy_.eligible(id_, pkt, now))
+                continue;
+            const int cls = policy_.priorityClass(id_, pkt, now);
+            ready.push_back(Request{&ip, &vc, pi, vi, cls});
+        }
+        if (ready.empty())
+            continue;
+        std::stable_sort(ready.begin(), ready.end(),
+            [](const Request &a, const Request &b) {
+                return a.cls < b.cls; // stable: keeps rr order within class
+            });
+        const int grants = std::min<int>(speedup,
+                                         static_cast<int>(ready.size()));
+        for (int g = 0; g < grants; ++g)
+            nominees.push_back(ready[static_cast<std::size_t>(g)]);
+        ip.rrSaVc = (ready.front().vcIdx + 1) % vcs;
+    }
+
+    // Output stage: each output port grants up to its link bandwidth.
+    for (int d = 0; d < kNumDirs; ++d) {
+        OutPort &op = out_[static_cast<std::size_t>(d)];
+        if (!op.link)
+            continue;
+        static thread_local std::vector<Request *> wants;
+        wants.clear();
+        for (auto &r : nominees) {
+            if (static_cast<int>(r.vc->outDir) == d)
+                wants.push_back(&r);
+        }
+        if (wants.empty())
+            continue;
+        std::stable_sort(wants.begin(), wants.end(),
+            [&](const Request *a, const Request *b) {
+                if (a->cls != b->cls)
+                    return a->cls < b->cls;
+                const int ra = (a->inPortIdx - op.rrSa + kNumDirs) %
+                               kNumDirs;
+                const int rb = (b->inPortIdx - op.rrSa + kNumDirs) %
+                               kNumDirs;
+                return ra < rb;
+            });
+
+        int sent = 0;
+        for (Request *r : wants) {
+            if (sent >= op.link->bandwidth)
+                break;
+            VirtualChannel &vc = *r->vc;
+            Flit flit = vc.buffer.front();
+            vc.buffer.pop_front();
+            ++sent;
+            op.rrSa = r->inPortIdx + 1;
+
+            op.link->data.push(now, LinkFlit{flit, vc.outVc});
+            --op.credits[static_cast<std::size_t>(vc.outVc)];
+            flitsOut_.inc();
+
+            // Return the freed buffer slot upstream.
+            if (r->ip->link)
+                r->ip->link->credit.push(now, Credit{r->vcIdx});
+
+            if (flit.head()) {
+                policy_.onForward(id_, *flit.pkt, now);
+                packetsForwarded_.inc();
+            }
+            if (flit.tail()) {
+                op.vcBusy[static_cast<std::size_t>(vc.outVc)] = false;
+                finishPacket(*r->ip, vc);
+            }
+        }
+    }
+}
+
+void
+Router::changeStatus(VirtualChannel &vc, VcStatus to)
+{
+    auto delta = [this](VcStatus st, int d) {
+        switch (st) {
+          case VcStatus::Routing: routingCount_ += d; break;
+          case VcStatus::WaitVa: waitVaCount_ += d; break;
+          case VcStatus::Active: activeCount_ += d; break;
+          default: break;
+        }
+    };
+    delta(vc.status, -1);
+    vc.status = to;
+    delta(to, +1);
+}
+
+void
+Router::finishPacket(InPort &, VirtualChannel &vc)
+{
+    vc.outVc = -1;
+    vc.vaDoneAt = kCycleNever;
+    if (vc.buffer.empty()) {
+        changeStatus(vc, VcStatus::Idle);
+    } else {
+        panic_if(!vc.buffer.front().head(),
+                 "router %d: packet boundary corrupted", id_);
+        changeStatus(vc, VcStatus::Routing);
+    }
+}
+
+int
+Router::bufferedFlits() const
+{
+    int n = 0;
+    for (const auto &ip : in_)
+        for (const auto &vc : ip.vcs)
+            n += static_cast<int>(vc.buffer.size());
+    return n;
+}
+
+int
+Router::bufferedFlits(Dir d) const
+{
+    int n = 0;
+    const auto &ip = in_[static_cast<std::size_t>(static_cast<int>(d))];
+    for (const auto &vc : ip.vcs)
+        n += static_cast<int>(vc.buffer.size());
+    return n;
+}
+
+int
+Router::localCongestion() const
+{
+    int n = 0;
+    for (int d = 1; d < kNumDirs; ++d) {
+        const auto &ip = in_[static_cast<std::size_t>(d)];
+        for (const auto &vc : ip.vcs)
+            n += static_cast<int>(vc.buffer.size());
+    }
+    return n;
+}
+
+void
+Router::forEachBufferedPacket(
+    const std::function<void(const Packet &)> &fn) const
+{
+    for (const auto &ip : in_) {
+        for (const auto &vc : ip.vcs) {
+            for (const auto &flit : vc.buffer) {
+                if (flit.head())
+                    fn(*flit.pkt);
+            }
+        }
+    }
+}
+
+} // namespace stacknoc::noc

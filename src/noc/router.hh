@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A two-stage wormhole-switched virtual-channel router.
+ *
+ * Pipeline (matching the paper's Table 1 router): a head flit arriving in
+ * cycle t performs route computation and VC allocation in t, switch
+ * allocation and crossbar traversal in t+1, and link traversal in t+2 —
+ * three cycles per hop.
+ */
+
+#ifndef STACKNOC_NOC_ROUTER_HH
+#define STACKNOC_NOC_ROUTER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/ticking.hh"
+#include "noc/packet.hh"
+#include "noc/params.hh"
+#include "noc/policy.hh"
+#include "noc/routing.hh"
+#include "noc/topology.hh"
+
+namespace stacknoc::noc {
+
+/**
+ * An input-queued VC router with credit-based flow control and a
+ * separable (input-first) switch allocator. VC allocation and switch
+ * eligibility consult an ArbitrationPolicy, which is how the STT-RAM-aware
+ * scheme re-orders packets.
+ */
+class Router : public Ticking
+{
+  public:
+    Router(std::string name, NodeId id, const NocParams &params,
+           const RoutingFunction &routing, ArbitrationPolicy &policy,
+           stats::Group &net_stats);
+
+    /** Attach the link arriving at this router through direction @p d. */
+    void connectIn(Dir d, Link *link);
+
+    /** Attach the link leaving this router through direction @p d. */
+    void connectOut(Dir d, Link *link);
+
+    void tick(Cycle now) override;
+
+    NodeId nodeId() const { return id_; }
+
+    /** Total flits currently buffered in all input VCs. */
+    int bufferedFlits() const;
+
+    /** Flits buffered in the input VCs of one port. */
+    int bufferedFlits(Dir d) const;
+
+    /**
+     * Congestion metric used by the RCA estimator: occupied input buffer
+     * slots, excluding the local injection port.
+     */
+    int localCongestion() const;
+
+    /** Invoke @p fn for every packet whose head flit is buffered here. */
+    void forEachBufferedPacket(
+        const std::function<void(const Packet &)> &fn) const;
+
+    const NocParams &params() const { return params_; }
+
+  private:
+    enum class VcStatus { Idle, Routing, WaitVa, Active };
+
+    struct VirtualChannel
+    {
+        std::deque<Flit> buffer;
+        VcStatus status = VcStatus::Idle;
+        Dir outDir = Dir::Local;
+        int outVc = -1;
+        Cycle vaDoneAt = kCycleNever;
+    };
+
+    struct InPort
+    {
+        Link *link = nullptr;
+        std::vector<VirtualChannel> vcs;
+        int rrSaVc = 0; //!< round-robin pointer for the SA input stage
+    };
+
+    struct OutPort
+    {
+        Link *link = nullptr;
+        std::vector<int> credits;   //!< per out-VC credits
+        std::vector<bool> vcBusy;   //!< out-VC allocated to some input VC
+        int rrVa = 0;               //!< round-robin pointer for VA
+        int rrSa = 0;               //!< round-robin pointer for SA output
+    };
+
+    void receiveCredits(Cycle now);
+    void receiveFlits(Cycle now);
+    void routeCompute(Cycle now);
+    void vcAllocate(Cycle now);
+    void switchAllocateAndTraverse(Cycle now);
+
+    /** Bookkeeping for the fast-path skips of empty pipeline stages. */
+    void changeStatus(VirtualChannel &vc, VcStatus to);
+
+    /** Release bookkeeping after the tail flit of a packet departs. */
+    void finishPacket(InPort &ip, VirtualChannel &vc);
+
+    NodeId id_;
+    NocParams params_;
+    const RoutingFunction &routing_;
+    ArbitrationPolicy &policy_;
+
+    std::array<InPort, kNumDirs> in_;
+    std::array<OutPort, kNumDirs> out_;
+
+    /** Input VCs per pipeline state, for O(1) idle-stage skips. */
+    int routingCount_ = 0;
+    int waitVaCount_ = 0;
+    int activeCount_ = 0;
+
+    stats::Counter &flitsIn_;
+    stats::Counter &flitsOut_;
+    stats::Counter &packetsForwarded_;
+};
+
+} // namespace stacknoc::noc
+
+#endif // STACKNOC_NOC_ROUTER_HH

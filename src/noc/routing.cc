@@ -1,0 +1,52 @@
+#include "noc/routing.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc::noc {
+
+int
+RoutingFunction::pathLength(NodeId from, const Packet &pkt,
+                            const Topology &topo) const
+{
+    int hops = 0;
+    NodeId here = from;
+    while (here != pkt.dest) {
+        const Dir d = route(here, pkt);
+        panic_if(d == Dir::Local, "routing stalled at node %d for %s",
+                 here, pkt.toString().c_str());
+        here = topo.neighbor(here, d);
+        panic_if(here == kInvalidNode, "routing walked off the mesh");
+        ++hops;
+        panic_if(hops > topo.shape().totalNodes(),
+                 "routing loop detected for %s", pkt.toString().c_str());
+    }
+    return hops;
+}
+
+Dir
+ZxyRouting::xyStep(const Coord &here, const Coord &to)
+{
+    if (here.x < to.x)
+        return Dir::East;
+    if (here.x > to.x)
+        return Dir::West;
+    if (here.y < to.y)
+        return Dir::South;
+    if (here.y > to.y)
+        return Dir::North;
+    return Dir::Local;
+}
+
+Dir
+ZxyRouting::route(NodeId here, const Packet &pkt) const
+{
+    const Coord c = shape_.coord(here);
+    const Coord d = shape_.coord(pkt.dest);
+    if (c.layer < d.layer)
+        return Dir::Down;
+    if (c.layer > d.layer)
+        return Dir::Up;
+    return xyStep(c, d);
+}
+
+} // namespace stacknoc::noc

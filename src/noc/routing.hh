@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic routing functions for the two-layer mesh.
+ */
+
+#ifndef STACKNOC_NOC_ROUTING_HH
+#define STACKNOC_NOC_ROUTING_HH
+
+#include "common/geometry.hh"
+#include "noc/packet.hh"
+#include "noc/topology.hh"
+
+namespace stacknoc::noc {
+
+/**
+ * A routing function maps (current node, packet) to the output direction.
+ * Implementations must be deterministic and deadlock-free on the mesh.
+ */
+class RoutingFunction
+{
+  public:
+    virtual ~RoutingFunction() = default;
+
+    /**
+     * @return direction the packet must take from @p here; Dir::Local when
+     * @p here is the destination.
+     */
+    virtual Dir route(NodeId here, const Packet &pkt) const = 0;
+
+    /** @return total hop count from @p from to the packet's destination. */
+    int pathLength(NodeId from, const Packet &pkt,
+                   const Topology &topo) const;
+};
+
+/**
+ * Z-X-Y dimension-ordered routing: change layer first (at the source
+ * column), then X, then Y. This is the paper's unrestricted baseline where
+ * all 64 TSVs carry traffic in both directions.
+ */
+class ZxyRouting : public RoutingFunction
+{
+  public:
+    explicit ZxyRouting(const MeshShape &shape) : shape_(shape) {}
+
+    Dir route(NodeId here, const Packet &pkt) const override;
+
+    /** X-then-Y step within a layer toward (x,y) of @p to. */
+    static Dir xyStep(const Coord &here, const Coord &to);
+
+  private:
+    MeshShape shape_;
+};
+
+} // namespace stacknoc::noc
+
+#endif // STACKNOC_NOC_ROUTING_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-latency typed channels: the only legal way for two Ticking
+ * components to exchange state.
+ */
+
+#ifndef STACKNOC_SIM_CHANNEL_HH
+#define STACKNOC_SIM_CHANNEL_HH
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace stacknoc {
+
+/**
+ * A unidirectional pipe with a fixed delivery latency of >= 1 cycle.
+ *
+ * A value pushed during cycle t becomes receivable during cycle
+ * t + latency. Multiple values may be pushed per cycle (bandwidth policing
+ * is the sender's job); receivers drain all arrived values.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(Cycle latency = 1) : latency_(latency)
+    {
+        panic_if(latency == 0, "Channel latency must be >= 1");
+    }
+
+    /** Enqueue a value during cycle @p now. */
+    void
+    push(Cycle now, T value)
+    {
+        queue_.emplace_back(now + latency_, std::move(value));
+    }
+
+    /**
+     * Dequeue the next value whose delivery time has been reached.
+     * @return the value, or std::nullopt if nothing has arrived yet.
+     */
+    std::optional<T>
+    receive(Cycle now)
+    {
+        if (queue_.empty() || queue_.front().first > now)
+            return std::nullopt;
+        T v = std::move(queue_.front().second);
+        queue_.pop_front();
+        return v;
+    }
+
+    /** @return whether a value is ready at cycle @p now without popping. */
+    bool
+    ready(Cycle now) const
+    {
+        return !queue_.empty() && queue_.front().first <= now;
+    }
+
+    /** @return number of values in flight (arrived or not). */
+    std::size_t inFlight() const { return queue_.size(); }
+
+    Cycle latency() const { return latency_; }
+
+  private:
+    Cycle latency_;
+    std::deque<std::pair<Cycle, T>> queue_;
+};
+
+} // namespace stacknoc
+
+#endif // STACKNOC_SIM_CHANNEL_HH

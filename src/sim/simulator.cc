@@ -1,0 +1,37 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc {
+
+void
+Simulator::add(Ticking *component)
+{
+    panic_if(component == nullptr, "null component registered");
+    components_.push_back(component);
+}
+
+void
+Simulator::step()
+{
+    for (Ticking *c : components_)
+        c->tick(now_);
+    for (auto &cb : cycle_end_callbacks_)
+        cb(now_);
+    ++now_;
+}
+
+void
+Simulator::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+void
+Simulator::onCycleEnd(std::function<void(Cycle)> cb)
+{
+    cycle_end_callbacks_.push_back(std::move(cb));
+}
+
+} // namespace stacknoc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The cycle-driven simulation kernel.
+ */
+
+#ifndef STACKNOC_SIM_SIMULATOR_HH
+#define STACKNOC_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/ticking.hh"
+
+namespace stacknoc {
+
+/**
+ * Owns the global clock and the registry of Ticking components.
+ *
+ * Components are ticked in registration order; because all communication
+ * goes through Channels of latency >= 1, the order is not observable.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Register a component. The Simulator does not take ownership. */
+    void add(Ticking *component);
+
+    /** Advance the clock by @p cycles. */
+    void run(Cycle cycles);
+
+    /** Advance one cycle. */
+    void step();
+
+    /** @return the next cycle to be evaluated (cycles completed so far). */
+    Cycle now() const { return now_; }
+
+    /** @return number of registered components. */
+    std::size_t componentCount() const { return components_.size(); }
+
+    /**
+     * Register a callback invoked after each cycle (used by probes and
+     * samplers). Callbacks receive the just-completed cycle.
+     */
+    void onCycleEnd(std::function<void(Cycle)> cb);
+
+  private:
+    Cycle now_ = 0;
+    std::vector<Ticking *> components_;
+    std::vector<std::function<void(Cycle)>> cycle_end_callbacks_;
+};
+
+} // namespace stacknoc
+
+#endif // STACKNOC_SIM_SIMULATOR_HH

@@ -1,0 +1,129 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace stacknoc::stats {
+
+Distribution::Distribution(std::vector<std::uint64_t> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1, 0)
+{
+    for (std::size_t i = 1; i < edges_.size(); ++i)
+        panic_if(edges_[i] <= edges_[i - 1],
+                 "Distribution edges must be strictly increasing");
+}
+
+void
+Distribution::sample(std::uint64_t v, std::uint64_t weight)
+{
+    std::size_t bin = edges_.size();
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (v < edges_[i]) {
+            bin = i;
+            break;
+        }
+    }
+    counts_[bin] += weight;
+    total_ += weight;
+}
+
+double
+Distribution::binFraction(std::size_t i) const
+{
+    return total_ ? static_cast<double>(counts_.at(i)) / total_ : 0.0;
+}
+
+std::string
+Distribution::binLabel(std::size_t i) const
+{
+    if (i == edges_.size())
+        return std::to_string(edges_.empty() ? 0 : edges_.back()) + "+";
+    const std::uint64_t lo = i == 0 ? 0 : edges_[i - 1];
+    return "[" + std::to_string(lo) + "," + std::to_string(edges_[i]) + ")";
+}
+
+void
+Distribution::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    total_ = 0;
+}
+
+Counter &
+Group::counter(const std::string &stat_name)
+{
+    return counters_[stat_name];
+}
+
+Average &
+Group::average(const std::string &stat_name)
+{
+    return averages_[stat_name];
+}
+
+Distribution &
+Group::distribution(const std::string &stat_name,
+                    std::vector<std::uint64_t> edges)
+{
+    auto it = distributions_.find(stat_name);
+    if (it == distributions_.end()) {
+        it = distributions_.emplace(stat_name, Distribution(std::move(edges)))
+                 .first;
+    }
+    return it->second;
+}
+
+const Counter *
+Group::findCounter(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Average *
+Group::findAverage(const std::string &stat_name) const
+{
+    auto it = averages_.find(stat_name);
+    return it == averages_.end() ? nullptr : &it->second;
+}
+
+const Distribution *
+Group::findDistribution(const std::string &stat_name) const
+{
+    auto it = distributions_.find(stat_name);
+    return it == distributions_.end() ? nullptr : &it->second;
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &[n, c] : counters_)
+        os << name_ << "." << n << " " << c.value() << "\n";
+    for (const auto &[n, a] : averages_) {
+        os << name_ << "." << n << " mean=" << a.mean()
+           << " count=" << a.count() << "\n";
+    }
+    for (const auto &[n, d] : distributions_) {
+        os << name_ << "." << n << " total=" << d.total();
+        for (std::size_t i = 0; i < d.numBins(); ++i) {
+            os << " " << d.binLabel(i) << "="
+               << std::setprecision(4) << d.binFraction(i) * 100.0 << "%";
+        }
+        os << "\n";
+    }
+}
+
+void
+Group::reset()
+{
+    for (auto &[n, c] : counters_)
+        c.reset();
+    for (auto &[n, a] : averages_)
+        a.reset();
+    for (auto &[n, d] : distributions_)
+        d.reset();
+}
+
+} // namespace stacknoc::stats

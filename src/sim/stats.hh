@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A small statistics package: scalar counters, averages, and
+ * arbitrary-edge distributions, organised into named groups.
+ */
+
+#ifndef STACKNOC_SIM_STATS_HH
+#define STACKNOC_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stacknoc::stats {
+
+/** A monotonically growing scalar statistic. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** An accumulating mean (sum / count). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A distribution over user-supplied bin edges.
+ *
+ * Edges {e0, e1, ..., en} define bins [0,e0), [e0,e1), ..., [en,inf).
+ * Figure 3 of the paper uses edges {16, 33, 66, 99, 132, 165}.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    explicit Distribution(std::vector<std::uint64_t> edges);
+
+    void sample(std::uint64_t v, std::uint64_t weight = 1);
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t total() const { return total_; }
+
+    /** @return fraction of samples in bin @p i (0 when empty). */
+    double binFraction(std::size_t i) const;
+
+    /** Human-readable label of bin @p i, e.g. "[16,33)" or "165+". */
+    std::string binLabel(std::size_t i) const;
+
+    const std::vector<std::uint64_t> &edges() const { return edges_; }
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of statistics. Groups own their stats; components
+ * hold references obtained at construction time.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &stat_name);
+    Average &average(const std::string &stat_name);
+    Distribution &distribution(const std::string &stat_name,
+                               std::vector<std::uint64_t> edges);
+
+    /** Lookup without creating; returns nullptr when absent. */
+    const Counter *findCounter(const std::string &stat_name) const;
+    const Average *findAverage(const std::string &stat_name) const;
+    const Distribution *findDistribution(const std::string &stat_name) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Pretty-print every stat in the group. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat in the group to zero. */
+    void reset();
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+    std::map<std::string, Distribution> distributions_;
+};
+
+} // namespace stacknoc::stats
+
+#endif // STACKNOC_SIM_STATS_HH

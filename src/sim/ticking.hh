@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Interface for cycle-driven components.
+ */
+
+#ifndef STACKNOC_SIM_TICKING_HH
+#define STACKNOC_SIM_TICKING_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace stacknoc {
+
+/**
+ * A component evaluated once per clock cycle.
+ *
+ * All inter-component communication must flow through latency-1 (or more)
+ * Channel objects, which makes simulation results independent of the order
+ * in which components are ticked within a cycle.
+ */
+class Ticking
+{
+  public:
+    explicit Ticking(std::string name) : name_(std::move(name)) {}
+    virtual ~Ticking() = default;
+
+    Ticking(const Ticking &) = delete;
+    Ticking &operator=(const Ticking &) = delete;
+
+    /** Evaluate one cycle. @param now the cycle being evaluated. */
+    virtual void tick(Cycle now) = 0;
+
+    /** @return hierarchical component name, e.g. "net.router27". */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace stacknoc
+
+#endif // STACKNOC_SIM_TICKING_HH

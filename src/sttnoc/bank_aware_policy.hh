@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The STT-RAM bank-aware arbitration policy — the paper's contribution.
+ *
+ * At each bank's parent router, writes destined to a child bank whose
+ * busy window (opened by an earlier forwarded write) is still running
+ * are delayed: in the default Priority mode they lose every VC and
+ * switch arbitration against requests to idle banks, reads, coherence
+ * and responses; in the ablation Hold mode they are blocked outright in
+ * their input VCs (bounded by a starvation cap), optionally also while
+ * the congestion estimator reports the child's path backed up.
+ */
+
+#ifndef STACKNOC_STTNOC_BANK_AWARE_POLICY_HH
+#define STACKNOC_STTNOC_BANK_AWARE_POLICY_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "noc/network_interface.hh"
+#include "noc/policy.hh"
+#include "sttnoc/estimator.hh"
+#include "sttnoc/parent_map.hh"
+#include "sttnoc/region_map.hh"
+
+namespace stacknoc::sttnoc {
+
+/**
+ * Implements noc::ArbitrationPolicy (consulted by every router) and
+ * noc::ProbeSink (receives WB probe echoes at parent-node NIs).
+ */
+class BankAwarePolicy : public noc::ArbitrationPolicy,
+                        public noc::ProbeSink
+{
+  public:
+    /**
+     * @param regions region partition (must outlive the policy).
+     * @param parents parent map (must outlive the policy).
+     * @param params scheme parameters.
+     * @param estimator congestion estimator (ownership transferred).
+     */
+    BankAwarePolicy(const RegionMap &regions, const ParentMap &parents,
+                    const SttAwareParams &params,
+                    std::unique_ptr<CongestionEstimator> estimator);
+
+    /**
+     * Replace the congestion estimator. Exists because the RCA fabric
+     * can only be built after the network, which needs the policy first;
+     * must be called before simulation starts.
+     */
+    void
+    setEstimator(std::unique_ptr<CongestionEstimator> estimator)
+    {
+        estimator_ = std::move(estimator);
+    }
+
+    bool eligible(NodeId router, noc::Packet &pkt, Cycle now) override;
+    int priorityClass(NodeId router, const noc::Packet &pkt,
+                      Cycle now) override;
+    void onForward(NodeId router, noc::Packet &pkt, Cycle now) override;
+    void onProbeAck(const noc::Packet &pkt, Cycle now) override;
+
+    /** @return cycle until which @p bank is predicted busy. */
+    Cycle busyUntil(BankId bank) const;
+
+    /** @return the policy's own statistics (holds, hold cycles, ...). */
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
+    const SttAwareParams &params() const { return params_; }
+
+  private:
+    /** @return bank id if @p pkt is a reorderable request to a child of
+     *  @p router, else kInvalidBank. */
+    BankId managedBank(NodeId router, const noc::Packet &pkt) const;
+
+    /** @return whether @p pkt may be held at its parent. */
+    static bool holdable(const noc::Packet &pkt);
+
+    const RegionMap &regions_;
+    const ParentMap &parents_;
+    SttAwareParams params_;
+    std::unique_ptr<CongestionEstimator> estimator_;
+    std::vector<Cycle> busyUntil_;
+    /** Contention-free parent->bank delivery delay, per bank. */
+    std::vector<Cycle> pathDelay_;
+
+    stats::Group stats_;
+    stats::Counter &holdsStarted_;
+    stats::Counter &holdCapReleases_;
+    stats::Counter &busyMarks_;
+    stats::Average &busyDuration_;
+};
+
+} // namespace stacknoc::sttnoc
+
+#endif // STACKNOC_STTNOC_BANK_AWARE_POLICY_HH

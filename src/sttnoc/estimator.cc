@@ -1,0 +1,150 @@
+#include "sttnoc/estimator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sttnoc/rca_fabric.hh"
+
+namespace stacknoc::sttnoc {
+
+const char *
+estimatorName(EstimatorKind kind)
+{
+    switch (kind) {
+      case EstimatorKind::Simple: return "SS";
+      case EstimatorKind::Rca: return "RCA";
+      case EstimatorKind::Window: return "WB";
+      default: return "?";
+    }
+}
+
+WindowEstimator::WindowEstimator(const RegionMap &regions,
+                                 const ParentMap &parents,
+                                 const SttAwareParams &params)
+    : regions_(regions), parents_(parents), params_(params),
+      state_(static_cast<std::size_t>(regions.numBanks()))
+{
+}
+
+Cycle
+WindowEstimator::baseRtt(BankId child) const
+{
+    // Forward: parent switch -> child NI delivery takes 3 cycles per hop
+    // plus 2 ejection cycles; the single-flit ACK back takes 3 + 3 per
+    // hop. Hop count uses the real topology distance, so the formula also
+    // holds for core-layer TSB parents (vertical hop included).
+    const int dist = regions_.shape().hopDistance(
+        parents_.parentOf(child), regions_.nodeOfBank(child));
+    return static_cast<Cycle>(6 * dist + 5);
+}
+
+Cycle
+WindowEstimator::estimate(BankId child, Cycle now)
+{
+    auto &st = state_[static_cast<std::size_t>(child)];
+    if (st.probeOutstanding && now - st.sentAt > params_.probeTimeout)
+        st.probeOutstanding = false;
+    if (st.congestion > 0 &&
+        now - st.updatedAt > params_.estimateStaleAfter) {
+        st.congestion = 0; // stale sample: assume calm again
+    }
+    return st.congestion;
+}
+
+void
+WindowEstimator::onForward(BankId child, noc::Packet &pkt, NodeId parent,
+                           Cycle now)
+{
+    auto &st = state_[static_cast<std::size_t>(child)];
+    const bool tag = (st.forwarded % static_cast<std::uint64_t>(
+                          params_.windowN)) == 0;
+    ++st.forwarded;
+    if (!tag || st.probeOutstanding)
+        return;
+    if (!noc::isRestrictedRequest(pkt.cls))
+        return;
+    st.probeOutstanding = true;
+    st.stamp = static_cast<std::int16_t>(now & 0xff);
+    st.sentAt = now;
+    pkt.probeStamp = st.stamp;
+    pkt.probeParent = parent;
+}
+
+void
+WindowEstimator::onProbeAck(const noc::Packet &pkt, Cycle now)
+{
+    const BankId child = static_cast<BankId>(pkt.info.origin);
+    if (child < 0 || child >= regions_.numBanks())
+        return;
+    auto &st = state_[static_cast<std::size_t>(child)];
+    if (!st.probeOutstanding ||
+        st.stamp != static_cast<std::int16_t>(pkt.info.aux)) {
+        return;
+    }
+    st.probeOutstanding = false;
+    const Cycle rtt = now - st.sentAt;
+    const Cycle base = baseRtt(child);
+    const Cycle excess = rtt > base ? (rtt - base) / 2 : 0;
+    st.congestion = std::min(excess, params_.congestionCap);
+    st.updatedAt = now;
+}
+
+RcaEstimator::RcaEstimator(const RegionMap &regions,
+                           const ParentMap &parents, const RcaFabric &fabric,
+                           const SttAwareParams &params)
+    : regions_(regions), parents_(parents), fabric_(fabric),
+      params_(params),
+      pathOf_(static_cast<std::size_t>(regions.numBanks()))
+{
+    // Precompute the downstream nodes charged for congestion: the tail of
+    // the TSB path from (but excluding) the parent to the child. For
+    // core-layer TSB parents the whole in-layer path is downstream.
+    for (BankId b = 0; b < regions_.numBanks(); ++b) {
+        const NodeId parent = parents_.parentOf(b);
+        const std::vector<NodeId> path = parents_.tsbPathTo(b);
+        auto &out = pathOf_[static_cast<std::size_t>(b)];
+        bool after_parent = false;
+        for (const NodeId n : path) {
+            if (after_parent)
+                out.push_back(n);
+            if (n == parent)
+                after_parent = true;
+        }
+        if (!after_parent) // parent in the core layer: charge full path
+            out = path;
+    }
+}
+
+Cycle
+RcaEstimator::estimate(BankId child, Cycle)
+{
+    std::uint32_t sum = 0;
+    for (const NodeId n : pathOf_[static_cast<std::size_t>(child)])
+        sum += fabric_.value(n);
+    // Occupied slots approximate cycles of queueing at one flit per
+    // cycle; halve to avoid double-charging traffic that also appears in
+    // the diffusion term.
+    return std::min<Cycle>(sum / 2, params_.congestionCap);
+}
+
+std::unique_ptr<CongestionEstimator>
+makeEstimator(EstimatorKind kind, const RegionMap &regions,
+              const ParentMap &parents, const SttAwareParams &params,
+              const RcaFabric *fabric)
+{
+    switch (kind) {
+      case EstimatorKind::Simple:
+        return std::make_unique<SimpleEstimator>();
+      case EstimatorKind::Window:
+        return std::make_unique<WindowEstimator>(regions, parents, params);
+      case EstimatorKind::Rca:
+        fatal_if(fabric == nullptr,
+                 "RCA estimator requires a sideband fabric");
+        return std::make_unique<RcaEstimator>(regions, parents, *fabric,
+                                              params);
+      default:
+        panic("unknown estimator kind");
+    }
+}
+
+} // namespace stacknoc::sttnoc

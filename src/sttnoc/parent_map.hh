@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parent/child relationships between routers and STT-RAM banks.
+ *
+ * With all region requests entering the cache layer at the region TSB and
+ * X-Y routing inside the layer, every request to a bank crosses the router
+ * H hops upstream of the bank on that path — its parent (Section 3.4).
+ * Banks closer than H hops to the TSB entry are parented by the core-layer
+ * TSB router itself, as in the paper's Figure 4 discussion.
+ */
+
+#ifndef STACKNOC_STTNOC_PARENT_MAP_HH
+#define STACKNOC_STTNOC_PARENT_MAP_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sttnoc/region_map.hh"
+
+namespace stacknoc::sttnoc {
+
+/** Computes and stores the parent router of every bank. */
+class ParentMap
+{
+  public:
+    /**
+     * @param regions the logical region partition.
+     * @param hops re-ordering distance H (the paper settles on 2).
+     */
+    ParentMap(const RegionMap &regions, int hops = 2);
+
+    /** @return router that re-orders traffic for @p bank. */
+    NodeId parentOf(BankId bank) const;
+
+    /** @return banks managed by router @p parent (possibly empty). */
+    const std::vector<BankId> &childrenOf(NodeId parent) const;
+
+    /** @return whether @p node re-orders traffic for at least one bank. */
+    bool isParent(NodeId node) const;
+
+    int hops() const { return hops_; }
+
+    /**
+     * The X-Y path of cache-layer nodes from the bank's region TSB entry
+     * to the bank, inclusive of both endpoints (exposed for tests and for
+     * the congestion estimators, which inspect intermediate nodes).
+     */
+    std::vector<NodeId> tsbPathTo(BankId bank) const;
+
+  private:
+    const RegionMap &regions_;
+    int hops_;
+    std::vector<NodeId> parentOfBank_;
+    std::vector<std::vector<BankId>> childrenOfNode_;
+    std::vector<BankId> empty_;
+};
+
+} // namespace stacknoc::sttnoc
+
+#endif // STACKNOC_STTNOC_PARENT_MAP_HH

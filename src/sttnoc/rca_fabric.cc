@@ -1,0 +1,47 @@
+#include "sttnoc/rca_fabric.hh"
+
+#include <algorithm>
+
+namespace stacknoc::sttnoc {
+
+RcaFabric::RcaFabric(noc::Network &net)
+    : Ticking("sttnoc.rca_fabric"), net_(net),
+      prev_(static_cast<std::size_t>(net.shape().totalNodes()), 0),
+      next_(static_cast<std::size_t>(net.shape().totalNodes()), 0)
+{
+}
+
+void
+RcaFabric::tick(Cycle)
+{
+    const int n = net_.shape().totalNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        // Aggregate the strongest neighbouring estimate at half weight
+        // with the local buffer occupancy (a direction-free rendering
+        // of Gratz et al.'s 50/50 local/upstream aggregation; taking
+        // the max rather than the mean keeps small hotspots visible
+        // through the 8-bit integer pipeline).
+        std::uint32_t neighbor_max = 0;
+        for (int d = 1; d < noc::kNumDirs; ++d) {
+            const NodeId nb =
+                net_.topology().neighbor(id, static_cast<noc::Dir>(d));
+            if (nb == kInvalidNode)
+                continue;
+            neighbor_max = std::max(neighbor_max,
+                                    prev_[static_cast<std::size_t>(nb)]);
+        }
+        const std::uint32_t local = static_cast<std::uint32_t>(
+            net_.router(id).localCongestion());
+        next_[static_cast<std::size_t>(id)] =
+            std::min<std::uint32_t>(local + neighbor_max / 2, 255);
+    }
+    std::swap(prev_, next_);
+}
+
+std::uint32_t
+RcaFabric::value(NodeId n) const
+{
+    return prev_.at(static_cast<std::size_t>(n));
+}
+
+} // namespace stacknoc::sttnoc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The RCA sideband network: 8-bit congestion values diffused between
+ * neighbouring routers over dedicated wires (after Gratz, Grot & Keckler,
+ * HPCA'08, as adopted by the paper's RCA scheme).
+ */
+
+#ifndef STACKNOC_STTNOC_RCA_FABRIC_HH
+#define STACKNOC_STTNOC_RCA_FABRIC_HH
+
+#include <vector>
+
+#include "sim/ticking.hh"
+#include "noc/network.hh"
+
+namespace stacknoc::sttnoc {
+
+/**
+ * Each cycle every router publishes
+ *   value(n) = (local buffer occupancy + mean of neighbours' previous
+ *               values) / 2
+ * saturating at 8 bits. The double-buffered update gives the one-cycle
+ * propagation latency of real sideband wires. Readers see last cycle's
+ * values, so tick ordering does not matter.
+ */
+class RcaFabric : public Ticking
+{
+  public:
+    explicit RcaFabric(noc::Network &net);
+
+    void tick(Cycle now) override;
+
+    /** @return the diffused congestion value at node @p n (0..255). */
+    std::uint32_t value(NodeId n) const;
+
+  private:
+    noc::Network &net_;
+    std::vector<std::uint32_t> prev_;
+    std::vector<std::uint32_t> next_;
+};
+
+} // namespace stacknoc::sttnoc
+
+#endif // STACKNOC_STTNOC_RCA_FABRIC_HH

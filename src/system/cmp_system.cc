@@ -1,0 +1,237 @@
+#include "system/cmp_system.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "sttnoc/region_routing.hh"
+#include "workload/app_profiles.hh"
+
+namespace stacknoc::system {
+
+CmpSystem::CmpSystem(const SystemConfig &config)
+    : config_(config),
+      shape_(config.meshWidth, config.meshHeight, 2),
+      cacheStats_("cache"), coreStats_("core"), memStats_("mem")
+{
+    fatal_if(config_.apps.empty(), "no applications configured");
+    fatal_if(config_.apps.size() != 1 &&
+                 static_cast<int>(config_.apps.size()) != numCores(),
+             "apps must have 1 or %d entries", numCores());
+
+    buildNetwork();
+    buildMemorySystem();
+    buildCores();
+
+    if (config_.probePeriod > 0) {
+        probe_ = std::make_unique<RouterOccupancyProbe>(
+            *net_, config_.probePeriod);
+        sim_.onCycleEnd([this](Cycle now) { probe_->onCycle(now); });
+    }
+}
+
+CmpSystem::~CmpSystem() = default;
+
+void
+CmpSystem::buildNetwork()
+{
+    const Scenario &sc = config_.scenario;
+
+    // Region partition and parent map exist whenever the TSB restriction
+    // is active; the bank-aware policy additionally needs a scheme.
+    const int regions = sc.tsbRegions > 0 ? sc.tsbRegions : 4;
+    regions_ = std::make_unique<sttnoc::RegionMap>(
+        shape_, sttnoc::RegionConfig{regions, sc.placement});
+    parents_ = std::make_unique<sttnoc::ParentMap>(*regions_,
+                                                   sc.parentHops);
+
+    noc::ArbitrationPolicy *policy = nullptr;
+    if (sc.scheme.has_value()) {
+        fatal_if(sc.tsbRegions <= 0,
+                 "the STT-RAM-aware scheme requires region TSBs");
+        sttnoc::SttAwareParams params;
+        params.estimator = *sc.scheme;
+        params.delayMode = sc.delayMode;
+        params.writeServiceCycles =
+            mem::bankTech(sc.tech).writeCycles;
+        params.holdCap = 3 * params.writeServiceCycles;
+        bankAwarePolicy_ = std::make_unique<sttnoc::BankAwarePolicy>(
+            *regions_, *parents_, params, nullptr);
+        policy = bankAwarePolicy_.get();
+    } else {
+        obliviousPolicy_ = std::make_unique<noc::ArbitrationPolicy>();
+        policy = obliviousPolicy_.get();
+    }
+
+    std::unique_ptr<noc::RoutingFunction> routing;
+    if (sc.tsbRegions > 0)
+        routing = std::make_unique<sttnoc::RegionRouting>(*regions_);
+    else
+        routing = std::make_unique<noc::ZxyRouting>(shape_);
+
+    noc::NocParams noc_params;
+    noc_params.vcsPerVnet = sc.vcsPerVnet;
+    net_ = std::make_unique<noc::Network>(sim_, shape_, noc_params,
+                                          std::move(routing), *policy);
+
+    // Widen the region TSBs to 256 bits (two flits per cycle).
+    if (sc.tsbRegions > 0) {
+        for (int r = 0; r < regions_->numRegions(); ++r) {
+            net_->topology().widenDownLink(regions_->tsbCoreNode(r),
+                                           noc_params.tsbBandwidth);
+        }
+    }
+
+    // The estimator may need the network (RCA sideband fabric).
+    if (bankAwarePolicy_) {
+        if (*sc.scheme == sttnoc::EstimatorKind::Rca) {
+            rcaFabric_ = std::make_unique<sttnoc::RcaFabric>(*net_);
+            sim_.add(rcaFabric_.get());
+        }
+        bankAwarePolicy_->setEstimator(sttnoc::makeEstimator(
+            *sc.scheme, *regions_, *parents_,
+            bankAwarePolicy_->params(), rcaFabric_.get()));
+        // Parent nodes receive WB probe echoes through their NIs.
+        for (NodeId n = 0; n < shape_.totalNodes(); ++n)
+            net_->ni(n).setProbeSink(bankAwarePolicy_.get());
+    }
+}
+
+void
+CmpSystem::buildMemorySystem()
+{
+    const Scenario &sc = config_.scenario;
+    const int w = shape_.width();
+    const int h = shape_.height();
+
+    coherence::L2Config l2cfg;
+    l2cfg.tech = sc.tech;
+    l2cfg.bankCtrl.writeBuffer = sc.writeBuffer;
+    l2cfg.bankCtrl.readPriority = sc.readPriority;
+    l2cfg.realTags = config_.realTags;
+    if (config_.realTags) {
+        // 128 B blocks, 16 ways: 4 MB -> 2048 sets, 1 MB -> 512 sets.
+        l2cfg.sets = sc.tech == mem::CacheTech::SttRam ? 2048 : 512;
+        l2cfg.ways = 16;
+    }
+    l2cfg.victimDirtyProb = config_.victimDirtyProb;
+    l2cfg.requestCap = config_.bankRequestCap;
+    l2cfg.writeCap = config_.bankWriteCap;
+    l2cfg.seed = config_.seed;
+    l2cfg.mcNodes = {shape_.node(0, 0, 1), shape_.node(w - 1, 0, 1),
+                     shape_.node(0, h - 1, 1),
+                     shape_.node(w - 1, h - 1, 1)};
+
+    for (BankId b = 0; b < numBanks(); ++b) {
+        const NodeId node = regions_->nodeOfBank(b);
+        banks_.push_back(std::make_unique<coherence::L2Bank>(
+            detail::format("l2bank%d", b), b, node, net_->ni(node),
+            l2cfg, cacheStats_));
+        net_->ni(node).setClient(banks_.back().get());
+        sim_.add(banks_.back().get());
+    }
+
+    for (const NodeId node : l2cfg.mcNodes) {
+        mcs_.push_back(std::make_unique<mem::MemoryController>(
+            detail::format("mc%d", node), node, net_->ni(node),
+            config_.dram, memStats_));
+        net_->ni(node).setMemClient(mcs_.back().get());
+        sim_.add(mcs_.back().get());
+    }
+}
+
+void
+CmpSystem::buildCores()
+{
+    coherence::HomeMap home;
+    home.numBanks = numBanks();
+    home.cacheLayerBase = shape_.nodesPerLayer();
+
+    workload::StreamParams stream = config_.stream;
+    stream.numBanks = numBanks();
+    stream.l2CapacityMissFactor =
+        config_.scenario.tech == mem::CacheTech::Sram ? 2.0 : 1.0;
+
+    for (CoreId c = 0; c < numCores(); ++c) {
+        const std::string &app_name =
+            config_.apps.size() == 1
+                ? config_.apps[0]
+                : config_.apps[static_cast<std::size_t>(c)];
+        const workload::AppProfile &profile =
+            workload::findApp(app_name);
+
+        l1s_.push_back(std::make_unique<coherence::L1Cache>(
+            detail::format("l1.%d", c), c, net_->ni(c), home,
+            config_.l1, cacheStats_));
+        net_->ni(c).setClient(l1s_.back().get());
+        sim_.add(l1s_.back().get());
+
+        streams_.push_back(std::make_unique<workload::SyntheticStream>(
+            profile, c, config_.seed, stream));
+        streams_.back()->attachL1(l1s_.back().get());
+
+        cores_.push_back(std::make_unique<cpu::Core>(
+            detail::format("core%d", c), c, *l1s_.back(),
+            *streams_.back(), cpu::CoreConfig{}, coreStats_));
+        sim_.add(cores_.back().get());
+    }
+}
+
+void
+CmpSystem::run(Cycle cycles)
+{
+    sim_.run(cycles);
+}
+
+void
+CmpSystem::warmup(Cycle cycles)
+{
+    sim_.run(cycles);
+    cacheStats_.reset();
+    coreStats_.reset();
+    memStats_.reset();
+    net_->stats().reset();
+    if (bankAwarePolicy_)
+        bankAwarePolicy_->stats().reset();
+    for (auto &core : cores_)
+        core->resetCommitted();
+    if (probe_)
+        probe_->reset();
+    measureStart_ = sim_.now();
+}
+
+Metrics
+CmpSystem::metrics() const
+{
+    Metrics m;
+    m.cycles = sim_.now() - measureStart_;
+    const double cycles = std::max<double>(1.0,
+                                           static_cast<double>(m.cycles));
+    for (const auto &core : cores_)
+        m.ipc.push_back(static_cast<double>(core->committed()) / cycles);
+
+    if (const auto *a = net_->stats().findAverage(
+            "packet_network_latency"))
+        m.avgNetworkLatency = a->mean();
+    if (const auto *a = cacheStats_.findAverage("bank_queue_latency"))
+        m.avgBankQueueLatency = a->mean();
+    if (const auto *a = cacheStats_.findAverage("l1_miss_latency"))
+        m.avgUncoreLatency = a->mean();
+
+    m.energy = computeEnergy(cacheStats_, net_->stats(),
+                             config_.scenario.tech, numBanks(),
+                             shape_.totalNodes(), m.cycles);
+    return m;
+}
+
+void
+CmpSystem::dumpStats(std::ostream &os) const
+{
+    cacheStats_.dump(os);
+    coreStats_.dump(os);
+    memStats_.dump(os);
+    net_->stats().dump(os);
+    if (bankAwarePolicy_)
+        bankAwarePolicy_->stats().dump(os);
+}
+
+} // namespace stacknoc::system

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The assembled 3D CMP: cores + private L1s on the top layer, STT-RAM or
+ * SRAM L2 banks + directory on the stacked layer, four memory
+ * controllers, and the 3D NoC with (optionally) the STT-RAM-aware
+ * arbitration scheme. This is the main entry point of the library.
+ */
+
+#ifndef STACKNOC_SYSTEM_CMP_SYSTEM_HH
+#define STACKNOC_SYSTEM_CMP_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "noc/network.hh"
+#include "sttnoc/bank_aware_policy.hh"
+#include "sttnoc/rca_fabric.hh"
+#include "coherence/l1_cache.hh"
+#include "coherence/l2_bank.hh"
+#include "mem/memory_controller.hh"
+#include "cpu/core.hh"
+#include "workload/synthetic_stream.hh"
+#include "system/metrics.hh"
+#include "system/probes.hh"
+#include "system/scenario.hh"
+
+namespace stacknoc::system {
+
+/** Full-system configuration. */
+struct SystemConfig
+{
+    int meshWidth = 8;
+    int meshHeight = 8;
+
+    Scenario scenario{};
+
+    /**
+     * Application per core: one entry replicates across all cores
+     * (multi-threaded / 64-copy runs); meshWidth*meshHeight entries give
+     * a multi-programmed mix.
+     */
+    std::vector<std::string> apps{"tpcc"};
+
+    std::uint64_t seed = 1;
+
+    workload::StreamParams stream{};
+    coherence::L1Config l1{};
+    mem::DramParams dram{};
+
+    /** Use real L2 tag arrays instead of trace-annotated hit/miss. */
+    bool realTags = false;
+
+    /** Annotated mode: dirty-victim probability on L2 fills. */
+    double victimDirtyProb = 0.3;
+
+    /** Per-bank admission bounds (see coherence::L2Config). */
+    int bankRequestCap = 8;
+    int bankWriteCap = 32;
+
+    /** Probe sampling period (0 disables the occupancy probe). */
+    Cycle probePeriod = 64;
+};
+
+/** The system. Construct, warmup(), run(), then read metrics(). */
+class CmpSystem
+{
+  public:
+    explicit CmpSystem(const SystemConfig &config);
+    ~CmpSystem();
+
+    CmpSystem(const CmpSystem &) = delete;
+    CmpSystem &operator=(const CmpSystem &) = delete;
+
+    /** Advance the system by @p cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Advance @p cycles, then zero every statistic and committed-
+     * instruction count so metrics() reflects only the steady state.
+     */
+    void warmup(Cycle cycles);
+
+    /** Results accumulated since construction or the last warmup(). */
+    Metrics metrics() const;
+
+    int numCores() const { return shape_.nodesPerLayer(); }
+    int numBanks() const { return shape_.nodesPerLayer(); }
+    const MeshShape &shape() const { return shape_; }
+    const SystemConfig &config() const { return config_; }
+
+    Simulator &simulator() { return sim_; }
+    noc::Network &network() { return *net_; }
+    cpu::Core &core(int i) { return *cores_.at(std::size_t(i)); }
+    coherence::L1Cache &l1(int i) { return *l1s_.at(std::size_t(i)); }
+    coherence::L2Bank &bank(int i) { return *banks_.at(std::size_t(i)); }
+
+    /** The bank-aware policy, or nullptr for oblivious scenarios. */
+    sttnoc::BankAwarePolicy *policy() { return bankAwarePolicy_.get(); }
+
+    const sttnoc::RegionMap &regions() const { return *regions_; }
+    const sttnoc::ParentMap &parents() const { return *parents_; }
+
+    stats::Group &cacheStats() { return cacheStats_; }
+    const stats::Group &cacheStats() const { return cacheStats_; }
+    stats::Group &coreStats() { return coreStats_; }
+    stats::Group &memStats() { return memStats_; }
+
+    RouterOccupancyProbe *probe() { return probe_.get(); }
+
+    /** Dump every statistics group to @p os. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void buildNetwork();
+    void buildMemorySystem();
+    void buildCores();
+
+    SystemConfig config_;
+    MeshShape shape_;
+    Simulator sim_;
+
+    stats::Group cacheStats_;
+    stats::Group coreStats_;
+    stats::Group memStats_;
+
+    std::unique_ptr<sttnoc::RegionMap> regions_;
+    std::unique_ptr<sttnoc::ParentMap> parents_;
+    std::unique_ptr<noc::ArbitrationPolicy> obliviousPolicy_;
+    std::unique_ptr<sttnoc::BankAwarePolicy> bankAwarePolicy_;
+    std::unique_ptr<noc::Network> net_;
+    std::unique_ptr<sttnoc::RcaFabric> rcaFabric_;
+
+    std::vector<std::unique_ptr<coherence::L1Cache>> l1s_;
+    std::vector<std::unique_ptr<coherence::L2Bank>> banks_;
+    std::vector<std::unique_ptr<mem::MemoryController>> mcs_;
+    std::vector<std::unique_ptr<workload::SyntheticStream>> streams_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::unique_ptr<RouterOccupancyProbe> probe_;
+
+    Cycle measureStart_ = 0;
+};
+
+} // namespace stacknoc::system
+
+#endif // STACKNOC_SYSTEM_CMP_SYSTEM_HH

@@ -1,0 +1,42 @@
+#include "system/energy.hh"
+
+namespace stacknoc::system {
+
+EnergyBreakdown
+computeEnergy(const stats::Group &cache_stats,
+              const stats::Group &net_stats, mem::CacheTech tech,
+              int num_banks, int num_routers, Cycle cycles,
+              const NocEnergyParams &noc_params)
+{
+    const mem::BankTechParams &bank = mem::bankTech(tech);
+    const double seconds =
+        static_cast<double>(cycles) / (mem::kClockGHz * 1e9);
+
+    auto counter = [](const stats::Group &g, const char *statname) {
+        const stats::Counter *c = g.findCounter(statname);
+        return c ? static_cast<double>(c->value()) : 0.0;
+    };
+
+    EnergyBreakdown e;
+    e.cacheDynamicUJ = (counter(cache_stats, "bank_reads") *
+                            bank.readEnergyNJ +
+                        counter(cache_stats, "bank_writes") *
+                            bank.writeEnergyNJ) *
+                       1e-3;
+    e.cacheLeakageUJ = bank.leakagePowerMW * 1e-3 * num_banks * seconds *
+                       1e6;
+
+    const double buffered = counter(net_stats, "flits_buffered");
+    const double switched = counter(net_stats, "flits_switched");
+    e.netDynamicUJ = (buffered * noc_params.bufferWriteNJ +
+                      switched * (noc_params.bufferReadNJ +
+                                  noc_params.crossbarNJ +
+                                  noc_params.arbiterNJ +
+                                  noc_params.linkNJ)) *
+                     1e-3;
+    e.netLeakageUJ = noc_params.routerLeakageMW * 1e-3 * num_routers *
+                     seconds * 1e6;
+    return e;
+}
+
+} // namespace stacknoc::system

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Uncore (cache + interconnect) energy accounting, the quantity of the
+ * paper's Figure 8. Cache energies come from Table 2; router and link
+ * event energies are Orion-style 32 nm constants.
+ */
+
+#ifndef STACKNOC_SYSTEM_ENERGY_HH
+#define STACKNOC_SYSTEM_ENERGY_HH
+
+#include "common/types.hh"
+#include "sim/stats.hh"
+#include "mem/tech.hh"
+
+namespace stacknoc::system {
+
+/** Per-event network energies (nJ) and leakage (mW) at 32 nm, 3 GHz. */
+struct NocEnergyParams
+{
+    double bufferWriteNJ = 0.012; //!< per flit buffered
+    double bufferReadNJ = 0.010;  //!< per flit read for traversal
+    double crossbarNJ = 0.015;    //!< per flit switched
+    double arbiterNJ = 0.001;     //!< per allocation
+    double linkNJ = 0.017;        //!< per flit-hop on a 128-bit link
+    double routerLeakageMW = 5.0; //!< per router
+};
+
+/** Uncore energy split, in microjoules. */
+struct EnergyBreakdown
+{
+    double cacheDynamicUJ = 0.0;
+    double cacheLeakageUJ = 0.0;
+    double netDynamicUJ = 0.0;
+    double netLeakageUJ = 0.0;
+
+    double
+    totalUJ() const
+    {
+        return cacheDynamicUJ + cacheLeakageUJ + netDynamicUJ +
+               netLeakageUJ;
+    }
+};
+
+/**
+ * Compute the uncore energy of a run.
+ *
+ * @param cache_stats group holding bank_reads / bank_writes.
+ * @param net_stats group holding flits_buffered / flits_switched.
+ * @param tech L2 bank technology.
+ * @param num_banks banks in the system.
+ * @param num_routers routers in the system.
+ * @param cycles measured cycles (at 3 GHz).
+ * @param noc_params event energy constants.
+ */
+EnergyBreakdown
+computeEnergy(const stats::Group &cache_stats,
+              const stats::Group &net_stats, mem::CacheTech tech,
+              int num_banks, int num_routers, Cycle cycles,
+              const NocEnergyParams &noc_params = NocEnergyParams{});
+
+} // namespace stacknoc::system
+
+#endif // STACKNOC_SYSTEM_ENERGY_HH

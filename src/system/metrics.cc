@@ -1,0 +1,62 @@
+#include "system/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stacknoc::system {
+
+double
+Metrics::instructionThroughput() const
+{
+    double sum = 0.0;
+    for (const double v : ipc)
+        sum += v;
+    return sum;
+}
+
+double
+Metrics::minIpc() const
+{
+    if (ipc.empty())
+        return 0.0;
+    return *std::min_element(ipc.begin(), ipc.end());
+}
+
+double
+Metrics::meanIpc() const
+{
+    return ipc.empty() ? 0.0
+                       : instructionThroughput() /
+                             static_cast<double>(ipc.size());
+}
+
+double
+weightedSpeedup(const std::vector<double> &shared_ipc,
+                const std::vector<double> &alone_ipc)
+{
+    panic_if(shared_ipc.size() != alone_ipc.size(),
+             "weightedSpeedup: size mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i) {
+        if (alone_ipc[i] > 0.0)
+            sum += shared_ipc[i] / alone_ipc[i];
+    }
+    return sum;
+}
+
+double
+maxSlowdown(const std::vector<double> &shared_ipc,
+            const std::vector<double> &alone_ipc)
+{
+    panic_if(shared_ipc.size() != alone_ipc.size(),
+             "maxSlowdown: size mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i) {
+        if (shared_ipc[i] > 0.0)
+            worst = std::max(worst, alone_ipc[i] / shared_ipc[i]);
+    }
+    return worst;
+}
+
+} // namespace stacknoc::system

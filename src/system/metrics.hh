@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Run results and the paper's evaluation metrics: IPC, instruction
+ * throughput (Eq. 1), weighted speedup (Eq. 2), maximum slowdown (Eq. 3).
+ */
+
+#ifndef STACKNOC_SYSTEM_METRICS_HH
+#define STACKNOC_SYSTEM_METRICS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "system/energy.hh"
+
+namespace stacknoc::system {
+
+/** Results of one measured window. */
+struct Metrics
+{
+    Cycle cycles = 0;
+    std::vector<double> ipc;      //!< per core
+
+    double avgNetworkLatency = 0; //!< NI inject -> eject, cycles
+    double avgBankQueueLatency = 0; //!< arrival -> bank service start
+    double avgUncoreLatency = 0;  //!< L1 miss round trip, cycles
+
+    EnergyBreakdown energy;
+
+    /** Eq. (1): sum of per-core IPC. */
+    double instructionThroughput() const;
+
+    /** Slowest-core IPC — the paper reports multi-threaded results for
+     *  the slowest thread. */
+    double minIpc() const;
+
+    /** Mean per-core IPC. */
+    double meanIpc() const;
+};
+
+/** Eq. (2): sum_i IPCshared_i / IPCalone_i. */
+double weightedSpeedup(const std::vector<double> &shared_ipc,
+                       const std::vector<double> &alone_ipc);
+
+/** Eq. (3): max_i IPCalone_i / IPCshared_i. */
+double maxSlowdown(const std::vector<double> &shared_ipc,
+                   const std::vector<double> &alone_ipc);
+
+} // namespace stacknoc::system
+
+#endif // STACKNOC_SYSTEM_METRICS_HH

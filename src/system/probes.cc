@@ -1,0 +1,56 @@
+#include "system/probes.hh"
+
+namespace stacknoc::system {
+
+RouterOccupancyProbe::RouterOccupancyProbe(noc::Network &net,
+                                           Cycle sample_period)
+    : net_(net), period_(sample_period)
+{
+}
+
+void
+RouterOccupancyProbe::onCycle(Cycle now)
+{
+    if (now % period_ != 0)
+        return;
+    const MeshShape &shape = net_.shape();
+    const int per_layer = shape.nodesPerLayer();
+    for (NodeId n = per_layer; n < shape.totalNodes(); ++n) {
+        std::array<int, 4> count{};
+        net_.router(n).forEachBufferedPacket(
+            [&](const noc::Packet &pkt) {
+                if (!noc::isRestrictedRequest(pkt.cls))
+                    return;
+                if (pkt.dest < per_layer)
+                    return;
+                const int h = shape.planarDistance(n, pkt.dest);
+                if (h >= 1 && h <= 3)
+                    ++count[static_cast<std::size_t>(h)];
+            });
+        for (int h = 1; h <= 3; ++h) {
+            if (count[static_cast<std::size_t>(h)] > 0) {
+                sum_[static_cast<std::size_t>(h)] +=
+                    count[static_cast<std::size_t>(h)];
+                ++occupiedSamples_[static_cast<std::size_t>(h)];
+            }
+        }
+    }
+}
+
+double
+RouterOccupancyProbe::avgRequestsAtHops(int hops) const
+{
+    const auto h = static_cast<std::size_t>(hops);
+    return occupiedSamples_[h]
+               ? sum_[h] / static_cast<double>(occupiedSamples_[h])
+               : 0.0;
+}
+
+void
+RouterOccupancyProbe::reset()
+{
+    sum_.fill(0.0);
+    occupiedSamples_.fill(0);
+}
+
+} // namespace stacknoc::system

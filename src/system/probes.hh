@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Measurement probes over live routers: the Figure 3 inset / Figure 13a
+ * "requests buffered H hops from their destination bank" statistic.
+ */
+
+#ifndef STACKNOC_SYSTEM_PROBES_HH
+#define STACKNOC_SYSTEM_PROBES_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "noc/network.hh"
+
+namespace stacknoc::system {
+
+/**
+ * Samples cache-layer routers periodically and records how many
+ * buffered core-to-cache request packets sit exactly H in-layer hops
+ * from their destination bank, for H in 1..3.
+ *
+ * The reported average is conditioned on routers that held at least one
+ * such request at sampling time (matching the paper's "requests in a
+ * router following a write packet" framing).
+ */
+class RouterOccupancyProbe
+{
+  public:
+    /**
+     * @param net the network to observe.
+     * @param sample_period cycles between samples.
+     */
+    explicit RouterOccupancyProbe(noc::Network &net,
+                                  Cycle sample_period = 64);
+
+    /** Call once per cycle (wire to Simulator::onCycleEnd). */
+    void onCycle(Cycle now);
+
+    /** @return mean #requests per occupied router at distance @p hops. */
+    double avgRequestsAtHops(int hops) const;
+
+    /** Drop all accumulated samples (end of warm-up). */
+    void reset();
+
+  private:
+    noc::Network &net_;
+    Cycle period_;
+    std::array<double, 4> sum_{};      //!< index by hops 1..3
+    std::array<std::uint64_t, 4> occupiedSamples_{};
+};
+
+} // namespace stacknoc::system
+
+#endif // STACKNOC_SYSTEM_PROBES_HH

@@ -1,0 +1,103 @@
+#include "workload/app_profiles.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc::workload {
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Server: return "SERVER";
+      case Suite::Parsec: return "PARSEC";
+      case Suite::Spec: return "SPEC2006";
+      default: return "?";
+    }
+}
+
+const std::vector<AppProfile> &
+appTable()
+{
+    // Table 3 of the paper, verbatim. "Bursty: High" -> true.
+    static const std::vector<AppProfile> table = {
+        // Commercial / server workloads.
+        {"tpcc", Suite::Server, 51.47, 6.06, 40.90, 10.57, true},
+        {"sjas", Suite::Server, 41.54, 4.48, 35.06, 6.48, true},
+        {"sap", Suite::Server, 29.91, 3.84, 23.57, 6.15, true},
+        {"sjbb", Suite::Server, 25.52, 7.01, 19.42, 6.09, true},
+        // PARSEC.
+        {"streamcluster", Suite::Parsec, 29.28, 8.34, 15.23, 14.05, true},
+        {"vips", Suite::Parsec, 13.51, 8.07, 6.61, 6.89, true},
+        {"canneal", Suite::Parsec, 12.80, 5.47, 6.52, 6.27, false},
+        {"dedup", Suite::Parsec, 12.80, 4.59, 7.42, 5.36, true},
+        {"ferret", Suite::Parsec, 11.62, 9.16, 6.39, 5.22, false},
+        {"facesim", Suite::Parsec, 10.62, 6.82, 6.15, 4.46, false},
+        {"swaptions", Suite::Parsec, 5.47, 6.35, 2.46, 3.00, false},
+        {"blackscholes", Suite::Parsec, 5.29, 3.73, 2.80, 2.48, false},
+        {"bodytrack", Suite::Parsec, 5.62, 5.71, 2.81, 2.81, false},
+        {"raytrace", Suite::Parsec, 5.65, 4.98, 3.62, 2.03, false},
+        {"x264", Suite::Parsec, 4.17, 4.62, 1.87, 2.29, false},
+        {"fluidanimate", Suite::Parsec, 4.89, 4.41, 2.68, 2.20, false},
+        {"freqmine", Suite::Parsec, 2.29, 3.96, 1.31, 0.98, false},
+        // SPEC 2006.
+        {"gemsfdtd", Suite::Spec, 104.04, 94.62, 0.80, 103.23, false},
+        {"mcf", Suite::Spec, 99.81, 64.47, 5.45, 94.37, false},
+        {"soplex", Suite::Spec, 48.54, 16.88, 19.59, 28.95, false},
+        {"cactus", Suite::Spec, 43.81, 15.64, 18.65, 25.16, false},
+        {"lbm", Suite::Spec, 36.49, 18.88, 30.76, 5.73, true},
+        {"hmmer", Suite::Spec, 34.36, 3.31, 12.50, 21.86, true},
+        {"xalancbmk", Suite::Spec, 29.70, 21.07, 3.02, 26.68, false},
+        {"leslie", Suite::Spec, 26.09, 18.06, 7.65, 18.45, false},
+        {"sphinx", Suite::Spec, 25.55, 10.91, 0.97, 24.58, true},
+        {"gobmk", Suite::Spec, 22.81, 8.68, 8.02, 14.79, true},
+        {"astar", Suite::Spec, 20.03, 4.21, 6.11, 13.92, false},
+        {"bzip2", Suite::Spec, 19.29, 10.02, 2.66, 16.63, true},
+        {"milc", Suite::Spec, 19.12, 18.67, 0.05, 19.06, false},
+        {"libquantum", Suite::Spec, 12.50, 12.50, 0.00, 12.50, false},
+        {"omnetpp", Suite::Spec, 10.92, 10.15, 0.25, 10.67, false},
+        {"povray", Suite::Spec, 9.63, 7.86, 0.88, 8.75, true},
+        {"gcc", Suite::Spec, 9.39, 8.51, 0.06, 9.34, true},
+        {"namd", Suite::Spec, 8.85, 5.11, 0.65, 8.19, true},
+        {"gromacs", Suite::Spec, 5.36, 3.18, 0.32, 5.05, true},
+        {"tonto", Suite::Spec, 5.26, 0.55, 3.52, 1.74, true},
+        {"h264", Suite::Spec, 4.81, 2.74, 2.03, 2.78, true},
+        {"dealII", Suite::Spec, 4.41, 2.36, 0.35, 4.06, true},
+        {"sjeng", Suite::Spec, 3.93, 2.00, 0.92, 3.01, false},
+        {"wrf", Suite::Spec, 1.80, 0.75, 0.88, 0.92, false},
+        {"calculix", Suite::Spec, 0.33, 0.23, 0.03, 0.29, false},
+    };
+    return table;
+}
+
+const AppProfile &
+findApp(const std::string &name)
+{
+    for (const AppProfile &app : appTable())
+        if (app.name == name)
+            return app;
+    // Accept the paper's abbreviations as aliases.
+    static const std::pair<const char *, const char *> aliases[] = {
+        {"sclust", "streamcluster"}, {"bscls", "blackscholes"},
+        {"bdtrk", "bodytrack"},      {"rtrce", "raytrace"},
+        {"fldnmt", "fluidanimate"},  {"frqmn", "freqmine"},
+        {"swptns", "swaptions"},     {"libqntm", "libquantum"},
+        {"gems", "gemsfdtd"},        {"xalan", "xalancbmk"},
+        {"omnet", "omnetpp"},        {"sphinx3", "sphinx"},
+    };
+    for (const auto &[alias, full] : aliases)
+        if (name == alias)
+            return findApp(full);
+    fatal("unknown application '%s'", name.c_str());
+}
+
+std::vector<std::string>
+appsOfSuite(Suite suite)
+{
+    std::vector<std::string> names;
+    for (const AppProfile &app : appTable())
+        if (app.suite == suite)
+            names.push_back(app.name);
+    return names;
+}
+
+} // namespace stacknoc::workload

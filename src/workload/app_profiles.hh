@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The 42-application characterisation of the paper's Table 3, plus the
+ * grouping into benchmark suites used throughout the evaluation.
+ */
+
+#ifndef STACKNOC_WORKLOAD_APP_PROFILES_HH
+#define STACKNOC_WORKLOAD_APP_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+namespace stacknoc::workload {
+
+/** Which suite an application belongs to (drives sharing behaviour). */
+enum class Suite {
+    Server, //!< commercial multi-threaded workloads
+    Parsec, //!< multi-threaded PARSEC
+    Spec,   //!< multi-programmed SPEC 2006
+};
+
+/** @return printable suite name. */
+const char *suiteName(Suite suite);
+
+/** One row of Table 3. */
+struct AppProfile
+{
+    std::string name;
+    Suite suite;
+    double l1mpki; //!< L1 misses per kilo-instruction
+    double l2mpki; //!< L2 misses per kilo-instruction
+    double l2wpki; //!< L2 writes per kilo-instruction
+    double l2rpki; //!< L2 reads per kilo-instruction
+    bool bursty;   //!< "Bursty" column (High = true)
+};
+
+/** @return all 42 applications of Table 3. */
+const std::vector<AppProfile> &appTable();
+
+/** @return the profile named @p name (fatal on unknown names). */
+const AppProfile &findApp(const std::string &name);
+
+/** @return the application names of one suite, in Table 3 order. */
+std::vector<std::string> appsOfSuite(Suite suite);
+
+} // namespace stacknoc::workload
+
+#endif // STACKNOC_WORKLOAD_APP_PROFILES_HH

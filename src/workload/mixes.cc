@@ -1,0 +1,86 @@
+#include "workload/mixes.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workload/app_profiles.hh"
+
+namespace stacknoc::workload {
+
+Mix
+replicate(const std::vector<std::string> &apps, int copies)
+{
+    Mix mix;
+    for (const std::string &app : apps) {
+        (void)findApp(app); // validate
+        for (int i = 0; i < copies; ++i)
+            mix.push_back(app);
+    }
+    return mix;
+}
+
+Mix
+mixCase1()
+{
+    return replicate({"soplex", "cactus", "lbm", "hmmer"}, 16);
+}
+
+Mix
+mixCase2()
+{
+    return replicate(case2Apps(), 16);
+}
+
+std::vector<std::string>
+case2Apps()
+{
+    return {"lbm", "hmmer", "bzip2", "libquantum"};
+}
+
+std::vector<std::string>
+writeIntensiveApps()
+{
+    std::vector<std::string> apps;
+    for (const AppProfile &a : appTable())
+        if (a.l2wpki > a.l2rpki)
+            apps.push_back(a.name);
+    return apps;
+}
+
+std::vector<std::string>
+readIntensiveApps()
+{
+    std::vector<std::string> apps;
+    for (const AppProfile &a : appTable())
+        if (a.l2rpki >= 3.0 * a.l2wpki)
+            apps.push_back(a.name);
+    return apps;
+}
+
+std::vector<Mix>
+mixesCase3(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::vector<std::string> reads = readIntensiveApps();
+    const std::vector<std::string> writes = writeIntensiveApps();
+    std::vector<std::string> all;
+    for (const AppProfile &a : appTable())
+        all.push_back(a.name);
+
+    auto draw8 = [&rng](const std::vector<std::string> &pool) {
+        std::vector<std::string> picked;
+        for (int i = 0; i < 8; ++i)
+            picked.push_back(pool[rng.below(pool.size())]);
+        return picked;
+    };
+
+    std::vector<Mix> mixes;
+    for (int i = 0; i < 8; ++i)
+        mixes.push_back(replicate(draw8(reads), 8));
+    for (int i = 0; i < 8; ++i)
+        mixes.push_back(replicate(draw8(writes), 8));
+    for (int i = 0; i < 16; ++i)
+        mixes.push_back(replicate(draw8(all), 8));
+    return mixes;
+}
+
+} // namespace stacknoc::workload

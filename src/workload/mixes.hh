@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Multi-programmed workload mixes for the paper's case studies
+ * (Section 4.2: Case-1, Case-2, and the 32 mixes of Case-3).
+ */
+
+#ifndef STACKNOC_WORKLOAD_MIXES_HH
+#define STACKNOC_WORKLOAD_MIXES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stacknoc::workload {
+
+/** A per-core application assignment (64 entries for the full system). */
+using Mix = std::vector<std::string>;
+
+/** @return @p copies copies of each app in @p apps, concatenated. */
+Mix replicate(const std::vector<std::string> &apps, int copies);
+
+/** Case-1: 16 copies each of soplex, cactus, lbm, hmmer (write heavy). */
+Mix mixCase1();
+
+/** Case-2: 16 copies each of lbm, hmmer (bursty+write) and bzip2,
+ *  libquantum (read intensive). */
+Mix mixCase2();
+
+/** The applications of Case-2 in mix order (for fairness reporting). */
+std::vector<std::string> case2Apps();
+
+/**
+ * Case-3: 32 mixes of 8 apps x 8 copies; 8 read-intensive mixes, 8
+ * write-intensive mixes, 16 combined mixes, randomly drawn per category.
+ */
+std::vector<Mix> mixesCase3(std::uint64_t seed);
+
+/** Apps classified as write-intensive (l2wpki > l2rpki). */
+std::vector<std::string> writeIntensiveApps();
+
+/** Apps classified as read-intensive (l2rpki >= 3 * l2wpki). */
+std::vector<std::string> readIntensiveApps();
+
+} // namespace stacknoc::workload
+
+#endif // STACKNOC_WORKLOAD_MIXES_HH

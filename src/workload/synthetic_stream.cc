@@ -1,0 +1,183 @@
+#include "workload/synthetic_stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stacknoc::workload {
+
+namespace {
+
+/** Shared-region base: multiple of every bank count we use. */
+constexpr BlockAddr kSharedBase = 1ULL << 40;
+
+/** Reuse-history ring capacity per bank. */
+constexpr std::size_t kHistoryPerBank = 128;
+
+/** Private-region base for a core. */
+BlockAddr
+privateBase(CoreId core)
+{
+    return (static_cast<BlockAddr>(core) + 2) << 32;
+}
+
+} // namespace
+
+SyntheticStream::SyntheticStream(const AppProfile &profile, CoreId core,
+                                 std::uint64_t seed,
+                                 const StreamParams &params)
+    : profile_(profile), core_(core), params_(params),
+      rng_(seed * 0x2545f4914f6cdd1dULL + static_cast<std::uint64_t>(core)),
+      history_(static_cast<std::size_t>(params.numBanks))
+{
+    fatal_if(params_.memFraction <= 0.0 || params_.memFraction > 1.0,
+             "bad memFraction");
+    pMiss_ = std::min(1.0, profile_.l1mpki /
+                               (1000.0 * params_.memFraction));
+    pWrite_ = profile_.l1mpki > 0.0
+                  ? std::min(1.0, profile_.l2wpki / profile_.l1mpki)
+                  : 0.0;
+    const double l2_miss_ratio =
+        profile_.l1mpki > 0.0
+            ? std::min(1.0, profile_.l2mpki *
+                                params_.l2CapacityMissFactor /
+                                profile_.l1mpki)
+            : 0.0;
+    pL2Hit_ = 1.0 - l2_miss_ratio;
+}
+
+BlockAddr
+SyntheticStream::freshAddress(int bank)
+{
+    // Private, never-seen-before block that maps to the requested bank.
+    std::uint64_t &cursor = bankCursor_[bank];
+    const BlockAddr addr =
+        privateBase(core_) +
+        cursor * static_cast<std::uint64_t>(params_.numBanks) +
+        static_cast<std::uint64_t>(bank);
+    ++cursor;
+    return addr;
+}
+
+BlockAddr
+SyntheticStream::missAddress()
+{
+    // Every variant below stays on the current hot bank so bank-level
+    // run lengths are controlled solely by makeMiss().
+    const auto bank = static_cast<std::uint64_t>(hotBank_);
+    const auto banks = static_cast<std::uint64_t>(params_.numBanks);
+
+    // Cross-core shared region (multi-threaded suites only).
+    if (profile_.suite != Suite::Spec &&
+        rng_.chance(params_.shareProb)) {
+        const std::uint64_t rows =
+            std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                           params_.sharedPoolBlocks) /
+                                           banks);
+        return kSharedBase + rng_.below(rows) * banks + bank;
+    }
+
+    // Re-reference an old private address of this bank (likely evicted
+    // from L1, possibly still in L2) for genuine reuse in real-tag mode.
+    auto &hist = history_[static_cast<std::size_t>(hotBank_)];
+    if (!hist.empty() && rng_.chance(params_.reuseProb)) {
+        const BlockAddr addr = hist[rng_.below(hist.size())];
+        if (!l1_ || !l1_->isResident(addr))
+            return addr;
+    }
+    return freshAddress(hotBank_);
+}
+
+cpu::TraceOp
+SyntheticStream::makeMiss()
+{
+    ++misses_;
+    // Spatial clustering: misses run on one hot bank for a while.
+    // Bursty applications produce long same-bank runs; others switch
+    // banks almost every miss.
+    if (bankRun_ == 0) {
+        hotBank_ = static_cast<int>(
+            rng_.below(static_cast<std::uint64_t>(params_.numBanks)));
+        bankRun_ = profile_.bursty
+                       ? rng_.burstLength(params_.burstContinueProb,
+                                          params_.burstMaxLen)
+                       : (rng_.chance(params_.hotBankStickiness) ? 2u
+                                                                 : 1u);
+    }
+    --bankRun_;
+    cpu::TraceOp op;
+    op.isMem = true;
+    op.isWrite = rng_.chance(pWrite_);
+    op.addr = missAddress();
+    op.l2Hit = rng_.chance(pL2Hit_);
+    op.dependsOnPrev = rng_.chance(params_.depProb);
+    auto &hist = history_[static_cast<std::size_t>(hotBank_)];
+    if (hist.size() < kHistoryPerBank)
+        hist.push_back(op.addr);
+    else
+        hist[historyIdx_++ % kHistoryPerBank] = op.addr;
+    return op;
+}
+
+cpu::TraceOp
+SyntheticStream::makeHit()
+{
+    // Re-reference a genuinely resident block so the L1 truly hits.
+    // (A store hit on a Shared block still upgrades through the
+    // directory — that coherence traffic is intended.)
+    BlockAddr addr = 0;
+    if (l1_) {
+        const cache::TagEntry *resident = l1_->anyResident(rng_.next());
+        if (!resident)
+            return makeMiss(); // cold cache: emit a miss instead
+        addr = resident->addr;
+    } else {
+        // Stand-alone use (no cache attached): re-reference the latest
+        // miss of the hot bank so the mpki accounting stays exact.
+        const auto &hist = history_[static_cast<std::size_t>(hotBank_)];
+        if (hist.empty())
+            return makeMiss();
+        addr = hist.back();
+    }
+    cpu::TraceOp op;
+    op.isMem = true;
+    op.isWrite = rng_.chance(params_.storeHitFraction);
+    op.addr = addr;
+    op.l2Hit = true;
+    op.dependsOnPrev = rng_.chance(params_.depProb);
+    return op;
+}
+
+cpu::TraceOp
+SyntheticStream::next()
+{
+    if (!rng_.chance(params_.memFraction))
+        return cpu::TraceOp{}; // non-memory instruction
+
+    ++memOps_;
+    const double deficit =
+        pMiss_ * static_cast<double>(memOps_) -
+        static_cast<double>(misses_);
+
+    if (burstRemaining_ > 0) {
+        --burstRemaining_;
+        if (rng_.chance(params_.burstMissProb))
+            return makeMiss();
+        return makeHit();
+    }
+
+    if (deficit > 0.0) {
+        if (profile_.bursty) {
+            // Temporal clustering: open a window of elevated miss
+            // probability (the spatial hot-bank run is handled inside
+            // makeMiss()).
+            burstRemaining_ = rng_.burstLength(params_.burstContinueProb,
+                                               params_.burstMaxLen);
+            --burstRemaining_;
+        }
+        return makeMiss();
+    }
+    return makeHit();
+}
+
+} // namespace stacknoc::workload

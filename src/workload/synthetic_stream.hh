@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Synthetic instruction streams calibrated to Table 3.
+ *
+ * The generator reproduces the first-order statistics the paper's
+ * mechanism is sensitive to: L1 miss rate (l1mpki), the read/write split
+ * of L2 accesses (l2rpki/l2wpki), the L2 miss ratio (l2mpki, scaled for
+ * the SRAM/STT-RAM capacity difference), bank-level burstiness, and —
+ * for the multi-threaded suites — cross-core sharing that exercises the
+ * MESI directory.
+ *
+ * Rate accuracy uses deficit control: the stream tracks how many misses
+ * it *should* have produced and steers emission so the long-run mpki
+ * converges exactly to the Table 3 target.
+ */
+
+#ifndef STACKNOC_WORKLOAD_SYNTHETIC_STREAM_HH
+#define STACKNOC_WORKLOAD_SYNTHETIC_STREAM_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "cpu/core.hh"
+#include "workload/app_profiles.hh"
+
+namespace stacknoc::workload {
+
+/** Generator knobs independent of the application profile. */
+struct StreamParams
+{
+    /** Fraction of instructions that are memory operations. */
+    double memFraction = 0.3;
+
+    /**
+     * Multiplier on l2mpki modelling the cache capacity. 1.0 for the
+     * 4 MB STT-RAM banks Table 3 characterises; 2.0 for 1 MB SRAM banks
+     * (sqrt-of-capacity rule for the 4x density difference).
+     */
+    double l2CapacityMissFactor = 1.0;
+
+    /** Probability a miss touches the app-shared region (multi-threaded
+     *  suites only; SPEC runs use fully private address spaces). */
+    double shareProb = 0.2;
+
+    /** Shared-region size in blocks (small enough to cause conflicts). */
+    int sharedPoolBlocks = 4096;
+
+    /** Banks in the system (block-interleaved home mapping). */
+    int numBanks = 64;
+
+    /** Burst length continuation probability (bursty apps). */
+    double burstContinueProb = 0.87;
+
+    /** Max burst length in misses. */
+    std::uint32_t burstMaxLen = 24;
+
+    /** Probability an in-burst memory op misses. */
+    double burstMissProb = 0.9;
+
+    /** Non-bursty apps: probability a miss stays on the current bank. */
+    double hotBankStickiness = 0.5;
+
+    /** Probability a miss re-references an old (likely L1-evicted)
+     *  address instead of a fresh one — gives the real-tags L2 mode
+     *  realistic reuse. */
+    double reuseProb = 0.4;
+
+    /** Fraction of L1-hit operations that are stores. */
+    double storeHitFraction = 0.3;
+
+    /** Probability a memory op depends on the previous one (bounds the
+     *  core's memory-level parallelism to realistic levels). */
+    double depProb = 0.35;
+};
+
+/**
+ * The per-core stream. Optionally attached to the core's L1 so that
+ * "hit" operations re-reference genuinely resident blocks and "miss"
+ * operations avoid resident ones.
+ */
+class SyntheticStream : public cpu::InstructionStream
+{
+  public:
+    /**
+     * @param profile Table 3 row to reproduce.
+     * @param core owning core (address-space separation).
+     * @param seed experiment seed.
+     * @param params generator knobs.
+     */
+    SyntheticStream(const AppProfile &profile, CoreId core,
+                    std::uint64_t seed, const StreamParams &params);
+
+    /** Attach the core's L1 for residency-aware generation. */
+    void attachL1(const coherence::L1Cache *l1) { l1_ = l1; }
+
+    cpu::TraceOp next() override;
+
+    /** Target probability that a memory op misses in L1. */
+    double targetMissProb() const { return pMiss_; }
+
+    /** Target probability that a miss is a write. */
+    double targetWriteProb() const { return pWrite_; }
+
+    /** Target probability that an L2 access hits. */
+    double targetL2HitProb() const { return pL2Hit_; }
+
+    const AppProfile &profile() const { return profile_; }
+
+    /** Memory operations emitted so far. */
+    std::uint64_t emittedMemOps() const { return memOps_; }
+
+    /** L1-missing operations emitted so far. */
+    std::uint64_t emittedMisses() const { return misses_; }
+
+  private:
+    BlockAddr freshAddress(int bank);
+    BlockAddr missAddress();
+    cpu::TraceOp makeMiss();
+    cpu::TraceOp makeHit();
+
+    AppProfile profile_;
+    CoreId core_;
+    StreamParams params_;
+    Rng rng_;
+    const coherence::L1Cache *l1_ = nullptr;
+
+    double pMiss_;
+    double pWrite_;
+    double pL2Hit_;
+
+    std::uint64_t memOps_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint32_t burstRemaining_ = 0; //!< temporal burst window
+    std::uint32_t bankRun_ = 0;        //!< misses left on the hot bank
+    int hotBank_ = 0;
+    std::unordered_map<int, std::uint64_t> bankCursor_;
+    /** Per-bank reuse-history rings. */
+    std::vector<std::vector<BlockAddr>> history_;
+    std::size_t historyIdx_ = 0;
+};
+
+} // namespace stacknoc::workload
+
+#endif // STACKNOC_WORKLOAD_SYNTHETIC_STREAM_HH

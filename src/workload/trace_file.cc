@@ -1,0 +1,124 @@
+#include "workload/trace_file.hh"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace stacknoc::workload {
+
+cpu::TraceOp
+TraceRecorder::next()
+{
+    cpu::TraceOp op = inner_.next();
+    if (limit_ == 0 || recorded_ < limit_) {
+        ops_.push_back(op);
+        ++recorded_;
+    }
+    return op;
+}
+
+bool
+TraceRecorder::save(const std::string &path) const
+{
+    return saveTrace(path, ops_);
+}
+
+bool
+saveTrace(const std::string &path, const std::vector<cpu::TraceOp> &ops)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "# stacknoc trace v1\n");
+    std::uint64_t non_mem = 0;
+    auto flush_non_mem = [&] {
+        if (non_mem > 0) {
+            std::fprintf(f, "N %" PRIu64 "\n", non_mem);
+            non_mem = 0;
+        }
+    };
+    for (const auto &op : ops) {
+        if (!op.isMem) {
+            ++non_mem;
+            continue;
+        }
+        flush_non_mem();
+        std::fprintf(f, "%c %" PRIx64 " %d %d\n", op.isWrite ? 'W' : 'R',
+                     op.addr, op.l2Hit ? 1 : 0,
+                     op.dependsOnPrev ? 1 : 0);
+    }
+    flush_non_mem();
+    std::fclose(f);
+    return true;
+}
+
+std::vector<cpu::TraceOp>
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    fatal_if(f == nullptr, "cannot open trace file '%s'", path.c_str());
+
+    std::vector<cpu::TraceOp> ops;
+    char line[256];
+    int lineno = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        ++lineno;
+        if (line[0] == '#' || line[0] == '\n' || line[0] == '\0')
+            continue;
+        if (line[0] == 'N') {
+            std::uint64_t count = 0;
+            fatal_if(std::sscanf(line + 1, "%" SCNu64, &count) != 1,
+                     "%s:%d: bad non-memory record", path.c_str(),
+                     lineno);
+            ops.insert(ops.end(), count, cpu::TraceOp{});
+            continue;
+        }
+        if (line[0] == 'R' || line[0] == 'W') {
+            cpu::TraceOp op;
+            op.isMem = true;
+            op.isWrite = line[0] == 'W';
+            std::uint64_t addr = 0;
+            int l2hit = 0, dep = 0;
+            fatal_if(std::sscanf(line + 1, "%" SCNx64 " %d %d", &addr,
+                                 &l2hit, &dep) != 3,
+                     "%s:%d: bad memory record", path.c_str(), lineno);
+            op.addr = addr;
+            op.l2Hit = l2hit != 0;
+            op.dependsOnPrev = dep != 0;
+            ops.push_back(op);
+            continue;
+        }
+        std::fclose(f);
+        fatal("%s:%d: unknown record type '%c'", path.c_str(), lineno,
+              line[0]);
+    }
+    std::fclose(f);
+    return ops;
+}
+
+TraceFileStream::TraceFileStream(const std::string &path, bool loop)
+    : ops_(loadTrace(path)), loop_(loop)
+{
+    fatal_if(ops_.empty(), "trace '%s' is empty", path.c_str());
+}
+
+TraceFileStream::TraceFileStream(std::vector<cpu::TraceOp> ops, bool loop)
+    : ops_(std::move(ops)), loop_(loop)
+{
+    fatal_if(ops_.empty(), "empty trace");
+}
+
+cpu::TraceOp
+TraceFileStream::next()
+{
+    if (pos_ >= ops_.size()) {
+        if (!loop_)
+            return cpu::TraceOp{}; // pad with non-memory work
+        pos_ = 0;
+        ++laps_;
+    }
+    return ops_[pos_++];
+}
+
+} // namespace stacknoc::workload

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Instruction-trace recording and replay.
+ *
+ * The paper's evaluation is trace-driven; this module gives the library
+ * the same workflow: wrap any InstructionStream in a TraceRecorder to
+ * capture what a run executed, and replay the file later (or a trace
+ * captured from a real machine, converted to the same format) through a
+ * TraceFileStream.
+ *
+ * Format: one record per line, whitespace separated.
+ *   N <count>                 — <count> non-memory instructions
+ *   R|W <addr-hex> <l2hit> <dep>
+ * Lines starting with '#' are comments.
+ */
+
+#ifndef STACKNOC_WORKLOAD_TRACE_FILE_HH
+#define STACKNOC_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace stacknoc::workload {
+
+/** Wraps a stream and appends everything it produces to a trace. */
+class TraceRecorder : public cpu::InstructionStream
+{
+  public:
+    /**
+     * @param inner the stream to record (must outlive the recorder).
+     * @param limit stop recording (but keep forwarding) after this many
+     *        instructions; 0 = unlimited.
+     */
+    explicit TraceRecorder(cpu::InstructionStream &inner,
+                           std::uint64_t limit = 0)
+        : inner_(inner), limit_(limit)
+    {}
+
+    cpu::TraceOp next() override;
+
+    /** Write the recorded trace to @p path. @return success. */
+    bool save(const std::string &path) const;
+
+    /** Recorded operations so far (non-memory runs are compressed). */
+    const std::vector<cpu::TraceOp> &ops() const { return ops_; }
+
+  private:
+    cpu::InstructionStream &inner_;
+    std::uint64_t limit_;
+    std::uint64_t recorded_ = 0;
+    std::vector<cpu::TraceOp> ops_;
+};
+
+/**
+ * Replays a trace file. When the trace is exhausted the stream either
+ * loops (default — steady-state measurement needs an endless stream) or
+ * pads with non-memory instructions.
+ */
+class TraceFileStream : public cpu::InstructionStream
+{
+  public:
+    /**
+     * @param path trace file to load (fatal on parse errors).
+     * @param loop wrap around at end-of-trace instead of padding.
+     */
+    explicit TraceFileStream(const std::string &path, bool loop = true);
+
+    /** Build from already-parsed operations (for tests / synthesis). */
+    explicit TraceFileStream(std::vector<cpu::TraceOp> ops,
+                             bool loop = true);
+
+    cpu::TraceOp next() override;
+
+    std::size_t size() const { return ops_.size(); }
+
+    /** Number of times the trace wrapped around. */
+    std::uint64_t laps() const { return laps_; }
+
+  private:
+    std::vector<cpu::TraceOp> ops_;
+    bool loop_;
+    std::size_t pos_ = 0;
+    std::uint64_t laps_ = 0;
+};
+
+/** Serialise @p ops in the trace format. @return success. */
+bool saveTrace(const std::string &path,
+               const std::vector<cpu::TraceOp> &ops);
+
+/** Parse a trace file (fatal on malformed records). */
+std::vector<cpu::TraceOp> loadTrace(const std::string &path);
+
+} // namespace stacknoc::workload
+
+#endif // STACKNOC_WORKLOAD_TRACE_FILE_HH

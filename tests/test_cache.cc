@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the tag array storage structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/tag_array.hh"
+
+namespace stacknoc {
+namespace {
+
+using cache::TagArray;
+using cache::TagEntry;
+
+TEST(TagArray, FindMissOnEmpty)
+{
+    TagArray tags(4, 2);
+    EXPECT_EQ(tags.find(0x10), nullptr);
+    EXPECT_EQ(tags.validCount(), 0);
+}
+
+TEST(TagArray, AllocateThenFind)
+{
+    TagArray tags(4, 2);
+    TagEntry evicted;
+    TagEntry *e = tags.allocate(0x10, &evicted);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->valid);
+    EXPECT_EQ(e->addr, 0x10u);
+    EXPECT_EQ(tags.find(0x10), e);
+    EXPECT_EQ(tags.validCount(), 1);
+}
+
+TEST(TagArray, SetMapping)
+{
+    // addr % numSets selects the set: 0x10 and 0x14 live in different
+    // sets of a 4-set array; 0x10 and 0x20 collide.
+    TagArray tags(4, 1);
+    tags.allocate(0x10, nullptr);
+    tags.allocate(0x11, nullptr);
+    EXPECT_EQ(tags.validCount(), 2);
+    TagEntry evicted;
+    tags.allocate(0x14, &evicted); // evicts 0x10 (same set, 1 way)
+    EXPECT_EQ(evicted.addr, 0x10u);
+    EXPECT_EQ(tags.find(0x10), nullptr);
+    EXPECT_NE(tags.find(0x14), nullptr);
+}
+
+TEST(TagArray, LruVictimisation)
+{
+    TagArray tags(1, 3);
+    tags.allocate(1, nullptr);
+    tags.allocate(2, nullptr);
+    tags.allocate(3, nullptr);
+    // Touch 1 and 3; 2 becomes LRU.
+    tags.find(1);
+    tags.find(3);
+    TagEntry evicted;
+    tags.allocate(4, &evicted);
+    EXPECT_EQ(evicted.addr, 2u);
+}
+
+TEST(TagArray, PinnedEntriesAreNotEvicted)
+{
+    TagArray tags(1, 2);
+    TagEntry *a = tags.allocate(1, nullptr);
+    a->pinned = true;
+    tags.allocate(2, nullptr);
+    TagEntry evicted;
+    TagEntry *c = tags.allocate(3, &evicted);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(evicted.addr, 2u); // 1 was pinned, 2 had to go
+    // Now both remaining entries pinned -> allocation fails.
+    c->pinned = true;
+    EXPECT_EQ(tags.allocate(4, &evicted), nullptr);
+}
+
+TEST(TagArray, Invalidate)
+{
+    TagArray tags(2, 2);
+    tags.allocate(5, nullptr);
+    EXPECT_TRUE(tags.invalidate(5));
+    EXPECT_FALSE(tags.invalidate(5));
+    EXPECT_EQ(tags.find(5), nullptr);
+    EXPECT_EQ(tags.validCount(), 0);
+}
+
+TEST(TagArray, AnyResidentSkipsPinned)
+{
+    TagArray tags(2, 2);
+    EXPECT_EQ(tags.anyResident(0), nullptr);
+    TagEntry *a = tags.allocate(7, nullptr);
+    a->pinned = true;
+    EXPECT_EQ(tags.anyResident(1), nullptr);
+    tags.allocate(8, nullptr);
+    const TagEntry *r = tags.anyResident(2);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->addr, 8u);
+}
+
+TEST(TagArray, AnyResidentCoversDifferentSalts)
+{
+    TagArray tags(4, 4);
+    for (BlockAddr a = 0; a < 8; ++a)
+        tags.allocate(a, nullptr);
+    bool seen_different = false;
+    const TagEntry *first = tags.anyResident(0);
+    for (std::uint64_t salt = 1; salt < 32; ++salt) {
+        if (tags.anyResident(salt) != first)
+            seen_different = true;
+    }
+    EXPECT_TRUE(seen_different);
+}
+
+TEST(TagArray, AllocateOfResidentBlockPanics)
+{
+    TagArray tags(2, 2);
+    tags.allocate(9, nullptr);
+    EXPECT_DEATH(tags.allocate(9, nullptr), "allocate of resident");
+}
+
+} // namespace
+} // namespace stacknoc

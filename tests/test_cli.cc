@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Smoke tests of the stacknoc_run command-line tool: option handling,
+ * scenario selection, and output format stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace stacknoc {
+namespace {
+
+/** Run the CLI (relative to the test binary's build directory). */
+int
+runCli(const std::string &args, std::string *out)
+{
+    const std::string cmd = "../tools/stacknoc_run " + args + " 2>&1";
+    std::FILE *p = ::popen(cmd.c_str(), "r");
+    if (!p)
+        return -1;
+    std::array<char, 512> buf;
+    out->clear();
+    while (std::fgets(buf.data(), buf.size(), p))
+        *out += buf.data();
+    return ::pclose(p);
+}
+
+TEST(Cli, ListAppsPrintsFortyTwo)
+{
+    std::string out;
+    ASSERT_EQ(runCli("--list-apps", &out), 0);
+    int lines = 0;
+    for (const char c : out)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 42);
+    EXPECT_NE(out.find("tpcc"), std::string::npos);
+    EXPECT_NE(out.find("calculix"), std::string::npos);
+}
+
+TEST(Cli, SmallRunPrintsMetrics)
+{
+    std::string out;
+    ASSERT_EQ(runCli("--scenario MRAM-4TSB-WB --app lbm --mesh 4x4 "
+                     "--cycles 3000 --warmup 500", &out), 0);
+    EXPECT_NE(out.find("scenario=MRAM-4TSB-WB"), std::string::npos);
+    EXPECT_NE(out.find("cores=16"), std::string::npos);
+    EXPECT_NE(out.find("mean_ipc="), std::string::npos);
+    EXPECT_NE(out.find("energy_uj="), std::string::npos);
+}
+
+TEST(Cli, AppsListReplicatesAcrossCores)
+{
+    std::string out;
+    ASSERT_EQ(runCli("--scenario SRAM-64TSB --apps tpcc,lbm --mesh 4x4 "
+                     "--cycles 2000 --warmup 500", &out), 0);
+    EXPECT_NE(out.find("mean_ipc="), std::string::npos);
+}
+
+TEST(Cli, BadScenarioFails)
+{
+    std::string out;
+    EXPECT_NE(runCli("--scenario NOPE --cycles 100", &out), 0);
+    EXPECT_NE(out.find("unknown scenario"), std::string::npos);
+}
+
+TEST(Cli, BadFlagShowsUsage)
+{
+    std::string out;
+    EXPECT_NE(runCli("--frobnicate", &out), 0);
+    EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, StatsFlagDumpsGroups)
+{
+    std::string out;
+    ASSERT_EQ(runCli("--scenario MRAM-64TSB --app x264 --mesh 4x4 "
+                     "--cycles 2000 --warmup 500 --stats", &out), 0);
+    EXPECT_NE(out.find("cache.l1_hits"), std::string::npos);
+    EXPECT_NE(out.find("net.packets_injected"), std::string::npos);
+}
+
+} // namespace
+} // namespace stacknoc

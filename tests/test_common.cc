@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the common module: RNG, geometry, logging format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/geometry.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace stacknoc {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(64), 64u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(3);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(5);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.range(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, BurstLengthBounded)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        const auto len = r.burstLength(0.9, 8);
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, 8u);
+    }
+}
+
+TEST(Geometry, RoundTripAllNodes)
+{
+    const MeshShape shape(8, 8, 2);
+    EXPECT_EQ(shape.totalNodes(), 128);
+    for (NodeId n = 0; n < shape.totalNodes(); ++n)
+        EXPECT_EQ(shape.node(shape.coord(n)), n);
+}
+
+TEST(Geometry, PaperNumbering)
+{
+    // Figure 4: core nodes 0..63 on layer 0, cache nodes 64..127 below.
+    const MeshShape shape(8, 8, 2);
+    EXPECT_EQ(shape.node(0, 0, 0), 0);
+    EXPECT_EQ(shape.node(7, 0, 0), 7);
+    EXPECT_EQ(shape.node(0, 1, 0), 8);
+    EXPECT_EQ(shape.node(0, 0, 1), 64);
+    EXPECT_EQ(shape.node(3, 3, 1), 91); // the region-0 TSB cache node
+    EXPECT_EQ(shape.node(3, 3, 0), 27); // the core node above it
+}
+
+TEST(Geometry, HopDistance)
+{
+    const MeshShape shape(8, 8, 2);
+    EXPECT_EQ(shape.hopDistance(0, 0), 0);
+    EXPECT_EQ(shape.hopDistance(0, 7), 7);
+    EXPECT_EQ(shape.hopDistance(0, 64), 1);
+    EXPECT_EQ(shape.hopDistance(63, 64), 15); // 7 + 7 + 1
+    EXPECT_EQ(shape.planarDistance(63, 64), 14);
+}
+
+TEST(Geometry, Contains)
+{
+    const MeshShape shape(4, 4, 2);
+    EXPECT_TRUE(shape.contains({0, 0, 0}));
+    EXPECT_TRUE(shape.contains({3, 3, 1}));
+    EXPECT_FALSE(shape.contains({4, 0, 0}));
+    EXPECT_FALSE(shape.contains({0, -1, 0}));
+    EXPECT_FALSE(shape.contains({0, 0, 2}));
+}
+
+TEST(Logging, Format)
+{
+    EXPECT_EQ(detail::format("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH({ panic("boom %d", 42); }, "boom 42");
+}
+
+} // namespace
+} // namespace stacknoc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Determinism matrix: every design scenario, run twice with identical
+ * configuration, must produce bit-identical committed-instruction
+ * counts and traffic statistics. This is the regression net that keeps
+ * results reproducible across machines and refactorings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "system/cmp_system.hh"
+
+namespace stacknoc {
+namespace {
+
+struct Snapshot
+{
+    std::vector<std::uint64_t> committed;
+    std::uint64_t injected = 0;
+    std::uint64_t bankWrites = 0;
+    std::uint64_t invs = 0;
+
+    bool
+    operator==(const Snapshot &o) const
+    {
+        return committed == o.committed && injected == o.injected &&
+               bankWrites == o.bankWrites && invs == o.invs;
+    }
+};
+
+Snapshot
+runScenario(const system::Scenario &sc)
+{
+    system::SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.scenario = sc;
+    cfg.apps = {"streamcluster"};
+    cfg.seed = 11;
+    system::CmpSystem sys(cfg);
+    sys.run(6000);
+    Snapshot s;
+    for (int c = 0; c < sys.numCores(); ++c)
+        s.committed.push_back(sys.core(c).committed());
+    s.injected =
+        sys.network().stats().counter("packets_injected").value();
+    s.bankWrites = sys.cacheStats().counter("bank_writes").value();
+    s.invs = sys.cacheStats().counter("l2_invs_sent").value();
+    return s;
+}
+
+class AllScenarios
+    : public ::testing::TestWithParam<int>
+{
+  public:
+    static std::vector<system::Scenario>
+    scenarios()
+    {
+        std::vector<system::Scenario> out;
+        for (const auto &sc : system::scenarios::figureSix())
+            out.push_back(sc);
+        out.push_back(system::scenarios::sttramBuff20());
+        out.push_back(system::scenarios::sttram4TsbWbPlus1Vc());
+        out.push_back(system::scenarios::sttramReadPriority());
+        out.push_back(system::scenarios::sttram4TsbWbReadPriority());
+        return out;
+    }
+};
+
+TEST_P(AllScenarios, TwoRunsAreBitIdentical)
+{
+    const auto sc = scenarios()[static_cast<std::size_t>(GetParam())];
+    const Snapshot a = runScenario(sc);
+    const Snapshot b = runScenario(sc);
+    EXPECT_TRUE(a == b) << sc.name;
+    // And the run did real work.
+    std::uint64_t total = 0;
+    for (const auto c : a.committed)
+        total += c;
+    EXPECT_GT(total, 1000u) << sc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllScenarios, ::testing::Range(0, 10),
+    [](const ::testing::TestParamInfo<int> &info) {
+        std::string name =
+            AllScenarios::scenarios()[static_cast<std::size_t>(
+                info.param)].name;
+        for (auto &ch : name)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace stacknoc

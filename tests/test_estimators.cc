@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Estimator-focused tests: the RCA sideband fabric's diffusion and the
+ * RCA estimator's path charging; window-estimator staleness decay; the
+ * end-to-end WB probe/ACK loop through a live network.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "noc/network.hh"
+#include "noc/routing.hh"
+#include "sim/simulator.hh"
+#include "sttnoc/bank_aware_policy.hh"
+#include "sttnoc/estimator.hh"
+#include "sttnoc/rca_fabric.hh"
+#include "sttnoc/region_routing.hh"
+#include "test_util.hh"
+
+namespace stacknoc {
+namespace {
+
+using sttnoc::EstimatorKind;
+
+TEST(RcaFabric, IdleNetworkDiffusesToZero)
+{
+    Simulator sim;
+    const MeshShape shape(4, 4, 2);
+    noc::ArbitrationPolicy policy;
+    noc::Network net(sim, shape, noc::NocParams{},
+                     std::make_unique<noc::ZxyRouting>(shape), policy);
+    sttnoc::RcaFabric fabric(net);
+    sim.add(&fabric);
+    sim.run(50);
+    for (NodeId n = 0; n < shape.totalNodes(); ++n)
+        EXPECT_EQ(fabric.value(n), 0u);
+}
+
+TEST(RcaFabric, CongestionDiffusesToNeighbours)
+{
+    Simulator sim;
+    const MeshShape shape(4, 4, 2);
+    noc::ArbitrationPolicy policy;
+    noc::Network net(sim, shape, noc::NocParams{},
+                     std::make_unique<noc::ZxyRouting>(shape), policy);
+    class Sink : public noc::NetworkClient
+    {
+      public:
+        bool tryAccept(const noc::Packet &) override { return false; }
+        void deliver(noc::PacketPtr, Cycle) override {}
+    } closed;
+    net.ni(21).setClient(&closed); // node 21 refuses everything
+
+    sttnoc::RcaFabric fabric(net);
+    sim.add(&fabric);
+    for (int i = 0; i < 20; ++i)
+        net.ni(5).send(
+            noc::makePacket(noc::PacketClass::DataResp, 5, 21), 0);
+    sim.run(400);
+    // The jam around node 21 must be visible there and at neighbours.
+    EXPECT_GT(fabric.value(21), 0u);
+    EXPECT_GT(fabric.value(20) + fabric.value(22) + fabric.value(17) +
+                  fabric.value(25) + fabric.value(5),
+              0u);
+}
+
+TEST(WindowEstimator, EstimateDecaysWhenStale)
+{
+    const MeshShape shape(8, 8, 2);
+    sttnoc::RegionMap rm(shape, sttnoc::RegionConfig{});
+    sttnoc::ParentMap pm(rm, 2);
+    sttnoc::SttAwareParams params;
+    params.estimateStaleAfter = 100;
+    sttnoc::WindowEstimator est(rm, pm, params);
+    const BankId child = rm.bankOfNode(75);
+    const NodeId parent = pm.parentOf(child);
+
+    auto pkt = noc::makePacket(noc::PacketClass::StoreWrite, 7, 75);
+    pkt->destBank = child;
+    est.onForward(child, *pkt, parent, 0);
+    ASSERT_GE(pkt->probeStamp, 0);
+    auto ack = noc::makePacket(noc::PacketClass::ProbeAck, 75, parent);
+    ack->info.origin = static_cast<std::uint32_t>(child);
+    ack->info.aux = static_cast<std::uint16_t>(pkt->probeStamp);
+    est.onProbeAck(*ack, 100); // large RTT -> non-zero congestion
+    EXPECT_GT(est.estimate(child, 120), 0u);
+    EXPECT_EQ(est.estimate(child, 500), 0u); // stale: decayed away
+}
+
+TEST(WindowEstimator, EndToEndProbeLoopThroughLiveNetwork)
+{
+    // A full system is not needed: build the restricted network, attach
+    // the policy as probe sink, inject store writes from a core, and
+    // check a probe echo updates the estimator.
+    Simulator sim;
+    const MeshShape shape(8, 8, 2);
+    sttnoc::RegionMap rm(shape, sttnoc::RegionConfig{});
+    sttnoc::ParentMap pm(rm, 2);
+    sttnoc::SttAwareParams params;
+    params.windowN = 1; // probe every packet
+    sttnoc::BankAwarePolicy policy(
+        rm, pm, params,
+        sttnoc::makeEstimator(EstimatorKind::Window, rm, pm, params,
+                              nullptr));
+    noc::Network net(sim, shape, noc::NocParams{},
+                     std::make_unique<sttnoc::RegionRouting>(rm), policy);
+    class Sink : public noc::NetworkClient
+    {
+      public:
+        void deliver(noc::PacketPtr, Cycle) override {}
+    };
+    std::vector<Sink> sinks(static_cast<std::size_t>(shape.totalNodes()));
+    for (NodeId n = 0; n < shape.totalNodes(); ++n) {
+        net.ni(n).setClient(&sinks[static_cast<std::size_t>(n)]);
+        net.ni(n).setProbeSink(&policy);
+    }
+
+    const NodeId bank_node = 75;
+    auto pkt = noc::makePacket(noc::PacketClass::StoreWrite, 7,
+                               bank_node);
+    pkt->destBank = rm.bankOfNode(bank_node);
+    net.ni(7).send(std::move(pkt), 0);
+    sim.run(300);
+    // Probe went out with the forwarded packet and came back: stats
+    // prove the loop closed (uncongested -> estimate 0, but the probe
+    // state must have cycled, so a second probe can be tagged).
+    auto pkt2 = noc::makePacket(noc::PacketClass::StoreWrite, 7,
+                                bank_node);
+    pkt2->destBank = rm.bankOfNode(bank_node);
+    policy.onForward(pm.parentOf(pkt2->destBank), *pkt2, 300);
+    EXPECT_GE(pkt2->probeStamp, 0) << "first probe never completed";
+}
+
+} // namespace
+} // namespace stacknoc

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Network-level property tests: every region configuration delivers all
+ * restricted traffic through live routers, the bank-aware policy (in
+ * both delay modes) never starves a packet, and vnet isolation holds
+ * end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "noc/network.hh"
+#include "noc/routing.hh"
+#include "sim/simulator.hh"
+#include "sttnoc/bank_aware_policy.hh"
+#include "sttnoc/region_routing.hh"
+#include "test_util.hh"
+
+namespace stacknoc {
+namespace {
+
+using noc::PacketClass;
+using sttnoc::RegionConfig;
+using sttnoc::TsbPlacement;
+
+class CountingSink : public noc::NetworkClient
+{
+  public:
+    void deliver(noc::PacketPtr, Cycle) override { ++count; }
+    std::uint64_t count = 0;
+};
+
+struct RegionParam
+{
+    int regions;
+    TsbPlacement placement;
+};
+
+class RegionNetwork : public ::testing::TestWithParam<RegionParam>
+{
+};
+
+TEST_P(RegionNetwork, AllRestrictedPairsDeliverThroughLiveRouters)
+{
+    const auto param = GetParam();
+    Simulator sim;
+    const MeshShape shape(8, 8, 2);
+    sttnoc::RegionMap regions(
+        shape, RegionConfig{param.regions, param.placement});
+    noc::ArbitrationPolicy policy;
+    noc::Network net(sim, shape, noc::NocParams{},
+                     std::make_unique<sttnoc::RegionRouting>(regions),
+                     policy);
+    for (int r = 0; r < regions.numRegions(); ++r)
+        net.topology().widenDownLink(regions.tsbCoreNode(r), 2);
+    std::vector<CountingSink> sinks(
+        static_cast<std::size_t>(shape.totalNodes()));
+    for (NodeId n = 0; n < shape.totalNodes(); ++n)
+        net.ni(n).setClient(&sinks[static_cast<std::size_t>(n)]);
+
+    // One request from every core to every 8th bank (512 packets).
+    std::uint64_t sent = 0;
+    for (NodeId core = 0; core < 64; ++core) {
+        for (NodeId bank_node = 64 + (core % 8); bank_node < 128;
+             bank_node += 8) {
+            auto pkt = noc::makePacket(PacketClass::ReadReq, core,
+                                       bank_node);
+            pkt->destBank = regions.bankOfNode(bank_node);
+            net.ni(core).send(std::move(pkt), 0);
+            ++sent;
+        }
+    }
+    EXPECT_TRUE(testutil::runUntilDrained(sim, net, 60000));
+    std::uint64_t received = 0;
+    for (NodeId n = 64; n < 128; ++n)
+        received += sinks[static_cast<std::size_t>(n)].count;
+    EXPECT_EQ(received, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RegionNetwork,
+    ::testing::Values(RegionParam{4, TsbPlacement::Corner},
+                      RegionParam{4, TsbPlacement::Stagger},
+                      RegionParam{8, TsbPlacement::Corner},
+                      RegionParam{8, TsbPlacement::Stagger},
+                      RegionParam{16, TsbPlacement::Corner},
+                      RegionParam{16, TsbPlacement::Stagger}));
+
+class DelayModes
+    : public ::testing::TestWithParam<sttnoc::DelayMode>
+{
+};
+
+TEST_P(DelayModes, HeavyWriteStormNeverStarvesAnyPacket)
+{
+    // Saturating store-write traffic to few hot banks plus background
+    // reads: with the bank-aware policy active in either delay mode,
+    // every single packet must still be delivered (the starvation cap
+    // and priority classes guarantee progress).
+    Simulator sim;
+    const MeshShape shape(8, 8, 2);
+    sttnoc::RegionMap regions(shape, RegionConfig{});
+    sttnoc::ParentMap parents(regions, 2);
+    sttnoc::SttAwareParams params;
+    params.estimator = sttnoc::EstimatorKind::Window;
+    params.delayMode = GetParam();
+    sttnoc::BankAwarePolicy policy(
+        regions, parents, params,
+        sttnoc::makeEstimator(sttnoc::EstimatorKind::Window, regions,
+                              parents, params, nullptr));
+    noc::Network net(sim, shape, noc::NocParams{},
+                     std::make_unique<sttnoc::RegionRouting>(regions),
+                     policy);
+    for (int r = 0; r < regions.numRegions(); ++r)
+        net.topology().widenDownLink(regions.tsbCoreNode(r), 2);
+    std::vector<CountingSink> sinks(
+        static_cast<std::size_t>(shape.totalNodes()));
+    for (NodeId n = 0; n < shape.totalNodes(); ++n) {
+        net.ni(n).setClient(&sinks[static_cast<std::size_t>(n)]);
+        net.ni(n).setProbeSink(&policy);
+    }
+
+    Rng rng(17);
+    std::uint64_t sent = 0;
+    const NodeId hot_banks[] = {75, 82, 89};
+    for (Cycle t = 0; t < 1500; ++t) {
+        for (NodeId core = 0; core < 64; ++core) {
+            if (rng.chance(0.03)) {
+                const NodeId bank = hot_banks[rng.below(3)];
+                auto pkt = noc::makePacket(PacketClass::StoreWrite, core,
+                                           bank);
+                pkt->destBank = regions.bankOfNode(bank);
+                net.ni(core).send(std::move(pkt), t);
+                ++sent;
+            }
+            if (rng.chance(0.01)) {
+                const NodeId bank =
+                    static_cast<NodeId>(64 + rng.below(64));
+                auto pkt = noc::makePacket(PacketClass::ReadReq, core,
+                                           bank);
+                pkt->destBank = regions.bankOfNode(bank);
+                net.ni(core).send(std::move(pkt), t);
+                ++sent;
+            }
+        }
+        sim.step();
+    }
+    EXPECT_TRUE(testutil::runUntilDrained(sim, net, 120000));
+    std::uint64_t received = 0;
+    for (auto &s : sinks)
+        received += s.count;
+    // ProbeAck echoes land in the policy, not the sinks; everything the
+    // test injected must arrive.
+    EXPECT_EQ(received, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, DelayModes,
+                         ::testing::Values(sttnoc::DelayMode::Priority,
+                                           sttnoc::DelayMode::Hold));
+
+TEST(VnetIsolation, ResponsesCutThroughAWriteJam)
+{
+    // Saturate the write vnet toward one bank, then time a response
+    // packet through the same region: it must arrive in near-baseline
+    // time because it rides separate VCs.
+    Simulator sim;
+    const MeshShape shape(8, 8, 2);
+    sttnoc::RegionMap regions(shape, RegionConfig{});
+    noc::ArbitrationPolicy policy;
+    noc::Network net(sim, shape, noc::NocParams{},
+                     std::make_unique<sttnoc::RegionRouting>(regions),
+                     policy);
+    for (int r = 0; r < regions.numRegions(); ++r)
+        net.topology().widenDownLink(regions.tsbCoreNode(r), 2);
+    std::vector<CountingSink> sinks(
+        static_cast<std::size_t>(shape.totalNodes()));
+    for (NodeId n = 0; n < shape.totalNodes(); ++n)
+        net.ni(n).setClient(&sinks[static_cast<std::size_t>(n)]);
+
+    for (int i = 0; i < 100; ++i) {
+        for (NodeId core : {0, 1, 2, 3}) {
+            auto pkt = noc::makePacket(PacketClass::StoreWrite, core, 75);
+            pkt->destBank = regions.bankOfNode(75);
+            net.ni(core).send(std::move(pkt), 0);
+        }
+    }
+    sim.run(200); // the write jam is in full swing
+    auto resp = noc::makePacket(PacketClass::DataResp, 91, 27);
+    net.ni(91).send(resp, 200);
+    sim.run(400);
+    ASSERT_NE(resp->ejectedAt, kCycleNever);
+    // Contention-free: 3 + 3*1 + 8 body flits = 14 cycles; allow slack
+    // for local-port sharing but far below the hundreds of cycles the
+    // write jam itself takes.
+    EXPECT_LT(resp->ejectedAt - resp->createdAt, 80u);
+}
+
+} // namespace
+} // namespace stacknoc

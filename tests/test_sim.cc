@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: channels, simulator, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/channel.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace stacknoc {
+namespace {
+
+TEST(Channel, LatencyOne)
+{
+    Channel<int> ch(1);
+    ch.push(10, 7);
+    EXPECT_FALSE(ch.receive(10).has_value());
+    auto v = ch.receive(11);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+    EXPECT_FALSE(ch.receive(12).has_value());
+}
+
+TEST(Channel, LatencyThree)
+{
+    Channel<int> ch(3);
+    ch.push(0, 1);
+    EXPECT_FALSE(ch.ready(2));
+    EXPECT_TRUE(ch.ready(3));
+    EXPECT_EQ(*ch.receive(3), 1);
+}
+
+TEST(Channel, FifoOrder)
+{
+    Channel<int> ch(1);
+    ch.push(0, 1);
+    ch.push(0, 2);
+    ch.push(1, 3);
+    EXPECT_EQ(*ch.receive(1), 1);
+    EXPECT_EQ(*ch.receive(1), 2);
+    EXPECT_FALSE(ch.receive(1).has_value());
+    EXPECT_EQ(*ch.receive(2), 3);
+}
+
+TEST(Channel, LateReceiveStillDelivers)
+{
+    Channel<int> ch(1);
+    ch.push(0, 9);
+    EXPECT_EQ(*ch.receive(100), 9);
+}
+
+class CountingComponent : public Ticking
+{
+  public:
+    CountingComponent() : Ticking("counter") {}
+    void tick(Cycle now) override
+    {
+        ++ticks;
+        lastCycle = now;
+    }
+    int ticks = 0;
+    Cycle lastCycle = 0;
+};
+
+TEST(Simulator, TicksComponents)
+{
+    Simulator sim;
+    CountingComponent a, b;
+    sim.add(&a);
+    sim.add(&b);
+    sim.run(10);
+    EXPECT_EQ(a.ticks, 10);
+    EXPECT_EQ(b.ticks, 10);
+    EXPECT_EQ(a.lastCycle, 9u);
+    EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(Simulator, CycleEndCallback)
+{
+    Simulator sim;
+    CountingComponent a;
+    sim.add(&a);
+    int calls = 0;
+    sim.onCycleEnd([&](Cycle) { ++calls; });
+    sim.run(5);
+    EXPECT_EQ(calls, 5);
+}
+
+TEST(Stats, Counter)
+{
+    stats::Group g("g");
+    auto &c = g.counter("x");
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(g.counter("x").value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, CounterIdentityByName)
+{
+    stats::Group g("g");
+    g.counter("x").inc(3);
+    EXPECT_EQ(g.counter("x").value(), 3u);
+    EXPECT_EQ(g.counter("y").value(), 0u);
+}
+
+TEST(Stats, Average)
+{
+    stats::Group g("g");
+    auto &a = g.average("lat");
+    a.sample(10.0);
+    a.sample(20.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Stats, DistributionPaperBins)
+{
+    // The Figure-3 binning: [0,16) [16,33) [33,66) [66,99) [99,132)
+    // [132,165) and 165+.
+    stats::Distribution d({16, 33, 66, 99, 132, 165});
+    EXPECT_EQ(d.numBins(), 7u);
+    d.sample(0);
+    d.sample(15);
+    d.sample(16);
+    d.sample(32);
+    d.sample(33);
+    d.sample(164);
+    d.sample(165);
+    d.sample(1000);
+    EXPECT_EQ(d.binCount(0), 2u);
+    EXPECT_EQ(d.binCount(1), 2u);
+    EXPECT_EQ(d.binCount(2), 1u);
+    EXPECT_EQ(d.binCount(5), 1u);
+    EXPECT_EQ(d.binCount(6), 2u);
+    EXPECT_EQ(d.total(), 8u);
+    EXPECT_DOUBLE_EQ(d.binFraction(0), 0.25);
+    EXPECT_EQ(d.binLabel(0), "[0,16)");
+    EXPECT_EQ(d.binLabel(6), "165+");
+}
+
+TEST(Stats, GroupDumpContainsNames)
+{
+    stats::Group g("net");
+    g.counter("flits").inc(2);
+    g.average("lat").sample(3.0);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("net.flits 2"), std::string::npos);
+    EXPECT_NE(s.find("net.lat"), std::string::npos);
+}
+
+TEST(Stats, GroupReset)
+{
+    stats::Group g("g");
+    g.counter("c").inc(5);
+    g.average("a").sample(1.0);
+    auto &d = g.distribution("d", {10});
+    d.sample(3);
+    g.reset();
+    EXPECT_EQ(g.counter("c").value(), 0u);
+    EXPECT_EQ(g.average("a").count(), 0u);
+    EXPECT_EQ(d.total(), 0u);
+}
+
+TEST(Stats, DistributionWeightedSamples)
+{
+    stats::Distribution d({10, 20});
+    d.sample(5, 3);
+    d.sample(15, 2);
+    EXPECT_EQ(d.total(), 5u);
+    EXPECT_EQ(d.binCount(0), 3u);
+    EXPECT_EQ(d.binCount(1), 2u);
+    EXPECT_DOUBLE_EQ(d.binFraction(0), 0.6);
+}
+
+TEST(Stats, DistributionBadEdgesPanic)
+{
+    EXPECT_DEATH(stats::Distribution({10, 10}),
+                 "strictly increasing");
+}
+
+TEST(Channel, ZeroLatencyPanics)
+{
+    EXPECT_DEATH(Channel<int>(0), "latency must be");
+}
+
+TEST(Channel, StressInterleavedPushReceive)
+{
+    Channel<int> ch(2);
+    int received = 0, sent = 0;
+    for (Cycle t = 0; t < 1000; ++t) {
+        if (t % 3 == 0) {
+            ch.push(t, static_cast<int>(t));
+            ++sent;
+        }
+        while (auto v = ch.receive(t)) {
+            // FIFO and latency: value pushed at *v arrives at *v + 2.
+            EXPECT_EQ(static_cast<Cycle>(*v) + 2, t);
+            ++received;
+        }
+    }
+    EXPECT_GT(received, 300);
+    EXPECT_EQ(ch.inFlight(), static_cast<std::size_t>(sent - received));
+}
+
+} // namespace
+} // namespace stacknoc

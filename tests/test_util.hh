@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for stacknoc tests.
+ */
+
+#ifndef STACKNOC_TESTS_TEST_UTIL_HH
+#define STACKNOC_TESTS_TEST_UTIL_HH
+
+#include "noc/network.hh"
+#include "sim/simulator.hh"
+
+namespace stacknoc::testutil {
+
+/**
+ * Step the simulator until the network is empty (all injected packets
+ * ejected and no buffered flits) or @p max_cycles elapse.
+ * @return true when the network drained.
+ */
+inline bool
+runUntilDrained(Simulator &sim, noc::Network &net, Cycle max_cycles)
+{
+    const Cycle start = sim.now();
+    while (sim.now() - start < max_cycles) {
+        sim.run(200);
+        const auto &injected = net.stats().counter("packets_injected");
+        const auto &ejected = net.stats().counter("packets_ejected");
+        if (injected.value() != ejected.value() ||
+            net.totalBufferedFlits() != 0) {
+            continue;
+        }
+        bool nis_idle = true;
+        for (NodeId n = 0; n < net.shape().totalNodes() && nis_idle; ++n)
+            nis_idle = net.ni(n).idle();
+        if (nis_idle)
+            return true;
+    }
+    return false;
+}
+
+} // namespace stacknoc::testutil
+
+#endif // STACKNOC_TESTS_TEST_UTIL_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * stacknoc_run — command-line driver for the simulator.
+ *
+ * Runs any design point against any workload without writing C++:
+ *
+ *   stacknoc_run --scenario MRAM-4TSB-WB --app tpcc --cycles 50000
+ *   stacknoc_run --scenario MRAM-4TSB-WB --regions 8 --placement stagger
+ *   stacknoc_run --scenario BUFF-20 --apps tpcc,lbm,mcf,libquantum
+ *   stacknoc_run --scenario MRAM-4TSB-WB --delay-mode hold --stats
+ *
+ * --apps takes a comma list replicated round-robin across the 64 cores.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "system/cmp_system.hh"
+#include "workload/app_profiles.hh"
+
+using namespace stacknoc;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr, R"(usage: stacknoc_run [options]
+  --scenario NAME   SRAM-64TSB | MRAM-64TSB | MRAM-4TSB | MRAM-4TSB-SS |
+                    MRAM-4TSB-RCA | MRAM-4TSB-WB | BUFF-20 | +1VC |
+                    MRAM-RP | MRAM-4TSB-WB+RP      (default MRAM-4TSB-WB)
+  --app NAME        one Table 3 application for all cores (default tpcc)
+  --apps A,B,...    comma list, replicated round-robin across cores
+  --cycles N        measured cycles (default 20000)
+  --warmup N        warm-up cycles (default 3000)
+  --seed N          experiment seed (default 1)
+  --mesh WxH        mesh size (default 8x8)
+  --regions N       cache regions: 4, 8 or 16
+  --placement P     corner | stagger
+  --hops H          parent distance (1..3)
+  --delay-mode M    priority | hold
+  --real-tags       use real L2 tag arrays instead of annotations
+  --stats           dump every statistics group after the run
+  --list-apps       print the Table 3 application names and exit
+)");
+    std::exit(2);
+}
+
+system::Scenario
+scenarioByName(const std::string &name)
+{
+    using namespace system::scenarios;
+    if (name == "SRAM-64TSB") return sram64Tsb();
+    if (name == "MRAM-64TSB") return sttram64Tsb();
+    if (name == "MRAM-4TSB") return sttram4Tsb();
+    if (name == "MRAM-4TSB-SS") return sttram4TsbSS();
+    if (name == "MRAM-4TSB-RCA") return sttram4TsbRca();
+    if (name == "MRAM-4TSB-WB") return sttram4TsbWb();
+    if (name == "BUFF-20") return sttramBuff20();
+    if (name == "+1VC") return sttram4TsbWbPlus1Vc();
+    if (name == "MRAM-RP") return sttramReadPriority();
+    if (name == "MRAM-4TSB-WB+RP") return sttram4TsbWbReadPriority();
+    fatal("unknown scenario '%s'", name.c_str());
+}
+
+std::vector<std::string>
+splitApps(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string item =
+            list.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    system::SystemConfig cfg;
+    cfg.scenario = system::scenarios::sttram4TsbWb();
+    Cycle cycles = 20000;
+    Cycle warmup = 3000;
+    bool dump_stats = false;
+    std::vector<std::string> app_list{"tpcc"};
+
+    auto need = [&](int i) {
+        if (i + 1 >= argc)
+            usage();
+        return std::string(argv[i + 1]);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--scenario") {
+            cfg.scenario = scenarioByName(need(i)); ++i;
+        } else if (arg == "--app") {
+            app_list = {need(i)}; ++i;
+        } else if (arg == "--apps") {
+            app_list = splitApps(need(i)); ++i;
+        } else if (arg == "--cycles") {
+            cycles = std::strtoull(need(i).c_str(), nullptr, 10); ++i;
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(need(i).c_str(), nullptr, 10); ++i;
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10); ++i;
+        } else if (arg == "--mesh") {
+            int w = 0, h = 0;
+            fatal_if(std::sscanf(need(i).c_str(), "%dx%d", &w, &h) != 2,
+                     "--mesh expects WxH");
+            cfg.meshWidth = w;
+            cfg.meshHeight = h;
+            ++i;
+        } else if (arg == "--regions") {
+            cfg.scenario.tsbRegions =
+                static_cast<int>(std::strtol(need(i).c_str(), nullptr,
+                                             10));
+            ++i;
+        } else if (arg == "--placement") {
+            const std::string p = need(i);
+            fatal_if(p != "corner" && p != "stagger",
+                     "--placement: corner|stagger");
+            cfg.scenario.placement = p == "corner"
+                                         ? sttnoc::TsbPlacement::Corner
+                                         : sttnoc::TsbPlacement::Stagger;
+            ++i;
+        } else if (arg == "--hops") {
+            cfg.scenario.parentHops =
+                static_cast<int>(std::strtol(need(i).c_str(), nullptr,
+                                             10));
+            ++i;
+        } else if (arg == "--delay-mode") {
+            const std::string m = need(i);
+            fatal_if(m != "priority" && m != "hold",
+                     "--delay-mode: priority|hold");
+            cfg.scenario.delayMode = m == "priority"
+                                         ? sttnoc::DelayMode::Priority
+                                         : sttnoc::DelayMode::Hold;
+            ++i;
+        } else if (arg == "--real-tags") {
+            cfg.realTags = true;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--list-apps") {
+            for (const auto &a : workload::appTable())
+                std::printf("%-16s %s\n", a.name.c_str(),
+                            workload::suiteName(a.suite));
+            return 0;
+        } else {
+            usage();
+        }
+    }
+
+    // Expand the app list round-robin over all cores.
+    const int cores = cfg.meshWidth * cfg.meshHeight;
+    if (app_list.size() == 1) {
+        cfg.apps = app_list;
+    } else {
+        cfg.apps.clear();
+        for (int c = 0; c < cores; ++c)
+            cfg.apps.push_back(
+                app_list[static_cast<std::size_t>(c) % app_list.size()]);
+    }
+
+    system::CmpSystem sys(cfg);
+    sys.warmup(warmup);
+    sys.run(cycles);
+    const auto m = sys.metrics();
+
+    std::printf("scenario=%s cores=%d cycles=%llu seed=%llu\n",
+                cfg.scenario.name.c_str(), cores,
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(cfg.seed));
+    std::printf("mean_ipc=%.4f min_ipc=%.4f instr_throughput=%.2f\n",
+                m.meanIpc(), m.minIpc(), m.instructionThroughput());
+    std::printf("net_latency=%.2f bank_queue_latency=%.2f "
+                "uncore_latency=%.2f\n",
+                m.avgNetworkLatency, m.avgBankQueueLatency,
+                m.avgUncoreLatency);
+    std::printf("energy_uj=%.3f (cache dyn %.3f, cache leak %.3f, "
+                "net dyn %.3f, net leak %.3f)\n",
+                m.energy.totalUJ(), m.energy.cacheDynamicUJ,
+                m.energy.cacheLeakageUJ, m.energy.netDynamicUJ,
+                m.energy.netLeakageUJ);
+    if (dump_stats)
+        sys.dumpStats(std::cout);
+    return 0;
+}
