@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheme.dir/ablation_scheme.cc.o"
+  "CMakeFiles/ablation_scheme.dir/ablation_scheme.cc.o.d"
+  "ablation_scheme"
+  "ablation_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_read_priority.dir/ext_read_priority.cc.o"
+  "CMakeFiles/ext_read_priority.dir/ext_read_priority.cc.o.d"
+  "ext_read_priority"
+  "ext_read_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_read_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hops.dir/fig13_hops.cc.o"
+  "CMakeFiles/fig13_hops.dir/fig13_hops.cc.o.d"
+  "fig13_hops"
+  "fig13_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_write_buffer.dir/fig14_write_buffer.cc.o"
+  "CMakeFiles/fig14_write_buffer.dir/fig14_write_buffer.cc.o.d"
+  "fig14_write_buffer"
+  "fig14_write_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_write_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

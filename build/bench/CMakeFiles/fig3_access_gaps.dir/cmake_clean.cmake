@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_access_gaps.dir/fig3_access_gaps.cc.o"
+  "CMakeFiles/fig3_access_gaps.dir/fig3_access_gaps.cc.o.d"
+  "fig3_access_gaps"
+  "fig3_access_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_access_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

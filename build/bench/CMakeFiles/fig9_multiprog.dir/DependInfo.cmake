@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_multiprog.cc" "bench/CMakeFiles/fig9_multiprog.dir/fig9_multiprog.cc.o" "gcc" "bench/CMakeFiles/fig9_multiprog.dir/fig9_multiprog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/stacknoc_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/stacknoc_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/stacknoc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/stacknoc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/stacknoc_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/stacknoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/stacknoc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/stacknoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stacknoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stacknoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

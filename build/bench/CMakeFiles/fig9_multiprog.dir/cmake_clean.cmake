@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_multiprog.dir/fig9_multiprog.cc.o"
+  "CMakeFiles/fig9_multiprog.dir/fig9_multiprog.cc.o.d"
+  "fig9_multiprog"
+  "fig9_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/stacknoc_bench_util.dir/bench_util.cc.o.d"
+  "libstacknoc_bench_util.a"
+  "libstacknoc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

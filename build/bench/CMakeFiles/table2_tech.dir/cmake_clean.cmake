@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tech.dir/table2_tech.cc.o"
+  "CMakeFiles/table2_tech.dir/table2_tech.cc.o.d"
+  "table2_tech"
+  "table2_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

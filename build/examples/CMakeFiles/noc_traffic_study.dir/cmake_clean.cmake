@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_traffic_study.dir/noc_traffic_study.cpp.o"
+  "CMakeFiles/noc_traffic_study.dir/noc_traffic_study.cpp.o.d"
+  "noc_traffic_study"
+  "noc_traffic_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_traffic_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

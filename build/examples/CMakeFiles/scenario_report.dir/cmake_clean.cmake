@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_report.dir/scenario_report.cpp.o"
+  "CMakeFiles/scenario_report.dir/scenario_report.cpp.o.d"
+  "scenario_report"
+  "scenario_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

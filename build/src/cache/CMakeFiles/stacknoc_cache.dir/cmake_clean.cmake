@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_cache.dir/tag_array.cc.o"
+  "CMakeFiles/stacknoc_cache.dir/tag_array.cc.o.d"
+  "libstacknoc_cache.a"
+  "libstacknoc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

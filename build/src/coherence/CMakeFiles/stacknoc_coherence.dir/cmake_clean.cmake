@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_coherence.dir/l1_cache.cc.o"
+  "CMakeFiles/stacknoc_coherence.dir/l1_cache.cc.o.d"
+  "CMakeFiles/stacknoc_coherence.dir/l2_bank.cc.o"
+  "CMakeFiles/stacknoc_coherence.dir/l2_bank.cc.o.d"
+  "libstacknoc_coherence.a"
+  "libstacknoc_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_common.dir/logging.cc.o"
+  "CMakeFiles/stacknoc_common.dir/logging.cc.o.d"
+  "CMakeFiles/stacknoc_common.dir/rng.cc.o"
+  "CMakeFiles/stacknoc_common.dir/rng.cc.o.d"
+  "libstacknoc_common.a"
+  "libstacknoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_cpu.dir/core.cc.o"
+  "CMakeFiles/stacknoc_cpu.dir/core.cc.o.d"
+  "libstacknoc_cpu.a"
+  "libstacknoc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

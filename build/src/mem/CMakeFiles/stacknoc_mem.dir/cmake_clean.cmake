@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_mem.dir/bank_controller.cc.o"
+  "CMakeFiles/stacknoc_mem.dir/bank_controller.cc.o.d"
+  "CMakeFiles/stacknoc_mem.dir/bank_model.cc.o"
+  "CMakeFiles/stacknoc_mem.dir/bank_model.cc.o.d"
+  "CMakeFiles/stacknoc_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/stacknoc_mem.dir/memory_controller.cc.o.d"
+  "CMakeFiles/stacknoc_mem.dir/tech.cc.o"
+  "CMakeFiles/stacknoc_mem.dir/tech.cc.o.d"
+  "libstacknoc_mem.a"
+  "libstacknoc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstacknoc_mem.a"
+)

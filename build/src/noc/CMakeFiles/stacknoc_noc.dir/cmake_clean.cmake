@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_noc.dir/network.cc.o"
+  "CMakeFiles/stacknoc_noc.dir/network.cc.o.d"
+  "CMakeFiles/stacknoc_noc.dir/network_interface.cc.o"
+  "CMakeFiles/stacknoc_noc.dir/network_interface.cc.o.d"
+  "CMakeFiles/stacknoc_noc.dir/packet.cc.o"
+  "CMakeFiles/stacknoc_noc.dir/packet.cc.o.d"
+  "CMakeFiles/stacknoc_noc.dir/router.cc.o"
+  "CMakeFiles/stacknoc_noc.dir/router.cc.o.d"
+  "CMakeFiles/stacknoc_noc.dir/routing.cc.o"
+  "CMakeFiles/stacknoc_noc.dir/routing.cc.o.d"
+  "CMakeFiles/stacknoc_noc.dir/topology.cc.o"
+  "CMakeFiles/stacknoc_noc.dir/topology.cc.o.d"
+  "libstacknoc_noc.a"
+  "libstacknoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_sim.dir/simulator.cc.o"
+  "CMakeFiles/stacknoc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/stacknoc_sim.dir/stats.cc.o"
+  "CMakeFiles/stacknoc_sim.dir/stats.cc.o.d"
+  "libstacknoc_sim.a"
+  "libstacknoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttnoc/bank_aware_policy.cc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/bank_aware_policy.cc.o" "gcc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/bank_aware_policy.cc.o.d"
+  "/root/repo/src/sttnoc/estimator.cc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/estimator.cc.o" "gcc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/estimator.cc.o.d"
+  "/root/repo/src/sttnoc/parent_map.cc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/parent_map.cc.o" "gcc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/parent_map.cc.o.d"
+  "/root/repo/src/sttnoc/rca_fabric.cc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/rca_fabric.cc.o" "gcc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/rca_fabric.cc.o.d"
+  "/root/repo/src/sttnoc/region_map.cc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/region_map.cc.o" "gcc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/region_map.cc.o.d"
+  "/root/repo/src/sttnoc/region_routing.cc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/region_routing.cc.o" "gcc" "src/sttnoc/CMakeFiles/stacknoc_sttnoc.dir/region_routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/stacknoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stacknoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stacknoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

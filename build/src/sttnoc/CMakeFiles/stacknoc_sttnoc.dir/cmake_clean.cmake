@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_sttnoc.dir/bank_aware_policy.cc.o"
+  "CMakeFiles/stacknoc_sttnoc.dir/bank_aware_policy.cc.o.d"
+  "CMakeFiles/stacknoc_sttnoc.dir/estimator.cc.o"
+  "CMakeFiles/stacknoc_sttnoc.dir/estimator.cc.o.d"
+  "CMakeFiles/stacknoc_sttnoc.dir/parent_map.cc.o"
+  "CMakeFiles/stacknoc_sttnoc.dir/parent_map.cc.o.d"
+  "CMakeFiles/stacknoc_sttnoc.dir/rca_fabric.cc.o"
+  "CMakeFiles/stacknoc_sttnoc.dir/rca_fabric.cc.o.d"
+  "CMakeFiles/stacknoc_sttnoc.dir/region_map.cc.o"
+  "CMakeFiles/stacknoc_sttnoc.dir/region_map.cc.o.d"
+  "CMakeFiles/stacknoc_sttnoc.dir/region_routing.cc.o"
+  "CMakeFiles/stacknoc_sttnoc.dir/region_routing.cc.o.d"
+  "libstacknoc_sttnoc.a"
+  "libstacknoc_sttnoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_sttnoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

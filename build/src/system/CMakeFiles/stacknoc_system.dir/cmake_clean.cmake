@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_system.dir/cmp_system.cc.o"
+  "CMakeFiles/stacknoc_system.dir/cmp_system.cc.o.d"
+  "CMakeFiles/stacknoc_system.dir/energy.cc.o"
+  "CMakeFiles/stacknoc_system.dir/energy.cc.o.d"
+  "CMakeFiles/stacknoc_system.dir/metrics.cc.o"
+  "CMakeFiles/stacknoc_system.dir/metrics.cc.o.d"
+  "CMakeFiles/stacknoc_system.dir/probes.cc.o"
+  "CMakeFiles/stacknoc_system.dir/probes.cc.o.d"
+  "CMakeFiles/stacknoc_system.dir/scenario.cc.o"
+  "CMakeFiles/stacknoc_system.dir/scenario.cc.o.d"
+  "libstacknoc_system.a"
+  "libstacknoc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

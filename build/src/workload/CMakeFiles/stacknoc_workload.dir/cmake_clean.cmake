@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_workload.dir/app_profiles.cc.o"
+  "CMakeFiles/stacknoc_workload.dir/app_profiles.cc.o.d"
+  "CMakeFiles/stacknoc_workload.dir/mixes.cc.o"
+  "CMakeFiles/stacknoc_workload.dir/mixes.cc.o.d"
+  "CMakeFiles/stacknoc_workload.dir/synthetic_stream.cc.o"
+  "CMakeFiles/stacknoc_workload.dir/synthetic_stream.cc.o.d"
+  "CMakeFiles/stacknoc_workload.dir/trace_file.cc.o"
+  "CMakeFiles/stacknoc_workload.dir/trace_file.cc.o.d"
+  "libstacknoc_workload.a"
+  "libstacknoc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

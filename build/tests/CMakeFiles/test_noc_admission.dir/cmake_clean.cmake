@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_admission.dir/test_noc_admission.cc.o"
+  "CMakeFiles/test_noc_admission.dir/test_noc_admission.cc.o.d"
+  "test_noc_admission"
+  "test_noc_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_basic.dir/test_noc_basic.cc.o"
+  "CMakeFiles/test_noc_basic.dir/test_noc_basic.cc.o.d"
+  "test_noc_basic"
+  "test_noc_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_traffic.dir/test_noc_traffic.cc.o"
+  "CMakeFiles/test_noc_traffic.dir/test_noc_traffic.cc.o.d"
+  "test_noc_traffic"
+  "test_noc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_torture.dir/test_protocol_torture.cc.o"
+  "CMakeFiles/test_protocol_torture.dir/test_protocol_torture.cc.o.d"
+  "test_protocol_torture"
+  "test_protocol_torture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

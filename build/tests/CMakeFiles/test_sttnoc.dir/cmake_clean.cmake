@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sttnoc.dir/test_sttnoc.cc.o"
+  "CMakeFiles/test_sttnoc.dir/test_sttnoc.cc.o.d"
+  "test_sttnoc"
+  "test_sttnoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sttnoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sttnoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacknoc_run.dir/stacknoc_run.cpp.o"
+  "CMakeFiles/stacknoc_run.dir/stacknoc_run.cpp.o.d"
+  "stacknoc_run"
+  "stacknoc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacknoc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
