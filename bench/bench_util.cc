@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+
+#include "system/stats_export.hh"
 
 namespace stacknoc::bench {
 
@@ -27,6 +30,8 @@ env()
     e.case3Mixes = static_cast<int>(envU64("STTNOC_MIXES", 4));
     e.seed = envU64("STTNOC_SEED", 1);
     e.appCap = static_cast<int>(envU64("STTNOC_APPS", 0));
+    if (const char *p = std::getenv("STTNOC_JSON"); p && *p)
+        e.jsonPath = p;
     return e;
 }
 
@@ -98,6 +103,25 @@ runOne(const system::Scenario &scenario,
                 static_cast<double>(
                     sys.cacheStats().counter("l2_misses").value()) /
                 accesses;
+        }
+    }
+
+    // One compact JSON line per run, appended so a whole harness
+    // invocation accumulates a JSONL log (see STTNOC_JSON).
+    if (!e.jsonPath.empty()) {
+        std::ofstream out(e.jsonPath, std::ios::app);
+        if (out) {
+            system::RunInfo info;
+            info.scenario = scenario.name;
+            for (const auto &a : apps) {
+                if (!info.app.empty())
+                    info.app += ",";
+                info.app += a;
+            }
+            info.seed = e.seed;
+            info.warmupCycles = e.warmup;
+            info.measuredCycles = e.measure;
+            system::writeJsonStats(out, sys, info);
         }
     }
     return r;

@@ -10,6 +10,7 @@
  *   STTNOC_MIXES   Case-3 mixes to run     (default 4, paper uses 32)
  *   STTNOC_SEED    experiment seed         (default 1)
  *   STTNOC_APPS    cap on apps per panel   (default 0 = all)
+ *   STTNOC_JSON    append one JSON line per run to this file
  */
 
 #ifndef STACKNOC_BENCH_BENCH_UTIL_HH
@@ -33,6 +34,7 @@ struct BenchEnv
     int case3Mixes = 4;
     std::uint64_t seed = 1;
     int appCap = 0; //!< 0 = no cap
+    std::string jsonPath; //!< empty = no JSON-lines output
 };
 
 /** @return knobs parsed from the environment. */

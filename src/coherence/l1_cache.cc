@@ -32,7 +32,8 @@ L1Cache::L1Cache(std::string l1name, CoreId core, noc::PacketSender &out,
       invsReceived_(group.counter("l1_invs_received")),
       recallsReceived_(group.counter("l1_recalls_received")),
       retries_(group.counter("l1_retries")),
-      missLatency_(group.average("l1_miss_latency"))
+      missLatency_(group.average("l1_miss_latency")),
+      missLatencyHist_(group.histogram("l1_miss_latency_hist"))
 {
 }
 
@@ -182,6 +183,7 @@ L1Cache::completeMiss(BlockAddr addr, L1State final_state, Cycle now)
         e->dirty = true;
     }
     missLatency_.sample(static_cast<double>(now - it->second.startedAt));
+    missLatencyHist_.sample(now - it->second.startedAt);
     if (it->second.onDone)
         it->second.onDone(now);
     mshrs_.erase(it);

@@ -137,6 +137,7 @@ class L1Cache : public Ticking, public noc::NetworkClient
     stats::Counter &recallsReceived_;
     stats::Counter &retries_;
     stats::Average &missLatency_;
+    stats::Histogram &missLatencyHist_;
 };
 
 } // namespace stacknoc::coherence

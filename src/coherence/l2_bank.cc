@@ -1,5 +1,7 @@
 #include "coherence/l2_bank.hh"
 
+#include <string>
+
 #include "common/logging.hh"
 
 namespace stacknoc::coherence {
@@ -18,7 +20,9 @@ L2Bank::L2Bank(std::string bname, BankId bank, NodeId node,
                noc::PacketSender &out, const L2Config &config,
                stats::Group &group)
     : Ticking(std::move(bname)), bank_(bank), node_(node), out_(out),
-      config_(config), ctrl_(config.tech, config.bankCtrl, group),
+      config_(config),
+      ctrl_(config.tech, config.bankCtrl, group,
+            "l2bank" + std::to_string(bank), node),
       rng_(config.seed * 0x9e3779b9ULL + static_cast<std::uint64_t>(bank)),
       getS_(group.counter("l2_gets")),
       getM_(group.counter("l2_getm")),
@@ -29,7 +33,8 @@ L2Bank::L2Bank(std::string bname, BankId bank, NodeId node,
       invsSent_(group.counter("l2_invs_sent")),
       recallsSent_(group.counter("l2_recalls_sent")),
       blockedRequests_(group.counter("l2_blocked_requests")),
-      admissionRefusals_(group.counter("l2_admission_refusals"))
+      admissionRefusals_(group.counter("l2_admission_refusals")),
+      residencyHist_(group.histogram("l2_residency_hist"))
 {
     if (config_.realTags)
         tags_ = std::make_unique<cache::TagArray>(config_.sets,
@@ -57,6 +62,10 @@ L2Bank::bankRead(BlockAddr addr, std::function<void(Cycle)> done,
     mem::BankRequest req;
     req.isWrite = false;
     req.addr = addr;
+    if (auto it = tbes_.find(addr); it != tbes_.end()) {
+        req.tracePktId = it->second.pktId;
+        req.traceCls = it->second.pktCls;
+    }
     req.onDone = std::move(done);
     ctrl_.enqueue(std::move(req), now);
 }
@@ -68,6 +77,10 @@ L2Bank::bankWrite(BlockAddr addr, std::function<void(Cycle)> done,
     mem::BankRequest req;
     req.isWrite = true;
     req.addr = addr;
+    if (auto it = tbes_.find(addr); it != tbes_.end()) {
+        req.tracePktId = it->second.pktId;
+        req.traceCls = it->second.pktCls;
+    }
     req.onDone = std::move(done);
     ctrl_.enqueue(std::move(req), now);
 }
@@ -235,6 +248,9 @@ L2Bank::startTransaction(noc::PacketPtr pkt, Cycle now)
     tbe.kind = kind;
     tbe.requester = req;
     tbe.l2Hit = isL2Hit(*pkt);
+    tbe.pktId = pkt->id;
+    tbe.pktCls = static_cast<std::uint8_t>(pkt->cls);
+    tbe.arrivedAt = now;
     auto [it, inserted] = tbes_.emplace(addr, std::move(tbe));
     panic_if(!inserted, "TBE already present");
 
@@ -535,6 +551,7 @@ void
 L2Bank::respondAndFinish(BlockAddr addr, Cycle now)
 {
     Tbe &tbe = tbes_.at(addr);
+    residencyHist_.sample(now - tbe.arrivedAt);
     if (tbe.kind == CohKind::GetS || tbe.kind == CohKind::GetM)
         --admittedRequests_; // release the admission slot
     else

@@ -141,6 +141,10 @@ class L2Bank : public Ticking, public noc::NetworkClient
         CoreId recallOwner = -1;
         Grant grant = Grant::S;
         std::deque<noc::PacketPtr> blocked;
+        /** Telemetry only: originating packet and arrival time. */
+        std::uint64_t pktId = mem::kNoTracePkt;
+        std::uint8_t pktCls = 0;
+        Cycle arrivedAt = 0;
     };
 
     void handleRequest(noc::PacketPtr pkt, Cycle now);
@@ -194,6 +198,7 @@ class L2Bank : public Ticking, public noc::NetworkClient
     stats::Counter &recallsSent_;
     stats::Counter &blockedRequests_;
     stats::Counter &admissionRefusals_;
+    stats::Histogram &residencyHist_;
 };
 
 } // namespace stacknoc::coherence

@@ -10,6 +10,28 @@ namespace {
 
 bool g_verbose = true;
 
+LogLevel
+levelFromEnv()
+{
+    const char *v = std::getenv("STACKNOC_LOG");
+    if (!v || !*v)
+        return LogLevel::Off;
+    const std::string s(v);
+    if (s == "trace")
+        return LogLevel::Trace;
+    if (s == "debug")
+        return LogLevel::Debug;
+    if (s != "off" && s != "0") {
+        std::fprintf(stderr,
+                     "warn: STACKNOC_LOG='%s' not recognised "
+                     "(use debug|trace)\n", v);
+    }
+    return LogLevel::Off;
+}
+
+LogLevel g_log_level = LogLevel::Off;
+bool g_log_level_set = false;
+
 } // namespace
 
 void
@@ -22,6 +44,23 @@ bool
 verbose()
 {
     return g_verbose;
+}
+
+LogLevel
+logLevel()
+{
+    if (!g_log_level_set) {
+        g_log_level = levelFromEnv();
+        g_log_level_set = true;
+    }
+    return g_log_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_log_level = level;
+    g_log_level_set = true;
 }
 
 namespace detail {
@@ -77,6 +116,18 @@ informImpl(const std::string &msg)
 {
     if (g_verbose)
         std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+void
+traceImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "trace: %s\n", msg.c_str());
 }
 
 } // namespace detail

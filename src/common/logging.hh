@@ -6,6 +6,8 @@
  * fatal()  - the user asked for something impossible (bad config); exits.
  * warn()   - something works but not as well as it should.
  * inform() - plain status output.
+ * debug()  - diagnostic detail, off unless STACKNOC_LOG=debug|trace.
+ * trace()  - per-event firehose, off unless STACKNOC_LOG=trace.
  */
 
 #ifndef STACKNOC_COMMON_LOGGING_HH
@@ -29,6 +31,8 @@ std::string format(const char *fmt, ...)
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+void traceImpl(const std::string &msg);
 
 } // namespace detail
 
@@ -37,6 +41,27 @@ void setVerbose(bool verbose);
 
 /** @return current verbosity. */
 bool verbose();
+
+/**
+ * Diagnostic log levels beyond inform(), for telemetry and other
+ * subsystem internals. Off by default; enabled by the STACKNOC_LOG
+ * environment variable ("debug" or "trace", case-sensitive), read once
+ * at first use. setLogLevel() overrides the environment (tests).
+ */
+enum class LogLevel : int { Off = 0, Debug = 1, Trace = 2 };
+
+/** @return the active diagnostic level. */
+LogLevel logLevel();
+
+/** Override the environment-configured level. */
+void setLogLevel(LogLevel level);
+
+/** @return whether messages at @p level are emitted. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(logLevel()) >= static_cast<int>(level);
+}
 
 } // namespace stacknoc
 
@@ -57,6 +82,24 @@ bool verbose();
 /** Informational message (suppressed when not verbose). */
 #define inform(...) \
     ::stacknoc::detail::informImpl(::stacknoc::detail::format(__VA_ARGS__))
+
+/** Diagnostic message, gated by STACKNOC_LOG=debug (or trace). */
+#define debug(...)                                                        \
+    do {                                                                  \
+        if (::stacknoc::logEnabled(::stacknoc::LogLevel::Debug)) {        \
+            ::stacknoc::detail::debugImpl(                                \
+                ::stacknoc::detail::format(__VA_ARGS__));                 \
+        }                                                                 \
+    } while (0)
+
+/** Per-event diagnostic message, gated by STACKNOC_LOG=trace. */
+#define trace(...)                                                        \
+    do {                                                                  \
+        if (::stacknoc::logEnabled(::stacknoc::LogLevel::Trace)) {        \
+            ::stacknoc::detail::traceImpl(                                \
+                ::stacknoc::detail::format(__VA_ARGS__));                 \
+        }                                                                 \
+    } while (0)
 
 /** panic() unless the given invariant holds. */
 #define panic_if(cond, ...)            \

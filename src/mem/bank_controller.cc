@@ -3,20 +3,43 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace stacknoc::mem {
 
 BankController::BankController(CacheTech tech,
                                const BankControllerConfig &config,
-                               stats::Group &group)
-    : bank_(tech, group), config_(config),
+                               stats::Group &group,
+                               std::string stat_prefix, NodeId node)
+    : bank_(tech, group), config_(config), node_(node),
       queueLatency_(group.average("bank_queue_latency")),
       served_(group.counter("bank_requests_served")),
       bufferHits_(group.counter("write_buffer_hits")),
       preemptions_(group.counter("write_buffer_preemptions")),
       gapAfterWrite_(group.distribution("gap_after_write",
-                                        {16, 33, 66, 99, 132, 165}))
+                                        {16, 33, 66, 99, 132, 165})),
+      queueLatencyHist_(group.histogram("bank_queue_latency_hist"))
 {
+    if (!stat_prefix.empty()) {
+        perBankQueueHist_ =
+            &group.histogram(stat_prefix + ".queue_latency_hist");
+    }
+}
+
+void
+BankController::noteServiceStart(const BankRequest &req, Cycle now)
+{
+    const std::uint64_t waited = now - req.enqueuedAt;
+    queueLatencyHist_.sample(waited);
+    if (perBankQueueHist_)
+        perBankQueueHist_->sample(waited);
+    if (req.tracePktId == kNoTracePkt)
+        return;
+    if (auto *t = telemetry::tracer(); t && t->tracked(req.tracePktId)) {
+        t->record(telemetry::TraceEvent::BankServiceStart, req.tracePktId,
+                  req.traceCls, node_, now,
+                  static_cast<std::int64_t>(waited));
+    }
 }
 
 void
@@ -30,6 +53,14 @@ BankController::enqueue(BankRequest req, Cycle now)
     lastWasWrite_ = req.isWrite;
 
     req.enqueuedAt = now;
+    if (req.tracePktId != kNoTracePkt) {
+        if (auto *t = telemetry::tracer();
+            t && t->tracked(req.tracePktId)) {
+            t->record(telemetry::TraceEvent::BankQueueEnter,
+                      req.tracePktId, req.traceCls, node_, now,
+                      static_cast<std::int64_t>(queue_.size()));
+        }
+    }
     queue_.push_back(std::move(req));
 }
 
@@ -95,6 +126,7 @@ BankController::startPlain(Cycle now)
         return;
     BankRequest req = takeNextPlain();
     queueLatency_.sample(static_cast<double>(now - req.enqueuedAt));
+    noteServiceStart(req, now);
     const Cycle done =
         req.isWrite ? bank_.startWrite(now) : bank_.startRead(now);
     current_ = InFlight{std::move(req), done};
@@ -129,6 +161,7 @@ BankController::startBuffered(Cycle now)
             buffer_.push_back(BufferedWrite{req.addr, false});
             queueLatency_.sample(static_cast<double>(
                 now - req.enqueuedAt));
+            noteServiceStart(req, now);
             delayed_.push_back(
                 DelayedDone{now + config_.bufferAccessCycles,
                             std::move(req)});
@@ -141,6 +174,7 @@ BankController::startBuffered(Cycle now)
             bufferHits_.inc();
             queueLatency_.sample(static_cast<double>(
                 now - req.enqueuedAt));
+            noteServiceStart(req, now);
             delayed_.push_back(
                 DelayedDone{now + config_.bufferAccessCycles,
                             std::move(req)});
@@ -164,6 +198,7 @@ BankController::startBuffered(Cycle now)
         queue_.pop_front();
         const Cycle done = bank_.startRead(now);
         queueLatency_.sample(static_cast<double>(now - req.enqueuedAt));
+        noteServiceStart(req, now);
         current_ = InFlight{std::move(req), done};
         break;
     }

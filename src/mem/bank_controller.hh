@@ -8,9 +8,11 @@
 #ifndef STACKNOC_MEM_BANK_CONTROLLER_HH
 #define STACKNOC_MEM_BANK_CONTROLLER_HH
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -18,6 +20,9 @@
 #include "mem/bank_model.hh"
 
 namespace stacknoc::mem {
+
+/** Sentinel: no packet attached to a request for tracing purposes. */
+inline constexpr std::uint64_t kNoTracePkt = ~0ULL;
 
 /** One timed request against a bank. */
 struct BankRequest
@@ -27,6 +32,9 @@ struct BankRequest
     Cycle enqueuedAt = 0;
     /** Invoked once when the access completes. */
     std::function<void(Cycle)> onDone;
+    /** Network packet that carried this request (telemetry only). */
+    std::uint64_t tracePktId = kNoTracePkt;
+    std::uint8_t traceCls = 0;
 };
 
 /** Configuration of the bank front-end. */
@@ -63,9 +71,13 @@ class BankController
      * @param tech bank technology.
      * @param config front-end configuration.
      * @param group shared statistics group for all banks.
+     * @param stat_prefix when non-empty, adds a per-bank
+     *        "<prefix>.queue_latency_hist" histogram to @p group.
+     * @param node node this bank sits at (stamped on trace events).
      */
     BankController(CacheTech tech, const BankControllerConfig &config,
-                   stats::Group &group);
+                   stats::Group &group, std::string stat_prefix = "",
+                   NodeId node = kInvalidNode);
 
     /** Add a request. */
     void enqueue(BankRequest req, Cycle now);
@@ -108,6 +120,9 @@ class BankController
     void startBuffered(Cycle now);
     bool bufferContains(BlockAddr addr) const;
 
+    /** Record queue latency (histograms + trace) as service begins. */
+    void noteServiceStart(const BankRequest &req, Cycle now);
+
     /** Pop the next plain-mode request honouring read priority. */
     BankRequest takeNextPlain();
 
@@ -124,11 +139,15 @@ class BankController
     Cycle lastArrival_ = kCycleNever;
     bool lastWasWrite_ = false;
 
+    NodeId node_ = kInvalidNode;
+
     stats::Average &queueLatency_;
     stats::Counter &served_;
     stats::Counter &bufferHits_;
     stats::Counter &preemptions_;
     stats::Distribution &gapAfterWrite_;
+    stats::Histogram &queueLatencyHist_;     //!< aggregate over banks
+    stats::Histogram *perBankQueueHist_ = nullptr;
 };
 
 } // namespace stacknoc::mem

@@ -1,6 +1,7 @@
 #include "noc/network_interface.hh"
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace stacknoc::noc {
 
@@ -14,7 +15,9 @@ NetworkInterface::NetworkInterface(std::string niname, NodeId id,
       packetsEjected_(net_stats.counter("packets_ejected")),
       netLatency_(net_stats.average("packet_network_latency")),
       totalLatency_(net_stats.average("packet_total_latency")),
-      niQueueLatency_(net_stats.average("packet_ni_queue_latency"))
+      niQueueLatency_(net_stats.average("packet_ni_queue_latency")),
+      netLatencyHist_(net_stats.histogram("packet_network_latency_hist")),
+      totalLatencyHist_(net_stats.histogram("packet_total_latency_hist"))
 {
 }
 
@@ -111,6 +114,16 @@ NetworkInterface::drainEjectBuffers(Cycle now)
                         static_cast<double>(now - pkt->injectedAt));
                     totalLatency_.sample(
                         static_cast<double>(now - pkt->createdAt));
+                    netLatencyHist_.sample(now - pkt->injectedAt);
+                    totalLatencyHist_.sample(now - pkt->createdAt);
+                    if (auto *t = telemetry::tracer();
+                        t && t->tracked(pkt->id)) {
+                        t->record(telemetry::TraceEvent::Eject, pkt->id,
+                                  static_cast<std::uint8_t>(pkt->cls),
+                                  id_, now,
+                                  static_cast<std::int64_t>(
+                                      now - pkt->injectedAt));
+                    }
                 }
                 dispatch(std::move(pkt), now);
             }
@@ -195,6 +208,14 @@ NetworkInterface::inject(Cycle now)
             packetsInjected_.inc();
             niQueueLatency_.sample(
                 static_cast<double>(now - vc.pkt->createdAt));
+            if (auto *t = telemetry::tracer();
+                t && t->tracked(vc.pkt->id)) {
+                t->record(telemetry::TraceEvent::Inject, vc.pkt->id,
+                          static_cast<std::uint8_t>(vc.pkt->cls), id_,
+                          now,
+                          static_cast<std::int64_t>(
+                              now - vc.pkt->createdAt));
+            }
         }
         ++vc.nextSeq;
         if (vc.nextSeq >= vc.pkt->numFlits)

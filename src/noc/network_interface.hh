@@ -174,6 +174,8 @@ class NetworkInterface : public Ticking, public PacketSender
     stats::Average &netLatency_;
     stats::Average &totalLatency_;
     stats::Average &niQueueLatency_;
+    stats::Histogram &netLatencyHist_;
+    stats::Histogram &totalLatencyHist_;
 };
 
 } // namespace stacknoc::noc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace stacknoc::noc {
 
@@ -74,6 +75,15 @@ Router::receiveFlits(Cycle now)
                      lf->vc);
             Flit flit = lf->flit;
             flit.arrivedAt = now;
+            if (flit.head()) {
+                const Packet &pkt = *flit.pkt;
+                if (auto *t = telemetry::tracer();
+                    t && t->tracked(pkt.id)) {
+                    t->record(telemetry::TraceEvent::RouterArrive, pkt.id,
+                              static_cast<std::uint8_t>(pkt.cls), id_,
+                              now);
+                }
+            }
             const bool was_empty = vc.buffer.empty();
             vc.buffer.push_back(std::move(flit));
             flitsIn_.inc();

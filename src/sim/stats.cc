@@ -1,5 +1,7 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <bit>
 #include <iomanip>
 
 #include "common/logging.hh"
@@ -51,6 +53,90 @@ Distribution::reset()
     total_ = 0;
 }
 
+std::size_t
+Histogram::bucketOf(std::uint64_t v)
+{
+    return static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t
+Histogram::bucketLo(std::size_t i)
+{
+    return i == 0 ? 0 : 1ULL << (i - 1);
+}
+
+std::uint64_t
+Histogram::bucketHi(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~0ULL;
+    return (1ULL << i) - 1;
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    counts_[bucketOf(v)] += weight;
+    count_ += weight;
+    sum_ += v * weight;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // 1-based rank of the selected sample.
+    const double exact_rank = p * static_cast<double>(count_);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(exact_rank + 0.5));
+
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (cum + counts_[i] < rank) {
+            cum += counts_[i];
+            continue;
+        }
+        const double lo = static_cast<double>(bucketLo(i));
+        const double hi = static_cast<double>(bucketHi(i));
+        // Midpoint convention: the k-th of n samples in a bucket sits at
+        // fraction (k - 0.5) / n of the bucket's width.
+        const double frac =
+            (static_cast<double>(rank - cum) - 0.5) /
+            static_cast<double>(counts_[i]);
+        const double v = lo + frac * (hi - lo);
+        return std::clamp(v, static_cast<double>(min_),
+                          static_cast<double>(max_));
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Histogram::reset()
+{
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
 Counter &
 Group::counter(const std::string &stat_name)
 {
@@ -75,6 +161,12 @@ Group::distribution(const std::string &stat_name,
     return it->second;
 }
 
+Histogram &
+Group::histogram(const std::string &stat_name)
+{
+    return histograms_[stat_name];
+}
+
 const Counter *
 Group::findCounter(const std::string &stat_name) const
 {
@@ -96,6 +188,13 @@ Group::findDistribution(const std::string &stat_name) const
     return it == distributions_.end() ? nullptr : &it->second;
 }
 
+const Histogram *
+Group::findHistogram(const std::string &stat_name) const
+{
+    auto it = histograms_.find(stat_name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void
 Group::dump(std::ostream &os) const
 {
@@ -113,6 +212,14 @@ Group::dump(std::ostream &os) const
         }
         os << "\n";
     }
+    for (const auto &[n, h] : histograms_) {
+        os << name_ << "." << n << " count=" << h.count()
+           << " mean=" << std::setprecision(6) << h.mean()
+           << " p50=" << h.percentile(0.50)
+           << " p95=" << h.percentile(0.95)
+           << " p99=" << h.percentile(0.99)
+           << " max=" << h.maxValue() << "\n";
+    }
 }
 
 void
@@ -124,6 +231,8 @@ Group::reset()
         a.reset();
     for (auto &[n, d] : distributions_)
         d.reset();
+    for (auto &[n, h] : histograms_)
+        h.reset();
 }
 
 } // namespace stacknoc::stats

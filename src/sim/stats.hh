@@ -1,12 +1,14 @@
 /**
  * @file
- * A small statistics package: scalar counters, averages, and
- * arbitrary-edge distributions, organised into named groups.
+ * A small statistics package: scalar counters, averages, arbitrary-edge
+ * distributions, and log2-bucketed percentile histograms, organised into
+ * named groups.
  */
 
 #ifndef STACKNOC_SIM_STATS_HH
 #define STACKNOC_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -92,6 +94,59 @@ class Distribution
 };
 
 /**
+ * A log2-bucketed histogram: constant-size, O(1) sampling, approximate
+ * percentiles. Bucket 0 holds the value 0; bucket i >= 1 holds values in
+ * [2^(i-1), 2^i - 1]. Exact minimum, maximum and sum are tracked on the
+ * side, so mean() is exact and percentile() is clamped to observed
+ * bounds.
+ */
+class Histogram
+{
+  public:
+    /** Buckets 0..64: value 0 plus one bucket per bit width. */
+    static constexpr std::size_t kNumBuckets = 65;
+
+    void sample(std::uint64_t v, std::uint64_t weight = 1);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    double mean() const;
+    std::uint64_t minValue() const { return count_ ? min_ : 0; }
+    std::uint64_t maxValue() const { return max_; }
+
+    /**
+     * Rank-based percentile for @p p in [0, 1], linearly interpolated
+     * inside the containing log2 bucket and clamped to the observed
+     * [min, max]. Exact when the bucket holds a single value (0, 1) or
+     * when p selects the extremes.
+     */
+    double percentile(double p) const;
+
+    /** @return the bucket a value falls into. */
+    static std::size_t bucketOf(std::uint64_t v);
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t bucketLo(std::size_t i);
+
+    /** Inclusive upper bound of bucket @p i. */
+    static std::uint64_t bucketHi(std::size_t i);
+
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return counts_.at(i);
+    }
+
+    void reset();
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ULL;
+    std::uint64_t max_ = 0;
+};
+
+/**
  * A named collection of statistics. Groups own their stats; components
  * hold references obtained at construction time.
  */
@@ -104,11 +159,13 @@ class Group
     Average &average(const std::string &stat_name);
     Distribution &distribution(const std::string &stat_name,
                                std::vector<std::uint64_t> edges);
+    Histogram &histogram(const std::string &stat_name);
 
     /** Lookup without creating; returns nullptr when absent. */
     const Counter *findCounter(const std::string &stat_name) const;
     const Average *findAverage(const std::string &stat_name) const;
     const Distribution *findDistribution(const std::string &stat_name) const;
+    const Histogram *findHistogram(const std::string &stat_name) const;
 
     const std::string &name() const { return name_; }
 
@@ -118,11 +175,30 @@ class Group
     /** Reset every stat in the group to zero. */
     void reset();
 
+    // Read-only iteration, used by the telemetry exporters.
+    const std::map<std::string, Counter> &allCounters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Average> &allAverages() const
+    {
+        return averages_;
+    }
+    const std::map<std::string, Distribution> &allDistributions() const
+    {
+        return distributions_;
+    }
+    const std::map<std::string, Histogram> &allHistograms() const
+    {
+        return histograms_;
+    }
+
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
     std::map<std::string, Distribution> distributions_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace stacknoc::stats

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.hh"
+
 namespace stacknoc::sttnoc {
 
 BankAwarePolicy::BankAwarePolicy(
@@ -16,7 +18,8 @@ BankAwarePolicy::BankAwarePolicy(
       holdsStarted_(stats_.counter("holds_started")),
       holdCapReleases_(stats_.counter("hold_cap_releases")),
       busyMarks_(stats_.counter("busy_marks")),
-      busyDuration_(stats_.average("busy_duration"))
+      busyDuration_(stats_.average("busy_duration")),
+      holdDurationHist_(stats_.histogram("parent_hold_duration_hist"))
 {
     for (BankId b = 0; b < regions_.numBanks(); ++b) {
         const int dist = regions_.shape().hopDistance(
@@ -80,8 +83,14 @@ BankAwarePolicy::eligible(NodeId router, noc::Packet &pkt, Cycle now)
                            params_.congestionHoldThreshold;
     if (!in_window && !congested)
         return true;
-    if (pkt.firstHeldAt == kCycleNever)
+    if (pkt.firstHeldAt == kCycleNever) {
         pkt.firstHeldAt = now;
+        if (auto *t = telemetry::tracer(); t && t->tracked(pkt.id)) {
+            t->record(telemetry::TraceEvent::HoldStart, pkt.id,
+                      static_cast<std::uint8_t>(pkt.cls), router, now,
+                      static_cast<std::int64_t>(bank));
+        }
+    }
     if (now - pkt.firstHeldAt >= params_.holdCap) {
         holdCapReleases_.inc();
         return true; // starvation guard
@@ -114,7 +123,17 @@ void
 BankAwarePolicy::onForward(NodeId router, noc::Packet &pkt, Cycle now)
 {
     const BankId bank = managedBank(router, pkt);
-    if (bank == kInvalidBank || !estimator_)
+    if (bank == kInvalidBank)
+        return;
+    if (pkt.firstHeldAt != kCycleNever) {
+        holdDurationHist_.sample(now - pkt.firstHeldAt);
+        if (auto *t = telemetry::tracer(); t && t->tracked(pkt.id)) {
+            t->record(telemetry::TraceEvent::HoldEnd, pkt.id,
+                      static_cast<std::uint8_t>(pkt.cls), router, now,
+                      static_cast<std::int64_t>(now - pkt.firstHeldAt));
+        }
+    }
+    if (!estimator_)
         return;
     estimator_->onForward(bank, pkt, router, now);
     if (noc::isLongBankWrite(pkt.cls)) {

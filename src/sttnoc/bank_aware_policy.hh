@@ -91,6 +91,7 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
     stats::Counter &holdCapReleases_;
     stats::Counter &busyMarks_;
     stats::Average &busyDuration_;
+    stats::Histogram &holdDurationHist_;
 };
 
 } // namespace stacknoc::sttnoc

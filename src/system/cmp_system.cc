@@ -25,8 +25,21 @@ CmpSystem::CmpSystem(const SystemConfig &config)
     if (config_.probePeriod > 0) {
         probe_ = std::make_unique<RouterOccupancyProbe>(
             *net_, config_.probePeriod);
-        sim_.onCycleEnd([this](Cycle now) { probe_->onCycle(now); });
+        hub_.add(probe_.get());
     }
+    if (config_.intervalPeriod > 0) {
+        sampler_ = std::make_unique<telemetry::IntervalSampler>(
+            config_.intervalPeriod, config_.intervalMaxSnapshots);
+        sampler_->addGroup(&cacheStats_);
+        sampler_->addGroup(&coreStats_);
+        sampler_->addGroup(&memStats_);
+        sampler_->addGroup(&net_->stats());
+        if (bankAwarePolicy_)
+            sampler_->addGroup(&bankAwarePolicy_->stats());
+        hub_.add(sampler_.get());
+    }
+    if (!hub_.empty())
+        sim_.onCycleEnd([this](Cycle now) { hub_.onCycle(now); });
 }
 
 CmpSystem::~CmpSystem() = default;
@@ -185,6 +198,7 @@ CmpSystem::run(Cycle cycles)
 void
 CmpSystem::warmup(Cycle cycles)
 {
+    hub_.onWarmupBegin(sim_.now());
     sim_.run(cycles);
     cacheStats_.reset();
     coreStats_.reset();
@@ -194,8 +208,7 @@ CmpSystem::warmup(Cycle cycles)
         bankAwarePolicy_->stats().reset();
     for (auto &core : cores_)
         core->resetCommitted();
-    if (probe_)
-        probe_->reset();
+    hub_.onReset(sim_.now());
     measureStart_ = sim_.now();
 }
 
@@ -216,6 +229,12 @@ CmpSystem::metrics() const
         m.avgBankQueueLatency = a->mean();
     if (const auto *a = cacheStats_.findAverage("l1_miss_latency"))
         m.avgUncoreLatency = a->mean();
+    if (const auto *h = net_->stats().findHistogram(
+            "packet_network_latency_hist")) {
+        m.p50NetworkLatency = h->percentile(0.50);
+        m.p95NetworkLatency = h->percentile(0.95);
+        m.p99NetworkLatency = h->percentile(0.99);
+    }
 
     m.energy = computeEnergy(cacheStats_, net_->stats(),
                              config_.scenario.tech, numBanks(),

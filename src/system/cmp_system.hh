@@ -16,6 +16,8 @@
 #include "common/geometry.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "telemetry/interval.hh"
+#include "telemetry/probe.hh"
 #include "noc/network.hh"
 #include "sttnoc/bank_aware_policy.hh"
 #include "sttnoc/rca_fabric.hh"
@@ -63,6 +65,12 @@ struct SystemConfig
 
     /** Probe sampling period (0 disables the occupancy probe). */
     Cycle probePeriod = 64;
+
+    /** Interval time-series period (0 disables the sampler). */
+    Cycle intervalPeriod = 0;
+
+    /** Cap on retained interval snapshots. */
+    std::size_t intervalMaxSnapshots = std::size_t{1} << 16;
 };
 
 /** The system. Construct, warmup(), run(), then read metrics(). */
@@ -94,12 +102,18 @@ class CmpSystem
 
     Simulator &simulator() { return sim_; }
     noc::Network &network() { return *net_; }
+    const noc::Network &network() const { return *net_; }
     cpu::Core &core(int i) { return *cores_.at(std::size_t(i)); }
     coherence::L1Cache &l1(int i) { return *l1s_.at(std::size_t(i)); }
     coherence::L2Bank &bank(int i) { return *banks_.at(std::size_t(i)); }
 
     /** The bank-aware policy, or nullptr for oblivious scenarios. */
     sttnoc::BankAwarePolicy *policy() { return bankAwarePolicy_.get(); }
+    const sttnoc::BankAwarePolicy *
+    policy() const
+    {
+        return bankAwarePolicy_.get();
+    }
 
     const sttnoc::RegionMap &regions() const { return *regions_; }
     const sttnoc::ParentMap &parents() const { return *parents_; }
@@ -107,9 +121,19 @@ class CmpSystem
     stats::Group &cacheStats() { return cacheStats_; }
     const stats::Group &cacheStats() const { return cacheStats_; }
     stats::Group &coreStats() { return coreStats_; }
+    const stats::Group &coreStats() const { return coreStats_; }
     stats::Group &memStats() { return memStats_; }
+    const stats::Group &memStats() const { return memStats_; }
 
     RouterOccupancyProbe *probe() { return probe_.get(); }
+    const RouterOccupancyProbe *probe() const { return probe_.get(); }
+
+    /** Interval time-series, or nullptr when intervalPeriod == 0. */
+    const telemetry::IntervalSampler *
+    intervals() const
+    {
+        return sampler_.get();
+    }
 
     /** Dump every statistics group to @p os. */
     void dumpStats(std::ostream &os) const;
@@ -140,6 +164,8 @@ class CmpSystem
     std::vector<std::unique_ptr<workload::SyntheticStream>> streams_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::unique_ptr<RouterOccupancyProbe> probe_;
+    std::unique_ptr<telemetry::IntervalSampler> sampler_;
+    telemetry::ProbeHub hub_;
 
     Cycle measureStart_ = 0;
 };

@@ -24,6 +24,11 @@ struct Metrics
     double avgBankQueueLatency = 0; //!< arrival -> bank service start
     double avgUncoreLatency = 0;  //!< L1 miss round trip, cycles
 
+    /** Network-latency tail (from the per-packet histogram). */
+    double p50NetworkLatency = 0;
+    double p95NetworkLatency = 0;
+    double p99NetworkLatency = 0;
+
     EnergyBreakdown energy;
 
     /** Eq. (1): sum of per-core IPC. */

@@ -11,7 +11,10 @@ RouterOccupancyProbe::RouterOccupancyProbe(noc::Network &net,
 void
 RouterOccupancyProbe::onCycle(Cycle now)
 {
-    if (now % period_ != 0)
+    // Warm-up samples would bias the conditioned averages toward the
+    // cold-start transient, so they are skipped outright rather than
+    // accumulated and discarded.
+    if (suppressed_ || (now - origin_) % period_ != 0)
         return;
     const MeshShape &shape = net_.shape();
     const int per_layer = shape.nodesPerLayer();
@@ -44,6 +47,20 @@ RouterOccupancyProbe::avgRequestsAtHops(int hops) const
     return occupiedSamples_[h]
                ? sum_[h] / static_cast<double>(occupiedSamples_[h])
                : 0.0;
+}
+
+void
+RouterOccupancyProbe::onWarmupBegin(Cycle)
+{
+    suppressed_ = true;
+}
+
+void
+RouterOccupancyProbe::onReset(Cycle now)
+{
+    reset();
+    suppressed_ = false;
+    origin_ = now; // re-align the sampling phase to the measured window
 }
 
 void

@@ -11,6 +11,7 @@
 
 #include "common/types.hh"
 #include "noc/network.hh"
+#include "telemetry/probe.hh"
 
 namespace stacknoc::system {
 
@@ -22,8 +23,14 @@ namespace stacknoc::system {
  * The reported average is conditioned on routers that held at least one
  * such request at sampling time (matching the paper's "requests in a
  * router following a write packet" framing).
+ *
+ * Registered with the system's telemetry::ProbeHub: sampling is
+ * suppressed during the warm-up window (onWarmupBegin) so transient
+ * fill-up traffic never leaks into the reported averages, and the
+ * sampling phase is re-aligned to the start of the measured window on
+ * onReset().
  */
-class RouterOccupancyProbe
+class RouterOccupancyProbe : public telemetry::Probe
 {
   public:
     /**
@@ -33,8 +40,9 @@ class RouterOccupancyProbe
     explicit RouterOccupancyProbe(noc::Network &net,
                                   Cycle sample_period = 64);
 
-    /** Call once per cycle (wire to Simulator::onCycleEnd). */
-    void onCycle(Cycle now);
+    void onCycle(Cycle now) override;
+    void onWarmupBegin(Cycle now) override;
+    void onReset(Cycle now) override;
 
     /** @return mean #requests per occupied router at distance @p hops. */
     double avgRequestsAtHops(int hops) const;
@@ -42,9 +50,14 @@ class RouterOccupancyProbe
     /** Drop all accumulated samples (end of warm-up). */
     void reset();
 
+    /** @return true while warm-up suppression is active. */
+    bool suppressed() const { return suppressed_; }
+
   private:
     noc::Network &net_;
     Cycle period_;
+    Cycle origin_ = 0;       //!< phase anchor for the sampling period
+    bool suppressed_ = false;
     std::array<double, 4> sum_{};      //!< index by hops 1..3
     std::array<std::uint64_t, 4> occupiedSamples_{};
 };

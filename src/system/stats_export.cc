@@ -1,0 +1,97 @@
+#include "system/stats_export.hh"
+
+#include <ostream>
+
+#include "telemetry/json.hh"
+
+namespace stacknoc::system {
+
+namespace {
+
+void
+writeMetrics(telemetry::JsonWriter &w, const Metrics &m)
+{
+    w.key("metrics");
+    w.beginObject();
+    w.kv("cycles", static_cast<std::uint64_t>(m.cycles));
+    w.kv("instruction_throughput", m.instructionThroughput());
+    w.kv("mean_ipc", m.meanIpc());
+    w.kv("min_ipc", m.minIpc());
+    w.kv("avg_network_latency", m.avgNetworkLatency);
+    w.kv("p50_network_latency", m.p50NetworkLatency);
+    w.kv("p95_network_latency", m.p95NetworkLatency);
+    w.kv("p99_network_latency", m.p99NetworkLatency);
+    w.kv("avg_bank_queue_latency", m.avgBankQueueLatency);
+    w.kv("avg_uncore_latency", m.avgUncoreLatency);
+    w.key("energy_uj");
+    w.beginObject();
+    w.kv("cache_dynamic", m.energy.cacheDynamicUJ);
+    w.kv("cache_leakage", m.energy.cacheLeakageUJ);
+    w.kv("net_dynamic", m.energy.netDynamicUJ);
+    w.kv("net_leakage", m.energy.netLeakageUJ);
+    w.kv("total", m.energy.totalUJ());
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
+{
+    telemetry::JsonWriter w(os);
+    w.beginObject();
+
+    w.key("run");
+    w.beginObject();
+    w.kv("scenario", info.scenario);
+    w.kv("app", info.app);
+    w.kv("seed", info.seed);
+    w.kv("warmup_cycles", static_cast<std::uint64_t>(info.warmupCycles));
+    w.kv("measured_cycles",
+         static_cast<std::uint64_t>(info.measuredCycles));
+    w.endObject();
+
+    writeMetrics(w, sys.metrics());
+
+    w.key("groups");
+    w.beginObject();
+    w.key("cache");
+    telemetry::writeGroupJson(w, sys.cacheStats());
+    w.key("core");
+    telemetry::writeGroupJson(w, sys.coreStats());
+    w.key("mem");
+    telemetry::writeGroupJson(w, sys.memStats());
+    w.key("net");
+    telemetry::writeGroupJson(w, sys.network().stats());
+    if (const auto *policy = sys.policy()) {
+        w.key("sttnoc");
+        telemetry::writeGroupJson(w, policy->stats());
+    }
+    w.endObject();
+
+    w.key("intervals");
+    if (const auto *sampler = sys.intervals())
+        telemetry::writeIntervalJson(w, *sampler);
+    else
+        w.null();
+
+    w.key("probe");
+    if (const auto *probe = sys.probe()) {
+        w.beginObject();
+        w.key("avg_requests_at_hops");
+        w.beginObject();
+        w.kv("1", probe->avgRequestsAtHops(1));
+        w.kv("2", probe->avgRequestsAtHops(2));
+        w.kv("3", probe->avgRequestsAtHops(3));
+        w.endObject();
+        w.endObject();
+    } else {
+        w.null();
+    }
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace stacknoc::system

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Machine-readable run output: serialises a finished CmpSystem — run
+ * identity, headline metrics, every statistics group (with histogram
+ * percentiles), the interval time-series and the occupancy probe — as
+ * one JSON document.
+ */
+
+#ifndef STACKNOC_SYSTEM_STATS_EXPORT_HH
+#define STACKNOC_SYSTEM_STATS_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hh"
+#include "system/cmp_system.hh"
+
+namespace stacknoc::system {
+
+/** Identity of the run being exported (echoed under "run"). */
+struct RunInfo
+{
+    std::string scenario;
+    std::string app;
+    std::uint64_t seed = 0;
+    Cycle warmupCycles = 0;
+    Cycle measuredCycles = 0;
+};
+
+/**
+ * Write the full JSON stats document for @p sys to @p os. The output is
+ * a single compact line, suitable for JSONL aggregation across runs.
+ */
+void writeJsonStats(std::ostream &os, const CmpSystem &sys,
+                    const RunInfo &info);
+
+} // namespace stacknoc::system
+
+#endif // STACKNOC_SYSTEM_STATS_EXPORT_HH

@@ -1,0 +1,35 @@
+#include "telemetry/probe.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc::telemetry {
+
+void
+ProbeHub::add(Probe *p)
+{
+    panic_if(p == nullptr, "null probe registered");
+    probes_.push_back(p);
+}
+
+void
+ProbeHub::onCycle(Cycle now)
+{
+    for (Probe *p : probes_)
+        p->onCycle(now);
+}
+
+void
+ProbeHub::onWarmupBegin(Cycle now)
+{
+    for (Probe *p : probes_)
+        p->onWarmupBegin(now);
+}
+
+void
+ProbeHub::onReset(Cycle now)
+{
+    for (Probe *p : probes_)
+        p->onReset(now);
+}
+
+} // namespace stacknoc::telemetry

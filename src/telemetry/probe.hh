@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The per-cycle measurement hook shared by every ad-hoc probe and
+ * sampler: one Simulator::onCycleEnd callback dispatches to all
+ * registered probes, and the system notifies them of warm-up windows
+ * so samples taken before the measured region are skipped rather than
+ * silently folded in.
+ */
+
+#ifndef STACKNOC_TELEMETRY_PROBE_HH
+#define STACKNOC_TELEMETRY_PROBE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stacknoc::telemetry {
+
+/** Anything sampled once per cycle by the simulation loop. */
+class Probe
+{
+  public:
+    virtual ~Probe() = default;
+
+    /** Called after every simulated cycle @p now. */
+    virtual void onCycle(Cycle now) = 0;
+
+    /**
+     * A warm-up window began: suppress sampling (or mark subsequent
+     * samples as warm-up) until onReset().
+     */
+    virtual void onWarmupBegin(Cycle now) { (void)now; }
+
+    /**
+     * Statistics were reset at cycle @p now (end of warm-up): drop
+     * accumulated samples and re-arm relative to @p now.
+     */
+    virtual void onReset(Cycle now) { (void)now; }
+};
+
+/** A composite probe fanning the hooks out to registered probes. */
+class ProbeHub : public Probe
+{
+  public:
+    /** Register @p p (not owned; must outlive the hub). */
+    void add(Probe *p);
+
+    void onCycle(Cycle now) override;
+    void onWarmupBegin(Cycle now) override;
+    void onReset(Cycle now) override;
+
+    std::size_t size() const { return probes_.size(); }
+    bool empty() const { return probes_.empty(); }
+
+  private:
+    std::vector<Probe *> probes_;
+};
+
+} // namespace stacknoc::telemetry
+
+#endif // STACKNOC_TELEMETRY_PROBE_HH

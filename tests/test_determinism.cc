@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/trace.hh"
 #include "system/cmp_system.hh"
 
 namespace stacknoc {
@@ -32,7 +33,7 @@ struct Snapshot
 };
 
 Snapshot
-runScenario(const system::Scenario &sc)
+runScenario(const system::Scenario &sc, Cycle interval_period = 0)
 {
     system::SystemConfig cfg;
     cfg.meshWidth = 4;
@@ -40,6 +41,7 @@ runScenario(const system::Scenario &sc)
     cfg.scenario = sc;
     cfg.apps = {"streamcluster"};
     cfg.seed = 11;
+    cfg.intervalPeriod = interval_period;
     system::CmpSystem sys(cfg);
     sys.run(6000);
     Snapshot s;
@@ -81,6 +83,27 @@ TEST_P(AllScenarios, TwoRunsAreBitIdentical)
     for (const auto c : a.committed)
         total += c;
     EXPECT_GT(total, 1000u) << sc.name;
+}
+
+TEST(Telemetry, ObserversDoNotPerturbSimulation)
+{
+    // Telemetry must be a pure observer: a run with full packet
+    // tracing and interval sampling enabled is bit-identical to a run
+    // with everything off.
+    const auto sc = system::scenarios::sttram4TsbWb();
+    const Snapshot off = runScenario(sc);
+
+    telemetry::MemoryTraceSink sink;
+    telemetry::PacketTracer tracer(1024, 1);
+    tracer.setSink(&sink);
+    telemetry::setTracer(&tracer);
+    const Snapshot on = runScenario(sc, /*interval_period=*/500);
+    tracer.flush();
+    telemetry::setTracer(nullptr);
+
+    EXPECT_TRUE(off == on);
+    // And the tracer actually observed traffic.
+    EXPECT_GT(sink.records().size(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -15,11 +15,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "telemetry/trace.hh"
 #include "system/cmp_system.hh"
+#include "system/stats_export.hh"
 #include "workload/app_profiles.hh"
 
 using namespace stacknoc;
@@ -45,6 +49,10 @@ usage()
   --delay-mode M    priority | hold
   --real-tags       use real L2 tag arrays instead of annotations
   --stats           dump every statistics group after the run
+  --json-stats FILE write run metrics + all stats groups as JSON
+  --trace FILE      stream packet-lifecycle events to a CSV file
+  --trace-sample N  trace packets whose id is divisible by N (default 1)
+  --interval N      snapshot all stats groups every N cycles
   --list-apps       print the Table 3 application names and exit
 )");
     std::exit(2);
@@ -98,6 +106,9 @@ main(int argc, char **argv)
     Cycle cycles = 20000;
     Cycle warmup = 3000;
     bool dump_stats = false;
+    std::string json_path;
+    std::string trace_path;
+    std::uint64_t trace_sample = 1;
     std::vector<std::string> app_list{"tpcc"};
 
     auto need = [&](int i) {
@@ -157,6 +168,18 @@ main(int argc, char **argv)
             cfg.realTags = true;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--json-stats") {
+            json_path = need(i); ++i;
+        } else if (arg == "--trace") {
+            trace_path = need(i); ++i;
+        } else if (arg == "--trace-sample") {
+            trace_sample = std::strtoull(need(i).c_str(), nullptr, 10);
+            fatal_if(trace_sample == 0, "--trace-sample must be >= 1");
+            ++i;
+        } else if (arg == "--interval") {
+            cfg.intervalPeriod =
+                std::strtoull(need(i).c_str(), nullptr, 10);
+            ++i;
         } else if (arg == "--list-apps") {
             for (const auto &a : workload::appTable())
                 std::printf("%-16s %s\n", a.name.c_str(),
@@ -178,9 +201,28 @@ main(int argc, char **argv)
                 app_list[static_cast<std::size_t>(c) % app_list.size()]);
     }
 
+    std::unique_ptr<telemetry::CsvTraceSink> trace_sink;
+    std::unique_ptr<telemetry::PacketTracer> tracer;
+    if (!trace_path.empty()) {
+        trace_sink = std::make_unique<telemetry::CsvTraceSink>(trace_path);
+        fatal_if(!trace_sink->ok(), "cannot open trace file '%s'",
+                 trace_path.c_str());
+        tracer = std::make_unique<telemetry::PacketTracer>(4096,
+                                                           trace_sample);
+        tracer->setSink(trace_sink.get());
+        telemetry::setTracer(tracer.get());
+    }
+
     system::CmpSystem sys(cfg);
     sys.warmup(warmup);
     sys.run(cycles);
+
+    if (tracer) {
+        tracer->flush();
+        trace_sink->flush();
+        telemetry::setTracer(nullptr);
+    }
+
     const auto m = sys.metrics();
 
     std::printf("scenario=%s cores=%d cycles=%llu seed=%llu\n",
@@ -200,5 +242,21 @@ main(int argc, char **argv)
                 m.energy.netLeakageUJ);
     if (dump_stats)
         sys.dumpStats(std::cout);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        fatal_if(!out, "cannot open json file '%s'", json_path.c_str());
+        system::RunInfo info;
+        info.scenario = cfg.scenario.name;
+        for (const auto &a : app_list) {
+            if (!info.app.empty())
+                info.app += ",";
+            info.app += a;
+        }
+        info.seed = cfg.seed;
+        info.warmupCycles = warmup;
+        info.measuredCycles = cycles;
+        system::writeJsonStats(out, sys, info);
+    }
     return 0;
 }
