@@ -64,6 +64,17 @@ class TagArray
     int ways() const { return ways_; }
     int validCount() const { return validCount_; }
 
+    /** Visit every valid entry (observer use: validation, stats). */
+    template <typename Fn>
+    void
+    forEachValid(Fn fn) const
+    {
+        for (const auto &e : entries_) {
+            if (e.valid)
+                fn(e);
+        }
+    }
+
   private:
     std::size_t setBase(BlockAddr addr) const;
 

@@ -104,6 +104,9 @@ class L1Cache : public Ticking, public noc::NetworkClient
     int mshrsInUse() const { return static_cast<int>(mshrs_.size()); }
     CoreId core() const { return core_; }
 
+    /** Read-only tag array access (validation: MESI legality census). */
+    const cache::TagArray &tags() const { return tags_; }
+
   private:
     struct Mshr
     {

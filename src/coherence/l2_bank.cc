@@ -113,6 +113,42 @@ L2Bank::idle(Cycle now) const
     return tbes_.empty() && ctrl_.idle(now);
 }
 
+void
+L2Bank::countAdmitted(int &requests, int &writes) const
+{
+    requests = 0;
+    writes = 0;
+    auto classify = [&](noc::PacketClass cls) {
+        if (cls == noc::PacketClass::ReadReq ||
+            cls == noc::PacketClass::WriteReq) {
+            ++requests;
+        } else if (cls == noc::PacketClass::StoreWrite ||
+                   cls == noc::PacketClass::WritebackReq) {
+            ++writes;
+        }
+    };
+    for (const auto &[addr, tbe] : tbes_) {
+        (void)addr;
+        switch (tbe.kind) {
+          case CohKind::GetS:
+          case CohKind::GetM:
+            // The slot is released when the grant goes out; the TBE
+            // then lingers in WaitUnblock until the requester installs.
+            if (tbe.phase != Phase::WaitUnblock)
+                ++requests;
+            break;
+          case CohKind::WriteL2:
+          case CohKind::PutM:
+            ++writes;
+            break;
+          default:
+            break;
+        }
+        for (const auto &pkt : tbe.blocked)
+            classify(pkt->cls);
+    }
+}
+
 bool
 L2Bank::tryAccept(const noc::Packet &pkt)
 {

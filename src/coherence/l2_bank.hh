@@ -113,6 +113,29 @@ class L2Bank : public Ticking, public noc::NetworkClient
     /** Outstanding admitted GetS/GetM (for tests). */
     int admittedRequests() const { return admittedRequests_; }
 
+    /** Outstanding admitted StoreWrite/PutM (for tests/validation). */
+    int admittedWrites() const { return admittedWrites_; }
+
+    /**
+     * Count the transactions currently charged against the admission
+     * counters: active TBEs plus requests parked in TBE blocked queues,
+     * split by demand class. Validation cross-checks this census against
+     * admittedRequests()/admittedWrites().
+     */
+    void countAdmitted(int &requests, int &writes) const;
+
+    /**
+     * Fault injection for validation tests ONLY: skew the admission
+     * busy-counters without touching any transaction state, emulating a
+     * lost decrement. The invariant checkers must catch the mismatch.
+     */
+    void corruptAdmissionCountersForTest(int request_delta,
+                                         int write_delta)
+    {
+        admittedRequests_ += request_delta;
+        admittedWrites_ += write_delta;
+    }
+
     /** @return directory entry for @p addr, or nullptr (state I). */
     const DirEntry *dirEntry(BlockAddr addr) const;
 

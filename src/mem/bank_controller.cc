@@ -56,9 +56,15 @@ BankController::enqueue(BankRequest req, Cycle now)
     if (req.tracePktId != kNoTracePkt) {
         if (auto *t = telemetry::tracer();
             t && t->tracked(req.tracePktId)) {
+            // aux encodes the queue depth seen on arrival and the
+            // access type: (depth << 1) | isWrite. The golden bank
+            // model needs the type; the class alone can't provide it
+            // (a MemResp fill is a bank *write* carrying a read's cls).
             t->record(telemetry::TraceEvent::BankQueueEnter,
                       req.tracePktId, req.traceCls, node_, now,
-                      static_cast<std::int64_t>(queue_.size()));
+                      static_cast<std::int64_t>(
+                          (queue_.size() << 1) |
+                          (req.isWrite ? 1u : 0u)));
         }
     }
     queue_.push_back(std::move(req));

@@ -62,6 +62,23 @@ class Network
     /** Sum of flits buffered in every router (for drain checks). */
     int totalBufferedFlits() const;
 
+    /** The NI -> router Local-port link of node @p n (validation). */
+    const Link &niToRouterLink(NodeId n) const
+    {
+        return *niLinks_.at(2 * std::size_t(n));
+    }
+
+    /** The router -> NI Local-port link of node @p n (validation). */
+    const Link &routerToNiLink(NodeId n) const
+    {
+        return *niLinks_.at(2 * std::size_t(n) + 1);
+    }
+
+    const NetworkInterface &ni(NodeId n) const
+    {
+        return *nis_.at(std::size_t(n));
+    }
+
   private:
     NocParams params_;
     stats::Group stats_;

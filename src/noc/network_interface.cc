@@ -100,6 +100,7 @@ NetworkInterface::drainEjectBuffers(Cycle now)
                 if (target && !target->tryAccept(*front.pkt))
                     break; // hold; no credit returned
                 vc.committed = true;
+                vc.committedPkt = front.pkt;
             }
             fromRouter_->credit.push(now, Credit{static_cast<int>(v)});
             const bool is_tail = front.tail();
@@ -107,6 +108,7 @@ NetworkInterface::drainEjectBuffers(Cycle now)
             vc.buffer.pop_front();
             if (is_tail) {
                 vc.committed = false;
+                vc.committedPkt = nullptr;
                 pkt->ejectedAt = now;
                 packetsEjected_.inc();
                 if (pkt->injectedAt != kCycleNever) {
@@ -138,6 +140,42 @@ NetworkInterface::ejectBufferedFlits() const
     for (const auto &vc : ejectVcs_)
         n += static_cast<int>(vc.buffer.size());
     return n;
+}
+
+void
+NetworkInterface::forEachPendingPacket(
+    const std::function<void(const Packet &, bool)> &fn) const
+{
+    for (const auto &pkt : injectQueue_)
+        fn(*pkt, false);
+    for (const auto &vc : injVcs_) {
+        if (vc.pkt)
+            fn(*vc.pkt, vc.nextSeq > 0);
+    }
+}
+
+void
+NetworkInterface::forEachEjectFlit(
+    const std::function<void(int, const Flit &, bool)> &fn) const
+{
+    for (std::size_t v = 0; v < ejectVcs_.size(); ++v) {
+        const auto &vc = ejectVcs_[v];
+        for (const auto &flit : vc.buffer) {
+            fn(static_cast<int>(v), flit,
+               vc.committed && flit.pkt == vc.committedPkt);
+        }
+    }
+}
+
+void
+NetworkInterface::forEachCommittedPacket(
+    const std::function<void(int, const Packet &)> &fn) const
+{
+    for (std::size_t v = 0; v < ejectVcs_.size(); ++v) {
+        const auto &vc = ejectVcs_[v];
+        if (vc.committed && vc.committedPkt)
+            fn(static_cast<int>(v), *vc.committedPkt);
+    }
 }
 
 void

@@ -8,6 +8,7 @@
 #define STACKNOC_NOC_NETWORK_INTERFACE_HH
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -134,6 +135,38 @@ class NetworkInterface : public Ticking, public PacketSender
     /** Flits parked in ejection buffers (for drain checks). */
     int ejectBufferedFlits() const;
 
+    /**
+     * Invoke @p fn(pkt, injected) for every packet waiting at this NI:
+     * queued packets (injected = false) and packets currently being
+     * serialised into the network (injected = true once the head flit
+     * has left). Observer use only (validation census).
+     */
+    void forEachPendingPacket(
+        const std::function<void(const Packet &, bool)> &fn) const;
+
+    /**
+     * Invoke @p fn(vc, flit, committed) for every flit parked in an
+     * ejection buffer; @p committed is true when the flit belongs to the
+     * front packet of a VC whose head the client already accepted.
+     * Observer use only (validation census).
+     */
+    void forEachEjectFlit(
+        const std::function<void(int, const Flit &, bool)> &fn) const;
+
+    /**
+     * Invoke @p fn(vc, pkt) for every packet the client has accepted
+     * (tryAccept succeeded) whose tail flit has not yet been delivered.
+     * Observer use only (validation census).
+     */
+    void forEachCommittedPacket(
+        const std::function<void(int, const Packet &)> &fn) const;
+
+    /** Injection credits available on VC @p vc. */
+    int injCredits(int vc) const
+    {
+        return injVcs_.at(static_cast<std::size_t>(vc)).credits;
+    }
+
   private:
     struct InjVc
     {
@@ -146,6 +179,9 @@ class NetworkInterface : public Ticking, public PacketSender
     {
         std::deque<Flit> buffer;
         bool committed = false; //!< current packet accepted by client
+        /** The accepted packet; its consumed flits leave no trace in
+         *  @c buffer, so observers need the identity kept explicitly. */
+        PacketPtr committedPkt;
     };
 
     void receive(Cycle now);

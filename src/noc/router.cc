@@ -380,6 +380,28 @@ Router::localCongestion() const
 }
 
 void
+Router::forEachBufferedFlit(
+    const std::function<void(Dir, int, const Flit &)> &fn) const
+{
+    for (int d = 0; d < kNumDirs; ++d) {
+        const auto &ip = in_[static_cast<std::size_t>(d)];
+        for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
+            for (const auto &flit : ip.vcs[v].buffer)
+                fn(static_cast<Dir>(d), static_cast<int>(v), flit);
+        }
+    }
+}
+
+int
+Router::outCredits(Dir d, int vc) const
+{
+    const auto &op = out_[static_cast<std::size_t>(static_cast<int>(d))];
+    if (!op.link)
+        return -1;
+    return op.credits.at(static_cast<std::size_t>(vc));
+}
+
+void
 Router::forEachBufferedPacket(
     const std::function<void(const Packet &)> &fn) const
 {

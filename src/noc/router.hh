@@ -64,6 +64,16 @@ class Router : public Ticking
     void forEachBufferedPacket(
         const std::function<void(const Packet &)> &fn) const;
 
+    /**
+     * Invoke @p fn(dir, vc, flit) for every buffered flit (head or not).
+     * Observer use only (validation census).
+     */
+    void forEachBufferedFlit(
+        const std::function<void(Dir, int, const Flit &)> &fn) const;
+
+    /** Credits available on output VC @p vc of port @p d (-1: no link). */
+    int outCredits(Dir d, int vc) const;
+
     const NocParams &params() const { return params_; }
 
   private:

@@ -63,6 +63,19 @@ class Channel
     /** @return number of values in flight (arrived or not). */
     std::size_t inFlight() const { return queue_.size(); }
 
+    /**
+     * Visit every in-flight value, oldest first. Observer use only
+     * (validation census); must not be used to smuggle state between
+     * components ahead of the delivery latency.
+     */
+    template <typename Fn>
+    void
+    forEachInFlight(Fn fn) const
+    {
+        for (const auto &e : queue_)
+            fn(e.second);
+    }
+
     Cycle latency() const { return latency_; }
 
   private:

@@ -64,6 +64,16 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
     /** @return cycle until which @p bank is predicted busy. */
     Cycle busyUntil(BankId bank) const;
 
+    /** Contention-free parent->bank delivery delay (validation). */
+    Cycle
+    pathDelay(BankId bank) const
+    {
+        return pathDelay_.at(static_cast<std::size_t>(bank));
+    }
+
+    /** @return the congestion estimator, for observer-only peeks. */
+    const CongestionEstimator *estimator() const { return estimator_.get(); }
+
     /** @return the policy's own statistics (holds, hold cycles, ...). */
     stats::Group &stats() { return stats_; }
     const stats::Group &stats() const { return stats_; }

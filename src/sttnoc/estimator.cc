@@ -51,6 +51,17 @@ WindowEstimator::estimate(BankId child, Cycle now)
     return st.congestion;
 }
 
+Cycle
+WindowEstimator::peekEstimate(BankId child, Cycle now) const
+{
+    const auto &st = state_[static_cast<std::size_t>(child)];
+    if (st.congestion > 0 &&
+        now - st.updatedAt > params_.estimateStaleAfter) {
+        return 0; // estimate() would expire this sample
+    }
+    return st.congestion;
+}
+
 void
 WindowEstimator::onForward(BankId child, noc::Packet &pkt, NodeId parent,
                            Cycle now)

@@ -102,6 +102,17 @@ class CongestionEstimator
     /** @return current congestion estimate toward @p child, in cycles. */
     virtual Cycle estimate(BankId child, Cycle now) = 0;
 
+    /**
+     * Side-effect-free variant of estimate() for observers (validation):
+     * must return what estimate() would, without expiring probes or
+     * touching any internal state.
+     */
+    virtual Cycle peekEstimate(BankId child, Cycle now) const
+    {
+        (void)child; (void)now;
+        return 0;
+    }
+
     /** The parent forwarded the head of @p pkt toward @p child. */
     virtual void
     onForward(BankId child, noc::Packet &pkt, NodeId parent, Cycle now)
@@ -137,6 +148,7 @@ class WindowEstimator : public CongestionEstimator
                     const SttAwareParams &params);
 
     Cycle estimate(BankId child, Cycle now) override;
+    Cycle peekEstimate(BankId child, Cycle now) const override;
     void onForward(BankId child, noc::Packet &pkt, NodeId parent,
                    Cycle now) override;
     void onProbeAck(const noc::Packet &pkt, Cycle now) override;
@@ -173,6 +185,12 @@ class RcaEstimator : public CongestionEstimator
                  const RcaFabric &fabric, const SttAwareParams &params);
 
     Cycle estimate(BankId child, Cycle now) override;
+
+    Cycle
+    peekEstimate(BankId child, Cycle now) const override
+    {
+        return const_cast<RcaEstimator *>(this)->estimate(child, now);
+    }
 
   private:
     const RegionMap &regions_;

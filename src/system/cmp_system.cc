@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "sttnoc/region_routing.hh"
+#include "validate/invariants.hh"
 #include "workload/app_profiles.hh"
 
 namespace stacknoc::system {
@@ -38,11 +39,40 @@ CmpSystem::CmpSystem(const SystemConfig &config)
             sampler_->addGroup(&bankAwarePolicy_->stats());
         hub_.add(sampler_.get());
     }
+    if (config_.validate) {
+        validation_ =
+            std::make_unique<validate::ValidationHub>(config_.validation);
+        validate::SystemView view;
+        view.net = net_.get();
+        for (const auto &l1 : l1s_)
+            view.l1s.push_back(l1.get());
+        for (const auto &bank : banks_)
+            view.banks.push_back(bank.get());
+        view.policy = bankAwarePolicy_.get();
+        view.regions = regions_.get();
+        view.parents = parents_.get();
+        view.bankRequestCap = config_.bankRequestCap;
+        view.bankWriteCap = config_.bankWriteCap;
+        validate::addStandardCheckers(*validation_, view,
+                                      config_.validation);
+        hub_.add(validation_.get());
+        // Violations dump the trace-ring tail; install a tracer so the
+        // dump has context even when the caller didn't set one up.
+        if (telemetry::tracer() == nullptr) {
+            ownedTracer_ = std::make_unique<telemetry::PacketTracer>(
+                1024, 1);
+            telemetry::setTracer(ownedTracer_.get());
+        }
+    }
     if (!hub_.empty())
         sim_.onCycleEnd([this](Cycle now) { hub_.onCycle(now); });
 }
 
-CmpSystem::~CmpSystem() = default;
+CmpSystem::~CmpSystem()
+{
+    if (ownedTracer_ && telemetry::tracer() == ownedTracer_.get())
+        telemetry::setTracer(nullptr);
+}
 
 void
 CmpSystem::buildNetwork()
@@ -119,6 +149,7 @@ CmpSystem::buildMemorySystem()
     coherence::L2Config l2cfg;
     l2cfg.tech = sc.tech;
     l2cfg.bankCtrl.writeBuffer = sc.writeBuffer;
+    l2cfg.bankCtrl.writeBufferEntries = sc.writeBufferEntries;
     l2cfg.bankCtrl.readPriority = sc.readPriority;
     l2cfg.realTags = config_.realTags;
     if (config_.realTags) {

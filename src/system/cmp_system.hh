@@ -18,6 +18,7 @@
 #include "sim/stats.hh"
 #include "telemetry/interval.hh"
 #include "telemetry/probe.hh"
+#include "telemetry/trace.hh"
 #include "noc/network.hh"
 #include "sttnoc/bank_aware_policy.hh"
 #include "sttnoc/rca_fabric.hh"
@@ -29,6 +30,7 @@
 #include "system/metrics.hh"
 #include "system/probes.hh"
 #include "system/scenario.hh"
+#include "validate/checker.hh"
 
 namespace stacknoc::system {
 
@@ -71,6 +73,12 @@ struct SystemConfig
 
     /** Cap on retained interval snapshots. */
     std::size_t intervalMaxSnapshots = std::size_t{1} << 16;
+
+    /** Enable the runtime invariant checkers (strict observers). */
+    bool validate = false;
+
+    /** Checker configuration (period, fail-fast, thresholds). */
+    validate::ValidationConfig validation{};
 };
 
 /** The system. Construct, warmup(), run(), then read metrics(). */
@@ -135,6 +143,14 @@ class CmpSystem
         return sampler_.get();
     }
 
+    /** The validation hub, or nullptr when validation is off. */
+    validate::ValidationHub *validation() { return validation_.get(); }
+    const validate::ValidationHub *
+    validation() const
+    {
+        return validation_.get();
+    }
+
     /** Dump every statistics group to @p os. */
     void dumpStats(std::ostream &os) const;
 
@@ -165,6 +181,9 @@ class CmpSystem
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::unique_ptr<RouterOccupancyProbe> probe_;
     std::unique_ptr<telemetry::IntervalSampler> sampler_;
+    std::unique_ptr<validate::ValidationHub> validation_;
+    /** Tracer owned for diagnostic dumps when none was installed. */
+    std::unique_ptr<telemetry::PacketTracer> ownedTracer_;
     telemetry::ProbeHub hub_;
 
     Cycle measureStart_ = 0;

@@ -50,6 +50,9 @@ struct Scenario
     /** Enable the 20-entry per-bank write buffer (BUFF-20 baseline). */
     bool writeBuffer = false;
 
+    /** Write-buffer capacity when writeBuffer is set. */
+    int writeBufferEntries = 20;
+
     /**
      * Bank-level read priority + read preemption without a write buffer
      * (the complementary mechanism of the paper's Section 5 discussion;

@@ -32,8 +32,12 @@ enum class TraceEvent : std::uint8_t {
     RouterArrive,     //!< head flit buffered at a router
     HoldStart,        //!< an STT-RAM-aware parent began holding the packet
     HoldEnd,          //!< the parent forwarded a previously held packet
-    BankQueueEnter,   //!< request entered an L2 bank's demand queue
-    BankServiceStart, //!< bank (or write buffer) began servicing it
+    /**
+     * Request entered an L2 bank's demand queue.
+     * aux = (queue depth on arrival << 1) | is-bank-write.
+     */
+    BankQueueEnter,
+    BankServiceStart, //!< bank (or write buffer) began servicing it; aux = cycles waited
     Eject,            //!< tail flit left the network at the destination NI
 };
 

@@ -1,0 +1,97 @@
+#include "validate/golden.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace stacknoc::validate {
+
+GoldenReport
+replayBankTrace(const std::vector<telemetry::TraceRecord> &records,
+                mem::CacheTech tech)
+{
+    const mem::BankTechParams &timing = mem::bankTech(tech);
+
+    struct BankState
+    {
+        std::deque<GoldenAccess> queue;
+        Cycle freeAt = 0;
+    };
+    std::unordered_map<NodeId, BankState> banks;
+
+    GoldenReport report;
+    auto mismatch = [&](std::string msg) {
+        report.mismatches.push_back(std::move(msg));
+    };
+
+    for (const auto &r : records) {
+        if (r.event == telemetry::TraceEvent::BankQueueEnter) {
+            GoldenAccess acc;
+            acc.pktId = r.packetId;
+            acc.node = r.node;
+            acc.enqueuedAt = r.cycle;
+            acc.isWrite = (r.aux & 1) != 0;
+            banks[r.node].queue.push_back(acc);
+            continue;
+        }
+        if (r.event != telemetry::TraceEvent::BankServiceStart)
+            continue;
+
+        BankState &bank = banks[r.node];
+        if (bank.queue.empty()) {
+            mismatch(detail::format(
+                "node %d: service start for pkt %llu at cycle %llu "
+                "with an empty golden queue (trace truncated?)",
+                r.node, static_cast<unsigned long long>(r.packetId),
+                static_cast<unsigned long long>(r.cycle)));
+            continue;
+        }
+        GoldenAccess acc = bank.queue.front();
+        bank.queue.pop_front();
+        if (acc.pktId != r.packetId) {
+            mismatch(detail::format(
+                "node %d: out-of-order service at cycle %llu: "
+                "simulator served pkt %llu, golden FIFO front is "
+                "pkt %llu",
+                r.node, static_cast<unsigned long long>(r.cycle),
+                static_cast<unsigned long long>(r.packetId),
+                static_cast<unsigned long long>(acc.pktId)));
+            // Resynchronise on the served packet so one reorder does
+            // not cascade into a mismatch for every later access.
+            auto it = std::find_if(
+                bank.queue.begin(), bank.queue.end(),
+                [&](const GoldenAccess &a) {
+                    return a.pktId == r.packetId;
+                });
+            if (it == bank.queue.end())
+                continue;
+            acc = *it;
+            bank.queue.erase(it);
+        }
+        acc.start = std::max(acc.enqueuedAt, bank.freeAt);
+        const Cycle latency =
+            acc.isWrite ? timing.writeCycles : timing.readCycles;
+        acc.done = acc.start + latency;
+        if (acc.start != r.cycle) {
+            mismatch(detail::format(
+                "node %d pkt %llu: simulator started service at cycle "
+                "%llu, golden model predicts %llu (enqueued %llu, bank "
+                "free %llu)",
+                r.node, static_cast<unsigned long long>(acc.pktId),
+                static_cast<unsigned long long>(r.cycle),
+                static_cast<unsigned long long>(acc.start),
+                static_cast<unsigned long long>(acc.enqueuedAt),
+                static_cast<unsigned long long>(bank.freeAt)));
+        }
+        bank.freeAt = acc.done;
+        report.busyCycles += latency;
+        report.lastDone = std::max(report.lastDone, acc.done);
+        report.accesses.push_back(acc);
+    }
+
+    return report;
+}
+
+} // namespace stacknoc::validate

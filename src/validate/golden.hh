@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Differential golden model of L2 bank service order.
+ *
+ * In plain mode without read priority, a bank controller is a single
+ * FIFO queue in front of a port that serves one access at a time:
+ *
+ *     start_i = max(enqueue_i, done_{i-1})
+ *     done_i  = start_i + (isWrite ? writeCycles : readCycles)
+ *
+ * replayBankTrace() reconstructs that queue per bank from the packet
+ * lifecycle trace (BankQueueEnter / BankServiceStart events) and checks
+ * the full simulator agreed with the golden model on both the service
+ * *order* (FIFO) and the service *start cycle* of every access, and it
+ * returns the golden total of bank-busy cycles for comparison with the
+ * simulator's bank_busy_cycles statistic.
+ *
+ * Validity requires: plain mode (no write buffer), readPriority off
+ * (read priority reorders the queue), every access traced (tracer
+ * sampling 1, ring large enough that nothing was dropped), and no
+ * stats/trace reset mid-run.
+ */
+
+#ifndef STACKNOC_VALIDATE_GOLDEN_HH
+#define STACKNOC_VALIDATE_GOLDEN_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/tech.hh"
+#include "telemetry/trace.hh"
+
+namespace stacknoc::validate {
+
+/** One bank access reconstructed from the trace. */
+struct GoldenAccess
+{
+    std::uint64_t pktId = 0;
+    NodeId node = kInvalidNode; //!< bank node
+    Cycle enqueuedAt = 0;
+    bool isWrite = false;
+    Cycle start = 0; //!< golden-model service start
+    Cycle done = 0;  //!< golden-model completion
+};
+
+/** Outcome of a golden-model replay. */
+struct GoldenReport
+{
+    /** Human-readable disagreements (empty when the models agree). */
+    std::vector<std::string> mismatches;
+
+    /** Every access, in golden service order. */
+    std::vector<GoldenAccess> accesses;
+
+    /** Golden total bank-occupied cycles (compare bank_busy_cycles). */
+    std::uint64_t busyCycles = 0;
+
+    /** Golden completion cycle of the last access. */
+    Cycle lastDone = 0;
+
+    bool ok() const { return mismatches.empty(); }
+};
+
+/**
+ * Replay @p records (chronological, as returned by
+ * telemetry::PacketTracer::snapshot()) through the golden model using
+ * the service latencies of @p tech.
+ */
+GoldenReport replayBankTrace(
+    const std::vector<telemetry::TraceRecord> &records,
+    mem::CacheTech tech);
+
+} // namespace stacknoc::validate
+
+#endif // STACKNOC_VALIDATE_GOLDEN_HH

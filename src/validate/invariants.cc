@@ -1,0 +1,552 @@
+#include "validate/invariants.hh"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "coherence/messages.hh"
+
+namespace stacknoc::validate {
+
+namespace {
+
+/**
+ * Visit every flit currently inside the network fabric: router input
+ * buffers, router-to-router links, the NI local links, and NI ejection
+ * buffers. @p at is the node whose buffers hold the flit (for link
+ * flits: the receiver it is travelling toward).
+ */
+void
+forEachFabricFlit(
+    const noc::Network &net,
+    const std::function<void(NodeId at, const noc::Flit &)> &fn)
+{
+    const noc::Topology &topo = net.topology();
+    const int n = net.shape().totalNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        net.router(id).forEachBufferedFlit(
+            [&](noc::Dir, int, const noc::Flit &f) { fn(id, f); });
+        for (int d = 1; d < noc::kNumDirs; ++d) {
+            const noc::Link *link =
+                topo.linkOut(id, static_cast<noc::Dir>(d));
+            if (!link)
+                continue;
+            const NodeId nb = topo.neighbor(id, static_cast<noc::Dir>(d));
+            link->data.forEachInFlight(
+                [&](const noc::LinkFlit &lf) { fn(nb, lf.flit); });
+        }
+        net.niToRouterLink(id).data.forEachInFlight(
+            [&](const noc::LinkFlit &lf) { fn(id, lf.flit); });
+        net.routerToNiLink(id).data.forEachInFlight(
+            [&](const noc::LinkFlit &lf) { fn(id, lf.flit); });
+        static_cast<const noc::NetworkInterface &>(net.ni(id))
+            .forEachEjectFlit(
+                [&](int, const noc::Flit &f, bool) { fn(id, f); });
+    }
+}
+
+std::string
+describePacket(const noc::Packet &pkt)
+{
+    return detail::format(
+        "pkt %llu cls=%s %d->%d bank=%d flits=%d",
+        static_cast<unsigned long long>(pkt.id),
+        noc::packetClassName(pkt.cls), pkt.src, pkt.dest, pkt.destBank,
+        pkt.numFlits);
+}
+
+} // namespace
+
+void
+addStandardCheckers(ValidationHub &hub, const SystemView &view,
+                    const ValidationConfig &config)
+{
+    panic_if(view.net == nullptr,
+             "validation requires at least a network");
+    hub.add(std::make_unique<PacketConservationChecker>(
+        *view.net, config.stallThreshold));
+    hub.add(std::make_unique<CreditConservationChecker>(*view.net));
+    if (view.policy && view.regions && view.parents) {
+        hub.add(std::make_unique<ParentHoldChecker>(
+            *view.net, *view.policy, *view.regions, *view.parents,
+            config.holdSlack));
+    }
+    if (!view.banks.empty() && view.regions) {
+        hub.add(std::make_unique<BankAccountingChecker>(
+            *view.net, view.banks, *view.regions, view.bankRequestCap,
+            view.bankWriteCap));
+    }
+    if (!view.l1s.empty())
+        hub.add(std::make_unique<MesiChecker>(view.l1s));
+}
+
+// --------------------------------------------------------------------
+// PacketConservationChecker
+
+PacketConservationChecker::PacketConservationChecker(
+    const noc::Network &net, Cycle stall_threshold)
+    : net_(net), stallThreshold_(stall_threshold)
+{
+}
+
+void
+PacketConservationChecker::onReset(Cycle)
+{
+    // Statistics were zeroed with packets still in flight: re-derive
+    // the census-vs-counter offset on the next sweep.
+    baselined_ = false;
+    progressArmed_ = false;
+}
+
+void
+PacketConservationChecker::check(Cycle now, std::vector<Violation> &out)
+{
+    struct Entry
+    {
+        const noc::Packet *pkt = nullptr;
+        std::uint16_t seqMask = 0; //!< bit per observed flit seq
+        bool inInjVc = false;      //!< still serialising at the source
+    };
+    std::unordered_map<std::uint64_t, Entry> census;
+
+    auto fail = [&](std::string msg) {
+        out.push_back(Violation{name(), now, std::move(msg)});
+    };
+
+    forEachFabricFlit(net_, [&](NodeId at, const noc::Flit &f) {
+        Entry &e = census[f.pkt->id];
+        e.pkt = f.pkt.get();
+        const std::uint16_t bit =
+            static_cast<std::uint16_t>(1u << f.seq);
+        if (e.seqMask & bit) {
+            fail(detail::format("duplicate flit seq %d at node %d: %s",
+                                f.seq, at,
+                                describePacket(*f.pkt).c_str()));
+        }
+        e.seqMask |= bit;
+    });
+
+    // Packets mid-serialisation at their source NI count as injected
+    // the moment the head flit leaves (packets_injected semantics).
+    const int n = net_.shape().totalNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        static_cast<const noc::NetworkInterface &>(net_.ni(id))
+            .forEachPendingPacket(
+                [&](const noc::Packet &pkt, bool injected) {
+                    if (!injected)
+                        return;
+                    Entry &e = census[pkt.id];
+                    e.pkt = &pkt;
+                    e.inInjVc = true;
+                });
+    }
+
+    for (const auto &[id, e] : census) {
+        (void)id;
+        if (e.seqMask == 0)
+            continue; // all sent flits already consumed downstream
+        // Wormhole order: the surviving flits of a packet form one
+        // contiguous seq range (earlier flits are consumed in order at
+        // the destination). A hole means a dropped or reordered flit.
+        const unsigned m = e.seqMask;
+        const int lo = std::countr_zero(m);
+        const int hi = std::bit_width(m) - 1;
+        const std::uint16_t contiguous = static_cast<std::uint16_t>(
+            ((1u << (hi - lo + 1)) - 1u) << lo);
+        if (m != contiguous) {
+            fail(detail::format("flit gap (mask 0x%x): %s", m,
+                                describePacket(*e.pkt).c_str()));
+        }
+        if (!e.inInjVc && hi != e.pkt->numFlits - 1) {
+            fail(detail::format(
+                "tail flit missing (mask 0x%x): %s", m,
+                describePacket(*e.pkt).c_str()));
+        }
+    }
+
+    const auto *injected = net_.stats().findCounter("packets_injected");
+    const auto *ejected = net_.stats().findCounter("packets_ejected");
+    const auto *switched = net_.stats().findCounter("flits_switched");
+    const std::int64_t inj =
+        injected ? static_cast<std::int64_t>(injected->value()) : 0;
+    const std::int64_t ej =
+        ejected ? static_cast<std::int64_t>(ejected->value()) : 0;
+    const std::int64_t inFlight =
+        static_cast<std::int64_t>(census.size());
+    if (!baselined_) {
+        // The census-vs-counter offset is fixed at attach/reset time:
+        // in flight == baseline + injected - ejected ever after.
+        baseline_ = inFlight - inj + ej;
+        baselined_ = true;
+    } else if (inFlight != baseline_ + inj - ej) {
+        fail(detail::format(
+            "packet census %lld != baseline %lld + injected %lld - "
+            "ejected %lld",
+            static_cast<long long>(inFlight),
+            static_cast<long long>(baseline_),
+            static_cast<long long>(inj), static_cast<long long>(ej)));
+    }
+
+    // Progress: with packets in flight, injection, ejection or flit
+    // switching must advance within the stall threshold.
+    const std::uint64_t sw = switched ? switched->value() : 0;
+    const bool moved = !progressArmed_ ||
+                       sw != lastSwitched_ ||
+                       static_cast<std::uint64_t>(inj) != lastInjected_ ||
+                       static_cast<std::uint64_t>(ej) != lastEjected_;
+    if (moved || inFlight == 0) {
+        lastProgressAt_ = now;
+        lastSwitched_ = sw;
+        lastInjected_ = static_cast<std::uint64_t>(inj);
+        lastEjected_ = static_cast<std::uint64_t>(ej);
+        progressArmed_ = true;
+    } else if (stallThreshold_ > 0 &&
+               now - lastProgressAt_ >= stallThreshold_) {
+        fail(detail::format(
+            "no network progress for %llu cycles with %lld packet(s) "
+            "in flight (possible deadlock)",
+            static_cast<unsigned long long>(now - lastProgressAt_),
+            static_cast<long long>(inFlight)));
+        lastProgressAt_ = now; // report once per threshold window
+    }
+}
+
+// --------------------------------------------------------------------
+// CreditConservationChecker
+
+CreditConservationChecker::CreditConservationChecker(
+    const noc::Network &net)
+    : net_(net)
+{
+}
+
+void
+CreditConservationChecker::check(Cycle now, std::vector<Violation> &out)
+{
+    const noc::Topology &topo = net_.topology();
+    const noc::NocParams &params = net_.params();
+    const int nodes = net_.shape().totalNodes();
+    const int vcs = params.totalVcs();
+    const int depth = params.vcDepth;
+
+    auto fail = [&](std::string msg) {
+        out.push_back(Violation{name(), now, std::move(msg)});
+    };
+
+    // One pass per router/NI to collect per-(port, VC) occupancy.
+    std::vector<int> occ(static_cast<std::size_t>(
+                             nodes * noc::kNumDirs * vcs),
+                         0);
+    std::vector<int> ejOcc(static_cast<std::size_t>(nodes * vcs), 0);
+    auto occAt = [&](NodeId node, int dir, int vc) -> int & {
+        return occ[static_cast<std::size_t>(
+            (node * noc::kNumDirs + dir) * vcs + vc)];
+    };
+    for (NodeId id = 0; id < nodes; ++id) {
+        net_.router(id).forEachBufferedFlit(
+            [&](noc::Dir d, int vc, const noc::Flit &) {
+                ++occAt(id, static_cast<int>(d), vc);
+            });
+        static_cast<const noc::NetworkInterface &>(net_.ni(id))
+            .forEachEjectFlit([&](int vc, const noc::Flit &, bool) {
+                ++ejOcc[static_cast<std::size_t>(id * vcs + vc)];
+            });
+    }
+
+    std::vector<int> dataVc(static_cast<std::size_t>(vcs));
+    std::vector<int> credVc(static_cast<std::size_t>(vcs));
+    auto countLink = [&](const noc::Link &link) {
+        std::fill(dataVc.begin(), dataVc.end(), 0);
+        std::fill(credVc.begin(), credVc.end(), 0);
+        link.data.forEachInFlight([&](const noc::LinkFlit &lf) {
+            ++dataVc[static_cast<std::size_t>(lf.vc)];
+        });
+        link.credit.forEachInFlight([&](const noc::Credit &c) {
+            ++credVc[static_cast<std::size_t>(c.vc)];
+        });
+    };
+    auto checkVc = [&](const char *what, NodeId from, NodeId to,
+                       int vc, int sender_credits, int buffer) {
+        const int data = dataVc[static_cast<std::size_t>(vc)];
+        const int cred = credVc[static_cast<std::size_t>(vc)];
+        if (sender_credits < 0 || buffer < 0) {
+            fail(detail::format(
+                "%s %d->%d vc %d: negative credits (%d) or buffer (%d)",
+                what, from, to, vc, sender_credits, buffer));
+            return;
+        }
+        if (sender_credits + data + buffer + cred != depth) {
+            fail(detail::format(
+                "%s %d->%d vc %d: credits %d + data-in-flight %d + "
+                "buffer %d + credits-in-flight %d != depth %d",
+                what, from, to, vc, sender_credits, data, buffer, cred,
+                depth));
+        }
+    };
+
+    for (NodeId id = 0; id < nodes; ++id) {
+        // Router-to-router links.
+        for (int d = 1; d < noc::kNumDirs; ++d) {
+            const noc::Dir dir = static_cast<noc::Dir>(d);
+            const noc::Link *link = topo.linkOut(id, dir);
+            if (!link)
+                continue;
+            const NodeId nb = topo.neighbor(id, dir);
+            const int recvDir = static_cast<int>(noc::opposite(dir));
+            countLink(*link);
+            for (int vc = 0; vc < vcs; ++vc) {
+                checkVc("link", id, nb, vc,
+                        net_.router(id).outCredits(dir, vc),
+                        occAt(nb, recvDir, vc));
+            }
+        }
+        // NI -> router (injection side).
+        countLink(net_.niToRouterLink(id));
+        const auto &ni =
+            static_cast<const noc::NetworkInterface &>(net_.ni(id));
+        for (int vc = 0; vc < vcs; ++vc) {
+            checkVc("ni-to-router", id, id, vc, ni.injCredits(vc),
+                    occAt(id, static_cast<int>(noc::Dir::Local), vc));
+        }
+        // Router -> NI (ejection side).
+        countLink(net_.routerToNiLink(id));
+        for (int vc = 0; vc < vcs; ++vc) {
+            checkVc("router-to-ni", id, id, vc,
+                    net_.router(id).outCredits(noc::Dir::Local, vc),
+                    ejOcc[static_cast<std::size_t>(id * vcs + vc)]);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// ParentHoldChecker
+
+ParentHoldChecker::ParentHoldChecker(const noc::Network &net,
+                                     const sttnoc::BankAwarePolicy &policy,
+                                     const sttnoc::RegionMap &regions,
+                                     const sttnoc::ParentMap &parents,
+                                     Cycle hold_slack)
+    : net_(net), policy_(policy), regions_(regions), parents_(parents),
+      holdSlack_(hold_slack)
+{
+}
+
+void
+ParentHoldChecker::check(Cycle now, std::vector<Violation> &out)
+{
+    const sttnoc::SttAwareParams &p = policy_.params();
+
+    auto fail = [&](std::string msg) {
+        out.push_back(Violation{name(), now, std::move(msg)});
+    };
+
+    // Section 3.5 bound: a busy window opened at t extends at most to
+    // t + path delay + congestion estimate + write service, and the
+    // estimate saturates at congestionCap.
+    for (BankId b = 0; b < regions_.numBanks(); ++b) {
+        const Cycle horizon = policy_.busyUntil(b);
+        const Cycle bound = now + policy_.pathDelay(b) +
+                            p.congestionCap + p.writeServiceCycles;
+        if (horizon > bound) {
+            fail(detail::format(
+                "bank %d busy horizon %llu exceeds now %llu + path %llu "
+                "+ cap %llu + service %llu",
+                b, static_cast<unsigned long long>(horizon),
+                static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(policy_.pathDelay(b)),
+                static_cast<unsigned long long>(p.congestionCap),
+                static_cast<unsigned long long>(p.writeServiceCycles)));
+        }
+    }
+
+    // Held-packet sanity. Each packet is diagnosed once per sweep.
+    std::unordered_set<std::uint64_t> seen;
+    forEachFabricFlit(net_, [&](NodeId at, const noc::Flit &f) {
+        const noc::Packet &pkt = *f.pkt;
+        if (pkt.firstHeldAt == kCycleNever)
+            return;
+        if (!seen.insert(pkt.id).second)
+            return;
+        if (p.delayMode != sttnoc::DelayMode::Hold) {
+            fail(detail::format("held packet outside Hold mode: %s",
+                                describePacket(pkt).c_str()));
+            return;
+        }
+        if (pkt.cls != noc::PacketClass::StoreWrite &&
+            pkt.cls != noc::PacketClass::WritebackReq) {
+            fail(detail::format("held packet of unholdable class: %s",
+                                describePacket(pkt).c_str()));
+            return;
+        }
+        if (pkt.destBank < 0 || pkt.destBank >= regions_.numBanks()) {
+            fail(detail::format("held packet without a target bank: %s",
+                                describePacket(pkt).c_str()));
+            return;
+        }
+        if (pkt.firstHeldAt > now) {
+            fail(detail::format(
+                "hold start %llu in the future (now %llu): %s",
+                static_cast<unsigned long long>(pkt.firstHeldAt),
+                static_cast<unsigned long long>(now),
+                describePacket(pkt).c_str()));
+            return;
+        }
+        if (at == parents_.parentOf(pkt.destBank) &&
+            now - pkt.firstHeldAt > p.holdCap + holdSlack_) {
+            fail(detail::format(
+                "packet held at parent %d for %llu cycles (cap %llu + "
+                "slack %llu): %s",
+                at,
+                static_cast<unsigned long long>(now - pkt.firstHeldAt),
+                static_cast<unsigned long long>(p.holdCap),
+                static_cast<unsigned long long>(holdSlack_),
+                describePacket(pkt).c_str()));
+        }
+    });
+}
+
+// --------------------------------------------------------------------
+// BankAccountingChecker
+
+BankAccountingChecker::BankAccountingChecker(
+    const noc::Network &net,
+    std::vector<const coherence::L2Bank *> banks,
+    const sttnoc::RegionMap &regions, int request_cap, int write_cap)
+    : net_(net), banks_(std::move(banks)), regions_(regions),
+      requestCap_(request_cap), writeCap_(write_cap)
+{
+}
+
+void
+BankAccountingChecker::check(Cycle now, std::vector<Violation> &out)
+{
+    auto fail = [&](std::string msg) {
+        out.push_back(Violation{name(), now, std::move(msg)});
+    };
+
+    for (std::size_t i = 0; i < banks_.size(); ++i) {
+        const coherence::L2Bank &bank = *banks_[i];
+        const BankId b = static_cast<BankId>(i);
+        int req = 0;
+        int wr = 0;
+        bank.countAdmitted(req, wr);
+
+        // Packets the NI has committed (tryAccept succeeded, counters
+        // charged) but not yet fully reassembled and delivered.
+        const NodeId node = regions_.nodeOfBank(b);
+        net_.ni(node).forEachCommittedPacket(
+            [&](int, const noc::Packet &pkt) {
+                switch (pkt.cls) {
+                  case noc::PacketClass::ReadReq:
+                  case noc::PacketClass::WriteReq:
+                    ++req;
+                    break;
+                  case noc::PacketClass::StoreWrite:
+                  case noc::PacketClass::WritebackReq:
+                    ++wr;
+                    break;
+                  default:
+                    break;
+                }
+            });
+
+        const int ar = bank.admittedRequests();
+        const int aw = bank.admittedWrites();
+        if (ar != req) {
+            fail(detail::format(
+                "bank %d admitted-request counter %d != census %d "
+                "(%zu TBEs)",
+                b, ar, req, bank.tbeCount()));
+        }
+        if (aw != wr) {
+            fail(detail::format(
+                "bank %d admitted-write counter %d != census %d "
+                "(%zu TBEs)",
+                b, aw, wr, bank.tbeCount()));
+        }
+        if (ar < 0 || ar > requestCap_) {
+            fail(detail::format(
+                "bank %d admitted-request counter %d outside [0, %d]",
+                b, ar, requestCap_));
+        }
+        if (aw < 0 || aw > writeCap_) {
+            fail(detail::format(
+                "bank %d admitted-write counter %d outside [0, %d]", b,
+                aw, writeCap_));
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// MesiChecker
+
+MesiChecker::MesiChecker(std::vector<const coherence::L1Cache *> l1s)
+    : l1s_(std::move(l1s))
+{
+}
+
+void
+MesiChecker::check(Cycle now, std::vector<Violation> &out)
+{
+    using coherence::L1State;
+
+    auto fail = [&](std::string msg) {
+        out.push_back(Violation{name(), now, std::move(msg)});
+    };
+
+    struct Holders
+    {
+        std::vector<std::pair<CoreId, L1State>> owners;  //!< M / E
+        std::vector<std::pair<CoreId, L1State>> sharers; //!< S / SM
+    };
+    std::unordered_map<BlockAddr, Holders> blocks;
+
+    for (const coherence::L1Cache *l1 : l1s_) {
+        const CoreId core = l1->core();
+        l1->tags().forEachValid([&](const cache::TagEntry &e) {
+            if (e.state >
+                static_cast<std::uint8_t>(L1State::SM) ||
+                e.state == static_cast<std::uint8_t>(L1State::I)) {
+                fail(detail::format(
+                    "L1 %d block %llu: illegal state byte %u on a "
+                    "valid entry",
+                    core, static_cast<unsigned long long>(e.addr),
+                    static_cast<unsigned>(e.state)));
+                return;
+            }
+            const L1State st = static_cast<L1State>(e.state);
+            Holders &h = blocks[e.addr];
+            if (st == L1State::M || st == L1State::E)
+                h.owners.emplace_back(core, st);
+            else if (st == L1State::S || st == L1State::SM)
+                h.sharers.emplace_back(core, st);
+        });
+    }
+
+    for (const auto &[addr, h] : blocks) {
+        if (h.owners.size() > 1) {
+            fail(detail::format(
+                "block %llu has %zu owners (cores %d/%s and %d/%s)",
+                static_cast<unsigned long long>(addr), h.owners.size(),
+                h.owners[0].first,
+                coherence::l1StateName(h.owners[0].second),
+                h.owners[1].first,
+                coherence::l1StateName(h.owners[1].second)));
+        }
+        if (h.owners.size() == 1 && !h.sharers.empty()) {
+            fail(detail::format(
+                "block %llu owned %s by core %d but shared %s by "
+                "core %d",
+                static_cast<unsigned long long>(addr),
+                coherence::l1StateName(h.owners[0].second),
+                h.owners[0].first,
+                coherence::l1StateName(h.sharers[0].second),
+                h.sharers[0].first));
+        }
+    }
+}
+
+} // namespace stacknoc::validate

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The concrete runtime invariant checkers:
+ *
+ *  - PacketConservationChecker: every injected packet is either ejected
+ *    or accounted for by a full census of router buffers, link
+ *    channels, NI injection VCs and NI ejection buffers; no flit is
+ *    duplicated or dropped; the network keeps making progress.
+ *  - CreditConservationChecker: on every link and VC, sender credits +
+ *    flits in flight + downstream buffer occupancy + credits in flight
+ *    exactly equals the VC depth (which implies non-negativity and
+ *    bounded buffers).
+ *  - ParentHoldChecker: the STT-RAM-aware busy windows obey the
+ *    paper's bound (path delay + congestion estimate + write service)
+ *    and held packets are well-formed and released within the
+ *    starvation cap.
+ *  - BankAccountingChecker: each L2 bank's admission busy-counters
+ *    agree with a census of its TBEs, blocked queues and
+ *    committed-but-undelivered packets at its network interface.
+ *  - MesiChecker: across all L1 tag arrays, every block has at most
+ *    one owner (M/E) and owners exclude sharers (S/SM).
+ *
+ * All checkers observe through const accessors only.
+ */
+
+#ifndef STACKNOC_VALIDATE_INVARIANTS_HH
+#define STACKNOC_VALIDATE_INVARIANTS_HH
+
+#include <vector>
+
+#include "noc/network.hh"
+#include "sttnoc/bank_aware_policy.hh"
+#include "coherence/l1_cache.hh"
+#include "coherence/l2_bank.hh"
+#include "validate/checker.hh"
+
+namespace stacknoc::validate {
+
+/**
+ * Read-only handles on the pieces of a system that checkers inspect.
+ * Optional members (null / empty) suppress the checkers needing them,
+ * so partial systems (unit-test fixtures) validate what they have.
+ */
+struct SystemView
+{
+    const noc::Network *net = nullptr;
+    std::vector<const coherence::L1Cache *> l1s;
+    std::vector<const coherence::L2Bank *> banks;
+    const sttnoc::BankAwarePolicy *policy = nullptr;
+    const sttnoc::RegionMap *regions = nullptr;
+    const sttnoc::ParentMap *parents = nullptr;
+    int bankRequestCap = 8;
+    int bankWriteCap = 32;
+};
+
+/** Register every checker the view supports on @p hub. */
+void addStandardCheckers(ValidationHub &hub, const SystemView &view,
+                         const ValidationConfig &config);
+
+/** Packet conservation, duplication/drop detection, and progress. */
+class PacketConservationChecker : public Checker
+{
+  public:
+    PacketConservationChecker(const noc::Network &net,
+                              Cycle stall_threshold);
+
+    const char *name() const override { return "packet-conservation"; }
+    void check(Cycle now, std::vector<Violation> &out) override;
+    void onReset(Cycle now) override;
+
+  private:
+    const noc::Network &net_;
+    Cycle stallThreshold_;
+
+    /** in-flight census minus (injected - ejected) at baseline time. */
+    std::int64_t baseline_ = 0;
+    bool baselined_ = false;
+
+    std::uint64_t lastInjected_ = 0;
+    std::uint64_t lastEjected_ = 0;
+    std::uint64_t lastSwitched_ = 0;
+    Cycle lastProgressAt_ = 0;
+    bool progressArmed_ = false;
+};
+
+/** Per-link, per-VC credit/buffer conservation. */
+class CreditConservationChecker : public Checker
+{
+  public:
+    explicit CreditConservationChecker(const noc::Network &net);
+
+    const char *name() const override { return "credit-conservation"; }
+    void check(Cycle now, std::vector<Violation> &out) override;
+
+  private:
+    const noc::Network &net_;
+};
+
+/** STT-RAM-aware busy-window and held-packet soundness. */
+class ParentHoldChecker : public Checker
+{
+  public:
+    ParentHoldChecker(const noc::Network &net,
+                      const sttnoc::BankAwarePolicy &policy,
+                      const sttnoc::RegionMap &regions,
+                      const sttnoc::ParentMap &parents, Cycle hold_slack);
+
+    const char *name() const override { return "parent-hold"; }
+    void check(Cycle now, std::vector<Violation> &out) override;
+
+  private:
+    const noc::Network &net_;
+    const sttnoc::BankAwarePolicy &policy_;
+    const sttnoc::RegionMap &regions_;
+    const sttnoc::ParentMap &parents_;
+    Cycle holdSlack_;
+};
+
+/** L2 admission busy-counters against a transaction census. */
+class BankAccountingChecker : public Checker
+{
+  public:
+    BankAccountingChecker(const noc::Network &net,
+                          std::vector<const coherence::L2Bank *> banks,
+                          const sttnoc::RegionMap &regions,
+                          int request_cap, int write_cap);
+
+    const char *name() const override { return "bank-accounting"; }
+    void check(Cycle now, std::vector<Violation> &out) override;
+
+  private:
+    const noc::Network &net_;
+    std::vector<const coherence::L2Bank *> banks_;
+    const sttnoc::RegionMap &regions_;
+    int requestCap_;
+    int writeCap_;
+};
+
+/** MESI state-pair legality across all L1 tag arrays. */
+class MesiChecker : public Checker
+{
+  public:
+    explicit MesiChecker(std::vector<const coherence::L1Cache *> l1s);
+
+    const char *name() const override { return "mesi-legality"; }
+    void check(Cycle now, std::vector<Violation> &out) override;
+
+  private:
+    std::vector<const coherence::L1Cache *> l1s_;
+};
+
+} // namespace stacknoc::validate
+
+#endif // STACKNOC_VALIDATE_INVARIANTS_HH

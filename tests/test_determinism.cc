@@ -33,17 +33,20 @@ struct Snapshot
 };
 
 Snapshot
-runScenario(const system::Scenario &sc, Cycle interval_period = 0)
+runScenario(const system::Scenario &sc, Cycle interval_period = 0,
+            std::uint64_t seed = 11, bool validate = false,
+            Cycle cycles = 6000)
 {
     system::SystemConfig cfg;
     cfg.meshWidth = 4;
     cfg.meshHeight = 4;
     cfg.scenario = sc;
     cfg.apps = {"streamcluster"};
-    cfg.seed = 11;
+    cfg.seed = seed;
     cfg.intervalPeriod = interval_period;
+    cfg.validate = validate;
     system::CmpSystem sys(cfg);
-    sys.run(6000);
+    sys.run(cycles);
     Snapshot s;
     for (int c = 0; c < sys.numCores(); ++c)
         s.committed.push_back(sys.core(c).committed());
@@ -104,6 +107,25 @@ TEST(Telemetry, ObserversDoNotPerturbSimulation)
     EXPECT_TRUE(off == on);
     // And the tracer actually observed traffic.
     EXPECT_GT(sink.records().size(), 0u);
+}
+
+TEST(Validation, CheckersDoNotPerturbSimulationAcrossSeeds)
+{
+    // The invariant checkers are strict observers: across a sweep of
+    // seeds, runs with checkers on must be bit-identical to runs with
+    // checkers off. Any divergence means a checker mutated state.
+    const auto sc = system::scenarios::sttram4TsbWb();
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const Snapshot off =
+            runScenario(sc, 0, seed, /*validate=*/false, 3000);
+        const Snapshot on =
+            runScenario(sc, 0, seed, /*validate=*/true, 3000);
+        EXPECT_TRUE(off == on) << "seed " << seed;
+        std::uint64_t total = 0;
+        for (const auto c : on.committed)
+            total += c;
+        EXPECT_GT(total, 500u) << "seed " << seed;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

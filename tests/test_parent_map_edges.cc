@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Edge cases of the parent map (Section 3.4 / Figure 4): banks closer
+ * than H hops to their region's TSB entry have no cache-layer router H
+ * hops upstream, so they must be parented by the core-layer TSB router
+ * itself. Swept over H = 1..3 and the 4/8/16-region partitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "sttnoc/parent_map.hh"
+#include "sttnoc/region_map.hh"
+
+namespace stacknoc::sttnoc {
+namespace {
+
+struct Edge
+{
+    int regions;
+    TsbPlacement placement;
+    int hops;
+};
+
+class ParentMapEdges : public ::testing::TestWithParam<Edge>
+{
+};
+
+TEST_P(ParentMapEdges, CloseBanksParentAtTsbRouter)
+{
+    const Edge e = GetParam();
+    const MeshShape shape(8, 8, 2);
+    const RegionMap regions(shape,
+                            RegionConfig{e.regions, e.placement});
+    const ParentMap parents(regions, e.hops);
+
+    int close_banks = 0;
+    for (BankId b = 0; b < regions.numBanks(); ++b) {
+        const std::vector<NodeId> path = parents.tsbPathTo(b);
+        ASSERT_GE(path.size(), 1u) << "bank " << b;
+        EXPECT_EQ(path.front(),
+                  regions.tsbCacheNode(regions.regionOf(b)));
+        EXPECT_EQ(path.back(), regions.nodeOfBank(b));
+
+        const int dist = static_cast<int>(path.size()) - 1;
+        const NodeId parent = parents.parentOf(b);
+        if (dist < e.hops) {
+            // No cache-layer router H hops upstream exists: the
+            // core-layer TSB router re-orders for this bank.
+            ++close_banks;
+            EXPECT_EQ(parent,
+                      regions.tsbCoreNode(regions.regionOf(b)))
+                << "bank " << b << " at distance " << dist
+                << " with H=" << e.hops;
+        } else {
+            EXPECT_EQ(parent,
+                      path[path.size() - 1 -
+                           static_cast<std::size_t>(e.hops)])
+                << "bank " << b;
+        }
+    }
+    // Every partition has banks near its TSB entries (at least the
+    // TSB cell itself, at distance 0).
+    EXPECT_GE(close_banks, e.regions);
+}
+
+TEST_P(ParentMapEdges, ChildrenListsAreConsistent)
+{
+    const Edge e = GetParam();
+    const MeshShape shape(8, 8, 2);
+    const RegionMap regions(shape,
+                            RegionConfig{e.regions, e.placement});
+    const ParentMap parents(regions, e.hops);
+
+    std::set<BankId> seen;
+    for (NodeId n = 0; n < shape.totalNodes(); ++n) {
+        for (const BankId b : parents.childrenOf(n)) {
+            EXPECT_EQ(parents.parentOf(b), n);
+            EXPECT_TRUE(parents.isParent(n));
+            EXPECT_TRUE(seen.insert(b).second)
+                << "bank " << b << " has two parents";
+        }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), regions.numBanks());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ParentMapEdges,
+    ::testing::Values(
+        Edge{4, TsbPlacement::Corner, 1},
+        Edge{4, TsbPlacement::Corner, 2},
+        Edge{4, TsbPlacement::Corner, 3},
+        Edge{8, TsbPlacement::Corner, 1},
+        Edge{8, TsbPlacement::Corner, 2},
+        Edge{8, TsbPlacement::Corner, 3},
+        Edge{16, TsbPlacement::Corner, 1},
+        Edge{16, TsbPlacement::Corner, 2},
+        Edge{16, TsbPlacement::Corner, 3},
+        Edge{8, TsbPlacement::Stagger, 2},
+        Edge{16, TsbPlacement::Stagger, 3}),
+    [](const ::testing::TestParamInfo<Edge> &info) {
+        const Edge &e = info.param;
+        return "r" + std::to_string(e.regions) + "_h" +
+               std::to_string(e.hops) + "_" +
+               (e.placement == TsbPlacement::Corner ? "corner"
+                                                    : "stagger");
+    });
+
+} // namespace
+} // namespace stacknoc::sttnoc

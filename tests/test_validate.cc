@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The validation subsystem itself: the hub's sweep/fail-fast machinery,
+ * checkers staying silent on healthy scenarios, an intentionally
+ * injected busy-counter bug being caught with a cycle-stamped
+ * diagnostic, and the differential golden model of bank service order
+ * agreeing with the full simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hh"
+#include "system/cmp_system.hh"
+#include "validate/golden.hh"
+#include "validate/invariants.hh"
+
+namespace stacknoc {
+namespace {
+
+system::SystemConfig
+smallConfig(const system::Scenario &sc, bool fail_fast = true)
+{
+    system::SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.scenario = sc;
+    cfg.apps = {"tpcc"};
+    cfg.seed = 7;
+    cfg.validate = true;
+    cfg.validation.failFast = fail_fast;
+    return cfg;
+}
+
+// ---------------------------------------------------------------- hub
+
+class RiggedChecker : public validate::Checker
+{
+  public:
+    explicit RiggedChecker(Cycle fire_at) : fireAt_(fire_at) {}
+
+    const char *name() const override { return "rigged"; }
+
+    void
+    check(Cycle now, std::vector<validate::Violation> &out) override
+    {
+        ++calls;
+        if (now >= fireAt_)
+            out.push_back({name(), now, "rigged violation"});
+    }
+
+    int calls = 0;
+
+  private:
+    Cycle fireAt_;
+};
+
+TEST(ValidationHub, PeriodGatesSweeps)
+{
+    validate::ValidationConfig cfg;
+    cfg.period = 4;
+    cfg.failFast = false;
+    validate::ValidationHub hub(cfg);
+    auto checker = std::make_unique<RiggedChecker>(Cycle{1000});
+    RiggedChecker *raw = checker.get();
+    hub.add(std::move(checker));
+
+    for (Cycle c = 1; c <= 16; ++c)
+        hub.onCycle(c);
+    EXPECT_EQ(raw->calls, 4); // cycles 4, 8, 12, 16
+    EXPECT_EQ(hub.sweeps(), 4u);
+    EXPECT_TRUE(hub.violations().empty());
+}
+
+TEST(ValidationHub, CollectsCycleStampedViolations)
+{
+    validate::ValidationConfig cfg;
+    cfg.failFast = false;
+    validate::ValidationHub hub(cfg);
+    hub.add(std::make_unique<RiggedChecker>(Cycle{3}));
+
+    for (Cycle c = 1; c <= 5; ++c)
+        hub.onCycle(c);
+    ASSERT_EQ(hub.violations().size(), 3u);
+    EXPECT_EQ(hub.violations().front().cycle, 3u);
+    EXPECT_EQ(hub.violations().front().checker, "rigged");
+}
+
+// ----------------------------------------------------- healthy systems
+
+TEST(Checkers, SilentOnHealthyScenarios)
+{
+    for (const auto &sc : {system::scenarios::sttram4TsbSS(),
+                           system::scenarios::sttram4TsbWb(),
+                           system::scenarios::sttramBuff20()}) {
+        system::CmpSystem sys(smallConfig(sc));
+        sys.warmup(500); // exercise the stats-reset re-baselining
+        sys.run(3000);
+        ASSERT_NE(sys.validation(), nullptr);
+        EXPECT_TRUE(sys.validation()->violations().empty()) << sc.name;
+        EXPECT_GT(sys.validation()->sweeps(), 0u);
+        // Conservation, credits, bank accounting, MESI are always on;
+        // parent-hold additionally when the scenario has a scheme.
+        EXPECT_GE(sys.validation()->checkerCount(),
+                  sc.scheme.has_value() ? 5u : 4u)
+            << sc.name;
+    }
+}
+
+// ------------------------------------------------------ injected bugs
+
+TEST(Checkers, InjectedBusyCounterBugIsCaught)
+{
+    auto cfg = smallConfig(system::scenarios::sttram4TsbSS(),
+                           /*fail_fast=*/false);
+    system::CmpSystem sys(cfg);
+    sys.run(200);
+    ASSERT_TRUE(sys.validation()->violations().empty());
+
+    // Emulate a lost admission-counter decrement on one bank.
+    sys.bank(3).corruptAdmissionCountersForTest(+1, 0);
+    const Cycle before = sys.simulator().now();
+    sys.run(2);
+
+    const auto &vs = sys.validation()->violations();
+    ASSERT_FALSE(vs.empty());
+    bool found = false;
+    for (const auto &v : vs) {
+        if (v.checker != "bank-accounting")
+            continue;
+        found = true;
+        EXPECT_GE(v.cycle, before); // stamped with the detection cycle
+        EXPECT_NE(v.message.find("bank 3"), std::string::npos)
+            << v.message;
+    }
+    EXPECT_TRUE(found);
+}
+
+using CheckersDeathTest = ::testing::Test;
+
+TEST(CheckersDeathTest, FailFastDumpsCycleStampedDiagnostic)
+{
+    // With fail-fast on, the hub must abort with a diagnostic naming
+    // the checker and the detection cycle.
+    auto run = [] {
+        auto cfg = smallConfig(system::scenarios::sttram4TsbSS());
+        system::CmpSystem sys(cfg);
+        sys.run(200);
+        sys.bank(0).corruptAdmissionCountersForTest(0, +1);
+        sys.run(2);
+    };
+    EXPECT_DEATH(run(), "\\[cycle [0-9]+\\] bank-accounting");
+}
+
+// --------------------------------------------------- differential test
+
+TEST(GoldenModel, AgreesWithSimulatorOnBankServiceOrder)
+{
+    // Plain-mode SS on a small mesh: a bank is a single FIFO with
+    // fixed read/write latencies, so the golden model must reproduce
+    // every service start and the total busy cycles exactly.
+    telemetry::PacketTracer tracer(std::size_t{1} << 20, 1);
+    telemetry::setTracer(&tracer);
+
+    auto cfg = smallConfig(system::scenarios::sttram4TsbSS());
+    system::CmpSystem sys(cfg);
+    sys.run(5000);
+
+    const auto records = tracer.snapshot();
+    telemetry::setTracer(nullptr);
+
+    const auto report = validate::replayBankTrace(
+        records, cfg.scenario.tech);
+    for (const auto &m : report.mismatches)
+        ADD_FAILURE() << m;
+    EXPECT_GT(report.accesses.size(), 100u);
+    EXPECT_EQ(report.busyCycles,
+              sys.cacheStats().counter("bank_busy_cycles").value());
+}
+
+TEST(GoldenModel, DetectsReorderAndWrongStart)
+{
+    using telemetry::TraceEvent;
+    using telemetry::TraceRecord;
+    const auto rec = [](Cycle cycle, std::uint64_t pkt, TraceEvent ev,
+                        NodeId node, std::int64_t aux) {
+        TraceRecord r;
+        r.cycle = cycle;
+        r.packetId = pkt;
+        r.event = ev;
+        r.node = node;
+        r.aux = aux;
+        return r;
+    };
+    const auto t = mem::CacheTech::SttRam;
+    const Cycle rd = mem::bankTech(t).readCycles;
+
+    // Two reads enqueued in order 1, 2 but served 2, 1: a FIFO
+    // violation the golden model must flag.
+    const std::vector<TraceRecord> reordered{
+        rec(10, 1, TraceEvent::BankQueueEnter, 20, 0),
+        rec(11, 2, TraceEvent::BankQueueEnter, 20, 2),
+        rec(12, 2, TraceEvent::BankServiceStart, 20, 1),
+        rec(12 + rd, 1, TraceEvent::BankServiceStart, 20, 0),
+    };
+    EXPECT_FALSE(validate::replayBankTrace(reordered, t).ok());
+
+    // In-order, but the second start disagrees with start = max(enq,
+    // free): served while the golden bank is still busy.
+    const std::vector<TraceRecord> early{
+        rec(10, 1, TraceEvent::BankQueueEnter, 20, 0),
+        rec(10, 1, TraceEvent::BankServiceStart, 20, 0),
+        rec(11, 2, TraceEvent::BankQueueEnter, 20, 2),
+        rec(12, 2, TraceEvent::BankServiceStart, 20, 1),
+    };
+    EXPECT_FALSE(validate::replayBankTrace(early, t).ok());
+
+    // The same schedule with the correct second start is clean.
+    const std::vector<TraceRecord> good{
+        rec(10, 1, TraceEvent::BankQueueEnter, 20, 0),
+        rec(10, 1, TraceEvent::BankServiceStart, 20, 0),
+        rec(11, 2, TraceEvent::BankQueueEnter, 20, 2),
+        rec(10 + rd, 2, TraceEvent::BankServiceStart, 20, 1),
+    };
+    const auto report = validate::replayBankTrace(good, t);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.busyCycles, 2 * rd);
+}
+
+} // namespace
+} // namespace stacknoc

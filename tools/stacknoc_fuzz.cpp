@@ -1,0 +1,348 @@
+/**
+ * @file
+ * stacknoc_fuzz — randomized scenario fuzzing under the runtime
+ * invariant checkers.
+ *
+ * Each run draws a random design point (regions, scheme, delay mode,
+ * parent hops, technology, write buffer and depth, read priority, TSB
+ * placement, admission caps, workload, duration, seed) from a master
+ * seed, builds the system with every checker enabled, and simulates.
+ * Any invariant violation fails the run; the fuzzer then bisects the
+ * duration down to the shortest failing prefix and writes a replayable
+ * key=value reproducer file.
+ *
+ *   stacknoc_fuzz                         # 50 runs from seed 1
+ *   stacknoc_fuzz --runs 200 --seed 7
+ *   stacknoc_fuzz --replay fuzz-fail-3.txt   # re-run a reproducer
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "system/cmp_system.hh"
+
+using namespace stacknoc;
+
+namespace {
+
+/** Everything needed to rebuild one fuzz run exactly. */
+struct FuzzCase
+{
+    int mesh = 4;
+    int regions = 4;      //!< 0 = unrestricted vertical links
+    std::string scheme = "ss"; //!< none | ss | rca | wb
+    std::string delayMode = "priority"; //!< priority | hold
+    int hops = 2;
+    std::string tech = "sttram"; //!< sttram | sram
+    std::string placement = "corner"; //!< corner | stagger
+    bool writeBuffer = false;
+    int writeBufferEntries = 20;
+    bool readPriority = false;
+    int requestCap = 8;
+    int writeCap = 32;
+    std::string apps = "tpcc";
+    std::uint64_t seed = 1;
+    Cycle warmup = 0;
+    Cycle cycles = 4000;
+};
+
+FuzzCase
+drawCase(std::mt19937_64 &rng)
+{
+    auto pick = [&](auto... vals) {
+        using T = std::common_type_t<decltype(vals)...>;
+        const T arr[] = {vals...};
+        return arr[rng() % (sizeof...(vals))];
+    };
+
+    FuzzCase fc;
+    fc.mesh = 4;
+    fc.regions = pick(0, 4, 8, 16);
+    fc.scheme = fc.regions == 0
+                    ? "none"
+                    : std::string(pick("none", "ss", "rca", "wb"));
+    fc.delayMode = pick("priority", "hold");
+    fc.hops = pick(1, 2, 3);
+    fc.tech = pick("sttram", "sttram", "sram"); // bias toward STT-RAM
+    fc.placement = pick("corner", "stagger");
+    fc.writeBuffer = pick(0, 0, 1) != 0;
+    fc.writeBufferEntries = pick(4, 20);
+    fc.readPriority = pick(0, 0, 1) != 0;
+    fc.requestCap = pick(4, 8);
+    fc.writeCap = pick(16, 32);
+    fc.apps = pick("tpcc", "sjbb", "lbm", "mcf", "libquantum",
+                   "tpcc,lbm,mcf,libquantum", "sap,sjbb,tpcc,milc");
+    fc.seed = rng();
+    fc.warmup = pick(Cycle{0}, Cycle{500});
+    fc.cycles = 2000 + rng() % 6000;
+    return fc;
+}
+
+system::SystemConfig
+toConfig(const FuzzCase &fc)
+{
+    system::SystemConfig cfg;
+    cfg.meshWidth = fc.mesh;
+    cfg.meshHeight = fc.mesh;
+
+    system::Scenario sc;
+    sc.name = "fuzz";
+    sc.tech = fc.tech == "sram" ? mem::CacheTech::Sram
+                                : mem::CacheTech::SttRam;
+    sc.tsbRegions = fc.regions;
+    sc.placement = fc.placement == "stagger"
+                       ? sttnoc::TsbPlacement::Stagger
+                       : sttnoc::TsbPlacement::Corner;
+    if (fc.scheme == "none")
+        sc.scheme.reset();
+    else if (fc.scheme == "ss")
+        sc.scheme = sttnoc::EstimatorKind::Simple;
+    else if (fc.scheme == "rca")
+        sc.scheme = sttnoc::EstimatorKind::Rca;
+    else if (fc.scheme == "wb")
+        sc.scheme = sttnoc::EstimatorKind::Window;
+    else
+        fatal("unknown scheme '%s'", fc.scheme.c_str());
+    sc.parentHops = fc.hops;
+    sc.delayMode = fc.delayMode == "hold" ? sttnoc::DelayMode::Hold
+                                          : sttnoc::DelayMode::Priority;
+    sc.writeBuffer = fc.writeBuffer;
+    sc.writeBufferEntries = fc.writeBufferEntries;
+    sc.readPriority = fc.readPriority;
+    cfg.scenario = sc;
+
+    cfg.bankRequestCap = fc.requestCap;
+    cfg.bankWriteCap = fc.writeCap;
+    cfg.seed = fc.seed;
+
+    std::vector<std::string> apps;
+    std::stringstream ss(fc.apps);
+    for (std::string item; std::getline(ss, item, ',');)
+        apps.push_back(item);
+    if (apps.size() > 1) {
+        cfg.apps.clear();
+        const int cores = cfg.meshWidth * cfg.meshHeight;
+        for (int c = 0; c < cores; ++c)
+            cfg.apps.push_back(
+                apps[static_cast<std::size_t>(c) % apps.size()]);
+    } else {
+        cfg.apps = apps;
+    }
+
+    cfg.validate = true;
+    cfg.validation.failFast = false; // collect, then minimize
+    return cfg;
+}
+
+/** @return violations seen when running @p fc for @p cycles cycles. */
+std::size_t
+runCase(const FuzzCase &fc, Cycle cycles)
+{
+    system::SystemConfig cfg = toConfig(fc);
+    system::CmpSystem sys(cfg);
+    if (fc.warmup > 0)
+        sys.warmup(fc.warmup);
+    sys.run(cycles);
+    return sys.validation()->violations().size();
+}
+
+void
+writeCase(const FuzzCase &fc, const std::string &path)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write reproducer '%s'", path.c_str());
+    out << "mesh=" << fc.mesh << "\n"
+        << "regions=" << fc.regions << "\n"
+        << "scheme=" << fc.scheme << "\n"
+        << "delay_mode=" << fc.delayMode << "\n"
+        << "hops=" << fc.hops << "\n"
+        << "tech=" << fc.tech << "\n"
+        << "placement=" << fc.placement << "\n"
+        << "write_buffer=" << (fc.writeBuffer ? 1 : 0) << "\n"
+        << "write_buffer_entries=" << fc.writeBufferEntries << "\n"
+        << "read_priority=" << (fc.readPriority ? 1 : 0) << "\n"
+        << "request_cap=" << fc.requestCap << "\n"
+        << "write_cap=" << fc.writeCap << "\n"
+        << "apps=" << fc.apps << "\n"
+        << "seed=" << fc.seed << "\n"
+        << "warmup=" << fc.warmup << "\n"
+        << "cycles=" << fc.cycles << "\n";
+}
+
+FuzzCase
+readCase(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot read reproducer '%s'", path.c_str());
+    FuzzCase fc;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t eq = line.find('=');
+        fatal_if(eq == std::string::npos, "bad reproducer line '%s'",
+                 line.c_str());
+        const std::string key = line.substr(0, eq);
+        const std::string val = line.substr(eq + 1);
+        if (key == "mesh") fc.mesh = std::stoi(val);
+        else if (key == "regions") fc.regions = std::stoi(val);
+        else if (key == "scheme") fc.scheme = val;
+        else if (key == "delay_mode") fc.delayMode = val;
+        else if (key == "hops") fc.hops = std::stoi(val);
+        else if (key == "tech") fc.tech = val;
+        else if (key == "placement") fc.placement = val;
+        else if (key == "write_buffer") fc.writeBuffer = val != "0";
+        else if (key == "write_buffer_entries")
+            fc.writeBufferEntries = std::stoi(val);
+        else if (key == "read_priority") fc.readPriority = val != "0";
+        else if (key == "request_cap") fc.requestCap = std::stoi(val);
+        else if (key == "write_cap") fc.writeCap = std::stoi(val);
+        else if (key == "apps") fc.apps = val;
+        else if (key == "seed") fc.seed = std::stoull(val);
+        else if (key == "warmup") fc.warmup = std::stoull(val);
+        else if (key == "cycles") fc.cycles = std::stoull(val);
+        else fatal("unknown reproducer key '%s'", key.c_str());
+    }
+    return fc;
+}
+
+std::string
+describeCase(const FuzzCase &fc)
+{
+    return detail::format(
+        "mesh=%dx%d regions=%d scheme=%s delay=%s hops=%d tech=%s "
+        "place=%s buf=%d/%d rp=%d caps=%d/%d apps=%s seed=%llu "
+        "warmup=%llu cycles=%llu",
+        fc.mesh, fc.mesh, fc.regions, fc.scheme.c_str(),
+        fc.delayMode.c_str(), fc.hops, fc.tech.c_str(),
+        fc.placement.c_str(), fc.writeBuffer ? 1 : 0,
+        fc.writeBufferEntries, fc.readPriority ? 1 : 0, fc.requestCap,
+        fc.writeCap, fc.apps.c_str(),
+        static_cast<unsigned long long>(fc.seed),
+        static_cast<unsigned long long>(fc.warmup),
+        static_cast<unsigned long long>(fc.cycles));
+}
+
+/**
+ * Shrink a failing case to the shortest duration that still fails, by
+ * bisecting on the cycle count (the checkers fire deterministically,
+ * so a failure at N cycles implies the same violation at every
+ * duration >= its detection cycle).
+ */
+FuzzCase
+minimizeCase(FuzzCase fc)
+{
+    Cycle lo = 1;
+    Cycle hi = fc.cycles;
+    while (lo < hi) {
+        const Cycle mid = lo + (hi - lo) / 2;
+        std::fprintf(stderr, "  bisect: %llu cycles... ",
+                     static_cast<unsigned long long>(mid));
+        const std::size_t n = runCase(fc, mid);
+        std::fprintf(stderr, "%zu violation(s)\n", n);
+        if (n > 0)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    fc.cycles = lo;
+    return fc;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr, R"(usage: stacknoc_fuzz [options]
+  --runs N        randomized runs (default 50)
+  --seed N        master seed (default 1)
+  --out PREFIX    reproducer file prefix (default fuzz-fail)
+  --replay FILE   re-run one reproducer with fail-fast diagnostics
+)");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    int runs = 50;
+    std::uint64_t master_seed = 1;
+    std::string out_prefix = "fuzz-fail";
+    std::string replay_path;
+
+    auto need = [&](int i) {
+        if (i + 1 >= argc)
+            usage();
+        return std::string(argv[i + 1]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--runs") {
+            runs = std::atoi(need(i).c_str()); ++i;
+        } else if (arg == "--seed") {
+            master_seed = std::strtoull(need(i).c_str(), nullptr, 10);
+            ++i;
+        } else if (arg == "--out") {
+            out_prefix = need(i); ++i;
+        } else if (arg == "--replay") {
+            replay_path = need(i); ++i;
+        } else {
+            usage();
+        }
+    }
+
+    if (!replay_path.empty()) {
+        const FuzzCase fc = readCase(replay_path);
+        std::fprintf(stderr, "replaying: %s\n",
+                     describeCase(fc).c_str());
+        // Fail fast: the hub dumps cycle-stamped diagnostics and
+        // aborts at the first violating sweep.
+        system::SystemConfig cfg = toConfig(fc);
+        cfg.validation.failFast = true;
+        system::CmpSystem sys(cfg);
+        if (fc.warmup > 0)
+            sys.warmup(fc.warmup);
+        sys.run(fc.cycles);
+        std::printf("replay clean: no violations in %llu cycles\n",
+                    static_cast<unsigned long long>(fc.cycles));
+        return 0;
+    }
+
+    std::mt19937_64 rng(master_seed);
+    int failures = 0;
+    for (int r = 0; r < runs; ++r) {
+        const FuzzCase fc = drawCase(rng);
+        std::fprintf(stderr, "[%3d/%d] %s\n", r + 1, runs,
+                     describeCase(fc).c_str());
+        const std::size_t n = runCase(fc, fc.cycles);
+        if (n == 0)
+            continue;
+        ++failures;
+        std::fprintf(stderr, "  FAILED: %zu violation(s); minimizing\n",
+                     n);
+        const FuzzCase min = minimizeCase(fc);
+        const std::string path =
+            detail::format("%s-%d.txt", out_prefix.c_str(), r);
+        writeCase(min, path);
+        std::fprintf(stderr,
+                     "  reproducer written to %s (%llu cycles); replay "
+                     "with --replay %s\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(min.cycles),
+                     path.c_str());
+    }
+
+    std::printf("fuzz: %d/%d run(s) clean (master seed %llu)\n",
+                runs - failures, runs,
+                static_cast<unsigned long long>(master_seed));
+    return failures == 0 ? 0 : 1;
+}

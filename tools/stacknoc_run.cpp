@@ -53,6 +53,8 @@ usage()
   --trace FILE      stream packet-lifecycle events to a CSV file
   --trace-sample N  trace packets whose id is divisible by N (default 1)
   --interval N      snapshot all stats groups every N cycles
+  --validate        run the runtime invariant checkers (abort on failure)
+  --validate-period N  checker sweep period in cycles (default 1)
   --list-apps       print the Table 3 application names and exit
 )");
     std::exit(2);
@@ -179,6 +181,15 @@ main(int argc, char **argv)
         } else if (arg == "--interval") {
             cfg.intervalPeriod =
                 std::strtoull(need(i).c_str(), nullptr, 10);
+            ++i;
+        } else if (arg == "--validate") {
+            cfg.validate = true;
+        } else if (arg == "--validate-period") {
+            cfg.validation.period =
+                std::strtoull(need(i).c_str(), nullptr, 10);
+            fatal_if(cfg.validation.period == 0,
+                     "--validate-period must be >= 1");
+            cfg.validate = true;
             ++i;
         } else if (arg == "--list-apps") {
             for (const auto &a : workload::appTable())
