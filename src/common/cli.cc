@@ -1,0 +1,57 @@
+#include "common/cli.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stacknoc::cli {
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<std::size_t> row(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::size_t prev_diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t del = row[j] + 1;
+            const std::size_t ins = row[j - 1] + 1;
+            const std::size_t sub =
+                prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            prev_diag = row[j];
+            row[j] = std::min({del, ins, sub});
+        }
+    }
+    return row[m];
+}
+
+std::string
+closestOption(const std::string &arg,
+              const std::vector<std::string> &options)
+{
+    std::string best;
+    std::size_t best_dist = arg.size() / 2 + 1; // plausibility cutoff
+    for (const auto &opt : options) {
+        const std::size_t d = editDistance(arg, opt);
+        if (d < best_dist) {
+            best_dist = d;
+            best = opt;
+        }
+    }
+    return best;
+}
+
+void
+reportUnknownOption(const char *tool, const std::string &arg,
+                    const std::vector<std::string> &options)
+{
+    std::fprintf(stderr, "%s: unknown option '%s'", tool, arg.c_str());
+    const std::string hint = closestOption(arg, options);
+    if (!hint.empty())
+        std::fprintf(stderr, " (did you mean '%s'?)", hint.c_str());
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace stacknoc::cli

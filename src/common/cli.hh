@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small command-line helpers shared by the tools: unknown-flag
+ * suggestions ("did you mean --cycles?") so typos fail loudly instead
+ * of being silently ignored.
+ */
+
+#ifndef STACKNOC_COMMON_CLI_HH
+#define STACKNOC_COMMON_CLI_HH
+
+#include <string>
+#include <vector>
+
+namespace stacknoc::cli {
+
+/**
+ * Case-sensitive Levenshtein edit distance between @p a and @p b.
+ * O(|a|*|b|) time, O(min) memory — fine for option names.
+ */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * @return the option in @p options closest to @p arg by edit distance,
+ * or an empty string when nothing is plausibly close (distance greater
+ * than half the typed flag's length, so "--frobnicate" suggests
+ * nothing rather than something absurd).
+ */
+std::string closestOption(const std::string &arg,
+                          const std::vector<std::string> &options);
+
+/**
+ * Print "unknown option 'X'" plus a "did you mean" hint (when one is
+ * plausible) to stderr. The caller decides the exit path.
+ */
+void reportUnknownOption(const char *tool, const std::string &arg,
+                         const std::vector<std::string> &options);
+
+} // namespace stacknoc::cli
+
+#endif // STACKNOC_COMMON_CLI_HH

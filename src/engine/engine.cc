@@ -1,0 +1,19 @@
+#include "engine/engine.hh"
+
+#include "common/logging.hh"
+#include "engine/sequential_engine.hh"
+#include "engine/sharded_engine.hh"
+
+namespace stacknoc::engine {
+
+std::unique_ptr<ExecutionEngine>
+makeEngine(Simulator &sim, int threads)
+{
+    panic_if(threads < 1, "engine thread count must be >= 1, got %d",
+             threads);
+    if (threads == 1)
+        return std::make_unique<SequentialEngine>(sim);
+    return std::make_unique<ShardedParallelEngine>(sim, threads);
+}
+
+} // namespace stacknoc::engine

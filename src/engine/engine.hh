@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Execution engines: strategies for advancing a Simulator's clock.
+ *
+ * The Simulator owns the component registry and the clock; an
+ * ExecutionEngine owns the tick loop. SequentialEngine reproduces the
+ * historical single-threaded loop exactly; ShardedParallelEngine ticks
+ * spatial shards of the component registry on persistent worker threads
+ * with a two-phase (compute, then commit) cycle that is bit-identical
+ * to the sequential engine regardless of thread count. See
+ * docs/ENGINE.md for the determinism contract.
+ */
+
+#ifndef STACKNOC_ENGINE_ENGINE_HH
+#define STACKNOC_ENGINE_ENGINE_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "sim/simulator.hh"
+
+namespace stacknoc::engine {
+
+/** Drives a Simulator's registered components through time. */
+class ExecutionEngine
+{
+  public:
+    explicit ExecutionEngine(Simulator &sim) : sim_(sim) {}
+    virtual ~ExecutionEngine() = default;
+
+    ExecutionEngine(const ExecutionEngine &) = delete;
+    ExecutionEngine &operator=(const ExecutionEngine &) = delete;
+
+    /** Advance the simulation by @p cycles. */
+    virtual void run(Cycle cycles) = 0;
+
+    /** Engine kind, for logs and stats ("sequential" / "sharded"). */
+    virtual const char *name() const = 0;
+
+    /** Number of threads ticking components (1 for sequential). */
+    virtual int threads() const = 0;
+
+  protected:
+    Simulator &sim_;
+};
+
+/**
+ * Factory: @p threads <= 1 builds a SequentialEngine, anything larger a
+ * ShardedParallelEngine with that many shards. Call only after every
+ * component has been registered with the Simulator.
+ */
+std::unique_ptr<ExecutionEngine> makeEngine(Simulator &sim, int threads);
+
+} // namespace stacknoc::engine
+
+#endif // STACKNOC_ENGINE_ENGINE_HH

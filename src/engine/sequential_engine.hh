@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The historical single-threaded tick loop behind the engine interface.
+ */
+
+#ifndef STACKNOC_ENGINE_SEQUENTIAL_ENGINE_HH
+#define STACKNOC_ENGINE_SEQUENTIAL_ENGINE_HH
+
+#include "engine/engine.hh"
+
+namespace stacknoc::engine {
+
+/**
+ * Ticks every component in registration order on the calling thread —
+ * exactly Simulator::run(). This is the reference implementation the
+ * sharded engine must be bit-identical to.
+ */
+class SequentialEngine : public ExecutionEngine
+{
+  public:
+    explicit SequentialEngine(Simulator &sim) : ExecutionEngine(sim) {}
+
+    void run(Cycle cycles) override { sim_.run(cycles); }
+    const char *name() const override { return "sequential"; }
+    int threads() const override { return 1; }
+};
+
+} // namespace stacknoc::engine
+
+#endif // STACKNOC_ENGINE_SEQUENTIAL_ENGINE_HH

@@ -1,0 +1,53 @@
+#include "engine/shard_plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stacknoc::engine {
+
+ShardPlan
+buildShardPlan(const Simulator &sim, int nshards)
+{
+    panic_if(nshards < 1, "shard plan needs at least one shard");
+
+    const auto &components = sim.components();
+
+    std::vector<int> keys;
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        const int a = sim.affinity(i);
+        if (a != Simulator::kSerialAffinity)
+            keys.push_back(a);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    const std::size_t effective =
+        std::min<std::size_t>(static_cast<std::size_t>(nshards),
+                              std::max<std::size_t>(keys.size(), 1));
+
+    ShardPlan plan;
+    plan.shards.resize(keys.empty() ? 0 : effective);
+
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        ShardItem item;
+        item.component = components[i];
+        item.ordinal = static_cast<std::uint32_t>(i);
+        item.affinity = sim.affinity(i);
+        if (item.affinity == Simulator::kSerialAffinity) {
+            plan.serial.push_back(item);
+            continue;
+        }
+        const auto rank = static_cast<std::size_t>(
+            std::lower_bound(keys.begin(), keys.end(), item.affinity) -
+            keys.begin());
+        plan.shards[rank % effective].push_back(item);
+    }
+
+    // Registration order is preserved within each list by construction
+    // (single ascending pass), which is what makes per-shard replay
+    // reproduce the sequential tick order.
+    return plan;
+}
+
+} // namespace stacknoc::engine

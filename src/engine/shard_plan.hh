@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Spatial partitioning of a Simulator's component registry into shards.
+ */
+
+#ifndef STACKNOC_ENGINE_SHARD_PLAN_HH
+#define STACKNOC_ENGINE_SHARD_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/ticking.hh"
+
+namespace stacknoc::engine {
+
+/** One component's slot in a shard plan. */
+struct ShardItem
+{
+    Ticking *component = nullptr;
+    /** Registration index in the Simulator — the sequential tick order. */
+    std::uint32_t ordinal = 0;
+    /** The affinity key the component was registered with. */
+    int affinity = Simulator::kSerialAffinity;
+};
+
+/**
+ * The partition the sharded engine executes: parallel shards (each
+ * ticked by one worker, components in ascending ordinal order) plus the
+ * serial list (components with kSerialAffinity, ticked on the main
+ * thread after the phase barrier, also in ascending ordinal order).
+ *
+ * Components sharing an affinity key always land in the same shard —
+ * that is the co-location guarantee system builders rely on (e.g. both
+ * layers' routers of one mesh column, so cross-layer TSB pairs never
+ * straddle a shard boundary).
+ */
+struct ShardPlan
+{
+    std::vector<std::vector<ShardItem>> shards;
+    std::vector<ShardItem> serial;
+
+    std::size_t numShards() const { return shards.size(); }
+
+    std::size_t
+    parallelCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &s : shards)
+            n += s.size();
+        return n;
+    }
+};
+
+/**
+ * Partition @p sim's registry into at most @p nshards shards: the
+ * distinct affinity keys are sorted and dealt round-robin (key rank
+ * modulo shard count), which balances mesh columns across workers. The
+ * effective shard count is min(nshards, number of distinct keys) so no
+ * shard is empty.
+ */
+ShardPlan buildShardPlan(const Simulator &sim, int nshards);
+
+} // namespace stacknoc::engine
+
+#endif // STACKNOC_ENGINE_SHARD_PLAN_HH

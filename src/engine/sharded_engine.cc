@@ -1,0 +1,142 @@
+#include "engine/sharded_engine.hh"
+
+#include "common/logging.hh"
+
+namespace stacknoc::engine {
+
+namespace {
+
+/**
+ * Spin for @p spin_iters checks, then start yielding the core. A zero
+ * budget yields immediately — the right behavior when shards
+ * outnumber hardware threads, where spinning only steals cycles from
+ * the thread being waited on.
+ */
+template <typename Pred>
+void
+spinWait(int spin_iters, Pred pred)
+{
+    for (int i = 0; !pred(); ++i) {
+        if (i >= spin_iters)
+            std::this_thread::yield();
+    }
+}
+
+} // namespace
+
+ShardedParallelEngine::ShardedParallelEngine(Simulator &sim, int threads)
+    : ExecutionEngine(sim),
+      plan_(buildShardPlan(sim, threads)),
+      requested_threads_(threads),
+      registry_version_(sim.registryVersion())
+{
+    panic_if(threads < 2,
+             "ShardedParallelEngine needs >= 2 threads (use "
+             "SequentialEngine for 1)");
+
+    const std::size_t nshards = plan_.numShards();
+    shard_state_.reserve(nshards);
+    for (std::size_t s = 0; s < nshards; ++s) {
+        shard_state_.push_back(std::make_unique<ShardState>());
+        tick_logs_.push_back(&shard_state_.back()->tick_log);
+        trace_logs_.push_back(&shard_state_.back()->trace_log);
+    }
+
+    // Spin only when every shard can own a hardware thread; otherwise
+    // the barrier must yield so the preempted shard gets to run.
+    const unsigned hw = std::thread::hardware_concurrency();
+    spin_iters_ = (hw != 0 && nshards <= hw) ? (1 << 14) : 0;
+
+    // The main thread runs shard 0; each remaining shard gets a
+    // persistent worker parked on the epoch counter.
+    for (std::size_t s = 1; s < nshards; ++s)
+        workers_.emplace_back([this, s] { workerLoop(s); });
+}
+
+ShardedParallelEngine::~ShardedParallelEngine()
+{
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ShardedParallelEngine::workerLoop(std::size_t shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        ++seen;
+        spinWait(spin_iters_, [&] {
+            return epoch_.load(std::memory_order_acquire) >= seen;
+        });
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        runShard(shard, cycle_);
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ShardedParallelEngine::runShard(std::size_t shard, Cycle now)
+{
+    ShardState &st = *shard_state_[shard];
+    ChannelBase::setStagingList(&st.staged_channels);
+    stats::setTickLog(&st.tick_log);
+    telemetry::setTraceLog(&st.trace_log);
+    for (const ShardItem &item : plan_.shards[shard]) {
+        st.tick_log.beginComponent(item.ordinal);
+        st.trace_log.beginComponent(item.ordinal);
+        item.component->tick(now);
+    }
+    ChannelBase::setStagingList(nullptr);
+    stats::setTickLog(nullptr);
+    telemetry::setTraceLog(nullptr);
+}
+
+void
+ShardedParallelEngine::runCycle()
+{
+    const Cycle now = sim_.now();
+    cycle_ = now;
+    done_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+
+    if (!plan_.shards.empty())
+        runShard(0, now);
+
+    const std::size_t nworkers = workers_.size();
+    spinWait(spin_iters_, [&] {
+        return done_.load(std::memory_order_acquire) == nworkers;
+    });
+
+    // Commit phase: channel splices first (cheap, order-free — each
+    // channel is enrolled in exactly one shard's list because channels
+    // are single-sender), then the ordinal-ordered stat/trace replay.
+    for (auto &st : shard_state_) {
+        for (ChannelBase *ch : st->staged_channels)
+            ch->commitStaged();
+        st->staged_channels.clear();
+    }
+    if (!tick_logs_.empty()) {
+        stats::TickLog::applyInOrder(tick_logs_.data(), tick_logs_.size());
+        telemetry::TraceLog::applyInOrder(trace_logs_.data(),
+                                          trace_logs_.size());
+    }
+
+    for (const ShardItem &item : plan_.serial)
+        item.component->tick(now);
+
+    sim_.completeCycle();
+}
+
+void
+ShardedParallelEngine::run(Cycle cycles)
+{
+    panic_if(sim_.registryVersion() != registry_version_,
+             "components were registered after the shard plan was built");
+    for (Cycle i = 0; i < cycles; ++i)
+        runCycle();
+}
+
+} // namespace stacknoc::engine

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The deterministic sharded parallel execution engine.
+ */
+
+#ifndef STACKNOC_ENGINE_SHARDED_ENGINE_HH
+#define STACKNOC_ENGINE_SHARDED_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "engine/shard_plan.hh"
+#include "sim/channel.hh"
+#include "sim/stats.hh"
+#include "telemetry/trace.hh"
+
+namespace stacknoc::engine {
+
+/**
+ * Ticks spatial shards of the component registry on persistent worker
+ * threads, bit-identical to SequentialEngine. Each cycle:
+ *
+ *  1. Parallel compute phase: every shard ticks its components in
+ *     ascending ordinal order with thread-local staging installed, so
+ *     channel pushes, stat mutations and trace records are deferred
+ *     into per-shard buffers instead of touching shared state.
+ *  2. Barrier (sense = epoch counter, spin with yield fallback).
+ *  3. Commit phase (main thread): staged channel values are spliced
+ *     into the live queues; stat and trace logs are merged by component
+ *     ordinal — the exact sequential application order — and replayed.
+ *  4. Serial phase (main thread): components registered with
+ *     kSerialAffinity tick with staging off (e.g. the RCA fabric, which
+ *     reads live router state).
+ *  5. Cycle-end callbacks and clock advance via Simulator::completeCycle.
+ *
+ * The main thread executes shard 0 itself, so N shards cost N-1 worker
+ * threads. See docs/ENGINE.md for why each step preserves equivalence.
+ */
+class ShardedParallelEngine : public ExecutionEngine
+{
+  public:
+    /**
+     * @param threads requested shard count (>= 2). The effective count
+     * is capped at the number of distinct affinity keys.
+     */
+    ShardedParallelEngine(Simulator &sim, int threads);
+    ~ShardedParallelEngine() override;
+
+    void run(Cycle cycles) override;
+    const char *name() const override { return "sharded"; }
+    int threads() const override { return requested_threads_; }
+
+    /** The partition being executed (test/diagnostic use). */
+    const ShardPlan &plan() const { return plan_; }
+
+  private:
+    /** Per-shard deferral buffers, one cache-line-separated allocation
+     *  per shard to keep workers from false-sharing. */
+    struct ShardState
+    {
+        std::vector<ChannelBase *> staged_channels;
+        stats::TickLog tick_log;
+        telemetry::TraceLog trace_log;
+    };
+
+    void runCycle();
+    void runShard(std::size_t shard, Cycle now);
+    void workerLoop(std::size_t shard);
+
+    ShardPlan plan_;
+    int requested_threads_;
+    std::uint64_t registry_version_;
+    /** Barrier spin budget before yielding (0 when oversubscribed). */
+    int spin_iters_ = 0;
+
+    std::vector<std::unique_ptr<ShardState>> shard_state_;
+    std::vector<stats::TickLog *> tick_logs_;
+    std::vector<telemetry::TraceLog *> trace_logs_;
+
+    // Cycle handshake: the main thread publishes cycle_ then bumps
+    // epoch_ (release); workers observe the new epoch (acquire), tick
+    // their shard, and bump done_ (release). Monotonic epochs double as
+    // the barrier sense, so no reinitialisation race exists.
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::size_t> done_{0};
+    std::atomic<bool> stop_{false};
+    Cycle cycle_ = 0;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace stacknoc::engine
+
+#endif // STACKNOC_ENGINE_SHARDED_ENGINE_HH

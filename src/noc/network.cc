@@ -56,10 +56,14 @@ Network::Network(Simulator &sim, const MeshShape &shape,
         niLinks_.push_back(std::move(from_router));
     }
 
+    // Affinity = mesh column (node id modulo layer size): both layers'
+    // router and NI at an (x, y) coordinate tick on the same shard of
+    // the parallel engine, so cross-layer TSB pairs never straddle a
+    // shard boundary.
     for (auto &r : routers_)
-        sim.add(r.get());
+        sim.add(r.get(), r->nodeId() % shape.nodesPerLayer());
     for (auto &ni : nis_)
-        sim.add(ni.get());
+        sim.add(ni.get(), ni->nodeId() % shape.nodesPerLayer());
 }
 
 int

@@ -1,6 +1,6 @@
 #include "noc/packet.hh"
 
-#include <atomic>
+#include <array>
 
 #include "common/logging.hh"
 
@@ -91,15 +91,36 @@ isLineTransfer(PacketClass cls)
     }
 }
 
+// One id stream per source node: slot 0 is kInvalidNode (tests may mint
+// packets with no source), slots 1..4096 are nodes 0..4095. Streams are
+// plain (non-atomic) because each is only ever advanced by components at
+// its node, which all tick on the same shard; distinct streams are
+// distinct memory locations, so no two threads touch the same counter.
+constexpr std::size_t kMaxIdStreams = 4097;
+constexpr int kIdStreamShift = 40;
+std::array<std::uint64_t, kMaxIdStreams> next_seq{};
+
 } // namespace
+
+void
+resetPacketIds()
+{
+    next_seq.fill(0);
+}
 
 PacketPtr
 makePacket(PacketClass cls, NodeId src, NodeId dest, BlockAddr addr,
            int data_flits)
 {
-    static std::atomic<std::uint64_t> next_id{1};
+    const auto stream = static_cast<std::size_t>(src + 1);
+    panic_if(src < -1 || stream >= kMaxIdStreams,
+             "makePacket: source node %d outside the id-stream range",
+             src);
+    const std::uint64_t seq = ++next_seq[stream];
+    panic_if(seq >= (1ULL << kIdStreamShift),
+             "makePacket: id stream for node %d overflowed", src);
     auto pkt = std::make_shared<Packet>();
-    pkt->id = next_id.fetch_add(1, std::memory_order_relaxed);
+    pkt->id = (static_cast<std::uint64_t>(stream) << kIdStreamShift) | seq;
     pkt->cls = cls;
     pkt->src = src;
     pkt->dest = dest;

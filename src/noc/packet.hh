@@ -150,10 +150,24 @@ constexpr int kStoreWriteFlits = 2;
  * Convenience factory. Sizes the packet from its class (1, 2 or 9
  * flits) and assigns a fresh id.
  *
+ * Ids are drawn from per-source-node streams
+ * (id = (src + 1) << 40 | sequence), not one global counter. All
+ * components that create packets with a given src are co-located at
+ * that node — and therefore co-sharded by the parallel execution
+ * engine — so each stream advances in a deterministic order and packet
+ * ids are bit-identical between the sequential and sharded engines.
+ *
  * @param data_flits total flits of a line-transfer packet (default 9).
  */
 PacketPtr makePacket(PacketClass cls, NodeId src, NodeId dest,
                      BlockAddr addr = 0, int data_flits = 9);
+
+/**
+ * Rewind every per-source id stream to zero, so consecutive in-process
+ * simulations mint identical packet ids. Test/tool use only, between
+ * runs; never while a simulation is live.
+ */
+void resetPacketIds();
 
 } // namespace stacknoc::noc
 

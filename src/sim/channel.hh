@@ -10,6 +10,7 @@
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
@@ -17,14 +18,67 @@
 namespace stacknoc {
 
 /**
+ * Type-erased base of every Channel, carrying the staged-push (double
+ * buffer) machinery used by the sharded parallel execution engine.
+ *
+ * During a parallel compute phase each worker thread installs a staging
+ * list via setStagingList(). While a staging list is installed, push()
+ * appends to a per-channel staging buffer instead of the live queue and
+ * enrols the channel in the thread's list; after the phase barrier the
+ * engine calls commitStaged() on every enrolled channel (single
+ * threaded), splicing staged values into the live queue in push order.
+ *
+ * Because every channel has latency >= 1, a value pushed during cycle t
+ * can never be received during cycle t, so deferring the queue append to
+ * the end of the cycle is unobservable — results are bit-identical to
+ * immediate pushes. The staging buffer is only ever touched by the one
+ * component that sends on the channel (channels are single-sender), and
+ * the live queue only by the one receiver, so the two phases are
+ * data-race free without any atomics on the hot path.
+ *
+ * With no staging list installed (the default, and always the case under
+ * the sequential engine) push() is exactly the historical immediate
+ * append.
+ */
+class ChannelBase
+{
+  public:
+    virtual ~ChannelBase() = default;
+
+    /** Splice staged values into the live queue (engine use only). */
+    virtual void commitStaged() = 0;
+
+    /**
+     * Install @p list as this thread's staged-channel enrolment list
+     * (null restores immediate pushes). Engine use only.
+     */
+    static void
+    setStagingList(std::vector<ChannelBase *> *list)
+    {
+        staging_ = list;
+    }
+
+  protected:
+    static std::vector<ChannelBase *> *stagingList() { return staging_; }
+
+  private:
+    static inline thread_local std::vector<ChannelBase *> *staging_ =
+        nullptr;
+};
+
+/**
  * A unidirectional pipe with a fixed delivery latency of >= 1 cycle.
  *
  * A value pushed during cycle t becomes receivable during cycle
  * t + latency. Multiple values may be pushed per cycle (bandwidth policing
  * is the sender's job); receivers drain all arrived values.
+ *
+ * Exactly one component may send on a channel and exactly one may
+ * receive; this is what lets the parallel engine run sender and receiver
+ * on different threads (see ChannelBase).
  */
 template <typename T>
-class Channel
+class Channel : public ChannelBase
 {
   public:
     explicit Channel(Cycle latency = 1) : latency_(latency)
@@ -36,7 +90,21 @@ class Channel
     void
     push(Cycle now, T value)
     {
+        if (auto *enrolled = stagingList()) {
+            if (staged_.empty())
+                enrolled->push_back(this);
+            staged_.emplace_back(now + latency_, std::move(value));
+            return;
+        }
         queue_.emplace_back(now + latency_, std::move(value));
+    }
+
+    void
+    commitStaged() override
+    {
+        for (auto &e : staged_)
+            queue_.push_back(std::move(e));
+        staged_.clear();
     }
 
     /**
@@ -81,6 +149,8 @@ class Channel
   private:
     Cycle latency_;
     std::deque<std::pair<Cycle, T>> queue_;
+    /** Values pushed during a parallel compute phase, pre-commit. */
+    std::vector<std::pair<Cycle, T>> staged_;
 };
 
 } // namespace stacknoc

@@ -5,10 +5,14 @@
 namespace stacknoc {
 
 void
-Simulator::add(Ticking *component)
+Simulator::add(Ticking *component, int affinity)
 {
     panic_if(component == nullptr, "null component registered");
+    panic_if(affinity < kSerialAffinity,
+             "component affinity must be >= %d", kSerialAffinity);
     components_.push_back(component);
+    affinities_.push_back(affinity);
+    ++version_;
 }
 
 void
@@ -16,6 +20,12 @@ Simulator::step()
 {
     for (Ticking *c : components_)
         c->tick(now_);
+    completeCycle();
+}
+
+void
+Simulator::completeCycle()
+{
     for (auto &cb : cycle_end_callbacks_)
         cb(now_);
     ++now_;

@@ -6,6 +6,7 @@
 #ifndef STACKNOC_SIM_SIMULATOR_HH
 #define STACKNOC_SIM_SIMULATOR_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -19,16 +20,31 @@ namespace stacknoc {
  *
  * Components are ticked in registration order; because all communication
  * goes through Channels of latency >= 1, the order is not observable.
+ *
+ * Each component carries an affinity key chosen by whoever builds the
+ * system: components sharing a key are guaranteed to tick on the same
+ * shard of the parallel execution engine (in registration order relative
+ * to each other), and kSerialAffinity marks components that must tick
+ * single-threaded after the parallel phase (they read live state of
+ * other components, e.g. the RCA aggregation fabric). The sequential
+ * engine and the historical step()/run() entry points ignore affinities
+ * entirely.
  */
 class Simulator
 {
   public:
+    /** Affinity of components that must tick in the serial phase. */
+    static constexpr int kSerialAffinity = -1;
+
     Simulator() = default;
 
-    /** Register a component. The Simulator does not take ownership. */
-    void add(Ticking *component);
+    /**
+     * Register a component. The Simulator does not take ownership.
+     * Components registered without an affinity are serial-phase.
+     */
+    void add(Ticking *component, int affinity = kSerialAffinity);
 
-    /** Advance the clock by @p cycles. */
+    /** Advance the clock by @p cycles (sequential, in-registration-order). */
     void run(Cycle cycles);
 
     /** Advance one cycle. */
@@ -46,9 +62,32 @@ class Simulator
      */
     void onCycleEnd(std::function<void(Cycle)> cb);
 
+    // --- Execution-engine interface -----------------------------------
+
+    /** Registered components, in registration (= ordinal) order. */
+    const std::vector<Ticking *> &components() const { return components_; }
+
+    /** Affinity key of component ordinal @p i. */
+    int affinity(std::size_t i) const { return affinities_.at(i); }
+
+    /**
+     * Bumped on every add(); engines snapshot it when they build a
+     * shard plan and panic if the registry changed underneath them.
+     */
+    std::uint64_t registryVersion() const { return version_; }
+
+    /**
+     * Finish the current cycle on behalf of an engine that ticked the
+     * components itself: run the cycle-end callbacks, then advance the
+     * clock.
+     */
+    void completeCycle();
+
   private:
     Cycle now_ = 0;
     std::vector<Ticking *> components_;
+    std::vector<int> affinities_;
+    std::uint64_t version_ = 0;
     std::vector<std::function<void(Cycle)>> cycle_end_callbacks_;
 };
 

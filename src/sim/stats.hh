@@ -19,12 +19,141 @@
 
 namespace stacknoc::stats {
 
+class Counter;
+class Average;
+class Distribution;
+class Histogram;
+
+/**
+ * A deferred statistics-mutation log, the mechanism that keeps shared
+ * stat objects (one Counter referenced by all 64 routers, one Average
+ * sampled by every NI, ...) both data-race free and bit-identical under
+ * the sharded parallel execution engine.
+ *
+ * Each worker thread installs one TickLog via setTickLog(); while
+ * installed, every Counter::inc / Average::sample / Histogram::sample /
+ * Distribution::sample records an entry tagged with the ordinal of the
+ * component currently ticking (beginComponent()) instead of mutating the
+ * stat. After the phase barrier the engine merges all per-thread logs by
+ * component ordinal — the exact order the sequential engine would have
+ * applied them in — and replays them single-threaded. Integer counters
+ * would be order-insensitive anyway, but Average accumulates a double
+ * sum, where addition order changes the rounding; ordinal-ordered replay
+ * makes even those bits identical.
+ *
+ * With no log installed (the default) every stat mutates immediately.
+ */
+class TickLog
+{
+  public:
+    /** Tag subsequent entries with component ordinal @p ordinal. */
+    void beginComponent(std::uint32_t ordinal) { ordinal_ = ordinal; }
+
+    bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+    std::size_t size() const { return entries_.size(); }
+
+    void
+    counterInc(Counter *c, std::uint64_t n)
+    {
+        entries_.push_back({ordinal_, Op::CounterInc, c, n, 0});
+    }
+
+    void
+    counterSet(Counter *c, std::uint64_t v)
+    {
+        entries_.push_back({ordinal_, Op::CounterSet, c, v, 0});
+    }
+
+    void averageSample(Average *a, double v);
+
+    void
+    distributionSample(Distribution *d, std::uint64_t v, std::uint64_t w)
+    {
+        entries_.push_back({ordinal_, Op::DistSample, d, v, w});
+    }
+
+    void
+    histogramSample(Histogram *h, std::uint64_t v, std::uint64_t w)
+    {
+        entries_.push_back({ordinal_, Op::HistSample, h, v, w});
+    }
+
+    /**
+     * Merge @p n logs by component ordinal and apply them. Must run with
+     * no TickLog installed on the calling thread (entries are replayed
+     * through the ordinary stat mutators). Each component ordinal may
+     * appear in at most one log (a component ticks on exactly one
+     * shard), so the merge needs no tie-breaking.
+     */
+    static void applyInOrder(TickLog *const *logs, std::size_t n);
+
+  private:
+    enum class Op : std::uint8_t {
+        CounterInc,
+        CounterSet,
+        AvgSample,
+        DistSample,
+        HistSample,
+    };
+
+    struct Entry
+    {
+        std::uint32_t ordinal;
+        Op op;
+        void *target;
+        std::uint64_t a; //!< count / value / bit-cast double
+        std::uint64_t b; //!< weight
+    };
+
+    static void apply(const Entry &e);
+
+    std::vector<Entry> entries_;
+    std::uint32_t ordinal_ = 0;
+};
+
+namespace detail {
+inline thread_local TickLog *t_tick_log = nullptr;
+} // namespace detail
+
+/** Install @p log as this thread's deferral target (null = immediate). */
+inline void
+setTickLog(TickLog *log)
+{
+    detail::t_tick_log = log;
+}
+
+/** @return this thread's installed deferral log, or null. */
+inline TickLog *
+tickLog()
+{
+    return detail::t_tick_log;
+}
+
 /** A monotonically growing scalar statistic. */
 class Counter
 {
   public:
-    void inc(std::uint64_t n = 1) { value_ += n; }
-    void set(std::uint64_t v) { value_ = v; }
+    void
+    inc(std::uint64_t n = 1)
+    {
+        if (TickLog *log = tickLog()) {
+            log->counterInc(this, n);
+            return;
+        }
+        value_ += n;
+    }
+
+    void
+    set(std::uint64_t v)
+    {
+        if (TickLog *log = tickLog()) {
+            log->counterSet(this, v);
+            return;
+        }
+        value_ = v;
+    }
+
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
@@ -39,6 +168,10 @@ class Average
     void
     sample(double v)
     {
+        if (TickLog *log = tickLog()) {
+            log->averageSample(this, v);
+            return;
+        }
         sum_ += v;
         ++count_;
     }

@@ -1,5 +1,6 @@
 #include "system/cmp_system.hh"
 
+#include <chrono>
 #include <ostream>
 
 #include "common/logging.hh"
@@ -66,6 +67,10 @@ CmpSystem::CmpSystem(const SystemConfig &config)
     }
     if (!hub_.empty())
         sim_.onCycleEnd([this](Cycle now) { hub_.onCycle(now); });
+
+    // Every component is registered by now; the engine snapshots the
+    // registry when it builds its shard plan.
+    engine_ = engine::makeEngine(sim_, config_.threads);
 }
 
 CmpSystem::~CmpSystem()
@@ -171,7 +176,9 @@ CmpSystem::buildMemorySystem()
             detail::format("l2bank%d", b), b, node, net_->ni(node),
             l2cfg, cacheStats_));
         net_->ni(node).setClient(banks_.back().get());
-        sim_.add(banks_.back().get());
+        // Same affinity key as the node's router/NI: the bank-aware
+        // policy's per-bank state is only touched from this node.
+        sim_.add(banks_.back().get(), node % shape_.nodesPerLayer());
     }
 
     for (const NodeId node : l2cfg.mcNodes) {
@@ -179,7 +186,7 @@ CmpSystem::buildMemorySystem()
             detail::format("mc%d", node), node, net_->ni(node),
             config_.dram, memStats_));
         net_->ni(node).setMemClient(mcs_.back().get());
-        sim_.add(mcs_.back().get());
+        sim_.add(mcs_.back().get(), node % shape_.nodesPerLayer());
     }
 }
 
@@ -207,7 +214,9 @@ CmpSystem::buildCores()
             detail::format("l1.%d", c), c, net_->ni(c), home,
             config_.l1, cacheStats_));
         net_->ni(c).setClient(l1s_.back().get());
-        sim_.add(l1s_.back().get());
+        // Core node ids equal core ids (layer 0), so the affinity key
+        // matches the node's router/NI column key.
+        sim_.add(l1s_.back().get(), c);
 
         streams_.push_back(std::make_unique<workload::SyntheticStream>(
             profile, c, config_.seed, stream));
@@ -216,21 +225,26 @@ CmpSystem::buildCores()
         cores_.push_back(std::make_unique<cpu::Core>(
             detail::format("core%d", c), c, *l1s_.back(),
             *streams_.back(), cpu::CoreConfig{}, coreStats_));
-        sim_.add(cores_.back().get());
+        sim_.add(cores_.back().get(), c);
     }
 }
 
 void
 CmpSystem::run(Cycle cycles)
 {
-    sim_.run(cycles);
+    const auto start = std::chrono::steady_clock::now();
+    engine_->run(cycles);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    wallSeconds_ += elapsed.count();
+    engineTicks_ += cycles;
 }
 
 void
 CmpSystem::warmup(Cycle cycles)
 {
     hub_.onWarmupBegin(sim_.now());
-    sim_.run(cycles);
+    run(cycles);
     cacheStats_.reset();
     coreStats_.reset();
     memStats_.reset();

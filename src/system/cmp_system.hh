@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/geometry.hh"
+#include "engine/engine.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "telemetry/interval.hh"
@@ -73,6 +74,13 @@ struct SystemConfig
 
     /** Cap on retained interval snapshots. */
     std::size_t intervalMaxSnapshots = std::size_t{1} << 16;
+
+    /**
+     * Execution-engine threads: 1 runs the historical sequential loop,
+     * N >= 2 the sharded parallel engine (bit-identical results; see
+     * docs/ENGINE.md).
+     */
+    int threads = 1;
 
     /** Enable the runtime invariant checkers (strict observers). */
     bool validate = false;
@@ -154,6 +162,26 @@ class CmpSystem
     /** Dump every statistics group to @p os. */
     void dumpStats(std::ostream &os) const;
 
+    // --- Wall-clock performance of the execution engine -------------
+
+    /** Wall seconds spent inside run()/warmup() so far. */
+    double wallSeconds() const { return wallSeconds_; }
+
+    /** Simulated cycles executed inside run()/warmup() so far. */
+    Cycle engineTicks() const { return engineTicks_; }
+
+    /** Simulated cycles per wall second (0 before any run()). */
+    double
+    ticksPerSecond() const
+    {
+        return wallSeconds_ > 0.0
+                   ? static_cast<double>(engineTicks_) / wallSeconds_
+                   : 0.0;
+    }
+
+    const char *engineName() const { return engine_->name(); }
+    int engineThreads() const { return engine_->threads(); }
+
   private:
     void buildNetwork();
     void buildMemorySystem();
@@ -185,8 +213,11 @@ class CmpSystem
     /** Tracer owned for diagnostic dumps when none was installed. */
     std::unique_ptr<telemetry::PacketTracer> ownedTracer_;
     telemetry::ProbeHub hub_;
+    std::unique_ptr<engine::ExecutionEngine> engine_;
 
     Cycle measureStart_ = 0;
+    double wallSeconds_ = 0.0;
+    Cycle engineTicks_ = 0;
 };
 
 } // namespace stacknoc::system

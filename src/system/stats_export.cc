@@ -1,6 +1,7 @@
 #include "system/stats_export.hh"
 
 #include <ostream>
+#include <thread>
 
 #include "telemetry/json.hh"
 
@@ -53,6 +54,20 @@ writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
     w.endObject();
 
     writeMetrics(w, sys.metrics());
+
+    // Wall-clock performance of the execution engine, so speedups are
+    // visible in every run artifact. Never feed this into determinism
+    // digests: wall time varies run to run by construction.
+    w.key("perf");
+    w.beginObject();
+    w.kv("engine", std::string(sys.engineName()));
+    w.kv("threads", static_cast<std::uint64_t>(sys.engineThreads()));
+    w.kv("hardware_threads",
+         static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    w.kv("wall_seconds", sys.wallSeconds());
+    w.kv("ticks", static_cast<std::uint64_t>(sys.engineTicks()));
+    w.kv("ticks_per_sec", sys.ticksPerSecond());
+    w.endObject();
 
     w.key("groups");
     w.beginObject();

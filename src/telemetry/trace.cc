@@ -73,10 +73,57 @@ PacketTracer::PacketTracer(std::size_t ring_capacity,
 }
 
 void
+TraceLog::applyInOrder(TraceLog *const *logs, std::size_t n)
+{
+    panic_if(traceLog() != nullptr,
+             "TraceLog::applyInOrder would re-defer into an installed log");
+
+    // K-way merge by component ordinal; see stats::TickLog::applyInOrder
+    // for the ordering argument (entries within one log are already in
+    // ascending-ordinal tick order, each ordinal lives in one log).
+    std::vector<std::size_t> pos(n, 0);
+    for (;;) {
+        std::size_t best = n;
+        std::uint32_t best_ord = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (pos[i] >= logs[i]->entries_.size())
+                continue;
+            const std::uint32_t ord = logs[i]->entries_[pos[i]].ordinal;
+            if (best == n || ord < best_ord) {
+                best = i;
+                best_ord = ord;
+            }
+        }
+        if (best == n)
+            break;
+        auto &entries = logs[best]->entries_;
+        std::size_t &p = pos[best];
+        while (p < entries.size() && entries[p].ordinal == best_ord) {
+            const Entry &e = entries[p++];
+            e.target->record(e.rec.event, e.rec.packetId, e.rec.cls,
+                             e.rec.node, e.rec.cycle, e.rec.aux);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        logs[i]->clear();
+}
+
+void
 PacketTracer::record(TraceEvent ev, std::uint64_t packet_id,
                      std::uint8_t cls, NodeId node, Cycle now,
                      std::int64_t aux)
 {
+    if (TraceLog *log = traceLog()) {
+        TraceRecord rec;
+        rec.cycle = now;
+        rec.packetId = packet_id;
+        rec.cls = cls;
+        rec.event = ev;
+        rec.node = node;
+        rec.aux = aux;
+        log->append(this, rec);
+        return;
+    }
     ++recorded_;
     if (size_ == ring_.size()) {
         if (sink_) {

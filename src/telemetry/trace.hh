@@ -110,6 +110,73 @@ class CsvTraceSink : public TraceSink
     std::FILE *file_ = nullptr;
 };
 
+class PacketTracer;
+
+/**
+ * A deferred trace-record log, the tracing counterpart of
+ * stats::TickLog. The PacketTracer ring is a single shared buffer whose
+ * contents (and overwrite order) must be bit-identical between the
+ * sequential and sharded engines, so during a parallel compute phase
+ * each worker thread installs a TraceLog via setTraceLog();
+ * PacketTracer::record then appends here, tagged with the ordinal of
+ * the component currently ticking, and after the phase barrier the
+ * engine merges all per-thread logs by ordinal and replays them
+ * single-threaded into the real tracer — reproducing the exact
+ * sequential recording order.
+ */
+class TraceLog
+{
+  public:
+    /** Tag subsequent entries with component ordinal @p ordinal. */
+    void beginComponent(std::uint32_t ordinal) { ordinal_ = ordinal; }
+
+    bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+    std::size_t size() const { return entries_.size(); }
+
+    void
+    append(PacketTracer *target, const TraceRecord &rec)
+    {
+        entries_.push_back({ordinal_, target, rec});
+    }
+
+    /**
+     * Merge @p n logs by component ordinal and replay them into their
+     * target tracers. Must run with no TraceLog installed on the
+     * calling thread. Each ordinal appears in at most one log.
+     */
+    static void applyInOrder(TraceLog *const *logs, std::size_t n);
+
+  private:
+    struct Entry
+    {
+        std::uint32_t ordinal;
+        PacketTracer *target;
+        TraceRecord rec;
+    };
+
+    std::vector<Entry> entries_;
+    std::uint32_t ordinal_ = 0;
+};
+
+namespace detail {
+inline thread_local TraceLog *t_trace_log = nullptr;
+} // namespace detail
+
+/** Install @p log as this thread's deferral target (null = immediate). */
+inline void
+setTraceLog(TraceLog *log)
+{
+    detail::t_trace_log = log;
+}
+
+/** @return this thread's installed deferral log, or null. */
+inline TraceLog *
+traceLog()
+{
+    return detail::t_trace_log;
+}
+
 /**
  * The tracer: decides which packets are tracked (every Nth id) and
  * buffers their lifecycle records.

@@ -70,7 +70,57 @@ TEST(Cli, BadFlagShowsUsage)
 {
     std::string out;
     EXPECT_NE(runCli("--frobnicate", &out), 0);
+    EXPECT_NE(out.find("unknown option '--frobnicate'"),
+              std::string::npos);
     EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, TypoedFlagSuggestsCorrection)
+{
+    std::string out;
+    EXPECT_NE(runCli("--cycels 100", &out), 0);
+    EXPECT_NE(out.find("unknown option '--cycels'"), std::string::npos);
+    EXPECT_NE(out.find("did you mean '--cycles'?"), std::string::npos);
+}
+
+TEST(Cli, ImplausibleTypoGetsNoSuggestion)
+{
+    std::string out;
+    EXPECT_NE(runCli("--zzzzqqqqxxxx", &out), 0);
+    EXPECT_NE(out.find("unknown option"), std::string::npos);
+    EXPECT_EQ(out.find("did you mean"), std::string::npos);
+}
+
+TEST(Cli, ThreadsFlagRunsShardedEngine)
+{
+    std::string out;
+    ASSERT_EQ(runCli("--scenario MRAM-4TSB-WB --app tpcc --mesh 4x4 "
+                     "--cycles 1500 --warmup 200 --threads 2", &out), 0);
+    EXPECT_NE(out.find("engine=sharded threads=2"), std::string::npos);
+    EXPECT_NE(out.find("mean_ipc="), std::string::npos);
+}
+
+TEST(Cli, ThreadsZeroRejected)
+{
+    std::string out;
+    EXPECT_NE(runCli("--threads 0", &out), 0);
+    EXPECT_NE(out.find("--threads must be >= 1"), std::string::npos);
+}
+
+TEST(Cli, FuzzRejectsUnknownFlagWithHint)
+{
+    std::string out;
+    const std::string cmd =
+        "../tools/stacknoc_fuzz --rnus 3 2>&1";
+    std::FILE *p = ::popen(cmd.c_str(), "r");
+    ASSERT_NE(p, nullptr);
+    std::array<char, 512> buf;
+    out.clear();
+    while (std::fgets(buf.data(), buf.size(), p))
+        out += buf.data();
+    EXPECT_NE(::pclose(p), 0);
+    EXPECT_NE(out.find("unknown option '--rnus'"), std::string::npos);
+    EXPECT_NE(out.find("did you mean '--runs'?"), std::string::npos);
 }
 
 TEST(Cli, StatsFlagDumpsGroups)

@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "common/cli.hh"
 #include "common/geometry.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -127,6 +128,30 @@ TEST(Geometry, Contains)
     EXPECT_FALSE(shape.contains({4, 0, 0}));
     EXPECT_FALSE(shape.contains({0, -1, 0}));
     EXPECT_FALSE(shape.contains({0, 0, 2}));
+}
+
+TEST(Cli, EditDistance)
+{
+    EXPECT_EQ(cli::editDistance("", ""), 0u);
+    EXPECT_EQ(cli::editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(cli::editDistance("abc", ""), 3u);
+    EXPECT_EQ(cli::editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(cli::editDistance("--cycels", "--cycles"), 2u);
+}
+
+TEST(Cli, ClosestOptionPicksNearest)
+{
+    const std::vector<std::string> opts = {"--cycles", "--seed",
+                                           "--threads"};
+    EXPECT_EQ(cli::closestOption("--cycels", opts), "--cycles");
+    EXPECT_EQ(cli::closestOption("--thread", opts), "--threads");
+    EXPECT_EQ(cli::closestOption("--sede", opts), "--seed");
+}
+
+TEST(Cli, ClosestOptionRejectsImplausible)
+{
+    const std::vector<std::string> opts = {"--cycles", "--seed"};
+    EXPECT_EQ(cli::closestOption("--zzzzqqqqxxxxw", opts), "");
 }
 
 TEST(Logging, Format)

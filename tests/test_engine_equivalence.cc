@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The sharded parallel engine's determinism contract: running the same
+ * system with --threads {2,4,8} must be bit-identical to --threads 1 —
+ * every counter, every double-precision average sum, every telemetry
+ * trace record, in the same order. Plus unit tests of the shard
+ * partition itself (every component assigned exactly once, equal
+ * affinity keys co-sharded, cross-layer TSB pairs never split).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "engine/shard_plan.hh"
+#include "noc/packet.hh"
+#include "system/cmp_system.hh"
+#include "telemetry/trace.hh"
+
+using namespace stacknoc;
+
+namespace {
+
+system::SystemConfig
+baseConfig(std::uint64_t seed, int threads)
+{
+    system::SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.scenario = system::scenarios::sttram4TsbWb();
+    cfg.apps = {"tpcc", "lbm", "mcf", "libquantum"};
+    // Expand round-robin to one app per core.
+    std::vector<std::string> apps;
+    for (int c = 0; c < 16; ++c)
+        apps.push_back(cfg.apps[static_cast<std::size_t>(c) % 4]);
+    cfg.apps = apps;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    cfg.validate = true;
+    cfg.validation.failFast = true;
+    cfg.intervalPeriod = 128;
+    return cfg;
+}
+
+/** Bit-exact digest of every stat in @p g (doubles as raw bits). */
+void
+digestGroup(std::ostringstream &os, const stats::Group &g)
+{
+    os << "[" << g.name() << "]\n";
+    for (const auto &[n, c] : g.allCounters())
+        os << n << "=" << c.value() << "\n";
+    for (const auto &[n, a] : g.allAverages()) {
+        os << n << " sum_bits=" << std::bit_cast<std::uint64_t>(a.sum())
+           << " count=" << a.count() << "\n";
+    }
+    for (const auto &[n, d] : g.allDistributions()) {
+        os << n << " total=" << d.total();
+        for (std::size_t i = 0; i < d.numBins(); ++i)
+            os << " " << d.binCount(i);
+        os << "\n";
+    }
+    for (const auto &[n, h] : g.allHistograms()) {
+        os << n << " count=" << h.count() << " sum=" << h.sum()
+           << " min=" << h.minValue() << " max=" << h.maxValue();
+        for (std::size_t i = 0; i < stats::Histogram::kNumBuckets; ++i)
+            os << " " << h.bucketCount(i);
+        os << "\n";
+    }
+}
+
+struct RunDigest
+{
+    std::string stats;
+    std::string trace;
+    std::string metrics;
+};
+
+/** Build, warm up and run one system; digest everything observable. */
+RunDigest
+runOnce(std::uint64_t seed, int threads)
+{
+    // Fresh id streams so in-process runs mint identical packet ids.
+    noc::resetPacketIds();
+
+    telemetry::MemoryTraceSink sink;
+    telemetry::PacketTracer tracer(1 << 14, 1);
+    tracer.setSink(&sink);
+    telemetry::setTracer(&tracer);
+
+    RunDigest out;
+    {
+        system::CmpSystem sys(baseConfig(seed, threads));
+        sys.warmup(200);
+        sys.run(1500);
+        tracer.flush();
+
+        std::ostringstream stats;
+        digestGroup(stats, sys.cacheStats());
+        digestGroup(stats, sys.coreStats());
+        digestGroup(stats, sys.memStats());
+        digestGroup(stats, sys.network().stats());
+        if (sys.policy())
+            digestGroup(stats, sys.policy()->stats());
+        out.stats = stats.str();
+
+        std::ostringstream trace;
+        trace << "records=" << sink.records().size() << "\n";
+        for (const auto &r : sink.records()) {
+            trace << r.cycle << " " << r.packetId << " "
+                  << static_cast<int>(r.cls) << " "
+                  << telemetry::traceEventName(r.event) << " " << r.node
+                  << " " << r.aux << "\n";
+        }
+        out.trace = trace.str();
+
+        const auto m = sys.metrics();
+        std::ostringstream metrics;
+        metrics << "cycles=" << m.cycles;
+        for (const double ipc : m.ipc)
+            metrics << " " << std::bit_cast<std::uint64_t>(ipc);
+        metrics << " net=" << std::bit_cast<std::uint64_t>(
+            m.avgNetworkLatency);
+        out.metrics = metrics.str();
+
+        EXPECT_NE(sys.validation(), nullptr);
+        EXPECT_TRUE(sys.validation()->violations().empty());
+    }
+    telemetry::setTracer(nullptr);
+    return out;
+}
+
+} // namespace
+
+TEST(EngineEquivalence, TenSeedThreadSweepBitIdentical)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const RunDigest ref = runOnce(seed, 1);
+        ASSERT_FALSE(ref.stats.empty());
+        ASSERT_NE(ref.trace, "records=0\n")
+            << "trace digest is vacuous; tracer not wired?";
+        for (const int threads : {2, 4, 8}) {
+            const RunDigest got = runOnce(seed, threads);
+            EXPECT_EQ(ref.stats, got.stats)
+                << "stats diverged: seed " << seed << ", " << threads
+                << " threads";
+            EXPECT_EQ(ref.trace, got.trace)
+                << "trace diverged: seed " << seed << ", " << threads
+                << " threads";
+            EXPECT_EQ(ref.metrics, got.metrics)
+                << "metrics diverged: seed " << seed << ", " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(EngineEquivalence, SequentialRunsAreReproducible)
+{
+    // Sanity: the digest machinery itself must be deterministic.
+    const RunDigest a = runOnce(42, 1);
+    const RunDigest b = runOnce(42, 1);
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(ShardPlan, EveryComponentAssignedExactlyOnce)
+{
+    noc::resetPacketIds();
+    system::CmpSystem sys(baseConfig(1, 1));
+    Simulator &sim = sys.simulator();
+
+    for (const int nshards : {2, 4, 8}) {
+        const engine::ShardPlan plan =
+            engine::buildShardPlan(sim, nshards);
+
+        std::multiset<const Ticking *> seen;
+        std::set<std::uint32_t> ordinals;
+        for (const auto &shard : plan.shards) {
+            for (const auto &item : shard) {
+                seen.insert(item.component);
+                ordinals.insert(item.ordinal);
+            }
+        }
+        for (const auto &item : plan.serial) {
+            seen.insert(item.component);
+            ordinals.insert(item.ordinal);
+        }
+
+        EXPECT_EQ(seen.size(), sim.componentCount());
+        EXPECT_EQ(ordinals.size(), sim.componentCount());
+        for (const Ticking *c : sim.components())
+            EXPECT_EQ(seen.count(c), 1u)
+                << "component missing or duplicated at " << nshards
+                << " shards";
+    }
+}
+
+TEST(ShardPlan, EqualAffinityKeysAreCoSharded)
+{
+    noc::resetPacketIds();
+    system::CmpSystem sys(baseConfig(1, 1));
+    Simulator &sim = sys.simulator();
+
+    const engine::ShardPlan plan = engine::buildShardPlan(sim, 4);
+
+    std::map<int, std::size_t> key_to_shard;
+    for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+        for (const auto &item : plan.shards[s]) {
+            EXPECT_NE(item.affinity, Simulator::kSerialAffinity);
+            const auto [it, inserted] =
+                key_to_shard.emplace(item.affinity, s);
+            EXPECT_EQ(it->second, s)
+                << "affinity key " << item.affinity
+                << " split across shards";
+            (void)inserted;
+        }
+    }
+    for (const auto &item : plan.serial)
+        EXPECT_EQ(item.affinity, Simulator::kSerialAffinity);
+}
+
+TEST(ShardPlan, CrossLayerTsbPairsAreCoSharded)
+{
+    noc::resetPacketIds();
+    system::CmpSystem sys(baseConfig(1, 1));
+    Simulator &sim = sys.simulator();
+    noc::Network &net = sys.network();
+    const int npl = sys.shape().nodesPerLayer();
+
+    const engine::ShardPlan plan = engine::buildShardPlan(sim, 4);
+
+    std::map<const Ticking *, std::size_t> shard_of;
+    for (std::size_t s = 0; s < plan.shards.size(); ++s)
+        for (const auto &item : plan.shards[s])
+            shard_of[item.component] = s;
+
+    for (NodeId n = 0; n < npl; ++n) {
+        // The core-layer and cache-layer router (and NI) at one (x, y)
+        // coordinate — the endpoints of a potential TSB — must share a
+        // shard, or a vertical hop would cross shards outside a
+        // channel.
+        ASSERT_TRUE(shard_of.count(&net.router(n)));
+        EXPECT_EQ(shard_of[&net.router(n)],
+                  shard_of[&net.router(n + npl)])
+            << "routers of column " << n << " split across shards";
+        EXPECT_EQ(shard_of[&net.ni(n)], shard_of[&net.ni(n + npl)])
+            << "NIs of column " << n << " split across shards";
+        EXPECT_EQ(shard_of[&net.router(n)], shard_of[&net.ni(n)]);
+    }
+}

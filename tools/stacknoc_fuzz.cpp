@@ -25,12 +25,17 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
+#include "noc/packet.hh"
 #include "system/cmp_system.hh"
 
 using namespace stacknoc;
 
 namespace {
+
+/** Engine threads for every fuzz run (--threads). */
+int g_threads = 1;
 
 /** Everything needed to rebuild one fuzz run exactly. */
 struct FuzzCase
@@ -138,6 +143,7 @@ toConfig(const FuzzCase &fc)
 
     cfg.validate = true;
     cfg.validation.failFast = false; // collect, then minimize
+    cfg.threads = g_threads;
     return cfg;
 }
 
@@ -145,6 +151,10 @@ toConfig(const FuzzCase &fc)
 std::size_t
 runCase(const FuzzCase &fc, Cycle cycles)
 {
+    // Fresh id streams per run, so bisection replays the exact packets
+    // of the original failure and consecutive runs can't overflow a
+    // stream.
+    noc::resetPacketIds();
     system::SystemConfig cfg = toConfig(fc);
     system::CmpSystem sys(cfg);
     if (fc.warmup > 0)
@@ -264,9 +274,14 @@ usage()
   --seed N        master seed (default 1)
   --out PREFIX    reproducer file prefix (default fuzz-fail)
   --replay FILE   re-run one reproducer with fail-fast diagnostics
+  --threads N     execution-engine threads per run (default 1)
 )");
     std::exit(2);
 }
+
+const std::vector<std::string> kKnownOptions = {
+    "--runs", "--seed", "--out", "--replay", "--threads",
+};
 
 } // namespace
 
@@ -295,7 +310,12 @@ main(int argc, char **argv)
             out_prefix = need(i); ++i;
         } else if (arg == "--replay") {
             replay_path = need(i); ++i;
+        } else if (arg == "--threads") {
+            g_threads = std::atoi(need(i).c_str());
+            fatal_if(g_threads < 1, "--threads must be >= 1");
+            ++i;
         } else {
+            cli::reportUnknownOption("stacknoc_fuzz", arg, kKnownOptions);
             usage();
         }
     }
@@ -306,6 +326,7 @@ main(int argc, char **argv)
                      describeCase(fc).c_str());
         // Fail fast: the hub dumps cycle-stamped diagnostics and
         // aborts at the first violating sweep.
+        noc::resetPacketIds();
         system::SystemConfig cfg = toConfig(fc);
         cfg.validation.failFast = true;
         system::CmpSystem sys(cfg);

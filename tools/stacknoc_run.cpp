@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "telemetry/trace.hh"
 #include "system/cmp_system.hh"
 #include "system/stats_export.hh"
@@ -55,10 +56,20 @@ usage()
   --interval N      snapshot all stats groups every N cycles
   --validate        run the runtime invariant checkers (abort on failure)
   --validate-period N  checker sweep period in cycles (default 1)
+  --threads N       execution-engine threads (default 1; results are
+                    bit-identical for any N, see docs/ENGINE.md)
   --list-apps       print the Table 3 application names and exit
 )");
     std::exit(2);
 }
+
+const std::vector<std::string> kKnownOptions = {
+    "--scenario", "--app", "--apps", "--cycles", "--warmup", "--seed",
+    "--mesh", "--regions", "--placement", "--hops", "--delay-mode",
+    "--real-tags", "--stats", "--json-stats", "--trace", "--trace-sample",
+    "--interval", "--validate", "--validate-period", "--threads",
+    "--list-apps",
+};
 
 system::Scenario
 scenarioByName(const std::string &name)
@@ -191,12 +202,19 @@ main(int argc, char **argv)
                      "--validate-period must be >= 1");
             cfg.validate = true;
             ++i;
+        } else if (arg == "--threads") {
+            cfg.threads =
+                static_cast<int>(std::strtol(need(i).c_str(), nullptr,
+                                             10));
+            fatal_if(cfg.threads < 1, "--threads must be >= 1");
+            ++i;
         } else if (arg == "--list-apps") {
             for (const auto &a : workload::appTable())
                 std::printf("%-16s %s\n", a.name.c_str(),
                             workload::suiteName(a.suite));
             return 0;
         } else {
+            cli::reportUnknownOption("stacknoc_run", arg, kKnownOptions);
             usage();
         }
     }
@@ -251,6 +269,9 @@ main(int argc, char **argv)
                 m.energy.totalUJ(), m.energy.cacheDynamicUJ,
                 m.energy.cacheLeakageUJ, m.energy.netDynamicUJ,
                 m.energy.netLeakageUJ);
+    std::printf("engine=%s threads=%d wall_s=%.3f ticks_per_sec=%.0f\n",
+                sys.engineName(), sys.engineThreads(), sys.wallSeconds(),
+                sys.ticksPerSecond());
     if (dump_stats)
         sys.dumpStats(std::cout);
 

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * stacknoc_sweep — campaign runner for throughput baselines.
+ *
+ * Fans a scenario grid (scheme x regions x app mix x seed) across
+ * parallel stacknoc_run child processes, harvests each child's JSON
+ * stats, and writes one merged benchmark artifact (fig6-style IPC and
+ * latency per design point plus wall-clock sims/sec). It also measures
+ * the sharded engine's speedup on one fig6 scenario (1 thread vs
+ * --speedup-threads) and records it alongside the grid, seeding the
+ * perf trajectory tracked in BENCH_throughput.json.
+ *
+ *   stacknoc_sweep --out BENCH_throughput.json
+ *   stacknoc_sweep --schemes MRAM-4TSB,MRAM-4TSB-WB --seeds 3 --jobs 8
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "telemetry/json.hh"
+
+using namespace stacknoc;
+
+namespace {
+
+struct SweepJob
+{
+    std::string scenario;
+    int regions = 4;
+    std::string mix;       //!< comma list passed to --apps
+    std::uint64_t seed = 1;
+    int threads = 1;
+    std::string tag;       //!< "grid" or "speedup"
+};
+
+struct SweepResult
+{
+    SweepJob job;
+    bool ok = false;
+    double meanIpc = 0.0;
+    double instrThroughput = 0.0;
+    double avgNetLatency = 0.0;
+    double p95NetLatency = 0.0;
+    double wallSeconds = 0.0;
+    double ticksPerSec = 0.0;
+};
+
+struct SweepOptions
+{
+    std::vector<std::string> schemes{"MRAM-64TSB", "MRAM-4TSB",
+                                     "MRAM-4TSB-WB"};
+    std::vector<int> regions{4};
+    std::vector<std::string> mixes{"tpcc", "tpcc,lbm,mcf,libquantum"};
+    int seeds = 1;
+    Cycle cycles = 20000;
+    Cycle warmup = 3000;
+    int jobs = 0; //!< 0 = hardware concurrency
+    int threads = 1;
+    std::string runner;
+    std::string out = "BENCH_throughput.json";
+    std::string speedupScenario = "MRAM-4TSB-WB";
+    int speedupThreads = 4;
+    bool speedup = true;
+};
+
+std::vector<std::string>
+splitList(const std::string &list, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    for (std::string item; std::getline(ss, item, sep);)
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr, R"(usage: stacknoc_sweep [options]
+  --schemes A,B,..   scenario names (default MRAM-64TSB,MRAM-4TSB,MRAM-4TSB-WB)
+  --regions N,..     region counts (default 4)
+  --mixes M1:M2:..   app mixes, ':'-separated, each a comma list
+                     (default tpcc:tpcc,lbm,mcf,libquantum)
+  --seeds N          seeds 1..N per design point (default 1)
+  --cycles N         measured cycles per run (default 20000)
+  --warmup N         warm-up cycles per run (default 3000)
+  --jobs N           parallel child processes (default: hw threads)
+  --threads N        engine threads inside each child (default 1)
+  --runner PATH      stacknoc_run binary (default: next to this binary)
+  --out FILE         merged artifact (default BENCH_throughput.json)
+  --speedup-scenario NAME  fig6 scenario for the 1-vs-N thread speedup
+                     measurement (default MRAM-4TSB-WB)
+  --speedup-threads N  parallel-engine thread count to measure (default 4)
+  --no-speedup       skip the speedup measurement
+)");
+    std::exit(2);
+}
+
+const std::vector<std::string> kKnownOptions = {
+    "--schemes", "--regions", "--mixes", "--seeds", "--cycles",
+    "--warmup", "--jobs", "--threads", "--runner", "--out",
+    "--speedup-scenario", "--speedup-threads", "--no-speedup",
+};
+
+/** Run one child, parse its --json-stats output. */
+SweepResult
+runJob(const SweepOptions &opt, const SweepJob &job, int idx)
+{
+    SweepResult res;
+    res.job = job;
+
+    const std::string json_path =
+        (std::filesystem::temp_directory_path() /
+         detail::format("stacknoc_sweep_%d_%d.json",
+                        static_cast<int>(::getpid()), idx))
+            .string();
+
+    std::string cmd = opt.runner;
+    cmd += " --scenario " + job.scenario;
+    cmd += detail::format(" --regions %d", job.regions);
+    cmd += " --apps " + job.mix;
+    cmd += detail::format(" --seed %llu",
+                          static_cast<unsigned long long>(job.seed));
+    cmd += detail::format(" --cycles %llu",
+                          static_cast<unsigned long long>(opt.cycles));
+    cmd += detail::format(" --warmup %llu",
+                          static_cast<unsigned long long>(opt.warmup));
+    cmd += detail::format(" --threads %d", job.threads);
+    cmd += " --json-stats " + json_path;
+    cmd += " > /dev/null 2>&1";
+
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        warn("sweep: child failed (rc=%d): %s", rc, cmd.c_str());
+        return res;
+    }
+
+    std::ifstream in(json_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::filesystem::remove(json_path);
+
+    std::string err;
+    const auto doc = telemetry::JsonValue::parse(buf.str(), &err);
+    if (!doc) {
+        warn("sweep: bad child json (%s): %s", err.c_str(), cmd.c_str());
+        return res;
+    }
+
+    const auto *metrics = doc->find("metrics");
+    const auto *perf = doc->find("perf");
+    if (!metrics || !perf) {
+        warn("sweep: child json missing metrics/perf: %s", cmd.c_str());
+        return res;
+    }
+    auto num = [](const telemetry::JsonValue *obj, const char *key) {
+        const auto *v = obj->find(key);
+        return v && v->isNumber() ? v->asDouble() : 0.0;
+    };
+    res.meanIpc = num(metrics, "mean_ipc");
+    res.instrThroughput = num(metrics, "instruction_throughput");
+    res.avgNetLatency = num(metrics, "avg_network_latency");
+    res.p95NetLatency = num(metrics, "p95_network_latency");
+    res.wallSeconds = num(perf, "wall_seconds");
+    res.ticksPerSec = num(perf, "ticks_per_sec");
+    res.ok = true;
+    return res;
+}
+
+void
+writeRun(telemetry::JsonWriter &w, const SweepResult &r)
+{
+    w.beginObject();
+    w.kv("scenario", r.job.scenario);
+    w.kv("regions", r.job.regions);
+    w.kv("mix", r.job.mix);
+    w.kv("seed", static_cast<std::uint64_t>(r.job.seed));
+    w.kv("threads", r.job.threads);
+    w.kv("ok", r.ok);
+    w.kv("mean_ipc", r.meanIpc);
+    w.kv("instruction_throughput", r.instrThroughput);
+    w.kv("avg_network_latency", r.avgNetLatency);
+    w.kv("p95_network_latency", r.p95NetLatency);
+    w.kv("wall_seconds", r.wallSeconds);
+    w.kv("ticks_per_sec", r.ticksPerSec);
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    SweepOptions opt;
+
+    auto need = [&](int i) {
+        if (i + 1 >= argc)
+            usage();
+        return std::string(argv[i + 1]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--schemes") {
+            opt.schemes = splitList(need(i), ','); ++i;
+        } else if (arg == "--regions") {
+            opt.regions.clear();
+            for (const auto &r : splitList(need(i), ','))
+                opt.regions.push_back(std::stoi(r));
+            ++i;
+        } else if (arg == "--mixes") {
+            opt.mixes = splitList(need(i), ':'); ++i;
+        } else if (arg == "--seeds") {
+            opt.seeds = std::atoi(need(i).c_str());
+            fatal_if(opt.seeds < 1, "--seeds must be >= 1");
+            ++i;
+        } else if (arg == "--cycles") {
+            opt.cycles = std::strtoull(need(i).c_str(), nullptr, 10); ++i;
+        } else if (arg == "--warmup") {
+            opt.warmup = std::strtoull(need(i).c_str(), nullptr, 10); ++i;
+        } else if (arg == "--jobs") {
+            opt.jobs = std::atoi(need(i).c_str()); ++i;
+        } else if (arg == "--threads") {
+            opt.threads = std::atoi(need(i).c_str());
+            fatal_if(opt.threads < 1, "--threads must be >= 1");
+            ++i;
+        } else if (arg == "--runner") {
+            opt.runner = need(i); ++i;
+        } else if (arg == "--out") {
+            opt.out = need(i); ++i;
+        } else if (arg == "--speedup-scenario") {
+            opt.speedupScenario = need(i); ++i;
+        } else if (arg == "--speedup-threads") {
+            opt.speedupThreads = std::atoi(need(i).c_str());
+            fatal_if(opt.speedupThreads < 2,
+                     "--speedup-threads must be >= 2");
+            ++i;
+        } else if (arg == "--no-speedup") {
+            opt.speedup = false;
+        } else {
+            cli::reportUnknownOption("stacknoc_sweep", arg,
+                                     kKnownOptions);
+            usage();
+        }
+    }
+
+    if (opt.runner.empty()) {
+        // Default: the stacknoc_run built next to this binary.
+        opt.runner = (std::filesystem::path(argv[0]).parent_path() /
+                      "stacknoc_run")
+                         .string();
+    }
+    fatal_if(!std::filesystem::exists(opt.runner),
+             "runner '%s' not found (use --runner)", opt.runner.c_str());
+    if (opt.jobs <= 0) {
+        opt.jobs = static_cast<int>(std::thread::hardware_concurrency());
+        if (opt.jobs <= 0)
+            opt.jobs = 4;
+    }
+
+    // Build the job list: the full grid, then the speedup pair.
+    std::vector<SweepJob> jobs;
+    for (const auto &scheme : opt.schemes)
+        for (const int regions : opt.regions)
+            for (const auto &mix : opt.mixes)
+                for (int s = 1; s <= opt.seeds; ++s) {
+                    SweepJob j;
+                    j.scenario = scheme;
+                    j.regions = regions;
+                    j.mix = mix;
+                    j.seed = static_cast<std::uint64_t>(s);
+                    j.threads = opt.threads;
+                    j.tag = "grid";
+                    jobs.push_back(j);
+                }
+    if (opt.speedup) {
+        for (const int t : {1, opt.speedupThreads}) {
+            SweepJob j;
+            j.scenario = opt.speedupScenario;
+            j.regions = opt.regions.front();
+            j.mix = opt.mixes.front();
+            j.seed = 1;
+            j.threads = t;
+            j.tag = "speedup";
+            jobs.push_back(j);
+        }
+    }
+
+    std::fprintf(stderr, "sweep: %zu job(s) across %d process(es)\n",
+                 jobs.size(), opt.jobs);
+
+    std::vector<SweepResult> results(jobs.size());
+    std::mutex m;
+    std::size_t next = 0;
+    auto worker = [&] {
+        for (;;) {
+            std::size_t idx;
+            {
+                std::lock_guard<std::mutex> lk(m);
+                if (next >= jobs.size())
+                    return;
+                idx = next++;
+            }
+            results[idx] =
+                runJob(opt, jobs[idx], static_cast<int>(idx));
+            std::lock_guard<std::mutex> lk(m);
+            std::fprintf(stderr, "  [%zu/%zu] %s r%d %s seed=%llu "
+                         "t%d %s\n",
+                         idx + 1, jobs.size(),
+                         jobs[idx].scenario.c_str(), jobs[idx].regions,
+                         jobs[idx].mix.c_str(),
+                         static_cast<unsigned long long>(jobs[idx].seed),
+                         jobs[idx].threads,
+                         results[idx].ok ? "ok" : "FAILED");
+        }
+    };
+    std::vector<std::thread> pool;
+    for (int t = 0; t < opt.jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    int failed = 0;
+    for (const auto &r : results)
+        failed += r.ok ? 0 : 1;
+
+    // Merge into the benchmark artifact.
+    std::ofstream out(opt.out);
+    fatal_if(!out, "cannot open '%s'", opt.out.c_str());
+    telemetry::JsonWriter w(out);
+    w.beginObject();
+    w.kv("bench", "throughput");
+    w.kv("tool", "stacknoc_sweep");
+    w.key("grid");
+    w.beginObject();
+    w.kv("cycles", static_cast<std::uint64_t>(opt.cycles));
+    w.kv("warmup", static_cast<std::uint64_t>(opt.warmup));
+    w.kv("seeds", opt.seeds);
+    w.kv("threads", opt.threads);
+    // Interprets the speedup number: a 4-thread engine on a 1-core host
+    // cannot beat sequential no matter how good the sharding is.
+    w.kv("hardware_threads",
+         static_cast<int>(std::thread::hardware_concurrency()));
+    w.endObject();
+    w.key("runs");
+    w.beginArray();
+    for (const auto &r : results)
+        if (r.job.tag == "grid")
+            writeRun(w, r);
+    w.endArray();
+
+    w.key("speedup");
+    const SweepResult *base = nullptr, *par = nullptr;
+    for (const auto &r : results) {
+        if (r.job.tag != "speedup")
+            continue;
+        (r.job.threads == 1 ? base : par) = &r;
+    }
+    if (base && par && base->ok && par->ok) {
+        w.beginObject();
+        w.kv("scenario", base->job.scenario);
+        w.kv("mix", base->job.mix);
+        w.kv("cycles", static_cast<std::uint64_t>(opt.cycles));
+        w.kv("base_threads", 1);
+        w.kv("base_ticks_per_sec", base->ticksPerSec);
+        w.kv("par_threads", par->job.threads);
+        w.kv("par_ticks_per_sec", par->ticksPerSec);
+        const double speedup = base->ticksPerSec > 0.0
+                                   ? par->ticksPerSec / base->ticksPerSec
+                                   : 0.0;
+        w.kv("speedup", speedup);
+        w.endObject();
+        std::fprintf(stderr,
+                     "sweep: speedup %dT vs 1T on %s = %.2fx "
+                     "(%.0f vs %.0f ticks/s)\n",
+                     par->job.threads, base->job.scenario.c_str(),
+                     speedup, par->ticksPerSec, base->ticksPerSec);
+    } else {
+        w.null();
+    }
+    w.endObject();
+    out << "\n";
+
+    std::printf("sweep: %zu job(s), %d failed, artifact %s\n",
+                results.size(), failed, opt.out.c_str());
+    return failed == 0 ? 0 : 1;
+}
