@@ -19,6 +19,10 @@
 #include "common/types.hh"
 #include "sim/simulator.hh"
 
+namespace stacknoc::telemetry {
+class CycleProfiler;
+} // namespace stacknoc::telemetry
+
 namespace stacknoc::engine {
 
 /** Drives a Simulator's registered components through time. */
@@ -40,8 +44,21 @@ class ExecutionEngine
     /** Number of threads ticking components (1 for sequential). */
     virtual int threads() const = 0;
 
+    /**
+     * Install a cycle-accounting profiler (nullptr = off, the
+     * default). Must happen before the first run(); with no profiler
+     * the engines take their historical fast paths and pay nothing.
+     */
+    virtual void setProfiler(telemetry::CycleProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
+    telemetry::CycleProfiler *profiler() const { return profiler_; }
+
   protected:
     Simulator &sim_;
+    telemetry::CycleProfiler *profiler_ = nullptr;
 };
 
 /**

@@ -1,0 +1,88 @@
+#include "engine/sequential_engine.hh"
+
+#include <string>
+
+#include "telemetry/profile.hh"
+
+namespace stacknoc::engine {
+
+namespace {
+
+/** Kind buckets for the sequential profiler's compute attribution. */
+const std::vector<std::string> kKindNames = {
+    "router", "ni", "l1", "l2bank", "core", "mc", "rca", "other",
+};
+
+std::uint8_t
+kindOfName(const std::string &name)
+{
+    const auto starts = [&](const char *prefix) {
+        return name.rfind(prefix, 0) == 0;
+    };
+    if (starts("net.router")) return 0;
+    if (starts("net.ni")) return 1;
+    if (starts("l1.")) return 2;
+    if (starts("l2bank")) return 3;
+    if (starts("core")) return 4;
+    if (starts("mc")) return 5;
+    if (starts("sttnoc.rca")) return 6;
+    return 7;
+}
+
+} // namespace
+
+void
+SequentialEngine::run(Cycle cycles)
+{
+    if (profiler_ == nullptr) {
+        sim_.run(cycles);
+        return;
+    }
+    runProfiled(cycles);
+}
+
+void
+SequentialEngine::buildKindMap()
+{
+    kindOf_.clear();
+    kindOf_.reserve(sim_.componentCount());
+    for (const Ticking *c : sim_.components())
+        kindOf_.push_back(kindOfName(c->name()));
+    kindMapVersion_ = sim_.registryVersion();
+    kindMapBuilt_ = true;
+    profiler_->setKinds(kKindNames);
+}
+
+void
+SequentialEngine::runProfiled(Cycle cycles)
+{
+    if (!kindMapBuilt_ || kindMapVersion_ != sim_.registryVersion())
+        buildKindMap();
+
+    telemetry::CycleProfiler &prof = *profiler_;
+    const auto &components = sim_.components();
+
+    for (Cycle i = 0; i < cycles; ++i) {
+        const Cycle now = sim_.now();
+        // Chained timestamps: each clock read ends one measurement and
+        // starts the next, so the phase durations tile the loop and
+        // their sum tracks wall time.
+        const double cycle_start = prof.nowSeconds();
+        double t_prev = cycle_start;
+        for (std::size_t ord = 0; ord < components.size(); ++ord) {
+            components[ord]->tick(now);
+            const double t = prof.nowSeconds();
+            prof.addKindSeconds(kindOf_[ord], t - t_prev);
+            t_prev = t;
+        }
+        prof.addPhase(telemetry::EnginePhase::Compute, cycle_start,
+                      t_prev);
+
+        sim_.completeCycle();
+        const double t_end = prof.nowSeconds();
+        prof.addPhase(telemetry::EnginePhase::CycleEnd, t_prev, t_end);
+        prof.addCycles(1);
+    }
+}
+
+} // namespace stacknoc::engine

@@ -6,6 +6,9 @@
 #ifndef STACKNOC_ENGINE_SEQUENTIAL_ENGINE_HH
 #define STACKNOC_ENGINE_SEQUENTIAL_ENGINE_HH
 
+#include <cstdint>
+#include <vector>
+
 #include "engine/engine.hh"
 
 namespace stacknoc::engine {
@@ -14,15 +17,32 @@ namespace stacknoc::engine {
  * Ticks every component in registration order on the calling thread —
  * exactly Simulator::run(). This is the reference implementation the
  * sharded engine must be bit-identical to.
+ *
+ * With a profiler installed the engine runs an instrumented copy of
+ * the same loop that additionally attributes compute time to component
+ * kinds (router, ni, l1, l2bank, core, mc, rca, other — classified
+ * from the component name prefix) with chained timestamps, so phase
+ * durations tile the measured wall time. Tick order, and therefore
+ * every simulation result, is identical either way.
  */
 class SequentialEngine : public ExecutionEngine
 {
   public:
     explicit SequentialEngine(Simulator &sim) : ExecutionEngine(sim) {}
 
-    void run(Cycle cycles) override { sim_.run(cycles); }
+    void run(Cycle cycles) override;
     const char *name() const override { return "sequential"; }
     int threads() const override { return 1; }
+
+  private:
+    void runProfiled(Cycle cycles);
+
+    /** Build (or rebuild) the ordinal -> kind-bucket map. */
+    void buildKindMap();
+
+    std::vector<std::uint8_t> kindOf_;  //!< per component ordinal
+    std::uint64_t kindMapVersion_ = 0;  //!< registry version it matches
+    bool kindMapBuilt_ = false;
 };
 
 } // namespace stacknoc::engine

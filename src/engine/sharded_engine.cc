@@ -1,6 +1,7 @@
 #include "engine/sharded_engine.hh"
 
 #include "common/logging.hh"
+#include "telemetry/profile.hh"
 
 namespace stacknoc::engine {
 
@@ -62,6 +63,14 @@ ShardedParallelEngine::~ShardedParallelEngine()
 }
 
 void
+ShardedParallelEngine::setProfiler(telemetry::CycleProfiler *profiler)
+{
+    ExecutionEngine::setProfiler(profiler);
+    if (profiler_ != nullptr)
+        profiler_->setShardCount(plan_.numShards());
+}
+
+void
 ShardedParallelEngine::workerLoop(std::size_t shard)
 {
     std::uint64_t seen = 0;
@@ -72,7 +81,16 @@ ShardedParallelEngine::workerLoop(std::size_t shard)
         });
         if (stop_.load(std::memory_order_acquire))
             return;
-        runShard(shard, cycle_);
+        // Safe to read only after the epoch acquire: setProfiler runs
+        // on the main thread before the epoch publishing this cycle.
+        if (telemetry::CycleProfiler *prof = profiler_) {
+            const double t0 = prof->nowSeconds();
+            runShard(shard, cycle_);
+            prof->addShardPhase(shard, telemetry::EnginePhase::Compute,
+                                t0, prof->nowSeconds());
+        } else {
+            runShard(shard, cycle_);
+        }
         done_.fetch_add(1, std::memory_order_release);
     }
 }
@@ -95,6 +113,24 @@ ShardedParallelEngine::runShard(std::size_t shard, Cycle now)
 }
 
 void
+ShardedParallelEngine::commitStagedState()
+{
+    // Commit phase: channel splices first (cheap, order-free — each
+    // channel is enrolled in exactly one shard's list because channels
+    // are single-sender), then the ordinal-ordered stat/trace replay.
+    for (auto &st : shard_state_) {
+        for (ChannelBase *ch : st->staged_channels)
+            ch->commitStaged();
+        st->staged_channels.clear();
+    }
+    if (!tick_logs_.empty()) {
+        stats::TickLog::applyInOrder(tick_logs_.data(), tick_logs_.size());
+        telemetry::TraceLog::applyInOrder(trace_logs_.data(),
+                                          trace_logs_.size());
+    }
+}
+
+void
 ShardedParallelEngine::runCycle()
 {
     const Cycle now = sim_.now();
@@ -110,19 +146,7 @@ ShardedParallelEngine::runCycle()
         return done_.load(std::memory_order_acquire) == nworkers;
     });
 
-    // Commit phase: channel splices first (cheap, order-free — each
-    // channel is enrolled in exactly one shard's list because channels
-    // are single-sender), then the ordinal-ordered stat/trace replay.
-    for (auto &st : shard_state_) {
-        for (ChannelBase *ch : st->staged_channels)
-            ch->commitStaged();
-        st->staged_channels.clear();
-    }
-    if (!tick_logs_.empty()) {
-        stats::TickLog::applyInOrder(tick_logs_.data(), tick_logs_.size());
-        telemetry::TraceLog::applyInOrder(trace_logs_.data(),
-                                          trace_logs_.size());
-    }
+    commitStagedState();
 
     for (const ShardItem &item : plan_.serial)
         item.component->tick(now);
@@ -131,10 +155,59 @@ ShardedParallelEngine::runCycle()
 }
 
 void
+ShardedParallelEngine::runCycleProfiled()
+{
+    // Identical to runCycle() plus chained wall-clock stamps around
+    // each phase, so phase durations tile the cycle. The extra clock
+    // reads are observer-only: the tick/commit/serial sequence — and
+    // therefore every simulation result — is byte-for-byte the same.
+    using telemetry::EnginePhase;
+    telemetry::CycleProfiler &prof = *profiler_;
+
+    const Cycle now = sim_.now();
+    cycle_ = now;
+    done_.store(0, std::memory_order_relaxed);
+
+    const double t0 = prof.nowSeconds();
+    epoch_.fetch_add(1, std::memory_order_release);
+
+    if (!plan_.shards.empty())
+        runShard(0, now);
+    const double t1 = prof.nowSeconds();
+    prof.addPhase(EnginePhase::Compute, t0, t1);
+    prof.addShardPhase(0, EnginePhase::Compute, t0, t1);
+
+    const std::size_t nworkers = workers_.size();
+    spinWait(spin_iters_, [&] {
+        return done_.load(std::memory_order_acquire) == nworkers;
+    });
+    const double t2 = prof.nowSeconds();
+    prof.addPhase(EnginePhase::Barrier, t1, t2);
+
+    commitStagedState();
+    const double t3 = prof.nowSeconds();
+    prof.addPhase(EnginePhase::Commit, t2, t3);
+
+    for (const ShardItem &item : plan_.serial)
+        item.component->tick(now);
+    const double t4 = prof.nowSeconds();
+    prof.addPhase(EnginePhase::Serial, t3, t4);
+
+    sim_.completeCycle();
+    prof.addPhase(EnginePhase::CycleEnd, t4, prof.nowSeconds());
+    prof.addCycles(1);
+}
+
+void
 ShardedParallelEngine::run(Cycle cycles)
 {
     panic_if(sim_.registryVersion() != registry_version_,
              "components were registered after the shard plan was built");
+    if (profiler_ != nullptr) {
+        for (Cycle i = 0; i < cycles; ++i)
+            runCycleProfiled();
+        return;
+    }
     for (Cycle i = 0; i < cycles; ++i)
         runCycle();
 }

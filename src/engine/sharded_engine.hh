@@ -54,6 +54,14 @@ class ShardedParallelEngine : public ExecutionEngine
     const char *name() const override { return "sharded"; }
     int threads() const override { return requested_threads_; }
 
+    /**
+     * Install the profiler and size its per-shard slots. Workers read
+     * the pointer only after observing a cycle epoch published later,
+     * so installation needs no extra synchronisation — but it must
+     * happen before the first run().
+     */
+    void setProfiler(telemetry::CycleProfiler *profiler) override;
+
     /** The partition being executed (test/diagnostic use). */
     const ShardPlan &plan() const { return plan_; }
 
@@ -68,8 +76,12 @@ class ShardedParallelEngine : public ExecutionEngine
     };
 
     void runCycle();
+    void runCycleProfiled();
     void runShard(std::size_t shard, Cycle now);
     void workerLoop(std::size_t shard);
+
+    /** Commit phase body shared by the plain and profiled cycles. */
+    void commitStagedState();
 
     ShardPlan plan_;
     int requested_threads_;

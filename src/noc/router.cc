@@ -300,6 +300,7 @@ Router::switchAllocateAndTraverse(Cycle now)
             op.link->data.push(now, LinkFlit{flit, vc.outVc});
             --op.credits[static_cast<std::size_t>(vc.outVc)];
             flitsOut_.inc();
+            ++flitsSwitchedTotal_;
 
             // Return the freed buffer slot upstream.
             if (r->ip->link)

@@ -74,6 +74,14 @@ class Router : public Ticking
     /** Credits available on output VC @p vc of port @p d (-1: no link). */
     int outCredits(Dir d, int vc) const;
 
+    /**
+     * Flits this router has pushed into its crossbar since
+     * construction. A plain (non-Group) counter so spatial exporters
+     * can read per-router values: written only by this router's own
+     * tick, read from cycle-end probes after the phase barrier.
+     */
+    std::uint64_t flitsSwitchedTotal() const { return flitsSwitchedTotal_; }
+
     const NocParams &params() const { return params_; }
 
   private:
@@ -132,6 +140,7 @@ class Router : public Ticking
     stats::Counter &flitsIn_;
     stats::Counter &flitsOut_;
     stats::Counter &packetsForwarded_;
+    std::uint64_t flitsSwitchedTotal_ = 0;
 };
 
 } // namespace stacknoc::noc

@@ -14,6 +14,7 @@ BankAwarePolicy::BankAwarePolicy(
       estimator_(std::move(estimator)),
       busyUntil_(static_cast<std::size_t>(regions.numBanks()), 0),
       pathDelay_(static_cast<std::size_t>(regions.numBanks()), 0),
+      holdCyclesByBank_(static_cast<std::size_t>(regions.numBanks()), 0),
       stats_("sttnoc"),
       holdsStarted_(stats_.counter("holds_started")),
       holdCapReleases_(stats_.counter("hold_cap_releases")),
@@ -116,6 +117,7 @@ BankAwarePolicy::priorityClass(NodeId router, const noc::Packet &pkt,
     // A write toward a child predicted busy with an earlier write:
     // yield to idle-bank requests, reads, coherence and responses.
     holdsStarted_.inc();
+    ++holdCyclesByBank_[static_cast<std::size_t>(bank)];
     return 2;
 }
 
@@ -127,6 +129,8 @@ BankAwarePolicy::onForward(NodeId router, noc::Packet &pkt, Cycle now)
         return;
     if (pkt.firstHeldAt != kCycleNever) {
         holdDurationHist_.sample(now - pkt.firstHeldAt);
+        holdCyclesByBank_[static_cast<std::size_t>(bank)] +=
+            static_cast<std::uint64_t>(now - pkt.firstHeldAt);
         if (auto *t = telemetry::tracer(); t && t->tracked(pkt.id)) {
             t->record(telemetry::TraceEvent::HoldEnd, pkt.id,
                       static_cast<std::uint8_t>(pkt.cls), router, now,

@@ -78,6 +78,20 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
     stats::Group &stats() { return stats_; }
     const stats::Group &stats() const { return stats_; }
 
+    /**
+     * Per-bank parent-hold pressure for spatial exporters: Hold-mode
+     * holds add their real duration on release; Priority-mode
+     * deferrals (a write losing arbitration inside a busy window) add
+     * one each. Written only from the bank's parent router's tick
+     * (each bank has exactly one parent), read from cycle-end probes
+     * after the phase barrier.
+     */
+    std::uint64_t
+    holdCyclesOfBank(BankId bank) const
+    {
+        return holdCyclesByBank_.at(static_cast<std::size_t>(bank));
+    }
+
     const SttAwareParams &params() const { return params_; }
 
   private:
@@ -95,6 +109,8 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
     std::vector<Cycle> busyUntil_;
     /** Contention-free parent->bank delivery delay, per bank. */
     std::vector<Cycle> pathDelay_;
+    /** See holdCyclesOfBank(). */
+    std::vector<std::uint64_t> holdCyclesByBank_;
 
     stats::Group stats_;
     stats::Counter &holdsStarted_;

@@ -1,6 +1,7 @@
 #include "system/cmp_system.hh"
 
 #include <chrono>
+#include <iostream>
 #include <ostream>
 
 #include "common/logging.hh"
@@ -40,6 +41,23 @@ CmpSystem::CmpSystem(const SystemConfig &config)
             sampler_->addGroup(&bankAwarePolicy_->stats());
         hub_.add(sampler_.get());
     }
+    if (config_.heatmapPeriod > 0) {
+        heatmap_ = std::make_unique<HeatmapCollector>(
+            *net_, bankAwarePolicy_.get(), regions_.get(), shape_,
+            config_.heatmapPeriod, config_.heatmapMaxFrames);
+        hub_.add(heatmap_.get());
+    }
+    if (config_.progress) {
+        progress_ = std::make_unique<ProgressReporter>(
+            std::cerr, config_.progressTotalCycles,
+            config_.progressPeriod, [this] {
+                std::uint64_t committed = 0;
+                for (const auto &core : cores_)
+                    committed += core->committed();
+                return committed;
+            });
+        hub_.add(progress_.get());
+    }
     if (config_.validate) {
         validation_ =
             std::make_unique<validate::ValidationHub>(config_.validation);
@@ -71,6 +89,12 @@ CmpSystem::CmpSystem(const SystemConfig &config)
     // Every component is registered by now; the engine snapshots the
     // registry when it builds its shard plan.
     engine_ = engine::makeEngine(sim_, config_.threads);
+
+    if (config_.profile) {
+        profiler_ = std::make_unique<telemetry::CycleProfiler>(
+            config_.profileSpanCapacity);
+        engine_->setProfiler(profiler_.get());
+    }
 }
 
 CmpSystem::~CmpSystem()

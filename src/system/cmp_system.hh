@@ -28,9 +28,12 @@
 #include "mem/memory_controller.hh"
 #include "cpu/core.hh"
 #include "workload/synthetic_stream.hh"
+#include "system/heatmap.hh"
 #include "system/metrics.hh"
 #include "system/probes.hh"
+#include "system/progress.hh"
 #include "system/scenario.hh"
+#include "telemetry/profile.hh"
 #include "validate/checker.hh"
 
 namespace stacknoc::system {
@@ -74,6 +77,28 @@ struct SystemConfig
 
     /** Cap on retained interval snapshots. */
     std::size_t intervalMaxSnapshots = std::size_t{1} << 16;
+
+    /** Enable the engine cycle-accounting profiler (observer-only). */
+    bool profile = false;
+
+    /** Retained profiler spans per thread (0 = totals only); sized up
+     *  by the Chrome-trace exporter path. */
+    std::size_t profileSpanCapacity = 0;
+
+    /** Spatial heatmap sampling period (0 disables the collector). */
+    Cycle heatmapPeriod = 0;
+
+    /** Cap on retained heatmap frames. */
+    std::size_t heatmapMaxFrames = std::size_t{1} << 14;
+
+    /** Emit live progress lines on stderr. */
+    bool progress = false;
+
+    /** Cycles between progress reports. */
+    Cycle progressPeriod = Cycle{1} << 15;
+
+    /** Planned total run length (for progress %/ETA; 0 hides both). */
+    Cycle progressTotalCycles = 0;
 
     /**
      * Execution-engine threads: 1 runs the historical sequential loop,
@@ -159,6 +184,19 @@ class CmpSystem
         return validation_.get();
     }
 
+    /** The cycle profiler, or nullptr when profiling is off. */
+    const telemetry::CycleProfiler *
+    profiler() const
+    {
+        return profiler_.get();
+    }
+
+    /** The heatmap collector, or nullptr when heatmapPeriod == 0. */
+    const HeatmapCollector *heatmap() const { return heatmap_.get(); }
+
+    /** The progress reporter, or nullptr when progress is off. */
+    ProgressReporter *progress() { return progress_.get(); }
+
     /** Dump every statistics group to @p os. */
     void dumpStats(std::ostream &os) const;
 
@@ -210,6 +248,9 @@ class CmpSystem
     std::unique_ptr<RouterOccupancyProbe> probe_;
     std::unique_ptr<telemetry::IntervalSampler> sampler_;
     std::unique_ptr<validate::ValidationHub> validation_;
+    std::unique_ptr<telemetry::CycleProfiler> profiler_;
+    std::unique_ptr<HeatmapCollector> heatmap_;
+    std::unique_ptr<ProgressReporter> progress_;
     /** Tracer owned for diagnostic dumps when none was installed. */
     std::unique_ptr<telemetry::PacketTracer> ownedTracer_;
     telemetry::ProbeHub hub_;

@@ -1,0 +1,179 @@
+#include "system/heatmap.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "telemetry/json.hh"
+#include "noc/network.hh"
+#include "sttnoc/bank_aware_policy.hh"
+#include "sttnoc/region_map.hh"
+
+namespace stacknoc::system {
+
+HeatmapCollector::HeatmapCollector(const noc::Network &net,
+                                   const sttnoc::BankAwarePolicy *policy,
+                                   const sttnoc::RegionMap *regions,
+                                   const MeshShape &shape, Cycle period,
+                                   std::size_t max_frames)
+    : net_(net), policy_(policy), regions_(regions), shape_(shape),
+      period_(period), maxFrames_(max_frames)
+{
+    panic_if(period_ < 1, "heatmap period must be >= 1");
+    flitsBase_.resize(static_cast<std::size_t>(shape_.totalNodes()), 0);
+    holdsBase_.resize(
+        policy_ != nullptr && regions_ != nullptr
+            ? static_cast<std::size_t>(regions_->numBanks())
+            : 0,
+        0);
+}
+
+void
+HeatmapCollector::captureBaseline()
+{
+    for (NodeId n = 0; n < shape_.totalNodes(); ++n)
+        flitsBase_[static_cast<std::size_t>(n)] =
+            net_.router(n).flitsSwitchedTotal();
+    for (BankId b = 0; b < static_cast<BankId>(holdsBase_.size()); ++b)
+        holdsBase_[static_cast<std::size_t>(b)] =
+            policy_->holdCyclesOfBank(b);
+}
+
+HeatmapCollector::Frame
+HeatmapCollector::sampleFrame(Cycle now)
+{
+    const std::size_t per =
+        static_cast<std::size_t>(shape_.nodesPerLayer());
+    const int layers = shape_.layers();
+
+    Frame f;
+    f.start = frameStart_;
+    f.end = now;
+    f.flits.assign(static_cast<std::size_t>(layers),
+                   std::vector<std::uint64_t>(per, 0));
+    f.occupancy = f.flits;
+    f.tsb = f.flits;
+    f.holds = f.flits;
+
+    for (NodeId n = 0; n < shape_.totalNodes(); ++n) {
+        const Coord c = shape_.coord(n);
+        const auto layer = static_cast<std::size_t>(c.layer);
+        const auto cell =
+            static_cast<std::size_t>(c.y * shape_.width() + c.x);
+        const noc::Router &r = net_.router(n);
+
+        const std::uint64_t total = r.flitsSwitchedTotal();
+        f.flits[layer][cell] =
+            total - flitsBase_[static_cast<std::size_t>(n)];
+        flitsBase_[static_cast<std::size_t>(n)] = total;
+
+        f.occupancy[layer][cell] =
+            static_cast<std::uint64_t>(r.bufferedFlits());
+        f.tsb[layer][cell] = static_cast<std::uint64_t>(
+            r.bufferedFlits(noc::Dir::Up) +
+            r.bufferedFlits(noc::Dir::Down));
+    }
+
+    for (BankId b = 0; b < static_cast<BankId>(holdsBase_.size()); ++b) {
+        const Coord c = shape_.coord(regions_->nodeOfBank(b));
+        const auto cell =
+            static_cast<std::size_t>(c.y * shape_.width() + c.x);
+        const std::uint64_t total = policy_->holdCyclesOfBank(b);
+        f.holds[static_cast<std::size_t>(c.layer)][cell] =
+            total - holdsBase_[static_cast<std::size_t>(b)];
+        holdsBase_[static_cast<std::size_t>(b)] = total;
+    }
+
+    return f;
+}
+
+void
+HeatmapCollector::onCycle(Cycle now)
+{
+    if (now - frameStart_ + 1 < period_)
+        return;
+    if (inWarmup_) {
+        // Keep the deltas rolling so the first measured frame doesn't
+        // absorb warm-up traffic, but retain nothing.
+        (void)sampleFrame(now);
+        frameStart_ = now + 1;
+        return;
+    }
+    if (frames_.size() >= maxFrames_) {
+        (void)sampleFrame(now);
+        ++framesDropped_;
+        frameStart_ = now + 1;
+        return;
+    }
+    frames_.push_back(sampleFrame(now));
+    frameStart_ = now + 1;
+}
+
+void
+HeatmapCollector::onWarmupBegin(Cycle now)
+{
+    (void)now;
+    inWarmup_ = true;
+}
+
+void
+HeatmapCollector::onReset(Cycle now)
+{
+    inWarmup_ = false;
+    frames_.clear();
+    framesDropped_ = 0;
+    frameStart_ = now;
+    captureBaseline();
+}
+
+bool
+HeatmapCollector::writeFiles(const std::string &prefix) const
+{
+    struct Metric
+    {
+        const char *name;
+        const std::vector<std::vector<std::uint64_t>> Frame::*grids;
+    };
+    static constexpr Metric kMetrics[] = {
+        {"flits", &Frame::flits},
+        {"occupancy", &Frame::occupancy},
+        {"tsb", &Frame::tsb},
+        {"holds", &Frame::holds},
+    };
+
+    for (const Metric &m : kMetrics) {
+        std::ofstream os(prefix + "." + m.name + ".json");
+        if (!os)
+            return false;
+        telemetry::JsonWriter w(os);
+        w.beginObject();
+        w.kv("metric", m.name);
+        w.kv("width", shape_.width());
+        w.kv("height", shape_.height());
+        w.kv("layers", shape_.layers());
+        w.kv("period", static_cast<std::uint64_t>(period_));
+        w.kv("frames_dropped", framesDropped_);
+        w.key("frames");
+        w.beginArray();
+        for (const Frame &f : frames_) {
+            w.beginObject();
+            w.kv("start", static_cast<std::uint64_t>(f.start));
+            w.kv("end", static_cast<std::uint64_t>(f.end));
+            w.key("grids");
+            w.beginArray();
+            for (const auto &grid : f.*(m.grids)) {
+                w.beginArray();
+                for (const std::uint64_t v : grid)
+                    w.value(v);
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    }
+    return true;
+}
+
+} // namespace stacknoc::system

@@ -1,0 +1,90 @@
+#include "system/progress.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace stacknoc::system {
+
+ProgressReporter::ProgressReporter(
+    std::ostream &os, Cycle total_cycles, Cycle period_cycles,
+    std::function<std::uint64_t()> committed_fn)
+    : os_(os), total_(total_cycles), period_(period_cycles),
+      committed_(std::move(committed_fn)),
+      wallStart_(std::chrono::steady_clock::now())
+{
+    panic_if(period_ < 1, "progress period must be >= 1");
+}
+
+void
+ProgressReporter::onCycle(Cycle now)
+{
+    if (!started_) {
+        started_ = true;
+        firstCycle_ = now;
+        ipcStartCycle_ = now;
+        lastReport_ = now;
+        return;
+    }
+    if (now - lastReport_ < period_)
+        return;
+    lastReport_ = now;
+    report(now, false);
+}
+
+void
+ProgressReporter::onReset(Cycle now)
+{
+    // Committed-instruction counts were just zeroed (end of warm-up):
+    // re-anchor the IPC window so it covers the measured region only.
+    ipcStartCycle_ = now;
+}
+
+void
+ProgressReporter::finish(Cycle now)
+{
+    report(now, true);
+}
+
+void
+ProgressReporter::report(Cycle now, bool final_line)
+{
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart_)
+            .count();
+    const auto done = static_cast<double>(now - firstCycle_);
+    const double rate = wall > 0.0 ? done / wall : 0.0;
+
+    double ipc = 0.0;
+    if (committed_ && now > ipcStartCycle_) {
+        ipc = static_cast<double>(committed_()) /
+              static_cast<double>(now - ipcStartCycle_);
+    }
+
+    char buf[192];
+    if (total_ > 0) {
+        const auto total = static_cast<double>(total_);
+        const double pct = 100.0 * done / total;
+        const double eta =
+            rate > 0.0 ? (total - done) / rate : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "\r[progress] cycle %llu/%llu (%5.1f%%)  "
+                      "%.2e ticks/s  agg IPC %6.2f  ETA %6.1fs",
+                      static_cast<unsigned long long>(now),
+                      static_cast<unsigned long long>(total_), pct, rate,
+                      ipc, final_line ? 0.0 : eta);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "\r[progress] cycle %llu  %.2e ticks/s  "
+                      "agg IPC %6.2f",
+                      static_cast<unsigned long long>(now), rate, ipc);
+    }
+    os_ << buf;
+    if (final_line)
+        os_ << "\n";
+    os_.flush();
+}
+
+} // namespace stacknoc::system

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Live run progress on stderr: cycle count, simulated ticks per wall
+ * second, aggregate IPC, and an ETA extrapolated from the recent
+ * rate. Purely an observer — it reads committed-instruction counts
+ * after the cycle barrier and writes to a stream, so enabling it
+ * cannot change any simulation result.
+ */
+
+#ifndef STACKNOC_SYSTEM_PROGRESS_HH
+#define STACKNOC_SYSTEM_PROGRESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+#include "telemetry/probe.hh"
+
+namespace stacknoc::system {
+
+/**
+ * Emits one status line every reporting period. The wall clock runs
+ * from construction; cycle zero is the first onCycle() seen, so the
+ * reporter works for any starting simulator time.
+ */
+class ProgressReporter : public telemetry::Probe
+{
+  public:
+    /**
+     * @param os destination stream (typically std::cerr).
+     * @param total_cycles planned run length (warmup + measurement),
+     *        for the percentage and ETA; 0 hides both.
+     * @param period_cycles cycles between reports (>= 1).
+     * @param committed_fn returns total committed instructions across
+     *        all cores (for IPC; may be empty).
+     */
+    ProgressReporter(std::ostream &os, Cycle total_cycles,
+                     Cycle period_cycles,
+                     std::function<std::uint64_t()> committed_fn);
+
+    void onCycle(Cycle now) override;
+    void onReset(Cycle now) override;
+
+    /** Emit a final line and a trailing newline. */
+    void finish(Cycle now);
+
+  private:
+    void report(Cycle now, bool final_line);
+
+    std::ostream &os_;
+    Cycle total_;
+    Cycle period_;
+    std::function<std::uint64_t()> committed_;
+
+    std::chrono::steady_clock::time_point wallStart_;
+    bool started_ = false;
+    Cycle firstCycle_ = 0;
+    Cycle lastReport_ = 0;
+    /** IPC baseline: committed counts reset at end of warm-up. */
+    Cycle ipcStartCycle_ = 0;
+};
+
+} // namespace stacknoc::system
+
+#endif // STACKNOC_SYSTEM_PROGRESS_HH

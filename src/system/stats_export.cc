@@ -69,6 +69,42 @@ writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
     w.kv("ticks_per_sec", sys.ticksPerSecond());
     w.endObject();
 
+    // Cycle-accounting profile. Wall-clock like "perf": excluded from
+    // determinism digests (stats_diff.py skips both by default).
+    w.key("profile");
+    if (const auto *prof = sys.profiler()) {
+        w.beginObject();
+        w.kv("cycles", static_cast<std::uint64_t>(prof->cycles()));
+        w.kv("total_seconds", prof->totalPhaseSeconds());
+        w.key("phases");
+        w.beginObject();
+        for (std::size_t p = 0; p < telemetry::kNumEnginePhases; ++p) {
+            const auto ph = static_cast<telemetry::EnginePhase>(p);
+            w.kv(telemetry::enginePhaseName(ph), prof->phaseSeconds(ph));
+        }
+        w.endObject();
+        w.key("shards");
+        w.beginArray();
+        for (std::size_t s = 0; s < prof->numShards(); ++s) {
+            w.beginObject();
+            w.kv("shard", static_cast<std::uint64_t>(s));
+            w.kv("compute_seconds",
+                 prof->shardSeconds(s, telemetry::EnginePhase::Compute));
+            w.endObject();
+        }
+        w.endArray();
+        w.key("kinds");
+        w.beginObject();
+        for (std::size_t k = 0; k < prof->kindNames().size(); ++k)
+            w.kv(prof->kindNames()[k], prof->kindSeconds(k));
+        w.endObject();
+        w.kv("spans_recorded", prof->spansRecorded());
+        w.kv("spans_dropped", prof->spansDropped());
+        w.endObject();
+    } else {
+        w.null();
+    }
+
     w.key("groups");
     w.beginObject();
     w.key("cache");

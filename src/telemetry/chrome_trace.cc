@@ -1,0 +1,170 @@
+#include "telemetry/chrome_trace.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "telemetry/json.hh"
+
+namespace stacknoc::telemetry {
+
+namespace {
+
+constexpr int kSimPid = 1;    //!< simulated-time process
+constexpr int kEnginePid = 2; //!< wall-time process
+
+/** One pre-rendered trace event, sortable by timestamp. */
+struct Event
+{
+    double ts = 0.0; //!< trace microseconds
+    int pid = 0;
+    std::int64_t tid = 0;
+    char ph = 'i';
+    double dur = 0.0;              //!< for 'X' events
+    std::uint64_t id = 0;          //!< for async 'b'/'e' events
+    const char *name = "";
+    const char *cat = "";
+    const TraceRecord *rec = nullptr; //!< args source for instants
+};
+
+void
+writeEvent(JsonWriter &w, const Event &e)
+{
+    w.beginObject();
+    w.kv("name", e.name);
+    w.kv("cat", e.cat);
+    w.key("ph");
+    w.value(std::string(1, e.ph));
+    w.kv("ts", e.ts);
+    w.kv("pid", e.pid);
+    w.kv("tid", e.tid);
+    if (e.ph == 'X')
+        w.kv("dur", e.dur);
+    if (e.ph == 'b' || e.ph == 'e')
+        w.kv("id", e.id);
+    if (e.ph == 'i')
+        w.kv("s", "t"); // thread-scoped instant
+    if (e.rec != nullptr) {
+        w.key("args");
+        w.beginObject();
+        w.kv("packet_id", e.rec->packetId);
+        w.kv("class", static_cast<std::uint64_t>(e.rec->cls));
+        w.kv("aux", e.rec->aux);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+writeMetadata(JsonWriter &w, int pid, std::int64_t tid,
+              const char *meta, const std::string &label)
+{
+    w.beginObject();
+    w.kv("name", meta);
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("tid", tid);
+    w.key("args");
+    w.beginObject();
+    w.kv("name", label);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceRecord> &records,
+                 const CycleProfiler *profiler)
+{
+    std::vector<Event> events;
+    events.reserve(records.size() * 2);
+
+    // Packet lifecycle instants, plus one async span per observed
+    // inject/eject pair (ejects without an observed inject — the
+    // inject fell out of the ring — get no span).
+    std::vector<std::pair<std::uint64_t, Cycle>> inject_at;
+    for (const TraceRecord &rec : records) {
+        Event e;
+        e.ts = static_cast<double>(rec.cycle);
+        e.pid = kSimPid;
+        e.tid = rec.node;
+        e.ph = 'i';
+        e.name = traceEventName(rec.event);
+        e.cat = "packet";
+        e.rec = &rec;
+        events.push_back(e);
+
+        if (rec.event == TraceEvent::Inject) {
+            inject_at.emplace_back(rec.packetId, rec.cycle);
+        } else if (rec.event == TraceEvent::Eject) {
+            const auto it = std::find_if(
+                inject_at.rbegin(), inject_at.rend(),
+                [&](const auto &p) { return p.first == rec.packetId; });
+            if (it == inject_at.rend())
+                continue;
+            Event b;
+            b.ts = static_cast<double>(it->second);
+            b.pid = kSimPid;
+            b.tid = 0;
+            b.ph = 'b';
+            b.id = rec.packetId;
+            b.name = "packet";
+            b.cat = "lifecycle";
+            events.push_back(b);
+            Event f = b;
+            f.ts = static_cast<double>(rec.cycle);
+            f.ph = 'e';
+            events.push_back(f);
+            inject_at.erase(std::next(it).base());
+        }
+    }
+
+    std::size_t engine_tracks = 0;
+    if (profiler != nullptr) {
+        profiler->forEachSpan([&](std::uint32_t tid,
+                                  const PhaseSpan &span) {
+            Event e;
+            e.ts = span.t0 * 1e6;
+            e.pid = kEnginePid;
+            e.tid = tid;
+            e.ph = 'X';
+            e.dur = (span.t1 - span.t0) * 1e6;
+            e.name = enginePhaseName(span.phase);
+            e.cat = "engine";
+            events.push_back(e);
+            engine_tracks = std::max(engine_tracks,
+                                     static_cast<std::size_t>(tid) + 1);
+        });
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.ts < b.ts;
+                     });
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+    writeMetadata(w, kSimPid, 0, "process_name",
+                  "simulated time (1 cycle = 1us)");
+    writeMetadata(w, kEnginePid, 0, "process_name", "engine wall time");
+    for (std::size_t t = 0; t < engine_tracks; ++t) {
+        writeMetadata(w, kEnginePid, static_cast<std::int64_t>(t),
+                      "thread_name",
+                      t == 0 ? std::string("main (phases)")
+                             : "shard " + std::to_string(t - 1) +
+                                   " compute");
+    }
+    for (const Event &e : events)
+        writeEvent(w, e);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace stacknoc::telemetry

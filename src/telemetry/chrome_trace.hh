@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Chrome-trace / Perfetto export: renders packet-lifecycle records and
+ * engine-phase profiler spans as trace-event JSON loadable in
+ * ui.perfetto.dev (or chrome://tracing).
+ *
+ * Two trace "processes" keep the two time bases apart:
+ *
+ *  - pid 1, "simulated time": one thread track per mesh node. Every
+ *    TraceRecord becomes an instant event at ts = cycle (1 cycle = 1
+ *    trace microsecond), and each inject/eject pair additionally
+ *    becomes an async begin/end span keyed by packet id, so a
+ *    packet's full network residency renders as one bar.
+ *
+ *  - pid 2, "engine wall time": tid 0 carries the main thread's
+ *    phase spans (compute / barrier / commit / serial / cycle_end),
+ *    tid 1+s shard s's compute spans, at ts = wall microseconds since
+ *    profiler construction. Summing tid-0 span durations reproduces
+ *    the engine's measured wall time (the CI smoke asserts within 5%).
+ *
+ * Events are emitted sorted by timestamp, so consumers that require
+ * monotonic input (including our own validator) never need to re-sort.
+ */
+
+#ifndef STACKNOC_TELEMETRY_CHROME_TRACE_HH
+#define STACKNOC_TELEMETRY_CHROME_TRACE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "telemetry/profile.hh"
+#include "telemetry/trace.hh"
+
+namespace stacknoc::telemetry {
+
+/**
+ * Write one trace-event JSON document combining @p records (packet
+ * lifecycles, in recording order) and, when @p profiler is non-null,
+ * its retained engine-phase spans.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceRecord> &records,
+                      const CycleProfiler *profiler);
+
+} // namespace stacknoc::telemetry
+
+#endif // STACKNOC_TELEMETRY_CHROME_TRACE_HH

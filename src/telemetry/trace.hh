@@ -87,6 +87,31 @@ class MemoryTraceSink : public TraceSink
     std::vector<TraceRecord> records_;
 };
 
+/** Fans each record out to two sinks (neither owned). */
+class TeeTraceSink : public TraceSink
+{
+  public:
+    TeeTraceSink(TraceSink &a, TraceSink &b) : a_(a), b_(b) {}
+
+    void
+    write(const TraceRecord &rec) override
+    {
+        a_.write(rec);
+        b_.write(rec);
+    }
+
+    void
+    flush() override
+    {
+        a_.flush();
+        b_.flush();
+    }
+
+  private:
+    TraceSink &a_;
+    TraceSink &b_;
+};
+
 /**
  * Streams records to a CSV file with a fixed header:
  *   cycle,packet_id,class,event,node,aux

@@ -115,6 +115,47 @@ def test_added_key_is_reported():
     assert "missing" in out
 
 
+def test_perf_section_excluded_by_default():
+    a = json.loads(json.dumps(BASE))
+    a["perf"] = {"wall_seconds": 1.0, "ticks_per_sec": 100.0}
+    b = json.loads(json.dumps(BASE))
+    b["perf"] = {"wall_seconds": 2.0, "ticks_per_sec": 50.0}
+    code, out = run_diff(a, b)
+    assert code == 0
+    assert "identical" in out
+
+
+def test_profile_section_excluded_by_default():
+    a = json.loads(json.dumps(BASE))
+    a["profile"] = {"phases": {"compute": 0.5}, "total_seconds": 0.7}
+    b = json.loads(json.dumps(BASE))
+    b["profile"] = None
+    code, out = run_diff(a, b)
+    assert code == 0
+    assert "identical" in out
+
+
+def test_include_perf_compares_wall_clock_sections():
+    a = json.loads(json.dumps(BASE))
+    a["perf"] = {"wall_seconds": 1.0}
+    b = json.loads(json.dumps(BASE))
+    b["perf"] = {"wall_seconds": 2.0}
+    code, out = run_diff(a, b, "--include-perf")
+    assert code == 1
+    assert "perf.wall_seconds" in out
+
+
+def test_perf_exclusion_is_exact_prefix():
+    # A group that merely starts with "perf" must still be compared.
+    a = json.loads(json.dumps(BASE))
+    a["perf_counters"] = {"x": 1}
+    b = json.loads(json.dumps(BASE))
+    b["perf_counters"] = {"x": 2}
+    code, out = run_diff(a, b)
+    assert code == 1
+    assert "perf_counters.x" in out
+
+
 def test_missing_keys_ignore_threshold():
     removed = json.loads(json.dumps(BASE))
     del removed["groups"]["net"]["packets_ejected"]

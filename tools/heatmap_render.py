@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Render a stacknoc heatmap JSON file as ASCII grids.
+
+    heatmap_render.py run.flits.json                 # all frames, both layers
+    heatmap_render.py run.tsb.json --layer 1         # cache layer only
+    heatmap_render.py run.holds.json --frame -1      # last frame
+    heatmap_render.py run.flits.json --sum           # totals across frames
+
+Cells are shaded with a 10-step ramp scaled to the maximum value of
+the selected data, with the raw row maxima printed alongside, so
+congested rows and the TSB columns stand out in a terminal.
+"""
+
+import argparse
+import json
+import sys
+
+RAMP = " .:-=+*#%@"
+
+
+def shade(value, peak):
+    if peak <= 0:
+        return RAMP[0]
+    idx = int(value / peak * (len(RAMP) - 1) + 0.5)
+    return RAMP[min(idx, len(RAMP) - 1)]
+
+
+def render_grid(grid, width, height, out):
+    peak = max(grid) if grid else 0
+    for y in range(height):
+        row = grid[y * width:(y + 1) * width]
+        cells = " ".join(shade(v, peak) for v in row)
+        out.write(f"    {cells}   | max {max(row)}\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Render stacknoc heatmap JSON as ASCII.")
+    ap.add_argument("file", help="PREFIX.<metric>.json from --heatmap")
+    ap.add_argument("--layer", type=int, default=None,
+                    help="render only this layer (default: all)")
+    ap.add_argument("--frame", type=int, default=None,
+                    help="render only this frame index (negative OK)")
+    ap.add_argument("--sum", action="store_true",
+                    help="sum all frames into one grid per layer")
+    args = ap.parse_args()
+
+    try:
+        with open(args.file) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"heatmap_render: {args.file}: {e}")
+
+    width, height = doc["width"], doc["height"]
+    layers = doc["layers"]
+    frames = doc["frames"]
+    if not frames:
+        sys.exit("heatmap_render: no frames recorded")
+
+    layer_names = {0: "core layer", 1: "cache layer"}
+    wanted_layers = ([args.layer] if args.layer is not None
+                     else list(range(layers)))
+    for layer in wanted_layers:
+        if not 0 <= layer < layers:
+            sys.exit(f"heatmap_render: layer {layer} out of range")
+
+    if args.sum:
+        summed = [
+            [sum(vals) for vals in zip(*(f["grids"][la] for f in frames))]
+            for la in range(layers)
+        ]
+        frames = [{"start": frames[0]["start"], "end": frames[-1]["end"],
+                   "grids": summed}]
+    elif args.frame is not None:
+        try:
+            frames = [frames[args.frame]]
+        except IndexError:
+            sys.exit(f"heatmap_render: frame {args.frame} out of range "
+                     f"(0..{len(frames) - 1})")
+
+    out = sys.stdout
+    out.write(f"{doc['metric']}: {width}x{height}x{layers}, "
+              f"period {doc['period']}, {len(frames)} frame(s)\n")
+    for frame in frames:
+        out.write(f"  cycles {frame['start']}..{frame['end']}\n")
+        for layer in wanted_layers:
+            out.write(f"   layer {layer} "
+                      f"({layer_names.get(layer, '?')}):\n")
+            render_grid(frame["grids"][layer], width, height, out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "telemetry/chrome_trace.hh"
 #include "telemetry/trace.hh"
 #include "system/cmp_system.hh"
 #include "system/stats_export.hh"
@@ -54,11 +55,22 @@ usage()
   --trace FILE      stream packet-lifecycle events to a CSV file
   --trace-sample N  trace packets whose id is divisible by N (default 1)
   --interval N      snapshot all stats groups every N cycles
+  --profile         cycle-accounting profile: engine-phase/shard/kind
+                    wall-time breakdown on stdout and in --json-stats
+  --chrome-trace FILE  write packet lifecycles + engine-phase spans as
+                    trace-event JSON (ui.perfetto.dev); implies --profile
+  --heatmap PREFIX  write per-interval spatial grids (flits, occupancy,
+                    TSB depth, parent holds) to PREFIX.<metric>.json
+  --heatmap-period N  heatmap sampling period in cycles (default 1024)
+  --progress        live cycle/rate/IPC/ETA line on stderr
   --validate        run the runtime invariant checkers (abort on failure)
   --validate-period N  checker sweep period in cycles (default 1)
   --threads N       execution-engine threads (default 1; results are
                     bit-identical for any N, see docs/ENGINE.md)
   --list-apps       print the Table 3 application names and exit
+
+All observability flags are strict observers: simulation results are
+bit-identical with any combination on or off, at any --threads.
 )");
     std::exit(2);
 }
@@ -67,8 +79,9 @@ const std::vector<std::string> kKnownOptions = {
     "--scenario", "--app", "--apps", "--cycles", "--warmup", "--seed",
     "--mesh", "--regions", "--placement", "--hops", "--delay-mode",
     "--real-tags", "--stats", "--json-stats", "--trace", "--trace-sample",
-    "--interval", "--validate", "--validate-period", "--threads",
-    "--list-apps",
+    "--interval", "--profile", "--chrome-trace", "--heatmap",
+    "--heatmap-period", "--progress", "--validate", "--validate-period",
+    "--threads", "--list-apps",
 };
 
 system::Scenario
@@ -121,6 +134,9 @@ main(int argc, char **argv)
     bool dump_stats = false;
     std::string json_path;
     std::string trace_path;
+    std::string chrome_path;
+    std::string heatmap_prefix;
+    Cycle heatmap_period = 1024;
     std::uint64_t trace_sample = 1;
     std::vector<std::string> app_list{"tpcc"};
 
@@ -193,6 +209,22 @@ main(int argc, char **argv)
             cfg.intervalPeriod =
                 std::strtoull(need(i).c_str(), nullptr, 10);
             ++i;
+        } else if (arg == "--profile") {
+            cfg.profile = true;
+        } else if (arg == "--chrome-trace") {
+            chrome_path = need(i); ++i;
+            cfg.profile = true;
+            // Retain phase spans for the trace's engine tracks.
+            cfg.profileSpanCapacity = std::size_t{1} << 20;
+        } else if (arg == "--heatmap") {
+            heatmap_prefix = need(i); ++i;
+        } else if (arg == "--heatmap-period") {
+            heatmap_period = std::strtoull(need(i).c_str(), nullptr, 10);
+            fatal_if(heatmap_period == 0,
+                     "--heatmap-period must be >= 1");
+            ++i;
+        } else if (arg == "--progress") {
+            cfg.progress = true;
         } else if (arg == "--validate") {
             cfg.validate = true;
         } else if (arg == "--validate-period") {
@@ -230,15 +262,37 @@ main(int argc, char **argv)
                 app_list[static_cast<std::size_t>(c) % app_list.size()]);
     }
 
+    if (!heatmap_prefix.empty())
+        cfg.heatmapPeriod = heatmap_period;
+    if (cfg.progress)
+        cfg.progressTotalCycles = warmup + cycles;
+
     std::unique_ptr<telemetry::CsvTraceSink> trace_sink;
+    std::unique_ptr<telemetry::MemoryTraceSink> chrome_sink;
+    std::unique_ptr<telemetry::TeeTraceSink> tee_sink;
     std::unique_ptr<telemetry::PacketTracer> tracer;
-    if (!trace_path.empty()) {
-        trace_sink = std::make_unique<telemetry::CsvTraceSink>(trace_path);
-        fatal_if(!trace_sink->ok(), "cannot open trace file '%s'",
-                 trace_path.c_str());
+    if (!trace_path.empty() || !chrome_path.empty()) {
+        telemetry::TraceSink *sink = nullptr;
+        if (!trace_path.empty()) {
+            trace_sink =
+                std::make_unique<telemetry::CsvTraceSink>(trace_path);
+            fatal_if(!trace_sink->ok(), "cannot open trace file '%s'",
+                     trace_path.c_str());
+            sink = trace_sink.get();
+        }
+        if (!chrome_path.empty()) {
+            chrome_sink = std::make_unique<telemetry::MemoryTraceSink>();
+            if (sink != nullptr) {
+                tee_sink = std::make_unique<telemetry::TeeTraceSink>(
+                    *trace_sink, *chrome_sink);
+                sink = tee_sink.get();
+            } else {
+                sink = chrome_sink.get();
+            }
+        }
         tracer = std::make_unique<telemetry::PacketTracer>(4096,
                                                            trace_sample);
-        tracer->setSink(trace_sink.get());
+        tracer->setSink(sink);
         telemetry::setTracer(tracer.get());
     }
 
@@ -246,9 +300,13 @@ main(int argc, char **argv)
     sys.warmup(warmup);
     sys.run(cycles);
 
+    if (auto *progress = sys.progress())
+        progress->finish(sys.simulator().now());
+
     if (tracer) {
         tracer->flush();
-        trace_sink->flush();
+        if (trace_sink)
+            trace_sink->flush();
         telemetry::setTracer(nullptr);
     }
 
@@ -272,8 +330,23 @@ main(int argc, char **argv)
     std::printf("engine=%s threads=%d wall_s=%.3f ticks_per_sec=%.0f\n",
                 sys.engineName(), sys.engineThreads(), sys.wallSeconds(),
                 sys.ticksPerSecond());
+    if (const auto *prof = sys.profiler())
+        prof->writeTable(std::cout, sys.wallSeconds());
     if (dump_stats)
         sys.dumpStats(std::cout);
+
+    if (!chrome_path.empty()) {
+        std::ofstream out(chrome_path);
+        fatal_if(!out, "cannot open chrome trace file '%s'",
+                 chrome_path.c_str());
+        telemetry::writeChromeTrace(out, chrome_sink->records(),
+                                    sys.profiler());
+    }
+    if (!heatmap_prefix.empty()) {
+        fatal_if(!sys.heatmap()->writeFiles(heatmap_prefix),
+                 "cannot write heatmap files '%s.*.json'",
+                 heatmap_prefix.c_str());
+    }
 
     if (!json_path.empty()) {
         std::ofstream out(json_path);

@@ -22,6 +22,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <unistd.h>
@@ -54,6 +55,8 @@ struct SweepResult
     double p95NetLatency = 0.0;
     double wallSeconds = 0.0;
     double ticksPerSec = 0.0;
+    /** Engine-phase wall-time breakdown (child's profile.phases). */
+    std::vector<std::pair<std::string, double>> phases;
 };
 
 struct SweepOptions
@@ -72,6 +75,7 @@ struct SweepOptions
     std::string speedupScenario = "MRAM-4TSB-WB";
     int speedupThreads = 4;
     bool speedup = true;
+    bool profile = true;
 };
 
 std::vector<std::string>
@@ -104,6 +108,7 @@ usage()
                      measurement (default MRAM-4TSB-WB)
   --speedup-threads N  parallel-engine thread count to measure (default 4)
   --no-speedup       skip the speedup measurement
+  --no-profile       don't fold the engine-phase profile into run records
 )");
     std::exit(2);
 }
@@ -112,6 +117,7 @@ const std::vector<std::string> kKnownOptions = {
     "--schemes", "--regions", "--mixes", "--seeds", "--cycles",
     "--warmup", "--jobs", "--threads", "--runner", "--out",
     "--speedup-scenario", "--speedup-threads", "--no-speedup",
+    "--no-profile",
 };
 
 /** Run one child, parse its --json-stats output. */
@@ -138,6 +144,8 @@ runJob(const SweepOptions &opt, const SweepJob &job, int idx)
     cmd += detail::format(" --warmup %llu",
                           static_cast<unsigned long long>(opt.warmup));
     cmd += detail::format(" --threads %d", job.threads);
+    if (opt.profile)
+        cmd += " --profile";
     cmd += " --json-stats " + json_path;
     cmd += " > /dev/null 2>&1";
 
@@ -175,6 +183,15 @@ runJob(const SweepOptions &opt, const SweepJob &job, int idx)
     res.p95NetLatency = num(metrics, "p95_network_latency");
     res.wallSeconds = num(perf, "wall_seconds");
     res.ticksPerSec = num(perf, "ticks_per_sec");
+    if (const auto *profile = doc->find("profile");
+        profile && profile->isObject()) {
+        if (const auto *phases = profile->find("phases");
+            phases && phases->isObject()) {
+            for (const auto &[name, v] : phases->members())
+                if (v.isNumber())
+                    res.phases.emplace_back(name, v.asDouble());
+        }
+    }
     res.ok = true;
     return res;
 }
@@ -195,6 +212,15 @@ writeRun(telemetry::JsonWriter &w, const SweepResult &r)
     w.kv("p95_network_latency", r.p95NetLatency);
     w.kv("wall_seconds", r.wallSeconds);
     w.kv("ticks_per_sec", r.ticksPerSec);
+    w.key("profile_phases");
+    if (r.phases.empty()) {
+        w.null();
+    } else {
+        w.beginObject();
+        for (const auto &[name, seconds] : r.phases)
+            w.kv(name, seconds);
+        w.endObject();
+    }
     w.endObject();
 }
 
@@ -249,6 +275,8 @@ main(int argc, char **argv)
             ++i;
         } else if (arg == "--no-speedup") {
             opt.speedup = false;
+        } else if (arg == "--no-profile") {
+            opt.profile = false;
         } else {
             cli::reportUnknownOption("stacknoc_sweep", arg,
                                      kKnownOptions);
@@ -343,6 +371,9 @@ main(int argc, char **argv)
     w.beginObject();
     w.kv("bench", "throughput");
     w.kv("tool", "stacknoc_sweep");
+    // Version 2: run records carry profile_phases; readers should
+    // ignore unknown fields but may key behavior off this stamp.
+    w.kv("schema_version", 2);
     w.key("grid");
     w.beginObject();
     w.kv("cycles", static_cast<std::uint64_t>(opt.cycles));

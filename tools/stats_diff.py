@@ -8,6 +8,11 @@ relative deltas for numbers:
     stats_diff.py --threshold 0.05 base.json new.json   # hide tiny drift
     stats_diff.py --section groups.net base.json new.json
 
+The top-level "perf" and "profile" sections hold wall-clock
+measurements that differ between any two runs by construction, so they
+are excluded by default — which makes a plain invocation a determinism
+check. Pass --include-perf to compare them too.
+
 Exit status: 0 when identical (under the threshold), 1 when any
 difference was reported, 2 on usage/parse errors. Also works on JSONL
 files produced by STTNOC_JSON (compares line N against line N).
@@ -43,13 +48,21 @@ def load_documents(path):
         sys.exit(f"stats_diff: {path}: {e}")
 
 
-def diff_documents(a, b, threshold, section):
+# Top-level sections that hold non-deterministic wall-clock data.
+WALL_CLOCK_SECTIONS = ("perf", "profile")
+
+
+def diff_documents(a, b, threshold, section, include_perf=False):
     """Print differing leaves; return the number reported."""
     fa = dict(flatten(a))
     fb = dict(flatten(b))
     reported = 0
     for path in sorted(fa.keys() | fb.keys()):
         if section and not path.startswith(section):
+            continue
+        if not include_perf and any(
+                path == s or path.startswith(s + ".")
+                for s in WALL_CLOCK_SECTIONS):
             continue
         va, vb = fa.get(path), fb.get(path)
         if va == vb:
@@ -80,6 +93,9 @@ def main():
                     help="hide numeric diffs below this relative delta")
     ap.add_argument("--section", default="",
                     help="only compare paths under this dotted prefix")
+    ap.add_argument("--include-perf", action="store_true",
+                    help="also compare the wall-clock 'perf' and "
+                         "'profile' sections (excluded by default)")
     args = ap.parse_args()
 
     docs_a = load_documents(args.base)
@@ -93,7 +109,8 @@ def main():
     for i, (a, b) in enumerate(zip(docs_a, docs_b)):
         if len(docs_a) > 1:
             print(f"--- document {i} ---")
-        reported += diff_documents(a, b, args.threshold, args.section)
+        reported += diff_documents(a, b, args.threshold, args.section,
+                                   args.include_perf)
     if reported == 0:
         print("identical")
     return 1 if reported else 0

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate stacknoc observability artifacts.
+
+Checks any combination of:
+
+  --chrome-trace FILE    valid trace-event JSON: a traceEvents array
+                         whose non-metadata events carry numeric,
+                         monotonically non-decreasing timestamps.
+  --json-stats FILE      the 'profile' section is present and its
+                         per-phase seconds sum to total_seconds; when
+                         a chrome trace is also given, the trace's
+                         main-track engine-phase span durations must
+                         sum to the profile total within --tolerance.
+  --heatmap-prefix PFX   PFX.{flits,occupancy,tsb,holds}.json exist
+                         and every frame grid is exactly
+                         width*height long, one grid per layer.
+
+Additionally, when --json-stats is given, profile.total_seconds must
+match perf.wall_seconds within --tolerance (the phase measurements
+tile the engine loop, so their sum tracks measured wall time).
+
+Exit status: 0 when every requested check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+HEATMAP_METRICS = ("flits", "occupancy", "tsb", "holds")
+
+_failures = []
+
+
+def check(ok, message):
+    if ok:
+        return True
+    _failures.append(message)
+    print(f"FAIL: {message}")
+    return False
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        check(False, f"{path}: {e}")
+        return None
+
+
+def validate_chrome_trace(path):
+    doc = load_json(path)
+    if doc is None:
+        return None
+    if not check(isinstance(doc, dict) and
+                 isinstance(doc.get("traceEvents"), list),
+                 f"{path}: missing traceEvents array"):
+        return None
+    events = doc["traceEvents"]
+    check(len(events) > 0, f"{path}: traceEvents is empty")
+
+    last_ts = None
+    phase_sum_us = 0.0
+    names = set()
+    for i, ev in enumerate(events):
+        if not check(isinstance(ev, dict) and "ph" in ev and "pid" in ev,
+                     f"{path}: event {i} lacks ph/pid"):
+            return None
+        if ev["ph"] == "M":
+            continue
+        ts = ev.get("ts")
+        if not check(isinstance(ts, (int, float)),
+                     f"{path}: event {i} has non-numeric ts"):
+            return None
+        if last_ts is not None:
+            check(ts >= last_ts,
+                  f"{path}: event {i} ts {ts} < previous {last_ts}")
+        last_ts = ts
+        if ev["ph"] == "X" and ev["pid"] == 2 and ev.get("tid") == 0:
+            phase_sum_us += float(ev.get("dur", 0.0))
+            names.add(ev.get("name"))
+    return {"main_phase_seconds": phase_sum_us / 1e6,
+            "phase_names": names}
+
+
+def validate_profile(path, trace_summary, tolerance):
+    doc = load_json(path)
+    if doc is None:
+        return
+    prof = doc.get("profile")
+    if not check(isinstance(prof, dict),
+                 f"{path}: no 'profile' section (run with --profile)"):
+        return
+    phases = prof.get("phases", {})
+    total = prof.get("total_seconds", 0.0)
+    check(total > 0.0, f"{path}: profile.total_seconds is zero")
+    phase_sum = sum(phases.values())
+    check(abs(phase_sum - total) <= 1e-9 + 1e-6 * total,
+          f"{path}: phase seconds sum {phase_sum} != "
+          f"total_seconds {total}")
+
+    wall = doc.get("perf", {}).get("wall_seconds", 0.0)
+    if wall > 0.0:
+        rel = abs(total - wall) / wall
+        check(rel <= tolerance,
+              f"{path}: profile total {total:.4f}s vs wall "
+              f"{wall:.4f}s differs by {rel:.1%} (> {tolerance:.0%})")
+
+    if trace_summary is not None:
+        span_sum = trace_summary["main_phase_seconds"]
+        check(span_sum > 0.0,
+              "chrome trace has no main-track engine-phase spans")
+        if total > 0.0:
+            rel = abs(span_sum - total) / total
+            check(rel <= tolerance,
+                  f"chrome trace main-track span sum {span_sum:.4f}s "
+                  f"vs profile total {total:.4f}s differs by "
+                  f"{rel:.1%} (> {tolerance:.0%})")
+
+
+def validate_heatmaps(prefix):
+    for metric in HEATMAP_METRICS:
+        path = f"{prefix}.{metric}.json"
+        doc = load_json(path)
+        if doc is None:
+            continue
+        ok = check(doc.get("metric") == metric,
+                   f"{path}: metric field != {metric}")
+        width = doc.get("width", 0)
+        height = doc.get("height", 0)
+        layers = doc.get("layers", 0)
+        ok &= check(width > 0 and height > 0 and layers > 0,
+                    f"{path}: bad dimensions {width}x{height}x{layers}")
+        frames = doc.get("frames")
+        ok &= check(isinstance(frames, list) and frames,
+                    f"{path}: no frames recorded")
+        if not ok:
+            continue
+        prev_end = -1
+        for i, frame in enumerate(frames):
+            check(frame["start"] <= frame["end"],
+                  f"{path}: frame {i} start > end")
+            check(frame["start"] > prev_end,
+                  f"{path}: frame {i} overlaps the previous frame")
+            prev_end = frame["end"]
+            grids = frame.get("grids", [])
+            check(len(grids) == layers,
+                  f"{path}: frame {i} has {len(grids)} grids, "
+                  f"expected {layers}")
+            for layer, grid in enumerate(grids):
+                check(len(grid) == width * height,
+                      f"{path}: frame {i} layer {layer} grid has "
+                      f"{len(grid)} cells, expected {width * height}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate stacknoc observability artifacts.")
+    ap.add_argument("--chrome-trace")
+    ap.add_argument("--json-stats")
+    ap.add_argument("--heatmap-prefix")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative wall-time agreement bound")
+    args = ap.parse_args()
+    if not (args.chrome_trace or args.json_stats or args.heatmap_prefix):
+        ap.error("nothing to validate")
+
+    trace_summary = None
+    if args.chrome_trace:
+        trace_summary = validate_chrome_trace(args.chrome_trace)
+    if args.json_stats:
+        validate_profile(args.json_stats, trace_summary, args.tolerance)
+    if args.heatmap_prefix:
+        validate_heatmaps(args.heatmap_prefix)
+
+    if _failures:
+        print(f"{len(_failures)} check(s) failed")
+        return 1
+    print("all observability checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
