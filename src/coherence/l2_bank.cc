@@ -1,8 +1,10 @@
 #include "coherence/l2_bank.hh"
 
+#include <algorithm>
 #include <string>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace stacknoc::coherence {
 
@@ -40,6 +42,8 @@ L2Bank::L2Bank(std::string bname, BankId bank, NodeId node,
         tags_ = std::make_unique<cache::TagArray>(config_.sets,
                                                   config_.ways);
     fatal_if(config_.mcNodes.empty(), "L2 bank needs memory controllers");
+    if (config_.faultInjector)
+        ctrl_.setFaultInjector(config_.faultInjector, bank_);
 }
 
 void
@@ -165,6 +169,15 @@ L2Bank::tryAccept(const noc::Packet &pkt)
     }
     if (pkt.cls == noc::PacketClass::StoreWrite ||
         pkt.cls == noc::PacketClass::WritebackReq) {
+        // Hold-miss recovery: while the bank port is stuck in a
+        // write-verify-retry round the parent's prediction has gone
+        // stale, so new write-class packets are refused (retry-later);
+        // the BusyNack sent from tick() re-opens the parent's window.
+        // Progress-safe for the same reason the writeCap bound is.
+        if (ctrl_.writeRetryActive()) {
+            admissionRefusals_.inc();
+            return false;
+        }
         if (admittedWrites_ >= config_.writeCap) {
             admissionRefusals_.inc();
             return false;
@@ -664,6 +677,27 @@ void
 L2Bank::tick(Cycle now)
 {
     ctrl_.tick(now);
+
+    // One BusyNack per failed write-verify round: tells the parent
+    // router how much longer the bank stays busy past its predicted
+    // window (aux), so the hold window re-opens and the adaptive
+    // margin learns the overshoot.
+    if (config_.faultInjector && parentNode_ != kInvalidNode &&
+        ctrl_.retryEpisodes() != lastNackedEpisode_) {
+        lastNackedEpisode_ = ctrl_.retryEpisodes();
+        if (ctrl_.writeRetryActive()) {
+            auto nack = noc::makePacket(noc::PacketClass::BusyNack, node_,
+                                        parentNode_);
+            nack->destBank = bank_;
+            nack->info.origin = static_cast<std::uint32_t>(bank_);
+            const Cycle done_at = ctrl_.activeWriteDoneAt(now);
+            nack->info.aux = static_cast<std::uint16_t>(
+                std::min<Cycle>(done_at > now ? done_at - now : 0,
+                                0xffff));
+            out_.send(std::move(nack), now);
+            config_.faultInjector->noteBusyNackSent();
+        }
+    }
 }
 
 } // namespace stacknoc::coherence

@@ -26,6 +26,10 @@
 #include "noc/network_interface.hh"
 #include "coherence/messages.hh"
 
+namespace stacknoc::fault {
+class FaultInjector;
+} // namespace stacknoc::fault
+
 namespace stacknoc::coherence {
 
 /** L2 bank configuration. */
@@ -73,6 +77,12 @@ struct L2Config
      * cannot deadlock the protocol.
      */
     int writeCap = 32;
+
+    /**
+     * Fault injector driving STT-RAM write-verify-retry at this bank
+     * (null = writes always succeed). Shared, not owned.
+     */
+    fault::FaultInjector *faultInjector = nullptr;
 };
 
 /** Directory state of one block. */
@@ -106,6 +116,14 @@ class L2Bank : public Ticking, public noc::NetworkClient
     bool tryAccept(const noc::Packet &pkt) override;
     void deliver(noc::PacketPtr pkt, Cycle now) override;
     void tick(Cycle now) override;
+
+    /**
+     * Parent router node of this bank. When set (STT-RAM-aware schemes
+     * with fault injection), each failed write-verify round sends one
+     * BusyNack there so the parent re-opens the bank's busy window and
+     * adapts its hold margin.
+     */
+    void setParentNode(NodeId parent) { parentNode_ = parent; }
 
     /** @return true when no transaction or bank work is in flight. */
     bool idle(Cycle now) const;
@@ -207,6 +225,8 @@ class L2Bank : public Ticking, public noc::NetworkClient
 
     int admittedRequests_ = 0;
     int admittedWrites_ = 0;
+    NodeId parentNode_ = kInvalidNode;
+    std::uint64_t lastNackedEpisode_ = 0;
     std::unordered_map<BlockAddr, DirEntry> dir_;
     std::unordered_map<BlockAddr, Tbe> tbes_;
     std::unique_ptr<cache::TagArray> tags_; //!< realTags mode only

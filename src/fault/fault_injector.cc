@@ -1,0 +1,54 @@
+#include "fault/fault_injector.hh"
+
+namespace stacknoc::fault {
+
+namespace {
+
+enum : std::uint64_t {
+    kSiteBankWrite = 1,
+    kSiteNiLink = 2,
+};
+
+} // namespace
+
+std::uint64_t
+FaultInjector::siteSeed(std::uint64_t seed, std::uint64_t kind,
+                        std::uint64_t site)
+{
+    // One warm-up scramble so nearby (seed, site) tuples land far apart
+    // in SplitMix64's state space.
+    SplitMix64 mixer(seed ^ (kind << 56) ^ (site + 1) * 0xd1b54a32d192ed03ULL);
+    return mixer.next();
+}
+
+FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t seed,
+                             const MeshShape &shape, int num_banks)
+    : spec_(spec), shape_(shape),
+      stats_("faults"),
+      sttWriteFailures_(stats_.counter("stt_write_failures")),
+      sttWriteRetryRounds_(stats_.counter("stt_write_retry_rounds")),
+      sttWritesRecovered_(stats_.counter("stt_writes_recovered")),
+      sttWritesAbandoned_(stats_.counter("stt_writes_abandoned")),
+      busyNacksSent_(stats_.counter("busy_nacks_sent")),
+      linkPacketsCorrupted_(stats_.counter("link_packets_corrupted")),
+      linkRetransmits_(stats_.counter("link_retransmits")),
+      linkPacketsRecovered_(stats_.counter("link_packets_recovered")),
+      linkPacketsDropped_(stats_.counter("link_packets_dropped")),
+      routerStuckCycles_(stats_.counter("router_stuck_cycles")),
+      retriesPerWriteHist_(stats_.histogram("retries_per_write")),
+      writeRecoveryLatencyHist_(stats_.histogram("write_recovery_latency")),
+      retransmitsPerPacketHist_(stats_.histogram("retransmits_per_packet")),
+      linkRecoveryLatencyHist_(stats_.histogram("link_recovery_latency"))
+{
+    bankStreams_.reserve(static_cast<std::size_t>(num_banks));
+    for (int b = 0; b < num_banks; ++b)
+        bankStreams_.emplace_back(
+            siteSeed(seed, kSiteBankWrite, static_cast<std::uint64_t>(b)));
+
+    niStreams_.reserve(static_cast<std::size_t>(shape_.totalNodes()));
+    for (int n = 0; n < shape_.totalNodes(); ++n)
+        niStreams_.emplace_back(
+            siteSeed(seed, kSiteNiLink, static_cast<std::uint64_t>(n)));
+}
+
+} // namespace stacknoc::fault

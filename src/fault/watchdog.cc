@@ -1,0 +1,198 @@
+#include "fault/watchdog.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "noc/network.hh"
+#include "sttnoc/bank_aware_policy.hh"
+#include "telemetry/trace.hh"
+
+namespace stacknoc::fault {
+
+Watchdog::Watchdog(const noc::Network &net,
+                   const sttnoc::BankAwarePolicy *policy, int num_banks,
+                   const WatchdogConfig &config)
+    : net_(net), policy_(policy), numBanks_(num_banks), config_(config)
+{
+}
+
+std::uint64_t
+Watchdog::drainedPackets() const
+{
+    std::uint64_t n = 0;
+    if (const auto *c = net_.stats().findCounter("packets_ejected"))
+        n += c->value();
+    if (const auto *c = net_.stats().findCounter("packets_dropped"))
+        n += c->value();
+    return n;
+}
+
+std::vector<Watchdog::InFlightEntry>
+Watchdog::census() const
+{
+    std::vector<InFlightEntry> out;
+    auto add = [&](const noc::Packet &pkt, std::string where) {
+        out.push_back({pkt.id, static_cast<int>(pkt.cls), pkt.src, pkt.dest,
+                       pkt.destBank, pkt.createdAt, std::move(where)});
+    };
+    const int nodes = net_.shape().totalNodes();
+    for (NodeId n = 0; n < nodes; ++n) {
+        net_.router(n).forEachBufferedPacket(
+            [&](const noc::Packet &pkt) { add(pkt, "router " + std::to_string(n)); });
+        const auto &ni = net_.ni(n);
+        ni.forEachPendingPacket([&](const noc::Packet &pkt, bool injected) {
+            add(pkt, std::string(injected ? "ni-inject " : "ni-queue ")
+                + std::to_string(n));
+        });
+        ni.forEachEjectFlit([&](int, const noc::Flit &flit, bool) {
+            if (flit.head())
+                add(*flit.pkt, "ni-eject " + std::to_string(n));
+        });
+        ni.forEachCommittedPacket([&](int, const noc::Packet &pkt) {
+            add(pkt, "ni-committed " + std::to_string(n));
+        });
+    }
+    return out;
+}
+
+void
+Watchdog::onReset(Cycle now)
+{
+    lastDrained_ = drainedPackets();
+    lastProgressAt_ = now;
+    nextCheckAt_ = now + config_.checkPeriod;
+    nextAgeCheckAt_ = now + config_.ageCheckPeriod;
+}
+
+void
+Watchdog::onCycle(Cycle now)
+{
+    if (fired_ || now < nextCheckAt_)
+        return;
+    nextCheckAt_ = now + config_.checkPeriod;
+
+    const std::uint64_t drained = drainedPackets();
+    if (drained != lastDrained_) {
+        lastDrained_ = drained;
+        lastProgressAt_ = now;
+    } else if (now - lastProgressAt_ >= config_.stallCycles) {
+        const auto inflight = census();
+        if (inflight.empty()) {
+            lastProgressAt_ = now; // idle network, not a deadlock
+        } else {
+            std::ostringstream os;
+            os << "deadlock/livelock: no packet ejected for "
+               << (now - lastProgressAt_) << " cycles with "
+               << inflight.size() << " packet(s) in flight";
+            trigger(now, os.str(), inflight);
+            return;
+        }
+    }
+
+    if (config_.maxPacketAge > 0 && now >= nextAgeCheckAt_) {
+        nextAgeCheckAt_ = now + config_.ageCheckPeriod;
+        const auto inflight = census();
+        for (const auto &e : inflight) {
+            if (now - e.createdAt > config_.maxPacketAge) {
+                std::ostringstream os;
+                os << "starvation: packet " << e.id << " ("
+                   << noc::packetClassName(
+                          static_cast<noc::PacketClass>(e.cls))
+                   << " " << e.src << "->" << e.dest << ") is "
+                   << (now - e.createdAt) << " cycles old (bound "
+                   << config_.maxPacketAge << ") at " << e.where;
+                trigger(now, os.str(), inflight);
+                return;
+            }
+        }
+    }
+}
+
+void
+Watchdog::trigger(Cycle now, const std::string &reason,
+                  const std::vector<InFlightEntry> &inflight)
+{
+    fired_ = true;
+    firedAt_ = now;
+    diagnosis_ = reason;
+
+    std::fprintf(stderr,
+                 "==== watchdog fired at cycle %llu ====\n%s\n",
+                 static_cast<unsigned long long>(now), reason.c_str());
+
+    // In-flight packet table (oldest first).
+    auto sorted = inflight;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const InFlightEntry &a, const InFlightEntry &b) {
+                  return a.createdAt < b.createdAt;
+              });
+    const std::size_t np = std::min(sorted.size(), config_.dumpPackets);
+    std::fprintf(stderr, "in-flight packets (%zu total, oldest %zu):\n",
+                 sorted.size(), np);
+    for (std::size_t i = 0; i < np; ++i) {
+        const auto &e = sorted[i];
+        std::fprintf(stderr,
+                     "  pkt=%llu cls=%s %d->%d bank=%d age=%llu at %s\n",
+                     static_cast<unsigned long long>(e.id),
+                     noc::packetClassName(
+                         static_cast<noc::PacketClass>(e.cls)),
+                     e.src, e.dest, e.destBank,
+                     static_cast<unsigned long long>(now - e.createdAt),
+                     e.where.c_str());
+    }
+
+    // Per-router buffer occupancy (non-empty routers only).
+    std::fprintf(stderr, "router buffer occupancy:\n");
+    for (NodeId n = 0; n < net_.shape().totalNodes(); ++n) {
+        const int flits = net_.router(n).bufferedFlits();
+        if (flits > 0)
+            std::fprintf(stderr, "  router %d: %d flit(s)\n", n, flits);
+    }
+
+    // Parent-hold prediction state.
+    if (policy_ && numBanks_ > 0) {
+        std::fprintf(stderr, "parent-hold state (open windows):\n");
+        for (BankId b = 0; b < numBanks_; ++b) {
+            const Cycle until = policy_->busyUntil(b);
+            if (until > now) {
+                std::fprintf(
+                    stderr,
+                    "  bank %d: busy for %llu more cycle(s), margin %llu\n",
+                    b, static_cast<unsigned long long>(until - now),
+                    static_cast<unsigned long long>(policy_->holdMargin(b)));
+            }
+        }
+    }
+
+    // Tail of the telemetry trace ring, oldest first.
+    if (auto *t = telemetry::tracer()) {
+        const auto records = t->snapshot();
+        const std::size_t n =
+            std::min(records.size(), config_.dumpTraceRecords);
+        std::fprintf(stderr, "last %zu trace record(s), oldest first:\n",
+                     n);
+        for (std::size_t i = records.size() - n; i < records.size(); ++i) {
+            const auto &r = records[i];
+            std::fprintf(
+                stderr,
+                "  cycle=%llu pkt=%llu cls=%s event=%s node=%d aux=%lld\n",
+                static_cast<unsigned long long>(r.cycle),
+                static_cast<unsigned long long>(r.packetId),
+                noc::packetClassName(static_cast<noc::PacketClass>(r.cls)),
+                telemetry::traceEventName(r.event), r.node,
+                static_cast<long long>(r.aux));
+        }
+    } else {
+        std::fprintf(stderr,
+                     "(no packet tracer installed; no trace context)\n");
+    }
+    std::fflush(stderr);
+
+    if (config_.failFast)
+        panic("watchdog: %s", reason.c_str());
+}
+
+} // namespace stacknoc::fault

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A liveness watchdog: detects deadlock/livelock (no packet leaves the
+ * network for N cycles while packets are in flight) and starvation (a
+ * single packet older than a bound), then fail-fasts with a
+ * cycle-stamped diagnostic dump — the in-flight packet table, per-router
+ * buffer occupancy, the parent-hold prediction state, and the tail of
+ * the telemetry trace ring.
+ */
+
+#ifndef STACKNOC_FAULT_WATCHDOG_HH
+#define STACKNOC_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "telemetry/probe.hh"
+
+namespace stacknoc::noc {
+class Network;
+} // namespace stacknoc::noc
+
+namespace stacknoc::sttnoc {
+class BankAwarePolicy;
+} // namespace stacknoc::sttnoc
+
+namespace stacknoc::fault {
+
+struct WatchdogConfig
+{
+    /** Cycles between cheap progress checks. */
+    Cycle checkPeriod = 64;
+
+    /** No ejection (or drop) for this long with packets in flight =>
+     *  deadlock/livelock. */
+    Cycle stallCycles = 20000;
+
+    /** Any in-flight packet older than this => starvation (0 = off). */
+    Cycle maxPacketAge = 0;
+
+    /** Cycles between (more expensive) packet-age censuses. */
+    Cycle ageCheckPeriod = 1024;
+
+    /** panic() on trigger; false records the diagnosis instead (tests). */
+    bool failFast = true;
+
+    std::size_t dumpPackets = 32;
+    std::size_t dumpTraceRecords = 32;
+};
+
+/**
+ * Cycle-end probe. The fast path is two counter reads per checkPeriod;
+ * a full fabric census runs only when ejections have stalled past the
+ * threshold or on the (much rarer) age-check cadence. Fires at most
+ * once per run.
+ */
+class Watchdog : public telemetry::Probe
+{
+  public:
+    /**
+     * @param net the network to observe.
+     * @param policy bank-aware policy for the parent-hold dump (may be
+     *               null).
+     * @param num_banks banks covered by @p policy (0 when null).
+     */
+    Watchdog(const noc::Network &net, const sttnoc::BankAwarePolicy *policy,
+             int num_banks, const WatchdogConfig &config);
+
+    void onCycle(Cycle now) override;
+    void onReset(Cycle now) override;
+
+    bool fired() const { return fired_; }
+    Cycle firedAt() const { return firedAt_; }
+    const std::string &diagnosis() const { return diagnosis_; }
+
+    const WatchdogConfig &config() const { return config_; }
+
+  private:
+    struct InFlightEntry
+    {
+        std::uint64_t id;
+        int cls;
+        NodeId src;
+        NodeId dest;
+        BankId destBank;
+        Cycle createdAt;
+        std::string where;
+    };
+
+    /** packets_ejected + packets_dropped: any of these advancing is
+     *  forward progress. */
+    std::uint64_t drainedPackets() const;
+
+    /** Collect every in-flight packet (head present somewhere). */
+    std::vector<InFlightEntry> census() const;
+
+    void trigger(Cycle now, const std::string &reason,
+                 const std::vector<InFlightEntry> &inflight);
+
+    const noc::Network &net_;
+    const sttnoc::BankAwarePolicy *policy_;
+    int numBanks_;
+    WatchdogConfig config_;
+
+    std::uint64_t lastDrained_ = 0;
+    Cycle lastProgressAt_ = 0;
+    Cycle nextCheckAt_ = 0;
+    Cycle nextAgeCheckAt_ = 0;
+
+    bool fired_ = false;
+    Cycle firedAt_ = 0;
+    std::string diagnosis_;
+};
+
+} // namespace stacknoc::fault
+
+#endif // STACKNOC_FAULT_WATCHDOG_HH

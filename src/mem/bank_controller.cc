@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "telemetry/trace.hh"
 
 namespace stacknoc::mem {
@@ -78,19 +79,74 @@ BankController::idle(Cycle now) const
 }
 
 void
+BankController::setFaultInjector(fault::FaultInjector *fi, BankId bank)
+{
+    faults_ = fi;
+    bankId_ = bank;
+}
+
+Cycle
+BankController::activeWriteDoneAt(Cycle now) const
+{
+    if (current_ && current_->req.isWrite)
+        return current_->doneAt;
+    if (drainDoneAt_)
+        return *drainDoneAt_;
+    return now;
+}
+
+bool
+BankController::writeNeedsRetry(int &failures)
+{
+    if (!faults_ || bank_.tech() != CacheTech::SttRam)
+        return false;
+    if (!faults_->drawWriteFailure(bankId_)) {
+        if (failures > 0) {
+            faults_->noteWriteRecovered(
+                failures, static_cast<Cycle>(failures)
+                              * bank_.params().writeCycles);
+        }
+        retryActive_ = false;
+        return false;
+    }
+    faults_->noteWriteFailure();
+    ++retryEpisodes_;
+    if (failures >= faults_->spec().sttWriteRetries) {
+        // Retry budget exhausted: hand the line to ECC and complete.
+        faults_->noteWriteAbandoned();
+        retryActive_ = false;
+        return false;
+    }
+    ++failures;
+    faults_->noteWriteRetryRound();
+    retryActive_ = true;
+    return true;
+}
+
+void
 BankController::completeDue(Cycle now)
 {
     if (current_ && now >= current_->doneAt) {
-        served_.inc();
-        if (current_->req.onDone)
-            current_->req.onDone(now);
-        current_.reset();
+        if (current_->req.isWrite && writeNeedsRetry(current_->failures)) {
+            // Failed verify: the bank runs another full write round.
+            current_->doneAt = bank_.startWrite(now);
+        } else {
+            served_.inc();
+            if (current_->req.onDone)
+                current_->req.onDone(now);
+            current_.reset();
+        }
     }
     if (drainDoneAt_ && now >= *drainDoneAt_) {
         panic_if(buffer_.empty() || !buffer_.front().draining,
                  "drain completion without a draining entry");
-        buffer_.pop_front();
-        drainDoneAt_.reset();
+        if (writeNeedsRetry(drainFailures_)) {
+            drainDoneAt_ = bank_.startWrite(now);
+        } else {
+            buffer_.pop_front();
+            drainDoneAt_.reset();
+            drainFailures_ = 0;
+        }
     }
     for (auto it = delayed_.begin(); it != delayed_.end();) {
         if (now >= it->at) {
@@ -193,6 +249,8 @@ BankController::startBuffered(Cycle now)
                 bank_.abort(now);
                 buffer_.front().draining = false;
                 drainDoneAt_.reset();
+                drainFailures_ = 0; // the restarted write re-verifies
+                retryActive_ = false;
                 preemptions_.inc();
             } else {
                 break; // demand read already occupies the bank
@@ -237,6 +295,7 @@ BankController::tick(Cycle now)
             bank_.abort(now);
             queue_.push_front(std::move(current_->req));
             current_.reset();
+            retryActive_ = false; // the restarted write re-verifies
             preemptions_.inc();
         }
     }

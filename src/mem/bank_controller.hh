@@ -19,6 +19,10 @@
 #include "sim/stats.hh"
 #include "mem/bank_model.hh"
 
+namespace stacknoc::fault {
+class FaultInjector;
+} // namespace stacknoc::fault
+
 namespace stacknoc::mem {
 
 /** Sentinel: no packet attached to a request for tracing purposes. */
@@ -79,6 +83,26 @@ class BankController
                    stats::Group &group, std::string stat_prefix = "",
                    NodeId node = kInvalidNode);
 
+    /**
+     * Enable stochastic write-verify-retry (STT-RAM banks only): a
+     * completed write whose verify fails re-occupies the bank for
+     * another full service round, up to the injector's retry budget,
+     * after which the line is handed to ECC and the write completes as
+     * "abandoned".
+     */
+    void setFaultInjector(fault::FaultInjector *fi, BankId bank);
+
+    /** @return true while the in-service write is in a retry round. */
+    bool writeRetryActive() const { return retryActive_; }
+
+    /** Failed verify rounds at this bank since construction (monotonic;
+     *  lets the owner emit one busy-NACK per failure episode). */
+    std::uint64_t retryEpisodes() const { return retryEpisodes_; }
+
+    /** Predicted completion of the write occupying the bank (now when
+     *  no write is in service). */
+    Cycle activeWriteDoneAt(Cycle now) const;
+
     /** Add a request. */
     void enqueue(BankRequest req, Cycle now);
 
@@ -101,6 +125,7 @@ class BankController
     {
         BankRequest req;
         Cycle doneAt;
+        int failures = 0; //!< failed write-verify rounds so far
     };
 
     struct BufferedWrite
@@ -126,6 +151,14 @@ class BankController
     /** Pop the next plain-mode request honouring read priority. */
     BankRequest takeNextPlain();
 
+    /**
+     * Verify a just-completed write against the fault injector.
+     * @return true when the write failed and must run another round
+     * (@p failures is advanced); false when it completes — either
+     * verified clean or abandoned to ECC at the retry budget.
+     */
+    bool writeNeedsRetry(int &failures);
+
     BankModel bank_;
     BankControllerConfig config_;
 
@@ -140,6 +173,12 @@ class BankController
     bool lastWasWrite_ = false;
 
     NodeId node_ = kInvalidNode;
+
+    fault::FaultInjector *faults_ = nullptr;
+    BankId bankId_ = kInvalidBank;
+    int drainFailures_ = 0;     //!< verify failures of the drain write
+    bool retryActive_ = false;  //!< a write is in a retry round now
+    std::uint64_t retryEpisodes_ = 0;
 
     stats::Average &queueLatency_;
     stats::Counter &served_;

@@ -49,6 +49,17 @@ class Network
 
     NetworkInterface &ni(NodeId n) { return *nis_.at(std::size_t(n)); }
 
+    /** Attach @p fi to every router (stuck windows) and NI (link CRC +
+     *  retransmission). Null detaches. */
+    void
+    setFaultInjector(fault::FaultInjector *fi)
+    {
+        for (auto &r : routers_)
+            r->setFaultInjector(fi);
+        for (auto &ni : nis_)
+            ni->setFaultInjector(fi);
+    }
+
     Topology &topology() { return topo_; }
     const Topology &topology() const { return topo_; }
 

@@ -1,6 +1,7 @@
 #include "noc/network_interface.hh"
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "telemetry/trace.hh"
 
 namespace stacknoc::noc {
@@ -13,6 +14,7 @@ NetworkInterface::NetworkInterface(std::string niname, NodeId id,
       ejectVcs_(static_cast<std::size_t>(params.totalVcs())),
       packetsInjected_(net_stats.counter("packets_injected")),
       packetsEjected_(net_stats.counter("packets_ejected")),
+      packetsDropped_(net_stats.counter("packets_dropped")),
       netLatency_(net_stats.average("packet_network_latency")),
       totalLatency_(net_stats.average("packet_total_latency")),
       niQueueLatency_(net_stats.average("packet_ni_queue_latency")),
@@ -90,25 +92,75 @@ NetworkInterface::drainEjectBuffers(Cycle now)
         auto &vc = ejectVcs_[v];
         while (!vc.buffer.empty()) {
             Flit &front = vc.buffer.front();
-            if (front.head() && !vc.committed) {
-                // Admission control happens once, at the head. ProbeAck
-                // and unknown-client packets are always sunk.
-                NetworkClient *target =
-                    front.pkt->cls == PacketClass::ProbeAck
-                        ? nullptr
-                        : targetFor(*front.pkt);
-                if (target && !target->tryAccept(*front.pkt))
-                    break; // hold; no credit returned
-                vc.committed = true;
-                vc.committedPkt = front.pkt;
+            if (front.head() && !vc.committed && !vc.dropping) {
+                // CRC check of the reassembled packet. A corrupted
+                // packet is NACKed to its sender and the retransmission
+                // occupies the ejector for a fixed round trip; past the
+                // retransmit budget the packet is dropped (accounted,
+                // never hung).
+                if (faults_ && !vc.crcClean) {
+                    if (now < vc.retxHoldUntil)
+                        break; // retransmission still in flight
+                    if (faults_->drawPacketCorruption(front.pkt->src, id_,
+                                                      front.pkt->numFlits)) {
+                        if (vc.retxAttempts == 0)
+                            faults_->notePacketCorrupted();
+                        ++vc.retxAttempts;
+                        if (vc.retxAttempts
+                            > faults_->spec().flitRetries) {
+                            faults_->notePacketDropped();
+                            vc.dropping = true;
+                            // fall through: consume flits, return
+                            // credits, never dispatch
+                        } else {
+                            faults_->noteRetransmit();
+                            vc.retxHoldUntil =
+                                now + faults_->spec().flitRetryPenalty;
+                            break;
+                        }
+                    } else {
+                        if (vc.retxAttempts > 0) {
+                            faults_->notePacketRecovered(
+                                vc.retxAttempts,
+                                static_cast<Cycle>(vc.retxAttempts)
+                                    * faults_->spec().flitRetryPenalty);
+                        }
+                        vc.crcClean = true;
+                    }
+                }
+                if (!vc.dropping) {
+                    // Admission control happens once, at the head.
+                    // ProbeAck, BusyNack and unknown-client packets are
+                    // always sunk.
+                    NetworkClient *target =
+                        front.pkt->cls == PacketClass::ProbeAck
+                                || front.pkt->cls == PacketClass::BusyNack
+                            ? nullptr
+                            : targetFor(*front.pkt);
+                    if (target && !target->tryAccept(*front.pkt))
+                        break; // hold; no credit returned
+                    vc.committed = true;
+                    vc.committedPkt = front.pkt;
+                }
             }
             fromRouter_->credit.push(now, Credit{static_cast<int>(v)});
             const bool is_tail = front.tail();
             PacketPtr pkt = front.pkt;
             vc.buffer.pop_front();
+            if (is_tail && vc.dropping) {
+                vc.dropping = false;
+                vc.crcClean = false;
+                vc.retxAttempts = 0;
+                vc.retxHoldUntil = 0;
+                packetsDropped_.inc();
+                continue;
+            }
             if (is_tail) {
                 vc.committed = false;
                 vc.committedPkt = nullptr;
+                vc.crcClean = false;
+                vc.retxAttempts = 0;
+                vc.retxHoldUntil = 0;
                 pkt->ejectedAt = now;
                 packetsEjected_.inc();
                 if (pkt->injectedAt != kCycleNever) {
@@ -184,6 +236,14 @@ NetworkInterface::dispatch(PacketPtr pkt, Cycle now)
     if (pkt->cls == PacketClass::ProbeAck) {
         if (probeSink_)
             probeSink_->onProbeAck(*pkt, now);
+        return;
+    }
+
+    // A bank reporting itself busy past the predicted window (write
+    // verify-retry in flight); the parent policy widens its horizon.
+    if (pkt->cls == PacketClass::BusyNack) {
+        if (probeSink_)
+            probeSink_->onBusyNack(*pkt, now);
         return;
     }
 

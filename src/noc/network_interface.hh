@@ -17,6 +17,10 @@
 #include "noc/params.hh"
 #include "noc/topology.hh"
 
+namespace stacknoc::fault {
+class FaultInjector;
+} // namespace stacknoc::fault
+
 namespace stacknoc::noc {
 
 /** Anything that can receive packets from its local NI. */
@@ -71,6 +75,18 @@ class ProbeSink
      * bank in info.origin and the 8-bit timestamp in info.aux.
      */
     virtual void onProbeAck(const Packet &pkt, Cycle now) = 0;
+
+    /**
+     * A BusyNack reached the node it addresses: the child bank in
+     * info.origin is still busy (write-verify-retry) for another
+     * info.aux cycles past its predicted window.
+     */
+    virtual void
+    onBusyNack(const Packet &pkt, Cycle now)
+    {
+        (void)pkt;
+        (void)now;
+    }
 };
 
 /**
@@ -101,6 +117,14 @@ class NetworkInterface : public Ticking, public PacketSender
 
     /** Estimator hub receiving ProbeAck packets addressed to this node. */
     void setProbeSink(ProbeSink *sink) { probeSink_ = sink; }
+
+    /**
+     * Enable link/TSB fault injection at this NI's ejection side (CRC
+     * check + retransmission). Null (the default) skips the CRC gate
+     * entirely; an injector whose link BERs are zero never draws, so
+     * behaviour is bit-identical either way.
+     */
+    void setFaultInjector(fault::FaultInjector *fi) { faults_ = fi; }
 
     /**
      * Queue @p pkt for injection. Always succeeds (the injection queue is
@@ -182,6 +206,13 @@ class NetworkInterface : public Ticking, public PacketSender
         /** The accepted packet; its consumed flits leave no trace in
          *  @c buffer, so observers need the identity kept explicitly. */
         PacketPtr committedPkt;
+
+        // CRC/retransmission state of the packet at the buffer front
+        // (only used when a fault injector is attached).
+        bool crcClean = false;   //!< current head passed the CRC check
+        bool dropping = false;   //!< consuming a dropped packet's flits
+        int retxAttempts = 0;    //!< retransmissions requested so far
+        Cycle retxHoldUntil = 0; //!< retransmission in flight until then
     };
 
     void receive(Cycle now);
@@ -199,6 +230,7 @@ class NetworkInterface : public Ticking, public PacketSender
     NetworkClient *client_ = nullptr;
     NetworkClient *memClient_ = nullptr;
     ProbeSink *probeSink_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
 
     std::deque<PacketPtr> injectQueue_;
     std::vector<InjVc> injVcs_;
@@ -207,6 +239,7 @@ class NetworkInterface : public Ticking, public PacketSender
 
     stats::Counter &packetsInjected_;
     stats::Counter &packetsEjected_;
+    stats::Counter &packetsDropped_;
     stats::Average &netLatency_;
     stats::Average &totalLatency_;
     stats::Average &niQueueLatency_;

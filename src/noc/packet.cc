@@ -22,6 +22,7 @@ vnetOf(PacketClass cls)
       case PacketClass::Ack:
       case PacketClass::MemResp:
       case PacketClass::ProbeAck:
+      case PacketClass::BusyNack:
         return kVnetResp;
       case PacketClass::CohCtrl:
       case PacketClass::CohData:
@@ -47,6 +48,7 @@ packetClassName(PacketClass cls)
       case PacketClass::MemWrite: return "MemWrite";
       case PacketClass::MemResp: return "MemResp";
       case PacketClass::ProbeAck: return "ProbeAck";
+      case PacketClass::BusyNack: return "BusyNack";
       default: return "Unknown";
     }
 }

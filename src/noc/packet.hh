@@ -36,6 +36,7 @@ enum class PacketClass : std::uint8_t {
     MemWrite,     //!< L2 bank -> memory controller writeback (9 flits)
     MemResp,      //!< memory controller -> L2 bank fill (9 flits)
     ProbeAck,     //!< window-based estimator timestamp echo (1 flit)
+    BusyNack,     //!< bank busy past predicted window; retry later (1 flit)
     NumClasses
 };
 

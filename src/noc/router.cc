@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "telemetry/trace.hh"
 
 namespace stacknoc::noc {
@@ -40,6 +41,8 @@ Router::connectOut(Dir d, Link *link)
 void
 Router::tick(Cycle now)
 {
+    if (faults_ && faults_->routerStuckNow(id_, now))
+        return; // wedged: the whole pipeline freezes this cycle
     receiveCredits(now);
     receiveFlits(now);
     routeCompute(now);

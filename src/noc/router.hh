@@ -23,6 +23,10 @@
 #include "noc/routing.hh"
 #include "noc/topology.hh"
 
+namespace stacknoc::fault {
+class FaultInjector;
+} // namespace stacknoc::fault
+
 namespace stacknoc::noc {
 
 /**
@@ -45,6 +49,14 @@ class Router : public Ticking
     void connectOut(Dir d, Link *link);
 
     void tick(Cycle now) override;
+
+    /**
+     * Enable fault injection (stuck-router windows). While the
+     * injector reports this router wedged, tick() does nothing: no
+     * flits or credits are received, switched, or sent — buffered and
+     * in-link state is frozen in place until the window closes.
+     */
+    void setFaultInjector(fault::FaultInjector *fi) { faults_ = fi; }
 
     NodeId nodeId() const { return id_; }
 
@@ -128,6 +140,7 @@ class Router : public Ticking
     NocParams params_;
     const RoutingFunction &routing_;
     ArbitrationPolicy &policy_;
+    fault::FaultInjector *faults_ = nullptr;
 
     std::array<InPort, kNumDirs> in_;
     std::array<OutPort, kNumDirs> out_;

@@ -14,11 +14,14 @@ BankAwarePolicy::BankAwarePolicy(
       estimator_(std::move(estimator)),
       busyUntil_(static_cast<std::size_t>(regions.numBanks()), 0),
       pathDelay_(static_cast<std::size_t>(regions.numBanks()), 0),
+      holdMargin_(static_cast<std::size_t>(regions.numBanks()), 0),
       holdCyclesByBank_(static_cast<std::size_t>(regions.numBanks()), 0),
       stats_("sttnoc"),
       holdsStarted_(stats_.counter("holds_started")),
       holdCapReleases_(stats_.counter("hold_cap_releases")),
       busyMarks_(stats_.counter("busy_marks")),
+      busyNacks_(stats_.counter("busy_nacks")),
+      nackReopens_(stats_.counter("nack_window_reopens")),
       busyDuration_(stats_.average("busy_duration")),
       holdDurationHist_(stats_.histogram("parent_hold_duration_hist"))
 {
@@ -149,7 +152,8 @@ BankAwarePolicy::onForward(NodeId router, noc::Packet &pkt, Cycle now)
         auto &horizon = busyUntil_[static_cast<std::size_t>(bank)];
         horizon = now + pathDelay_[static_cast<std::size_t>(bank)] +
                   estimator_->estimate(bank, now) +
-                  params_.writeServiceCycles;
+                  params_.writeServiceCycles +
+                  holdMargin_[static_cast<std::size_t>(bank)];
         busyMarks_.inc();
         busyDuration_.sample(static_cast<double>(horizon - now));
     }
@@ -160,6 +164,45 @@ BankAwarePolicy::onProbeAck(const noc::Packet &pkt, Cycle now)
 {
     if (estimator_)
         estimator_->onProbeAck(pkt, now);
+}
+
+void
+BankAwarePolicy::configureFaultRecovery(Cycle margin_cap)
+{
+    marginCap_ = margin_cap;
+}
+
+void
+BankAwarePolicy::onBusyNack(const noc::Packet &pkt, Cycle now)
+{
+    if (marginCap_ == 0)
+        return; // recovery path not configured
+    const BankId bank = static_cast<BankId>(pkt.info.origin);
+    if (bank < 0 || bank >= regions_.numBanks())
+        return;
+    busyNacks_.inc();
+
+    // The bank reports it stays busy for another aux cycles (one
+    // write-verify-retry round, clamped to the recovery contract).
+    const Cycle remaining =
+        std::min<Cycle>(static_cast<Cycle>(pkt.info.aux), marginCap_);
+    auto &horizon = busyUntil_[static_cast<std::size_t>(bank)];
+    if (now + remaining > horizon) {
+        horizon = now + remaining;
+        nackReopens_.inc();
+    }
+
+    // Adaptive hold margin: EWMA (alpha = 1/8) of the overshoot each
+    // NACK reveals, clamped so predictions stay within the relaxed
+    // parent-hold invariant. Written only here — at the parent node's
+    // NI — and read at the parent router: co-sharded, deterministic.
+    auto &margin = holdMargin_[static_cast<std::size_t>(bank)];
+    const std::int64_t delta = static_cast<std::int64_t>(remaining) -
+                               static_cast<std::int64_t>(margin);
+    margin = static_cast<Cycle>(static_cast<std::int64_t>(margin) +
+                                delta / 8);
+    if (margin > marginCap_)
+        margin = marginCap_;
 }
 
 Cycle

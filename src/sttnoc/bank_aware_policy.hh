@@ -60,6 +60,17 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
                       Cycle now) override;
     void onForward(NodeId router, noc::Packet &pkt, Cycle now) override;
     void onProbeAck(const noc::Packet &pkt, Cycle now) override;
+    void onBusyNack(const noc::Packet &pkt, Cycle now) override;
+
+    /**
+     * Enable the hold-miss recovery path: BusyNacks re-open busy
+     * windows and feed a per-bank adaptive hold margin (EWMA of the
+     * observed overshoot, alpha = 1/8) added to every new prediction.
+     * @param margin_cap clamp on both the margin and the per-NACK
+     * window extension; also the slack the parent-hold invariant
+     * grants (horizonSlack()).
+     */
+    void configureFaultRecovery(Cycle margin_cap);
 
     /** @return cycle until which @p bank is predicted busy. */
     Cycle busyUntil(BankId bank) const;
@@ -70,6 +81,20 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
     {
         return pathDelay_.at(static_cast<std::size_t>(bank));
     }
+
+    /** Adaptive hold margin learned for @p bank (0 without faults). */
+    Cycle
+    holdMargin(BankId bank) const
+    {
+        return holdMargin_.at(static_cast<std::size_t>(bank));
+    }
+
+    /**
+     * Cycles a busy horizon may exceed the paper's Section 3.5 bound:
+     * the hold-miss recovery contract the parent-hold invariant checks.
+     * Zero when fault recovery is not configured (the exact bound).
+     */
+    Cycle horizonSlack() const { return marginCap_; }
 
     /** @return the congestion estimator, for observer-only peeks. */
     const CongestionEstimator *estimator() const { return estimator_.get(); }
@@ -109,6 +134,11 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
     std::vector<Cycle> busyUntil_;
     /** Contention-free parent->bank delivery delay, per bank. */
     std::vector<Cycle> pathDelay_;
+    /** Per-bank adaptive hold margin; written only from the bank's
+     *  parent node (its NI receives the NACKs), read from the parent
+     *  router — co-sharded, so deterministic under --threads. */
+    std::vector<Cycle> holdMargin_;
+    Cycle marginCap_ = 0; //!< 0 = hold-miss recovery disabled
     /** See holdCyclesOfBank(). */
     std::vector<std::uint64_t> holdCyclesByBank_;
 
@@ -116,6 +146,8 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
     stats::Counter &holdsStarted_;
     stats::Counter &holdCapReleases_;
     stats::Counter &busyMarks_;
+    stats::Counter &busyNacks_;
+    stats::Counter &nackReopens_;
     stats::Average &busyDuration_;
     stats::Histogram &holdDurationHist_;
 };

@@ -21,6 +21,17 @@ CmpSystem::CmpSystem(const SystemConfig &config)
                  static_cast<int>(config_.apps.size()) != numCores(),
              "apps must have 1 or %d entries", numCores());
 
+    if (config_.faultsEnabled) {
+        fatal_if(config_.faults.stuckRouter != kInvalidNode &&
+                     (config_.faults.stuckRouter < 0 ||
+                      config_.faults.stuckRouter >= shape_.totalNodes()),
+                 "router_stuck node %d out of range (mesh has %d nodes)",
+                 static_cast<int>(config_.faults.stuckRouter),
+                 shape_.totalNodes());
+        faults_ = std::make_unique<fault::FaultInjector>(
+            config_.faults, config_.seed, shape_, numBanks());
+    }
+
     buildNetwork();
     buildMemorySystem();
     buildCores();
@@ -39,6 +50,8 @@ CmpSystem::CmpSystem(const SystemConfig &config)
         sampler_->addGroup(&net_->stats());
         if (bankAwarePolicy_)
             sampler_->addGroup(&bankAwarePolicy_->stats());
+        if (faults_)
+            sampler_->addGroup(&faults_->stats());
         hub_.add(sampler_.get());
     }
     if (config_.heatmapPeriod > 0) {
@@ -78,6 +91,19 @@ CmpSystem::CmpSystem(const SystemConfig &config)
         // Violations dump the trace-ring tail; install a tracer so the
         // dump has context even when the caller didn't set one up.
         if (telemetry::tracer() == nullptr) {
+            ownedTracer_ = std::make_unique<telemetry::PacketTracer>(
+                1024, 1);
+            telemetry::setTracer(ownedTracer_.get());
+        }
+    }
+    if (config_.watchdogEnabled) {
+        watchdog_ = std::make_unique<fault::Watchdog>(
+            *net_, bankAwarePolicy_.get(),
+            bankAwarePolicy_ ? numBanks() : 0, config_.watchdog);
+        hub_.add(watchdog_.get());
+        // The trigger dump includes the trace-ring tail; make sure one
+        // exists even when the caller installed no tracer.
+        if (telemetry::tracer() == nullptr && !ownedTracer_) {
             ownedTracer_ = std::make_unique<telemetry::PacketTracer>(
                 1024, 1);
             telemetry::setTracer(ownedTracer_.get());
@@ -144,6 +170,8 @@ CmpSystem::buildNetwork()
     noc_params.vcsPerVnet = sc.vcsPerVnet;
     net_ = std::make_unique<noc::Network>(sim_, shape_, noc_params,
                                           std::move(routing), *policy);
+    if (faults_)
+        net_->setFaultInjector(faults_.get());
 
     // Widen the region TSBs to 256 bits (two flits per cycle).
     if (sc.tsbRegions > 0) {
@@ -165,6 +193,13 @@ CmpSystem::buildNetwork()
         // Parent nodes receive WB probe echoes through their NIs.
         for (NodeId n = 0; n < shape_.totalNodes(); ++n)
             net_->ni(n).setProbeSink(bankAwarePolicy_.get());
+        // With write faults active, busy-NACKs widen the hold horizon
+        // by at most two write-service rounds (the recovery contract
+        // the relaxed parent-hold invariant checks against).
+        if (faults_) {
+            bankAwarePolicy_->configureFaultRecovery(
+                2 * bankAwarePolicy_->params().writeServiceCycles);
+        }
     }
 }
 
@@ -190,6 +225,7 @@ CmpSystem::buildMemorySystem()
     l2cfg.requestCap = config_.bankRequestCap;
     l2cfg.writeCap = config_.bankWriteCap;
     l2cfg.seed = config_.seed;
+    l2cfg.faultInjector = faults_.get();
     l2cfg.mcNodes = {shape_.node(0, 0, 1), shape_.node(w - 1, 0, 1),
                      shape_.node(0, h - 1, 1),
                      shape_.node(w - 1, h - 1, 1)};
@@ -200,6 +236,10 @@ CmpSystem::buildMemorySystem()
             detail::format("l2bank%d", b), b, node, net_->ni(node),
             l2cfg, cacheStats_));
         net_->ni(node).setClient(banks_.back().get());
+        // Write verify-retry recovery: a bank overrunning its predicted
+        // busy window NACKs its parent node, where the policy listens.
+        if (faults_ && bankAwarePolicy_)
+            banks_.back()->setParentNode(parents_->parentOf(b));
         // Same affinity key as the node's router/NI: the bank-aware
         // policy's per-bank state is only touched from this node.
         sim_.add(banks_.back().get(), node % shape_.nodesPerLayer());
@@ -267,14 +307,28 @@ CmpSystem::run(Cycle cycles)
 void
 CmpSystem::warmup(Cycle cycles)
 {
-    hub_.onWarmupBegin(sim_.now());
+    warmupBegin();
     run(cycles);
+    warmupEnd();
+}
+
+void
+CmpSystem::warmupBegin()
+{
+    hub_.onWarmupBegin(sim_.now());
+}
+
+void
+CmpSystem::warmupEnd()
+{
     cacheStats_.reset();
     coreStats_.reset();
     memStats_.reset();
     net_->stats().reset();
     if (bankAwarePolicy_)
         bankAwarePolicy_->stats().reset();
+    if (faults_)
+        faults_->stats().reset();
     for (auto &core : cores_)
         core->resetCommitted();
     hub_.onReset(sim_.now());
@@ -320,6 +374,8 @@ CmpSystem::dumpStats(std::ostream &os) const
     net_->stats().dump(os);
     if (bankAwarePolicy_)
         bankAwarePolicy_->stats().dump(os);
+    if (faults_)
+        faults_->stats().dump(os);
 }
 
 } // namespace stacknoc::system

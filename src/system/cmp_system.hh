@@ -15,6 +15,8 @@
 
 #include "common/geometry.hh"
 #include "engine/engine.hh"
+#include "fault/fault_injector.hh"
+#include "fault/watchdog.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "telemetry/interval.hh"
@@ -112,6 +114,14 @@ struct SystemConfig
 
     /** Checker configuration (period, fail-fast, thresholds). */
     validate::ValidationConfig validation{};
+
+    /** Fault-injection campaign (active when faultsEnabled). */
+    fault::FaultSpec faults{};
+    bool faultsEnabled = false;
+
+    /** Liveness watchdog (active when watchdogEnabled). */
+    fault::WatchdogConfig watchdog{};
+    bool watchdogEnabled = false;
 };
 
 /** The system. Construct, warmup(), run(), then read metrics(). */
@@ -132,6 +142,14 @@ class CmpSystem
      * instruction count so metrics() reflects only the steady state.
      */
     void warmup(Cycle cycles);
+
+    /**
+     * Split warmup for wall-clock-guarded drivers: warmupBegin(), any
+     * number of run() chunks, then warmupEnd() to perform the resets.
+     * warmup(c) is exactly warmupBegin(); run(c); warmupEnd().
+     */
+    void warmupBegin();
+    void warmupEnd();
 
     /** Results accumulated since construction or the last warmup(). */
     Metrics metrics() const;
@@ -197,6 +215,12 @@ class CmpSystem
     /** The progress reporter, or nullptr when progress is off. */
     ProgressReporter *progress() { return progress_.get(); }
 
+    /** The fault injector, or nullptr when faults are off. */
+    const fault::FaultInjector *faults() const { return faults_.get(); }
+
+    /** The liveness watchdog, or nullptr when it is off. */
+    const fault::Watchdog *watchdogProbe() const { return watchdog_.get(); }
+
     /** Dump every statistics group to @p os. */
     void dumpStats(std::ostream &os) const;
 
@@ -233,6 +257,8 @@ class CmpSystem
     stats::Group coreStats_;
     stats::Group memStats_;
 
+    std::unique_ptr<fault::FaultInjector> faults_;
+    std::unique_ptr<fault::Watchdog> watchdog_;
     std::unique_ptr<sttnoc::RegionMap> regions_;
     std::unique_ptr<sttnoc::ParentMap> parents_;
     std::unique_ptr<noc::ArbitrationPolicy> obliviousPolicy_;

@@ -51,6 +51,7 @@ writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
     w.kv("warmup_cycles", static_cast<std::uint64_t>(info.warmupCycles));
     w.kv("measured_cycles",
          static_cast<std::uint64_t>(info.measuredCycles));
+    w.kv("timed_out", info.timedOut);
     w.endObject();
 
     writeMetrics(w, sys.metrics());
@@ -119,7 +120,34 @@ writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
         w.key("sttnoc");
         telemetry::writeGroupJson(w, policy->stats());
     }
+    if (const auto *faults = sys.faults()) {
+        w.key("faults");
+        telemetry::writeGroupJson(w, faults->stats());
+    }
     w.endObject();
+
+    // Fault-campaign summary: the active spec plus the watchdog verdict
+    // (null when no faults and no watchdog were configured).
+    w.key("faults");
+    if (sys.faults() || sys.watchdogProbe()) {
+        w.beginObject();
+        w.kv("spec", sys.faults() ? sys.faults()->spec().toString()
+                                  : std::string("none"));
+        w.key("watchdog");
+        if (const auto *wd = sys.watchdogProbe()) {
+            w.beginObject();
+            w.kv("fired", wd->fired());
+            w.kv("fired_at", static_cast<std::uint64_t>(wd->firedAt()));
+            w.kv("stall_cycles",
+                 static_cast<std::uint64_t>(wd->config().stallCycles));
+            w.endObject();
+        } else {
+            w.null();
+        }
+        w.endObject();
+    } else {
+        w.null();
+    }
 
     w.key("intervals");
     if (const auto *sampler = sys.intervals())

@@ -25,6 +25,9 @@ struct RunInfo
     std::uint64_t seed = 0;
     Cycle warmupCycles = 0;
     Cycle measuredCycles = 0;
+
+    /** Run was cut short by a wall-clock --timeout-sec guard. */
+    bool timedOut = false;
 };
 
 /**

@@ -169,22 +169,28 @@ PacketConservationChecker::check(Cycle now, std::vector<Violation> &out)
 
     const auto *injected = net_.stats().findCounter("packets_injected");
     const auto *ejected = net_.stats().findCounter("packets_ejected");
+    const auto *dropped = net_.stats().findCounter("packets_dropped");
     const auto *switched = net_.stats().findCounter("flits_switched");
     const std::int64_t inj =
         injected ? static_cast<std::int64_t>(injected->value()) : 0;
+    // Packets dropped at an NI past the retransmit budget left the
+    // fabric just as surely as ejected ones; they are accounted, not
+    // lost, so the conservation identity folds them in.
     const std::int64_t ej =
-        ejected ? static_cast<std::int64_t>(ejected->value()) : 0;
+        (ejected ? static_cast<std::int64_t>(ejected->value()) : 0) +
+        (dropped ? static_cast<std::int64_t>(dropped->value()) : 0);
     const std::int64_t inFlight =
         static_cast<std::int64_t>(census.size());
     if (!baselined_) {
         // The census-vs-counter offset is fixed at attach/reset time:
-        // in flight == baseline + injected - ejected ever after.
+        // in flight == baseline + injected - (ejected + dropped) ever
+        // after.
         baseline_ = inFlight - inj + ej;
         baselined_ = true;
     } else if (inFlight != baseline_ + inj - ej) {
         fail(detail::format(
             "packet census %lld != baseline %lld + injected %lld - "
-            "ejected %lld",
+            "(ejected + dropped) %lld",
             static_cast<long long>(inFlight),
             static_cast<long long>(baseline_),
             static_cast<long long>(inj), static_cast<long long>(ej)));
@@ -345,20 +351,25 @@ ParentHoldChecker::check(Cycle now, std::vector<Violation> &out)
 
     // Section 3.5 bound: a busy window opened at t extends at most to
     // t + path delay + congestion estimate + write service, and the
-    // estimate saturates at congestionCap.
+    // estimate saturates at congestionCap. Under fault injection the
+    // hold-miss recovery contract grants horizonSlack() extra cycles
+    // (adaptive margin plus NACK window re-opens, both clamped there);
+    // without fault recovery the slack is zero and the bound is exact.
     for (BankId b = 0; b < regions_.numBanks(); ++b) {
         const Cycle horizon = policy_.busyUntil(b);
         const Cycle bound = now + policy_.pathDelay(b) +
-                            p.congestionCap + p.writeServiceCycles;
+                            p.congestionCap + p.writeServiceCycles +
+                            policy_.horizonSlack();
         if (horizon > bound) {
             fail(detail::format(
                 "bank %d busy horizon %llu exceeds now %llu + path %llu "
-                "+ cap %llu + service %llu",
+                "+ cap %llu + service %llu + recovery slack %llu",
                 b, static_cast<unsigned long long>(horizon),
                 static_cast<unsigned long long>(now),
                 static_cast<unsigned long long>(policy_.pathDelay(b)),
                 static_cast<unsigned long long>(p.congestionCap),
-                static_cast<unsigned long long>(p.writeServiceCycles)));
+                static_cast<unsigned long long>(p.writeServiceCycles),
+                static_cast<unsigned long long>(policy_.horizonSlack())));
         }
     }
 

@@ -8,7 +8,11 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
+
+#include <sys/wait.h>
 
 namespace stacknoc {
 namespace {
@@ -130,6 +134,66 @@ TEST(Cli, StatsFlagDumpsGroups)
                      "--cycles 2000 --warmup 500 --stats", &out), 0);
     EXPECT_NE(out.find("cache.l1_hits"), std::string::npos);
     EXPECT_NE(out.find("net.packets_injected"), std::string::npos);
+}
+
+TEST(Cli, MalformedFaultSpecFailsWithGrammar)
+{
+    std::string out;
+    const int rc = runCli("--fault-spec nonsense=9 --cycles 100", &out);
+    EXPECT_NE(rc, 0);
+    // A clean non-zero exit with a one-line reason plus the accepted
+    // grammar — not an assert or a stack trace.
+    EXPECT_EQ(out.find("Assertion"), std::string::npos);
+    EXPECT_NE(out.find("bad --fault-spec"), std::string::npos);
+    EXPECT_NE(out.find("unknown fault-spec key 'nonsense'"),
+              std::string::npos);
+    EXPECT_NE(out.find("fault-spec grammar"), std::string::npos);
+    EXPECT_NE(out.find("stt_write_ber"), std::string::npos);
+}
+
+TEST(Cli, OutOfRangeFaultRateRejected)
+{
+    std::string out;
+    EXPECT_NE(runCli("--fault-spec stt_write_ber=1.5 --cycles 100",
+                     &out), 0);
+    EXPECT_NE(out.find("bad --fault-spec"), std::string::npos);
+}
+
+TEST(Cli, FaultSpecRunProducesFaultStats)
+{
+    std::string out;
+    ASSERT_EQ(runCli("--scenario MRAM-4TSB-WB --app tpcc --mesh 4x4 "
+                     "--cycles 4000 --warmup 500 --validate --stats "
+                     "--fault-spec stt_write_ber=1e-2", &out), 0);
+    EXPECT_NE(out.find("faults.stt_write_failures"), std::string::npos);
+    EXPECT_NE(out.find("faults.retries_per_write"), std::string::npos);
+}
+
+TEST(Cli, WatchdogFlagAccepted)
+{
+    std::string out;
+    ASSERT_EQ(runCli("--scenario MRAM-4TSB-WB --app tpcc --mesh 4x4 "
+                     "--cycles 2000 --warmup 200 --watchdog 5000",
+                     &out), 0);
+    EXPECT_NE(out.find("mean_ipc="), std::string::npos);
+}
+
+TEST(Cli, TimeoutGuardExits124AndFlushesStats)
+{
+    std::string out;
+    const std::string json = "cli_timeout_stats.json";
+    const int rc = runCli("--scenario MRAM-4TSB-WB --app tpcc "
+                          "--mesh 4x4 --cycles 2000000000 --warmup 100 "
+                          "--timeout-sec 1 --json-stats " + json, &out);
+    ASSERT_TRUE(WIFEXITED(rc));
+    EXPECT_EQ(WEXITSTATUS(rc), 124);
+    EXPECT_NE(out.find("TIMEOUT"), std::string::npos);
+    std::ifstream in(json);
+    ASSERT_TRUE(in.good()) << "partial stats were not flushed";
+    std::string doc((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(doc.find("\"timed_out\":true"), std::string::npos);
+    std::remove(json.c_str());
 }
 
 } // namespace

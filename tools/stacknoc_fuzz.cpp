@@ -14,19 +14,31 @@
  *   stacknoc_fuzz                         # 50 runs from seed 1
  *   stacknoc_fuzz --runs 200 --seed 7
  *   stacknoc_fuzz --replay fuzz-fail-3.txt   # re-run a reproducer
+ *   stacknoc_fuzz --faults --jobs 8       # fault campaign, 8 processes
+ *
+ * With --jobs N the case list is drawn up front (so it is identical
+ * for any N) and dealt to N worker processes, each re-invoking this
+ * binary on one case file; reproducer names are keyed by case index,
+ * so the artifacts are deterministic too.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "fault/fault_spec.hh"
 #include "noc/packet.hh"
 #include "system/cmp_system.hh"
 
@@ -56,10 +68,42 @@ struct FuzzCase
     std::uint64_t seed = 1;
     Cycle warmup = 0;
     Cycle cycles = 4000;
+    std::string faultSpec; //!< empty = no fault injection
 };
 
+/** Bounded fault campaign: write BER and link/TSB BER compositions
+ *  high enough to exercise every recovery path in a ~4000-cycle run.
+ *  Never router_stuck — a wedged router is a watchdog test, not a
+ *  recovery one. */
+std::string
+drawFaultSpec(std::mt19937_64 &rng)
+{
+    static const char *const write_part[] = {
+        "",
+        "stt_write_ber=1e-3",
+        "stt_write_ber=1e-2",
+        "stt_write_ber=5e-2,stt_write_retries=2",
+    };
+    static const char *const link_part[] = {
+        "",
+        "link_flit_ber=2e-4",
+        "tsb_flit_ber=2e-4",
+        "link_flit_ber=5e-4,tsb_flit_ber=1e-4,flit_retries=2",
+    };
+    // Always two draws, so the master stream stays aligned whatever
+    // the composition.
+    const std::string w = write_part[rng() % 4];
+    const std::string l = link_part[rng() % 4];
+    std::string spec = w;
+    if (!l.empty())
+        spec += (spec.empty() ? "" : ",") + l;
+    if (spec.empty())
+        spec = "stt_write_ber=1e-3"; // a campaign always injects
+    return spec;
+}
+
 FuzzCase
-drawCase(std::mt19937_64 &rng)
+drawCase(std::mt19937_64 &rng, bool with_faults)
 {
     auto pick = [&](auto... vals) {
         using T = std::common_type_t<decltype(vals)...>;
@@ -87,6 +131,8 @@ drawCase(std::mt19937_64 &rng)
     fc.seed = rng();
     fc.warmup = pick(Cycle{0}, Cycle{500});
     fc.cycles = 2000 + rng() % 6000;
+    if (with_faults)
+        fc.faultSpec = drawFaultSpec(rng);
     return fc;
 }
 
@@ -141,6 +187,16 @@ toConfig(const FuzzCase &fc)
         cfg.apps = apps;
     }
 
+    if (!fc.faultSpec.empty()) {
+        std::string err;
+        fatal_if(!fault::parseFaultSpec(fc.faultSpec, cfg.faults, err),
+                 "bad fault_spec '%s': %s", fc.faultSpec.c_str(),
+                 err.c_str());
+        cfg.faultsEnabled = cfg.faults.any();
+        // Recovery must never hang: any fuzz deadlock is a finding.
+        cfg.watchdogEnabled = cfg.faultsEnabled;
+    }
+
     cfg.validate = true;
     cfg.validation.failFast = false; // collect, then minimize
     cfg.threads = g_threads;
@@ -184,6 +240,8 @@ writeCase(const FuzzCase &fc, const std::string &path)
         << "seed=" << fc.seed << "\n"
         << "warmup=" << fc.warmup << "\n"
         << "cycles=" << fc.cycles << "\n";
+    if (!fc.faultSpec.empty())
+        out << "fault_spec=" << fc.faultSpec << "\n";
 }
 
 FuzzCase
@@ -218,6 +276,7 @@ readCase(const std::string &path)
         else if (key == "seed") fc.seed = std::stoull(val);
         else if (key == "warmup") fc.warmup = std::stoull(val);
         else if (key == "cycles") fc.cycles = std::stoull(val);
+        else if (key == "fault_spec") fc.faultSpec = val;
         else fatal("unknown reproducer key '%s'", key.c_str());
     }
     return fc;
@@ -226,7 +285,7 @@ readCase(const std::string &path)
 std::string
 describeCase(const FuzzCase &fc)
 {
-    return detail::format(
+    std::string desc = detail::format(
         "mesh=%dx%d regions=%d scheme=%s delay=%s hops=%d tech=%s "
         "place=%s buf=%d/%d rp=%d caps=%d/%d apps=%s seed=%llu "
         "warmup=%llu cycles=%llu",
@@ -238,6 +297,9 @@ describeCase(const FuzzCase &fc)
         static_cast<unsigned long long>(fc.seed),
         static_cast<unsigned long long>(fc.warmup),
         static_cast<unsigned long long>(fc.cycles));
+    if (!fc.faultSpec.empty())
+        desc += " faults=" + fc.faultSpec;
+    return desc;
 }
 
 /**
@@ -275,13 +337,42 @@ usage()
   --out PREFIX    reproducer file prefix (default fuzz-fail)
   --replay FILE   re-run one reproducer with fail-fast diagnostics
   --threads N     execution-engine threads per run (default 1)
+  --jobs N        worker processes (default 1; 0 = hardware threads);
+                  the case list and reproducer names are identical
+                  for any N
+  --faults        fault-campaign mode: every case also draws a bounded
+                  --fault-spec (see docs/RESILIENCE.md)
 )");
     std::exit(2);
 }
 
 const std::vector<std::string> kKnownOptions = {
-    "--runs", "--seed", "--out", "--replay", "--threads",
+    "--runs", "--seed", "--out", "--replay", "--threads", "--jobs",
+    "--faults", "--one", "--repro",
 };
+
+/**
+ * Run one case in this process: simulate, and on violations minimize
+ * and write a reproducer to @p repro_path. @return violation count of
+ * the full-length run.
+ */
+std::size_t
+fuzzOne(const FuzzCase &fc, const std::string &repro_path)
+{
+    const std::size_t n = runCase(fc, fc.cycles);
+    if (n == 0)
+        return 0;
+    std::fprintf(stderr, "  FAILED: %zu violation(s); minimizing\n", n);
+    const FuzzCase min = minimizeCase(fc);
+    writeCase(min, repro_path);
+    std::fprintf(stderr,
+                 "  reproducer written to %s (%llu cycles); replay "
+                 "with --replay %s\n",
+                 repro_path.c_str(),
+                 static_cast<unsigned long long>(min.cycles),
+                 repro_path.c_str());
+    return n;
+}
 
 } // namespace
 
@@ -293,6 +384,10 @@ main(int argc, char **argv)
     std::uint64_t master_seed = 1;
     std::string out_prefix = "fuzz-fail";
     std::string replay_path;
+    int jobs = 1;
+    bool with_faults = false;
+    std::string one_path;     //!< internal: child worker case file
+    std::string repro_prefix; //!< internal: child reproducer prefix
 
     auto need = [&](int i) {
         if (i + 1 >= argc)
@@ -314,10 +409,31 @@ main(int argc, char **argv)
             g_threads = std::atoi(need(i).c_str());
             fatal_if(g_threads < 1, "--threads must be >= 1");
             ++i;
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(need(i).c_str());
+            fatal_if(jobs < 0, "--jobs must be >= 0");
+            ++i;
+        } else if (arg == "--faults") {
+            with_faults = true;
+        } else if (arg == "--one") {
+            one_path = need(i); ++i;
+        } else if (arg == "--repro") {
+            repro_prefix = need(i); ++i;
         } else {
             cli::reportUnknownOption("stacknoc_fuzz", arg, kKnownOptions);
             usage();
         }
+    }
+
+    // Internal worker mode (spawned by --jobs): run one case file,
+    // minimize on failure, exit 1 so the parent can count it.
+    if (!one_path.empty()) {
+        const FuzzCase fc = readCase(one_path);
+        std::fprintf(stderr, "[worker] %s\n", describeCase(fc).c_str());
+        const std::string repro = (repro_prefix.empty()
+                                       ? one_path + ".repro"
+                                       : repro_prefix) + ".txt";
+        return fuzzOne(fc, repro) == 0 ? 0 : 1;
     }
 
     if (!replay_path.empty()) {
@@ -338,28 +454,85 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // The whole case list is drawn up front from the master seed, so
+    // it is identical whatever --jobs is; reproducer names are keyed
+    // by case index for the same reason.
     std::mt19937_64 rng(master_seed);
+    std::vector<FuzzCase> cases;
+    cases.reserve(static_cast<std::size_t>(runs));
+    for (int r = 0; r < runs; ++r)
+        cases.push_back(drawCase(rng, with_faults));
+
     int failures = 0;
-    for (int r = 0; r < runs; ++r) {
-        const FuzzCase fc = drawCase(rng);
-        std::fprintf(stderr, "[%3d/%d] %s\n", r + 1, runs,
-                     describeCase(fc).c_str());
-        const std::size_t n = runCase(fc, fc.cycles);
-        if (n == 0)
-            continue;
-        ++failures;
-        std::fprintf(stderr, "  FAILED: %zu violation(s); minimizing\n",
-                     n);
-        const FuzzCase min = minimizeCase(fc);
-        const std::string path =
-            detail::format("%s-%d.txt", out_prefix.c_str(), r);
-        writeCase(min, path);
-        std::fprintf(stderr,
-                     "  reproducer written to %s (%llu cycles); replay "
-                     "with --replay %s\n",
-                     path.c_str(),
-                     static_cast<unsigned long long>(min.cycles),
-                     path.c_str());
+    if (jobs == 1) {
+        // Historical in-process path (also the debuggable one).
+        for (int r = 0; r < runs; ++r) {
+            const FuzzCase &fc = cases[static_cast<std::size_t>(r)];
+            std::fprintf(stderr, "[%3d/%d] %s\n", r + 1, runs,
+                         describeCase(fc).c_str());
+            if (fuzzOne(fc, detail::format("%s-%d.txt",
+                                           out_prefix.c_str(), r)) > 0)
+                ++failures;
+        }
+    } else {
+        if (jobs <= 0) {
+            jobs = static_cast<int>(std::thread::hardware_concurrency());
+            if (jobs <= 0)
+                jobs = 4;
+        }
+        std::fprintf(stderr, "fuzz: %d case(s) across %d process(es)\n",
+                     runs, jobs);
+
+        const auto tmp = std::filesystem::temp_directory_path();
+        std::vector<std::string> case_paths(cases.size());
+        for (std::size_t r = 0; r < cases.size(); ++r) {
+            case_paths[r] =
+                (tmp / detail::format("stacknoc_fuzz_%d_%zu.txt",
+                                      static_cast<int>(::getpid()), r))
+                    .string();
+            writeCase(cases[r], case_paths[r]);
+        }
+
+        const std::string self = argv[0];
+        std::vector<int> rcs(cases.size(), 0);
+        std::mutex m;
+        std::size_t next = 0;
+        auto worker = [&] {
+            for (;;) {
+                std::size_t idx;
+                {
+                    std::lock_guard<std::mutex> lk(m);
+                    if (next >= cases.size())
+                        return;
+                    idx = next++;
+                }
+                std::string cmd = self + " --one " + case_paths[idx] +
+                    detail::format(" --repro %s-%zu --threads %d",
+                                   out_prefix.c_str(), idx, g_threads) +
+                    " > /dev/null 2>&1";
+                rcs[idx] = std::system(cmd.c_str());
+                std::lock_guard<std::mutex> lk(m);
+                std::fprintf(
+                    stderr, "  [%zu/%zu] %s %s\n", idx + 1, cases.size(),
+                    describeCase(cases[idx]).c_str(),
+                    rcs[idx] == 0
+                        ? "ok"
+                        : detail::format("FAILED (reproducer %s-%zu.txt)",
+                                         out_prefix.c_str(), idx)
+                              .c_str());
+            }
+        };
+        std::vector<std::thread> pool;
+        for (int t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+
+        for (std::size_t r = 0; r < cases.size(); ++r) {
+            if (rcs[r] != 0)
+                ++failures;
+            std::filesystem::remove(case_paths[r]);
+        }
     }
 
     std::printf("fuzz: %d/%d run(s) clean (master seed %llu)\n",

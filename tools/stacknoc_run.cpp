@@ -12,6 +12,8 @@
  * --apps takes a comma list replicated round-robin across the 64 cores.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "fault/fault_spec.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/trace.hh"
 #include "system/cmp_system.hh"
@@ -67,6 +70,13 @@ usage()
   --validate-period N  checker sweep period in cycles (default 1)
   --threads N       execution-engine threads (default 1; results are
                     bit-identical for any N, see docs/ENGINE.md)
+  --fault-spec SPEC fault-injection campaign, e.g.
+                    stt_write_ber=1e-3,tsb_flit_ber=1e-6 (implies the
+                    watchdog; see docs/RESILIENCE.md for the grammar)
+  --watchdog N      deadlock watchdog: fail fast when no packet ejects
+                    for N cycles with traffic in flight (0 disables)
+  --timeout-sec S   wall-clock guard: stop the run after S seconds,
+                    flush partial stats, exit 124
   --list-apps       print the Table 3 application names and exit
 
 All observability flags are strict observers: simulation results are
@@ -81,7 +91,8 @@ const std::vector<std::string> kKnownOptions = {
     "--real-tags", "--stats", "--json-stats", "--trace", "--trace-sample",
     "--interval", "--profile", "--chrome-trace", "--heatmap",
     "--heatmap-period", "--progress", "--validate", "--validate-period",
-    "--threads", "--list-apps",
+    "--threads", "--fault-spec", "--watchdog", "--timeout-sec",
+    "--list-apps",
 };
 
 system::Scenario
@@ -139,6 +150,8 @@ main(int argc, char **argv)
     Cycle heatmap_period = 1024;
     std::uint64_t trace_sample = 1;
     std::vector<std::string> app_list{"tpcc"};
+    long long watchdog_opt = -1; // -1 unset, 0 off, >0 stallCycles
+    double timeout_sec = 0.0;
 
     auto need = [&](int i) {
         if (i + 1 >= argc)
@@ -240,6 +253,24 @@ main(int argc, char **argv)
                                              10));
             fatal_if(cfg.threads < 1, "--threads must be >= 1");
             ++i;
+        } else if (arg == "--fault-spec") {
+            std::string err;
+            if (!fault::parseFaultSpec(need(i), cfg.faults, err)) {
+                std::fprintf(stderr, "stacknoc_run: bad --fault-spec: "
+                                     "%s\n%s",
+                             err.c_str(), fault::faultSpecGrammar());
+                return 2;
+            }
+            cfg.faultsEnabled = true;
+            ++i;
+        } else if (arg == "--watchdog") {
+            watchdog_opt = std::strtoll(need(i).c_str(), nullptr, 10);
+            fatal_if(watchdog_opt < 0, "--watchdog must be >= 0");
+            ++i;
+        } else if (arg == "--timeout-sec") {
+            timeout_sec = std::strtod(need(i).c_str(), nullptr);
+            fatal_if(timeout_sec <= 0.0, "--timeout-sec must be > 0");
+            ++i;
         } else if (arg == "--list-apps") {
             for (const auto &a : workload::appTable())
                 std::printf("%-16s %s\n", a.name.c_str(),
@@ -266,6 +297,18 @@ main(int argc, char **argv)
         cfg.heatmapPeriod = heatmap_period;
     if (cfg.progress)
         cfg.progressTotalCycles = warmup + cycles;
+
+    // An all-zero spec injects nothing; drop the injector entirely so
+    // the artifacts are bit-identical to a run without --fault-spec.
+    if (cfg.faultsEnabled && !cfg.faults.any())
+        cfg.faultsEnabled = false;
+
+    // A fault campaign always runs under the liveness guard unless the
+    // user explicitly disabled it with --watchdog 0.
+    cfg.watchdogEnabled = watchdog_opt > 0 ||
+                          (watchdog_opt == -1 && cfg.faultsEnabled);
+    if (watchdog_opt > 0)
+        cfg.watchdog.stallCycles = static_cast<Cycle>(watchdog_opt);
 
     std::unique_ptr<telemetry::CsvTraceSink> trace_sink;
     std::unique_ptr<telemetry::MemoryTraceSink> chrome_sink;
@@ -297,8 +340,48 @@ main(int argc, char **argv)
     }
 
     system::CmpSystem sys(cfg);
-    sys.warmup(warmup);
-    sys.run(cycles);
+
+    bool timed_out = false;
+    if (timeout_sec > 0.0) {
+        // Chunked execution so the wall-clock guard can interrupt a run
+        // between chunks (the engine itself has no preemption point).
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(timeout_sec));
+        const Cycle chunk = 4096;
+        auto run_chunked = [&](Cycle total) {
+            Cycle left = total;
+            while (left > 0 &&
+                   std::chrono::steady_clock::now() < deadline) {
+                const Cycle step = std::min<Cycle>(chunk, left);
+                sys.run(step);
+                left -= step;
+            }
+            return left;
+        };
+        sys.warmupBegin();
+        Cycle left = run_chunked(warmup);
+        if (left == 0) {
+            sys.warmupEnd();
+            left = run_chunked(cycles);
+        }
+        timed_out = left > 0;
+        if (timed_out) {
+            std::fprintf(stderr,
+                         "TIMEOUT: wall-clock budget of %.1f s exhausted "
+                         "at cycle %llu (%llu cycle(s) short); flushing "
+                         "partial stats\n",
+                         timeout_sec,
+                         static_cast<unsigned long long>(
+                             sys.simulator().now()),
+                         static_cast<unsigned long long>(left));
+        }
+    } else {
+        sys.warmup(warmup);
+        sys.run(cycles);
+    }
 
     if (auto *progress = sys.progress())
         progress->finish(sys.simulator().now());
@@ -361,7 +444,8 @@ main(int argc, char **argv)
         info.seed = cfg.seed;
         info.warmupCycles = warmup;
         info.measuredCycles = cycles;
+        info.timedOut = timed_out;
         system::writeJsonStats(out, sys, info);
     }
-    return 0;
+    return timed_out ? 124 : 0;
 }
