@@ -52,12 +52,18 @@ runOne(const system::Scenario &scenario,
     cfg.scenario = scenario;
     cfg.apps = apps;
     cfg.seed = e.seed;
+    // Energy numbers (Figure 8) come from the streaming EnergyProbe
+    // accumulation path; it reconciles with the end-of-run
+    // computeEnergy to below 1e-6 relative (test_power_thermal pins
+    // the two paths together).
+    cfg.power = true;
     if (mutate)
         mutate(cfg);
 
     system::CmpSystem sys(cfg);
     sys.warmup(e.warmup);
     sys.run(e.measure);
+    sys.finalizeTelemetry();
 
     RunResult r;
     r.metrics = sys.metrics();
@@ -67,7 +73,9 @@ runOne(const system::Scenario &scenario,
     r.netLatency = r.metrics.avgNetworkLatency;
     r.queueLatency = r.metrics.avgBankQueueLatency;
     r.uncoreLatency = r.metrics.avgUncoreLatency;
-    r.energyUJ = r.metrics.energy.totalUJ();
+    r.energyUJ = sys.power() != nullptr
+                     ? sys.power()->totalUJ()
+                     : r.metrics.energy.totalUJ();
 
     if (const auto *gap =
             sys.cacheStats().findDistribution("gap_after_write")) {

@@ -3,6 +3,11 @@
  * Figure 8: uncore (cache + interconnect) energy of the design
  * scenarios, normalised to SRAM-64TSB. The paper's key result is the
  * ~54% average reduction from STT-RAM's low leakage.
+ *
+ * Energy is taken from the streaming EnergyProbe accumulation
+ * (telemetry/power.hh) rather than the end-of-run scalar; the two
+ * paths reconcile to below 1e-6 relative error, a bound enforced by
+ * tests/test_power_thermal.cc so they can never drift apart.
  */
 
 #include <cstdio>

@@ -32,6 +32,8 @@ FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t seed,
       busyNacksSent_(stats_.counter("busy_nacks_sent")),
       linkPacketsCorrupted_(stats_.counter("link_packets_corrupted")),
       linkRetransmits_(stats_.counter("link_retransmits")),
+      linkFlitsRetransmitted_(
+          stats_.counter("link_flits_retransmitted")),
       linkPacketsRecovered_(stats_.counter("link_packets_recovered")),
       linkPacketsDropped_(stats_.counter("link_packets_dropped")),
       routerStuckCycles_(stats_.counter("router_stuck_cycles")),

@@ -112,7 +112,18 @@ class FaultInjector
     }
 
     void notePacketCorrupted() { linkPacketsCorrupted_.inc(); }
-    void noteRetransmit() { linkRetransmits_.inc(); }
+
+    /** One packet retransmission of @p num_flits flits was requested.
+     *  Tracks both the episode count and the flit volume; the latter
+     *  feeds the retransmit-flit energy term of computeEnergy(). */
+    void
+    noteRetransmit(int num_flits)
+    {
+        linkRetransmits_.inc();
+        linkFlitsRetransmitted_.inc(
+            static_cast<std::uint64_t>(num_flits));
+    }
+
     void notePacketDropped() { linkPacketsDropped_.inc(); }
 
     void
@@ -180,6 +191,7 @@ class FaultInjector
     stats::Counter &busyNacksSent_;
     stats::Counter &linkPacketsCorrupted_;
     stats::Counter &linkRetransmits_;
+    stats::Counter &linkFlitsRetransmitted_;
     stats::Counter &linkPacketsRecovered_;
     stats::Counter &linkPacketsDropped_;
     stats::Counter &routerStuckCycles_;

@@ -119,6 +119,7 @@ BankController::writeNeedsRetry(int &failures)
     }
     ++failures;
     faults_->noteWriteRetryRound();
+    ++retryRoundsTotal_;
     retryActive_ = true;
     return true;
 }

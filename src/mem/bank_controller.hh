@@ -99,6 +99,12 @@ class BankController
      *  lets the owner emit one busy-NACK per failure episode). */
     std::uint64_t retryEpisodes() const { return retryEpisodes_; }
 
+    /** Write rounds re-run after a failed verify since construction
+     *  (the rounds counted into stt_write_retry_rounds). Plain counter
+     *  for cycle-end probes: the EnergyProbe charges the verify-sense
+     *  overhead of each retry round from per-bank deltas of this. */
+    std::uint64_t retryRoundsTotal() const { return retryRoundsTotal_; }
+
     /** Predicted completion of the write occupying the bank (now when
      *  no write is in service). */
     Cycle activeWriteDoneAt(Cycle now) const;
@@ -179,6 +185,7 @@ class BankController
     int drainFailures_ = 0;     //!< verify failures of the drain write
     bool retryActive_ = false;  //!< a write is in a retry round now
     std::uint64_t retryEpisodes_ = 0;
+    std::uint64_t retryRoundsTotal_ = 0;
 
     stats::Average &queueLatency_;
     stats::Counter &served_;

@@ -20,6 +20,7 @@ BankModel::startRead(Cycle now)
     busyUntil_ = now + params_.readCycles;
     currentIsWrite_ = false;
     reads_.inc();
+    ++readsTotal_;
     busyCycles_.inc(params_.readCycles);
     return busyUntil_;
 }
@@ -31,6 +32,7 @@ BankModel::startWrite(Cycle now)
     busyUntil_ = now + params_.writeCycles;
     currentIsWrite_ = true;
     writes_.inc();
+    ++writesTotal_;
     busyCycles_.inc(params_.writeCycles);
     return busyUntil_;
 }

@@ -51,6 +51,17 @@ class BankModel
     CacheTech tech() const { return tech_; }
     const BankTechParams &params() const { return params_; }
 
+    /**
+     * Accesses served by this bank since construction. Plain
+     * (non-Group) counters so spatial exporters can read per-bank
+     * values: written only by the owning component's tick, read from
+     * cycle-end probes after the phase barrier. Retried write rounds
+     * re-enter startWrite() and therefore re-count, matching the
+     * shared bank_writes statistic.
+     */
+    std::uint64_t readsTotal() const { return readsTotal_; }
+    std::uint64_t writesTotal() const { return writesTotal_; }
+
   private:
     CacheTech tech_;
     const BankTechParams &params_;
@@ -61,6 +72,9 @@ class BankModel
     stats::Counter &writes_;
     stats::Counter &busyCycles_;
     stats::Counter &aborts_;
+
+    std::uint64_t readsTotal_ = 0;
+    std::uint64_t writesTotal_ = 0;
 };
 
 } // namespace stacknoc::mem

@@ -113,7 +113,11 @@ NetworkInterface::drainEjectBuffers(Cycle now)
                             // fall through: consume flits, return
                             // credits, never dispatch
                         } else {
-                            faults_->noteRetransmit();
+                            faults_->noteRetransmit(
+                                front.pkt->numFlits);
+                            flitsRetransmittedTotal_ +=
+                                static_cast<std::uint64_t>(
+                                    front.pkt->numFlits);
                             vc.retxHoldUntil =
                                 now + faults_->spec().flitRetryPenalty;
                             break;

@@ -191,6 +191,17 @@ class NetworkInterface : public Ticking, public PacketSender
         return injVcs_.at(static_cast<std::size_t>(vc)).credits;
     }
 
+    /**
+     * Flits re-sent over the link because a reassembled packet failed
+     * its CRC check at this NI, since construction. Plain counter for
+     * cycle-end probes (the EnergyProbe's retransmit-flit energy
+     * term); written only by the owning tick.
+     */
+    std::uint64_t flitsRetransmittedTotal() const
+    {
+        return flitsRetransmittedTotal_;
+    }
+
   private:
     struct InjVc
     {
@@ -245,6 +256,8 @@ class NetworkInterface : public Ticking, public PacketSender
     stats::Average &niQueueLatency_;
     stats::Histogram &netLatencyHist_;
     stats::Histogram &totalLatencyHist_;
+
+    std::uint64_t flitsRetransmittedTotal_ = 0;
 };
 
 } // namespace stacknoc::noc

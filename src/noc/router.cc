@@ -90,6 +90,7 @@ Router::receiveFlits(Cycle now)
             const bool was_empty = vc.buffer.empty();
             vc.buffer.push_back(std::move(flit));
             flitsIn_.inc();
+            ++flitsBufferedTotal_;
             if (vc.buffer.back().head() && was_empty &&
                 vc.status == VcStatus::Idle) {
                 changeStatus(vc, VcStatus::Routing);

@@ -94,6 +94,14 @@ class Router : public Ticking
      */
     std::uint64_t flitsSwitchedTotal() const { return flitsSwitchedTotal_; }
 
+    /**
+     * Flits this router has accepted into its input buffers since
+     * construction. Same contract as flitsSwitchedTotal(): written
+     * only by the owning tick, read from cycle-end probes (the
+     * per-router buffer-write energy term of the EnergyProbe).
+     */
+    std::uint64_t flitsBufferedTotal() const { return flitsBufferedTotal_; }
+
     const NocParams &params() const { return params_; }
 
   private:
@@ -154,6 +162,7 @@ class Router : public Ticking
     stats::Counter &flitsOut_;
     stats::Counter &packetsForwarded_;
     std::uint64_t flitsSwitchedTotal_ = 0;
+    std::uint64_t flitsBufferedTotal_ = 0;
 };
 
 } // namespace stacknoc::noc

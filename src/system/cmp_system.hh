@@ -20,7 +20,9 @@
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "telemetry/interval.hh"
+#include "telemetry/power.hh"
 #include "telemetry/probe.hh"
+#include "telemetry/thermal.hh"
 #include "telemetry/trace.hh"
 #include "noc/network.hh"
 #include "sttnoc/bank_aware_policy.hh"
@@ -92,6 +94,21 @@ struct SystemConfig
 
     /** Cap on retained heatmap frames. */
     std::size_t heatmapMaxFrames = std::size_t{1} << 14;
+
+    /** Streaming per-interval energy telemetry (observer-only). */
+    bool power = false;
+
+    /** Thermal RC grid fed by the power frames (implies power). */
+    bool thermal = false;
+
+    /** Power/thermal sampling period in cycles. */
+    Cycle powerPeriod = 1024;
+
+    /** Cap on retained power/thermal frames (totals keep streaming). */
+    std::size_t powerMaxFrames = std::size_t{1} << 14;
+
+    /** Thermal solver constants (see telemetry/thermal.hh). */
+    telemetry::ThermalParams thermalParams{};
 
     /** Emit live progress lines on stderr. */
     bool progress = false;
@@ -212,6 +229,23 @@ class CmpSystem
     /** The heatmap collector, or nullptr when heatmapPeriod == 0. */
     const HeatmapCollector *heatmap() const { return heatmap_.get(); }
 
+    /** The streaming energy probe, or nullptr when power is off. */
+    const telemetry::EnergyProbe *power() const { return power_.get(); }
+
+    /** The thermal probe, or nullptr when thermal is off. */
+    const telemetry::ThermalProbe *thermal() const
+    {
+        return thermal_.get();
+    }
+
+    /**
+     * Close the open partial interval of the streaming telemetry so
+     * its totals cover exactly the measured window. Call once after
+     * the final run() chunk, before exporting or reading power/thermal
+     * results; idempotent, no-op when the probes are off.
+     */
+    void finalizeTelemetry();
+
     /** The progress reporter, or nullptr when progress is off. */
     ProgressReporter *progress() { return progress_.get(); }
 
@@ -276,6 +310,8 @@ class CmpSystem
     std::unique_ptr<validate::ValidationHub> validation_;
     std::unique_ptr<telemetry::CycleProfiler> profiler_;
     std::unique_ptr<HeatmapCollector> heatmap_;
+    std::unique_ptr<telemetry::EnergyProbe> power_;
+    std::unique_ptr<telemetry::ThermalProbe> thermal_;
     std::unique_ptr<ProgressReporter> progress_;
     /** Tracer owned for diagnostic dumps when none was installed. */
     std::unique_ptr<telemetry::PacketTracer> ownedTracer_;

@@ -6,7 +6,8 @@ EnergyBreakdown
 computeEnergy(const stats::Group &cache_stats,
               const stats::Group &net_stats, mem::CacheTech tech,
               int num_banks, int num_routers, Cycle cycles,
-              const NocEnergyParams &noc_params)
+              const NocEnergyParams &noc_params,
+              const stats::Group *fault_stats)
 {
     const mem::BankTechParams &bank = mem::bankTech(tech);
     const double seconds =
@@ -36,6 +37,15 @@ computeEnergy(const stats::Group &cache_stats,
                      1e-3;
     e.netLeakageUJ = noc_params.routerLeakageMW * 1e-3 * num_routers *
                      seconds * 1e6;
+
+    if (fault_stats != nullptr) {
+        e.retryWriteUJ = counter(*fault_stats,
+                                 "stt_write_retry_rounds") *
+                         noc_params.retryWriteNJ * 1e-3;
+        e.retransmitFlitUJ = counter(*fault_stats,
+                                     "link_flits_retransmitted") *
+                             noc_params.retransmitFlitNJ * 1e-3;
+    }
     return e;
 }
 

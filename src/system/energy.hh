@@ -23,6 +23,17 @@ struct NocEnergyParams
     double arbiterNJ = 0.001;     //!< per allocation
     double linkNJ = 0.017;        //!< per flit-hop on a 128-bit link
     double routerLeakageMW = 5.0; //!< per router
+
+    // Fault-path event energies. A failed STT-RAM write verify re-runs
+    // the write itself through BankModel::startWrite (already counted
+    // in bank_writes); retryWriteNJ is the *additional* verify-sense
+    // read and control overhead per retry round, sized like an STT-RAM
+    // array read (Table 2). retransmitFlitNJ charges the NACK plus the
+    // re-serialisation of one flit over the last-hop link; the
+    // retransmission is otherwise modelled as a pure latency penalty,
+    // so without this term fault recovery would look energy-free.
+    double retryWriteNJ = 0.4;      //!< per failed-verify write round
+    double retransmitFlitNJ = 0.055; //!< per retransmitted flit
 };
 
 /** Uncore energy split, in microjoules. */
@@ -32,12 +43,14 @@ struct EnergyBreakdown
     double cacheLeakageUJ = 0.0;
     double netDynamicUJ = 0.0;
     double netLeakageUJ = 0.0;
+    double retryWriteUJ = 0.0;     //!< STT-RAM verify-retry overhead
+    double retransmitFlitUJ = 0.0; //!< CRC-failure retransmissions
 
     double
     totalUJ() const
     {
         return cacheDynamicUJ + cacheLeakageUJ + netDynamicUJ +
-               netLeakageUJ;
+               netLeakageUJ + retryWriteUJ + retransmitFlitUJ;
     }
 };
 
@@ -51,12 +64,16 @@ struct EnergyBreakdown
  * @param num_routers routers in the system.
  * @param cycles measured cycles (at 3 GHz).
  * @param noc_params event energy constants.
+ * @param fault_stats fault-injector group holding
+ *        stt_write_retry_rounds / link_flits_retransmitted, or null
+ *        when no faults are configured (the fault terms stay zero).
  */
 EnergyBreakdown
 computeEnergy(const stats::Group &cache_stats,
               const stats::Group &net_stats, mem::CacheTech tech,
               int num_banks, int num_routers, Cycle cycles,
-              const NocEnergyParams &noc_params = NocEnergyParams{});
+              const NocEnergyParams &noc_params = NocEnergyParams{},
+              const stats::Group *fault_stats = nullptr);
 
 } // namespace stacknoc::system
 

@@ -1,5 +1,7 @@
 #include "system/stats_export.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <thread>
 
@@ -30,8 +32,187 @@ writeMetrics(telemetry::JsonWriter &w, const Metrics &m)
     w.kv("cache_leakage", m.energy.cacheLeakageUJ);
     w.kv("net_dynamic", m.energy.netDynamicUJ);
     w.kv("net_leakage", m.energy.netLeakageUJ);
+    w.kv("retry_write", m.energy.retryWriteUJ);
+    w.kv("retransmit_flit", m.energy.retransmitFlitUJ);
     w.kv("total", m.energy.totalUJ());
     w.endObject();
+    w.endObject();
+}
+
+void
+writeGrids(telemetry::JsonWriter &w,
+           const std::vector<std::vector<double>> &grids)
+{
+    w.beginArray();
+    for (const auto &grid : grids) {
+        w.beginArray();
+        for (const double v : grid)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+}
+
+void
+writePower(telemetry::JsonWriter &w, const CmpSystem &sys)
+{
+    const telemetry::EnergyProbe &p = *sys.power();
+    const telemetry::PowerParams &pp = p.params();
+
+    w.beginObject();
+    w.kv("period", static_cast<std::uint64_t>(p.period()));
+    w.kv("width", p.width());
+    w.kv("height", p.height());
+    w.kv("layers", p.layers());
+    w.kv("frames_dropped", p.framesDropped());
+
+    w.key("params");
+    w.beginObject();
+    w.kv("bank_read_nj", pp.bankReadNJ);
+    w.kv("bank_write_nj", pp.bankWriteNJ);
+    w.kv("bank_leakage_mw", pp.bankLeakageMW);
+    w.kv("retry_write_nj", pp.retryWriteNJ);
+    w.kv("buffer_write_nj", pp.bufferWriteNJ);
+    w.kv("buffer_read_nj", pp.bufferReadNJ);
+    w.kv("crossbar_nj", pp.crossbarNJ);
+    w.kv("arbiter_nj", pp.arbiterNJ);
+    w.kv("link_nj", pp.linkNJ);
+    w.kv("router_leakage_mw", pp.routerLeakageMW);
+    w.kv("retransmit_flit_nj", pp.retransmitFlitNJ);
+    w.endObject();
+
+    w.key("totals_uj");
+    w.beginObject();
+    w.kv("cache_dynamic", p.cacheDynamicUJ());
+    w.kv("cache_leakage", p.cacheLeakageUJ());
+    w.kv("net_dynamic", p.netDynamicUJ());
+    w.kv("net_leakage", p.netLeakageUJ());
+    w.kv("retry_write", p.retryWriteUJ());
+    w.kv("retransmit_flit", p.retransmitFlitUJ());
+    w.kv("total", p.totalUJ());
+    w.endObject();
+
+    // The streaming sum against the end-of-run computeEnergy scalar;
+    // the observability validator asserts rel_error stays below 1e-6.
+    const double computed = sys.metrics().energy.totalUJ();
+    const double streamed = p.totalUJ();
+    const double base = std::max(std::abs(computed), 1e-12);
+    w.key("reconciliation");
+    w.beginObject();
+    w.kv("compute_energy_total_uj", computed);
+    w.kv("streaming_total_uj", streamed);
+    w.kv("rel_error", std::abs(streamed - computed) / base);
+    w.endObject();
+
+    w.key("series");
+    w.beginArray();
+    for (const telemetry::PowerFrame &f : p.frames()) {
+        w.beginObject();
+        w.kv("start", static_cast<std::uint64_t>(f.start));
+        w.kv("end", static_cast<std::uint64_t>(f.end));
+        w.kv("cache_dynamic_uj", f.cacheDynamicUJ);
+        w.kv("cache_leakage_uj", f.cacheLeakageUJ);
+        w.kv("net_dynamic_uj", f.netDynamicUJ);
+        w.kv("net_leakage_uj", f.netLeakageUJ);
+        w.kv("retry_write_uj", f.retryWriteUJ);
+        w.kv("retransmit_flit_uj", f.retransmitFlitUJ);
+        w.kv("total_uj", f.totalUJ());
+        w.kv("total_w", f.totalW());
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("frames");
+    w.beginArray();
+    for (const telemetry::PowerFrame &f : p.frames()) {
+        w.beginObject();
+        w.kv("start", static_cast<std::uint64_t>(f.start));
+        w.kv("end", static_cast<std::uint64_t>(f.end));
+        w.key("grids");
+        writeGrids(w, f.powerW);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeThermal(telemetry::JsonWriter &w, const CmpSystem &sys)
+{
+    const telemetry::ThermalProbe &t = *sys.thermal();
+    const telemetry::ThermalParams &tp = t.grid().params();
+
+    w.beginObject();
+    w.kv("period",
+         static_cast<std::uint64_t>(sys.power()->period()));
+    w.kv("width", t.grid().width());
+    w.kv("height", t.grid().height());
+    w.kv("layers", t.grid().layers());
+    w.kv("frames_dropped", t.framesDropped());
+    w.kv("ambient_c", tp.ambientC);
+
+    w.key("params");
+    w.beginObject();
+    w.kv("cell_capacity_j_per_k", tp.cellCapacityJPerK);
+    w.kv("lateral_w_per_k", tp.lateralWPerK);
+    w.kv("vertical_w_per_k", tp.verticalWPerK);
+    w.kv("sink_w_per_k", tp.sinkWPerK);
+    w.endObject();
+
+    w.kv("peak_c", t.peakC());
+    w.kv("substeps", t.grid().substepsTaken());
+
+    w.key("hot_banks");
+    w.beginArray();
+    for (const auto &hb : t.hotBanks(8)) {
+        w.beginObject();
+        w.kv("bank", static_cast<std::int64_t>(hb.bank));
+        w.kv("layer", hb.layer);
+        w.kv("x", hb.x);
+        w.kv("y", hb.y);
+        w.kv("temp_c", hb.tempC);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("series");
+    w.beginArray();
+    for (const telemetry::ThermalFrame &f : t.frames()) {
+        w.beginObject();
+        w.kv("start", static_cast<std::uint64_t>(f.start));
+        w.kv("end", static_cast<std::uint64_t>(f.end));
+        w.key("max_c");
+        w.beginArray();
+        for (const double v : f.layerMaxC)
+            w.value(v);
+        w.endArray();
+        w.key("mean_c");
+        w.beginArray();
+        for (const double v : f.layerMeanC)
+            w.value(v);
+        w.endArray();
+        w.key("hottest");
+        w.beginObject();
+        w.kv("layer", f.hottest.layer);
+        w.kv("x", f.hottest.x);
+        w.kv("y", f.hottest.y);
+        w.kv("temp_c", f.hottest.tempC);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("frames");
+    w.beginArray();
+    for (const telemetry::ThermalFrame &f : t.frames()) {
+        w.beginObject();
+        w.kv("start", static_cast<std::uint64_t>(f.start));
+        w.kv("end", static_cast<std::uint64_t>(f.end));
+        w.key("grids");
+        writeGrids(w, f.tempC);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 }
 
@@ -152,6 +333,21 @@ writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
     w.key("intervals");
     if (const auto *sampler = sys.intervals())
         telemetry::writeIntervalJson(w, *sampler);
+    else
+        w.null();
+
+    // Streaming power/thermal telemetry. Both sections are fully
+    // deterministic (simulated-time quantities only), so stats_diff
+    // compares them by default when both runs enabled the flags.
+    w.key("power");
+    if (sys.power() != nullptr)
+        writePower(w, sys);
+    else
+        w.null();
+
+    w.key("thermal");
+    if (sys.thermal() != nullptr)
+        writeThermal(w, sys);
     else
         w.null();
 

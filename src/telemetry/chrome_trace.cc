@@ -23,6 +23,8 @@ struct Event
     char ph = 'i';
     double dur = 0.0;              //!< for 'X' events
     std::uint64_t id = 0;          //!< for async 'b'/'e' events
+    double counterValue = 0.0;     //!< for 'C' events
+    const char *counterKey = "";   //!< args key of a 'C' event
     const char *name = "";
     const char *cat = "";
     const TraceRecord *rec = nullptr; //!< args source for instants
@@ -45,6 +47,12 @@ writeEvent(JsonWriter &w, const Event &e)
         w.kv("id", e.id);
     if (e.ph == 'i')
         w.kv("s", "t"); // thread-scoped instant
+    if (e.ph == 'C') {
+        w.key("args");
+        w.beginObject();
+        w.kv(e.counterKey, e.counterValue);
+        w.endObject();
+    }
     if (e.rec != nullptr) {
         w.key("args");
         w.beginObject();
@@ -77,7 +85,8 @@ writeMetadata(JsonWriter &w, int pid, std::int64_t tid,
 void
 writeChromeTrace(std::ostream &os,
                  const std::vector<TraceRecord> &records,
-                 const CycleProfiler *profiler)
+                 const CycleProfiler *profiler,
+                 const EnergyProbe *power, const ThermalProbe *thermal)
 {
     std::vector<Event> events;
     events.reserve(records.size() * 2);
@@ -138,6 +147,37 @@ writeChromeTrace(std::ostream &os,
             engine_tracks = std::max(engine_tracks,
                                      static_cast<std::size_t>(tid) + 1);
         });
+    }
+
+    // Power/thermal counter tracks on the simulated-time process: one
+    // sample per retained frame, stamped at the frame's end cycle.
+    if (power != nullptr) {
+        for (const PowerFrame &f : power->frames()) {
+            Event e;
+            e.ts = static_cast<double>(f.end);
+            e.pid = kSimPid;
+            e.tid = 0;
+            e.ph = 'C';
+            e.name = "uncore_power";
+            e.cat = "power";
+            e.counterKey = "watts";
+            e.counterValue = f.totalW();
+            events.push_back(e);
+        }
+    }
+    if (thermal != nullptr) {
+        for (const ThermalFrame &f : thermal->frames()) {
+            Event e;
+            e.ts = static_cast<double>(f.end);
+            e.pid = kSimPid;
+            e.tid = 0;
+            e.ph = 'C';
+            e.name = "hottest_cell";
+            e.cat = "thermal";
+            e.counterKey = "celsius";
+            e.counterValue = f.hottest.tempC;
+            events.push_back(e);
+        }
     }
 
     std::stable_sort(events.begin(), events.end(),

@@ -28,7 +28,9 @@
 #include <iosfwd>
 #include <vector>
 
+#include "telemetry/power.hh"
 #include "telemetry/profile.hh"
+#include "telemetry/thermal.hh"
 #include "telemetry/trace.hh"
 
 namespace stacknoc::telemetry {
@@ -36,11 +38,17 @@ namespace stacknoc::telemetry {
 /**
  * Write one trace-event JSON document combining @p records (packet
  * lifecycles, in recording order) and, when @p profiler is non-null,
- * its retained engine-phase spans.
+ * its retained engine-phase spans. When @p power / @p thermal are
+ * non-null, their retained frames additionally become counter tracks
+ * on the simulated-time process — total uncore power (watts) and the
+ * hottest cell's temperature (Celsius) at each frame end — so power
+ * and thermal transients render alongside packet activity.
  */
 void writeChromeTrace(std::ostream &os,
                       const std::vector<TraceRecord> &records,
-                      const CycleProfiler *profiler);
+                      const CycleProfiler *profiler,
+                      const EnergyProbe *power = nullptr,
+                      const ThermalProbe *thermal = nullptr);
 
 } // namespace stacknoc::telemetry
 

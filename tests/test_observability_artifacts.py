@@ -48,6 +48,7 @@ def artifacts():
     _cache["heatmap"] = os.path.join(tmp, "hm")
     _cache["on_proc"] = run_binary(
         *RUN_ARGS, "--threads", "2", "--profile",
+        "--power", "--thermal", "--thermal-period", "256",
         "--chrome-trace", _cache["trace"],
         "--heatmap", _cache["heatmap"], "--heatmap-period", "128",
         "--progress", "--json-stats", _cache["on"])
@@ -61,7 +62,8 @@ def test_validator_accepts_artifacts():
     proc = subprocess.run(
         [sys.executable, os.path.join(TOOLS, "validate_observability.py"),
          "--chrome-trace", a["trace"], "--json-stats", a["on"],
-         "--heatmap-prefix", a["heatmap"], "--tolerance", "0.15"],
+         "--heatmap-prefix", a["heatmap"], "--power-prefix", a["heatmap"],
+         "--expect-power", "--tolerance", "0.15"],
         capture_output=True, text=True)
     assert proc.returncode == 0, proc.stdout + proc.stderr
 
@@ -162,6 +164,47 @@ def test_json_stats_profile_section():
     with open(a["off"]) as f:
         off = json.load(f)
     assert off["profile"] is None
+
+
+def test_power_section_reconciles_with_compute_energy():
+    a = artifacts()
+    with open(a["on"]) as f:
+        on = json.load(f)
+    power = on["power"]
+    assert power["reconciliation"]["rel_error"] <= 1e-6
+    assert power["totals_uj"]["total"] > 0
+    # The measured window is tiled by the intervals exactly.
+    series = power["series"]
+    assert series[0]["start"] == 200
+    assert series[-1]["end"] == TOTAL_CYCLES - 1
+    thermal = on["thermal"]
+    assert thermal["peak_c"] >= thermal["ambient_c"]
+    assert len(thermal["hot_banks"]) > 0
+    with open(a["off"]) as f:
+        off = json.load(f)
+    assert off["power"] is None and off["thermal"] is None
+
+
+def test_chrome_trace_has_power_counter_tracks():
+    a = artifacts()
+    with open(a["trace"]) as f:
+        doc = json.load(f)
+    names = {ev.get("name") for ev in doc["traceEvents"]
+             if ev.get("ph") == "C"}
+    assert "uncore_power" in names
+    assert "hottest_cell" in names
+
+
+def test_power_and_temperature_grids_render():
+    a = artifacts()
+    for metric, unit_hint in (("power", "power"),
+                              ("temperature", "temperature")):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(TOOLS, "heatmap_render.py"),
+             f"{a['heatmap']}.{metric}.json", "--frame", "-1"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+        assert unit_hint in proc.stdout
 
 
 def test_heatmap_render_runs():

@@ -156,6 +156,40 @@ def test_perf_exclusion_is_exact_prefix():
     assert "perf_counters.x" in out
 
 
+def test_one_sided_optional_section_is_skipped():
+    # --power on in one run and off in the other: a flag difference,
+    # not a determinism failure, so the section must not be diffed.
+    a = json.loads(json.dumps(BASE))
+    a["power"] = {"totals_uj": {"total": 10.5}}
+    b = json.loads(json.dumps(BASE))
+    b["power"] = None
+    code, out = run_diff(a, b)
+    assert code == 0
+    assert "identical" in out
+
+
+def test_optional_section_present_in_both_is_compared():
+    a = json.loads(json.dumps(BASE))
+    a["power"] = {"totals_uj": {"total": 10.5}}
+    b = json.loads(json.dumps(BASE))
+    b["power"] = {"totals_uj": {"total": 11.5}}
+    code, out = run_diff(a, b)
+    assert code == 1
+    assert "power.totals_uj.total" in out
+
+
+def test_one_sided_thermal_section_is_skipped():
+    a = json.loads(json.dumps(BASE))
+    a["thermal"] = {"peak_c": 61.0}
+    a["power"] = {"totals_uj": {"total": 10.5}}
+    b = json.loads(json.dumps(BASE))
+    b["thermal"] = None
+    b["power"] = None
+    code, out = run_diff(a, b)
+    assert code == 0
+    assert "identical" in out
+
+
 def test_missing_keys_ignore_threshold():
     removed = json.loads(json.dumps(BASE))
     del removed["groups"]["net"]["packets_ejected"]

@@ -5,10 +5,18 @@
     heatmap_render.py run.tsb.json --layer 1         # cache layer only
     heatmap_render.py run.holds.json --frame -1      # last frame
     heatmap_render.py run.flits.json --sum           # totals across frames
+    heatmap_render.py run.power.json --frame -1      # watts per cell
+    heatmap_render.py run.temperature.json --frame -1  # Celsius
 
 Cells are shaded with a 10-step ramp scaled to the maximum value of
 the selected data, with the raw row maxima printed alongside, so
 congested rows and the TSB columns stand out in a terminal.
+
+Float-valued grids (metrics "power" and "temperature") print row
+maxima in compact scientific-ish form; temperature grids additionally
+anchor the ramp at the grid minimum rather than zero, since every cell
+sits near ambient and a zero-anchored ramp would render the whole
+stack as uniform saturation.
 """
 
 import argparse
@@ -17,20 +25,32 @@ import sys
 
 RAMP = " .:-=+*#%@"
 
+# Metrics whose cells are doubles, not event counts.
+FLOAT_METRICS = ("power", "temperature")
 
-def shade(value, peak):
-    if peak <= 0:
+# Metrics whose interesting range starts at the grid minimum.
+BASELINE_METRICS = ("temperature",)
+
+
+def shade(value, floor, peak):
+    span = peak - floor
+    if span <= 0:
         return RAMP[0]
-    idx = int(value / peak * (len(RAMP) - 1) + 0.5)
-    return RAMP[min(idx, len(RAMP) - 1)]
+    idx = int((value - floor) / span * (len(RAMP) - 1) + 0.5)
+    return RAMP[max(0, min(idx, len(RAMP) - 1))]
 
 
-def render_grid(grid, width, height, out):
+def fmt(value):
+    return f"{value:.4g}" if isinstance(value, float) else str(value)
+
+
+def render_grid(grid, width, height, out, baseline=False):
     peak = max(grid) if grid else 0
+    floor = min(grid) if (grid and baseline) else 0
     for y in range(height):
         row = grid[y * width:(y + 1) * width]
-        cells = " ".join(shade(v, peak) for v in row)
-        out.write(f"    {cells}   | max {max(row)}\n")
+        cells = " ".join(shade(v, floor, peak) for v in row)
+        out.write(f"    {cells}   | max {fmt(max(row))}\n")
 
 
 def main():
@@ -69,6 +89,9 @@ def main():
             [sum(vals) for vals in zip(*(f["grids"][la] for f in frames))]
             for la in range(layers)
         ]
+        if doc["metric"] in BASELINE_METRICS:
+            # A sum of temperatures is meaningless; average instead.
+            summed = [[v / len(frames) for v in grid] for grid in summed]
         frames = [{"start": frames[0]["start"], "end": frames[-1]["end"],
                    "grids": summed}]
     elif args.frame is not None:
@@ -81,12 +104,14 @@ def main():
     out = sys.stdout
     out.write(f"{doc['metric']}: {width}x{height}x{layers}, "
               f"period {doc['period']}, {len(frames)} frame(s)\n")
+    baseline = doc["metric"] in BASELINE_METRICS
     for frame in frames:
         out.write(f"  cycles {frame['start']}..{frame['end']}\n")
         for layer in wanted_layers:
             out.write(f"   layer {layer} "
                       f"({layer_names.get(layer, '?')}):\n")
-            render_grid(frame["grids"][layer], width, height, out)
+            render_grid(frame["grids"][layer], width, height, out,
+                        baseline=baseline)
     return 0
 
 

@@ -65,6 +65,16 @@ usage()
   --heatmap PREFIX  write per-interval spatial grids (flits, occupancy,
                     TSB depth, parent holds) to PREFIX.<metric>.json
   --heatmap-period N  heatmap sampling period in cycles (default 1024)
+  --power           streaming energy telemetry: per-interval per-cell
+                    power grids + "power" JSON section (reconciles with
+                    the end-of-run energy); with --heatmap PREFIX also
+                    writes PREFIX.power.json
+  --thermal         RC thermal grid over the stack fed by the power
+                    frames (implies --power): "thermal" JSON section,
+                    hot-bank ranking; with --heatmap PREFIX also writes
+                    PREFIX.temperature.json
+  --thermal-period N  power/thermal sampling period in cycles
+                    (default 1024)
   --progress        live cycle/rate/IPC/ETA line on stderr
   --validate        run the runtime invariant checkers (abort on failure)
   --validate-period N  checker sweep period in cycles (default 1)
@@ -90,7 +100,8 @@ const std::vector<std::string> kKnownOptions = {
     "--mesh", "--regions", "--placement", "--hops", "--delay-mode",
     "--real-tags", "--stats", "--json-stats", "--trace", "--trace-sample",
     "--interval", "--profile", "--chrome-trace", "--heatmap",
-    "--heatmap-period", "--progress", "--validate", "--validate-period",
+    "--heatmap-period", "--power", "--thermal", "--thermal-period",
+    "--progress", "--validate", "--validate-period",
     "--threads", "--fault-spec", "--watchdog", "--timeout-sec",
     "--list-apps",
 };
@@ -235,6 +246,17 @@ main(int argc, char **argv)
             heatmap_period = std::strtoull(need(i).c_str(), nullptr, 10);
             fatal_if(heatmap_period == 0,
                      "--heatmap-period must be >= 1");
+            ++i;
+        } else if (arg == "--power") {
+            cfg.power = true;
+        } else if (arg == "--thermal") {
+            cfg.thermal = true;
+            cfg.power = true;
+        } else if (arg == "--thermal-period") {
+            cfg.powerPeriod =
+                std::strtoull(need(i).c_str(), nullptr, 10);
+            fatal_if(cfg.powerPeriod == 0,
+                     "--thermal-period must be >= 1");
             ++i;
         } else if (arg == "--progress") {
             cfg.progress = true;
@@ -386,6 +408,10 @@ main(int argc, char **argv)
     if (auto *progress = sys.progress())
         progress->finish(sys.simulator().now());
 
+    // Close the streaming power/thermal window so totals reconcile
+    // with the end-of-run computeEnergy over exactly these cycles.
+    sys.finalizeTelemetry();
+
     if (tracer) {
         tracer->flush();
         if (trace_sink)
@@ -410,6 +436,15 @@ main(int argc, char **argv)
                 m.energy.totalUJ(), m.energy.cacheDynamicUJ,
                 m.energy.cacheLeakageUJ, m.energy.netDynamicUJ,
                 m.energy.netLeakageUJ);
+    if (const auto *thermal = sys.thermal()) {
+        std::printf("thermal peak_c=%.2f ambient_c=%.2f hottest_bank=%d\n",
+                    thermal->peakC(),
+                    thermal->grid().params().ambientC,
+                    thermal->hotBanks(1).empty()
+                        ? -1
+                        : static_cast<int>(
+                              thermal->hotBanks(1).front().bank));
+    }
     std::printf("engine=%s threads=%d wall_s=%.3f ticks_per_sec=%.0f\n",
                 sys.engineName(), sys.engineThreads(), sys.wallSeconds(),
                 sys.ticksPerSecond());
@@ -423,12 +458,27 @@ main(int argc, char **argv)
         fatal_if(!out, "cannot open chrome trace file '%s'",
                  chrome_path.c_str());
         telemetry::writeChromeTrace(out, chrome_sink->records(),
-                                    sys.profiler());
+                                    sys.profiler(), sys.power(),
+                                    sys.thermal());
     }
     if (!heatmap_prefix.empty()) {
         fatal_if(!sys.heatmap()->writeFiles(heatmap_prefix),
                  "cannot write heatmap files '%s.*.json'",
                  heatmap_prefix.c_str());
+        if (sys.power() != nullptr) {
+            fatal_if(!sys.power()->writeFile(heatmap_prefix +
+                                             ".power.json"),
+                     "cannot write power grid file '%s.power.json'",
+                     heatmap_prefix.c_str());
+        }
+        if (sys.thermal() != nullptr) {
+            fatal_if(!sys.thermal()->writeFile(
+                         heatmap_prefix + ".temperature.json",
+                         sys.power()->period()),
+                     "cannot write temperature grid file "
+                     "'%s.temperature.json'",
+                     heatmap_prefix.c_str());
+        }
     }
 
     if (!json_path.empty()) {

@@ -55,6 +55,8 @@ struct SweepResult
     double p95NetLatency = 0.0;
     double wallSeconds = 0.0;
     double ticksPerSec = 0.0;
+    double totalEnergyUJ = 0.0; //!< child's metrics.energy_uj.total
+    double peakTempC = 0.0;     //!< child's thermal.peak_c (0 if off)
     /** Engine-phase wall-time breakdown (child's profile.phases). */
     std::vector<std::pair<std::string, double>> phases;
 };
@@ -76,6 +78,7 @@ struct SweepOptions
     int speedupThreads = 4;
     bool speedup = true;
     bool profile = true;
+    bool thermal = true;
 };
 
 std::vector<std::string>
@@ -109,6 +112,8 @@ usage()
   --speedup-threads N  parallel-engine thread count to measure (default 4)
   --no-speedup       skip the speedup measurement
   --no-profile       don't fold the engine-phase profile into run records
+  --no-thermal       don't run children with --thermal (run records then
+                     carry zero total_energy_uj / peak_temp_c)
 )");
     std::exit(2);
 }
@@ -117,7 +122,7 @@ const std::vector<std::string> kKnownOptions = {
     "--schemes", "--regions", "--mixes", "--seeds", "--cycles",
     "--warmup", "--jobs", "--threads", "--runner", "--out",
     "--speedup-scenario", "--speedup-threads", "--no-speedup",
-    "--no-profile",
+    "--no-profile", "--no-thermal",
 };
 
 /** Run one child, parse its --json-stats output. */
@@ -146,6 +151,8 @@ runJob(const SweepOptions &opt, const SweepJob &job, int idx)
     cmd += detail::format(" --threads %d", job.threads);
     if (opt.profile)
         cmd += " --profile";
+    if (opt.thermal)
+        cmd += " --thermal"; // implies --power
     cmd += " --json-stats " + json_path;
     cmd += " > /dev/null 2>&1";
 
@@ -183,6 +190,12 @@ runJob(const SweepOptions &opt, const SweepJob &job, int idx)
     res.p95NetLatency = num(metrics, "p95_network_latency");
     res.wallSeconds = num(perf, "wall_seconds");
     res.ticksPerSec = num(perf, "ticks_per_sec");
+    if (const auto *energy = metrics->find("energy_uj");
+        energy && energy->isObject())
+        res.totalEnergyUJ = num(energy, "total");
+    if (const auto *thermal = doc->find("thermal");
+        thermal && thermal->isObject())
+        res.peakTempC = num(thermal, "peak_c");
     if (const auto *profile = doc->find("profile");
         profile && profile->isObject()) {
         if (const auto *phases = profile->find("phases");
@@ -212,6 +225,8 @@ writeRun(telemetry::JsonWriter &w, const SweepResult &r)
     w.kv("p95_network_latency", r.p95NetLatency);
     w.kv("wall_seconds", r.wallSeconds);
     w.kv("ticks_per_sec", r.ticksPerSec);
+    w.kv("total_energy_uj", r.totalEnergyUJ);
+    w.kv("peak_temp_c", r.peakTempC);
     w.key("profile_phases");
     if (r.phases.empty()) {
         w.null();
@@ -277,6 +292,8 @@ main(int argc, char **argv)
             opt.speedup = false;
         } else if (arg == "--no-profile") {
             opt.profile = false;
+        } else if (arg == "--no-thermal") {
+            opt.thermal = false;
         } else {
             cli::reportUnknownOption("stacknoc_sweep", arg,
                                      kKnownOptions);
@@ -371,9 +388,12 @@ main(int argc, char **argv)
     w.beginObject();
     w.kv("bench", "throughput");
     w.kv("tool", "stacknoc_sweep");
-    // Version 2: run records carry profile_phases; readers should
-    // ignore unknown fields but may key behavior off this stamp.
-    w.kv("schema_version", 2);
+    // Version 3: run records gain total_energy_uj and peak_temp_c
+    // (children run with --thermal unless --no-thermal). Version 2
+    // added profile_phases. Readers should ignore unknown fields but
+    // may key behavior off this stamp; version-2 readers keep working,
+    // the new fields only add.
+    w.kv("schema_version", 3);
     w.key("grid");
     w.beginObject();
     w.kv("cycles", static_cast<std::uint64_t>(opt.cycles));

@@ -51,9 +51,30 @@ def load_documents(path):
 # Top-level sections that hold non-deterministic wall-clock data.
 WALL_CLOCK_SECTIONS = ("perf", "profile")
 
+# Observer sections that are null unless their flag was passed. When
+# one document has the section and the other doesn't, that is a flag
+# difference, not a determinism violation, so the section is skipped
+# (with a note on stderr). When present in BOTH documents the sections
+# are fully deterministic — simulated-time quantities only — and are
+# compared by default like everything else.
+OPTIONAL_SECTIONS = ("power", "thermal", "intervals", "probe", "faults")
+
+
+def one_sided_sections(a, b):
+    """Optional sections present (non-null) in only one document."""
+    if not isinstance(a, dict) or not isinstance(b, dict):
+        return []
+    return [s for s in OPTIONAL_SECTIONS
+            if (a.get(s) is None) != (b.get(s) is None)]
+
 
 def diff_documents(a, b, threshold, section, include_perf=False):
     """Print differing leaves; return the number reported."""
+    skipped = one_sided_sections(a, b)
+    for s in skipped:
+        print(f"note: section '{s}' present in only one document; "
+              f"skipped (flag difference, not a determinism failure)",
+              file=sys.stderr)
     fa = dict(flatten(a))
     fb = dict(flatten(b))
     reported = 0
@@ -63,6 +84,9 @@ def diff_documents(a, b, threshold, section, include_perf=False):
         if not include_perf and any(
                 path == s or path.startswith(s + ".")
                 for s in WALL_CLOCK_SECTIONS):
+            continue
+        if any(path == s or path.startswith(s + ".")
+               for s in skipped):
             continue
         va, vb = fa.get(path), fb.get(path)
         if va == vb:

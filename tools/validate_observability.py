@@ -14,6 +14,15 @@ Checks any combination of:
   --heatmap-prefix PFX   PFX.{flits,occupancy,tsb,holds}.json exist
                          and every frame grid is exactly
                          width*height long, one grid per layer.
+  --power-prefix PFX     PFX.power.json and PFX.temperature.json exist
+                         and pass the same grid-shape checks (values
+                         are doubles: watts / Celsius).
+  --expect-power         the --json-stats document must carry 'power'
+                         and 'thermal' sections; the power section's
+                         streaming total must reconcile with the
+                         end-of-run computeEnergy scalar to 1e-6
+                         relative, and the thermal peak must sit at or
+                         above ambient.
 
 Additionally, when --json-stats is given, profile.total_seconds must
 match perf.wall_seconds within --tolerance (the phase measurements
@@ -118,39 +127,115 @@ def validate_profile(path, trace_summary, tolerance):
                   f"{rel:.1%} (> {tolerance:.0%})")
 
 
+def validate_grid_file(path, metric):
+    """Shape-check one heatmap-schema grid file (counts or doubles)."""
+    doc = load_json(path)
+    if doc is None:
+        return
+    ok = check(doc.get("metric") == metric,
+               f"{path}: metric field != {metric}")
+    width = doc.get("width", 0)
+    height = doc.get("height", 0)
+    layers = doc.get("layers", 0)
+    ok &= check(width > 0 and height > 0 and layers > 0,
+                f"{path}: bad dimensions {width}x{height}x{layers}")
+    frames = doc.get("frames")
+    ok &= check(isinstance(frames, list) and frames,
+                f"{path}: no frames recorded")
+    if not ok:
+        return
+    prev_end = -1
+    for i, frame in enumerate(frames):
+        check(frame["start"] <= frame["end"],
+              f"{path}: frame {i} start > end")
+        check(frame["start"] > prev_end,
+              f"{path}: frame {i} overlaps the previous frame")
+        prev_end = frame["end"]
+        grids = frame.get("grids", [])
+        check(len(grids) == layers,
+              f"{path}: frame {i} has {len(grids)} grids, "
+              f"expected {layers}")
+        for layer, grid in enumerate(grids):
+            check(len(grid) == width * height,
+                  f"{path}: frame {i} layer {layer} grid has "
+                  f"{len(grid)} cells, expected {width * height}")
+            check(all(isinstance(v, (int, float)) and v >= 0
+                      for v in grid),
+                  f"{path}: frame {i} layer {layer} has a negative "
+                  f"or non-numeric cell")
+
+
 def validate_heatmaps(prefix):
     for metric in HEATMAP_METRICS:
-        path = f"{prefix}.{metric}.json"
-        doc = load_json(path)
-        if doc is None:
-            continue
-        ok = check(doc.get("metric") == metric,
-                   f"{path}: metric field != {metric}")
-        width = doc.get("width", 0)
-        height = doc.get("height", 0)
-        layers = doc.get("layers", 0)
-        ok &= check(width > 0 and height > 0 and layers > 0,
-                    f"{path}: bad dimensions {width}x{height}x{layers}")
-        frames = doc.get("frames")
-        ok &= check(isinstance(frames, list) and frames,
-                    f"{path}: no frames recorded")
-        if not ok:
-            continue
-        prev_end = -1
-        for i, frame in enumerate(frames):
-            check(frame["start"] <= frame["end"],
-                  f"{path}: frame {i} start > end")
-            check(frame["start"] > prev_end,
-                  f"{path}: frame {i} overlaps the previous frame")
-            prev_end = frame["end"]
-            grids = frame.get("grids", [])
-            check(len(grids) == layers,
-                  f"{path}: frame {i} has {len(grids)} grids, "
-                  f"expected {layers}")
-            for layer, grid in enumerate(grids):
-                check(len(grid) == width * height,
-                      f"{path}: frame {i} layer {layer} grid has "
-                      f"{len(grid)} cells, expected {width * height}")
+        validate_grid_file(f"{prefix}.{metric}.json", metric)
+
+
+def validate_power_grids(prefix):
+    validate_grid_file(f"{prefix}.power.json", "power")
+    validate_grid_file(f"{prefix}.temperature.json", "temperature")
+
+
+def validate_power_sections(path):
+    """The 'power' and 'thermal' stats sections of a --power --thermal
+    run: totals reconcile with computeEnergy, the per-interval series
+    sums back to the streaming totals, and temperatures are sane."""
+    doc = load_json(path)
+    if doc is None:
+        return
+    power = doc.get("power")
+    if not check(isinstance(power, dict),
+                 f"{path}: no 'power' section (run with --power)"):
+        return
+    totals = power.get("totals_uj", {})
+    check(totals.get("total", 0.0) > 0.0,
+          f"{path}: power.totals_uj.total is zero")
+    cat_sum = sum(v for k, v in totals.items() if k != "total")
+    check(abs(cat_sum - totals.get("total", 0.0)) <=
+          1e-9 + 1e-9 * abs(cat_sum),
+          f"{path}: power category sum {cat_sum} != total "
+          f"{totals.get('total')}")
+
+    rec = power.get("reconciliation", {})
+    check(rec.get("rel_error", 1.0) <= 1e-6,
+          f"{path}: streaming energy does not reconcile with "
+          f"computeEnergy (rel_error {rec.get('rel_error')})")
+
+    series = power.get("series", [])
+    frames = power.get("frames", [])
+    check(len(series) == len(frames) and series,
+          f"{path}: power series/frames length mismatch "
+          f"({len(series)} vs {len(frames)})")
+    series_sum = sum(row.get("total_uj", 0.0) for row in series)
+    total = totals.get("total", 0.0)
+    check(abs(series_sum - total) <= 1e-9 + 1e-9 * abs(total),
+          f"{path}: power series sum {series_sum} != streaming "
+          f"total {total}")
+
+    thermal = doc.get("thermal")
+    if not check(isinstance(thermal, dict),
+                 f"{path}: no 'thermal' section (run with --thermal)"):
+        return
+    ambient = thermal.get("ambient_c", 0.0)
+    peak = thermal.get("peak_c", -1.0)
+    check(peak >= ambient,
+          f"{path}: thermal peak_c {peak} below ambient {ambient}")
+    check(thermal.get("substeps", 0) > 0,
+          f"{path}: thermal solver took no substeps")
+    t_series = thermal.get("series", [])
+    check(len(t_series) == len(series),
+          f"{path}: thermal series has {len(t_series)} rows, power "
+          f"has {len(series)}")
+    for i, row in enumerate(t_series):
+        for layer, (hi, mean) in enumerate(zip(row.get("max_c", []),
+                                               row.get("mean_c", []))):
+            check(ambient <= mean <= hi,
+                  f"{path}: thermal series row {i} layer {layer} "
+                  f"violates ambient <= mean <= max")
+    ranked = thermal.get("hot_banks", [])
+    check(bool(ranked), f"{path}: hot_banks is empty")
+    temps = [hb.get("temp_c", 0.0) for hb in ranked]
+    check(temps == sorted(temps, reverse=True),
+          f"{path}: hot_banks not sorted hottest-first")
 
 
 def main():
@@ -159,19 +244,30 @@ def main():
     ap.add_argument("--chrome-trace")
     ap.add_argument("--json-stats")
     ap.add_argument("--heatmap-prefix")
+    ap.add_argument("--power-prefix")
+    ap.add_argument("--expect-power", action="store_true",
+                    help="require power/thermal sections in the "
+                         "--json-stats document")
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="relative wall-time agreement bound")
     args = ap.parse_args()
-    if not (args.chrome_trace or args.json_stats or args.heatmap_prefix):
+    if not (args.chrome_trace or args.json_stats or args.heatmap_prefix
+            or args.power_prefix):
         ap.error("nothing to validate")
+    if args.expect_power and not args.json_stats:
+        ap.error("--expect-power requires --json-stats")
 
     trace_summary = None
     if args.chrome_trace:
         trace_summary = validate_chrome_trace(args.chrome_trace)
     if args.json_stats:
         validate_profile(args.json_stats, trace_summary, args.tolerance)
+    if args.expect_power:
+        validate_power_sections(args.json_stats)
     if args.heatmap_prefix:
         validate_heatmaps(args.heatmap_prefix)
+    if args.power_prefix:
+        validate_power_grids(args.power_prefix)
 
     if _failures:
         print(f"{len(_failures)} check(s) failed")
