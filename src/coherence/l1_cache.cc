@@ -67,6 +67,9 @@ bool
 L1Cache::access(bool is_write, BlockAddr addr, bool l2_hit_hint,
                 std::function<void(Cycle)> on_done, Cycle now)
 {
+    // Conservative idle-elision wake: hits schedule a delayed completion
+    // that only this cache's tick can fire.
+    wake();
     // One outstanding transaction per block; also hold off re-fetching a
     // block whose writeback has not been acknowledged yet, so the home
     // directory never sees our request overtake our PutM.

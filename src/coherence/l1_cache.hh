@@ -59,7 +59,7 @@ struct L1Config
  * accepted this cycle (MSHR full, conflicting outstanding transaction,
  * or a pending writeback to the same block); the core retries.
  */
-class L1Cache : public Ticking, public noc::NetworkClient
+class L1Cache final : public Ticking, public noc::NetworkClient
 {
   public:
     /**
@@ -88,6 +88,16 @@ class L1Cache : public Ticking, public noc::NetworkClient
 
     void deliver(noc::PacketPtr pkt, Cycle now) override;
     void tick(Cycle now) override;
+
+    /**
+     * tick() only fires delayed hit completions, so the L1 is idle
+     * whenever that timer list is empty. MSHR completions run inline
+     * from deliver() (called during the NI's tick) and never need the
+     * L1's own tick; access() wakes before it can schedule a timer.
+     */
+    bool quiescent(Cycle) const override { return delayed_.empty(); }
+
+    TickKind tickKind() const override { return TickKind::L1Cache; }
 
     /** @return MESI state of @p addr (I when absent). */
     L1State state(BlockAddr addr) const;

@@ -117,6 +117,12 @@ L2Bank::idle(Cycle now) const
     return tbes_.empty() && ctrl_.idle(now);
 }
 
+bool
+L2Bank::quiescent(Cycle now) const
+{
+    return idle(now) && lastNackedEpisode_ == ctrl_.retryEpisodes();
+}
+
 void
 L2Bank::countAdmitted(int &requests, int &writes) const
 {
@@ -191,6 +197,7 @@ L2Bank::tryAccept(const noc::Packet &pkt)
 void
 L2Bank::deliver(noc::PacketPtr pkt, Cycle now)
 {
+    wake();
     if (pkt->cls == noc::PacketClass::MemResp) {
         handleMemResp(std::move(pkt), now);
         return;

@@ -98,7 +98,7 @@ struct DirEntry
  * The L2 bank protocol agent. Must be ticked every cycle (drives the
  * bank controller and delayed completions).
  */
-class L2Bank : public Ticking, public noc::NetworkClient
+class L2Bank final : public Ticking, public noc::NetworkClient
 {
   public:
     /**
@@ -116,6 +116,16 @@ class L2Bank : public Ticking, public noc::NetworkClient
     bool tryAccept(const noc::Packet &pkt) override;
     void deliver(noc::PacketPtr pkt, Cycle now) override;
     void tick(Cycle now) override;
+
+    /**
+     * Idle iff no TBE is live, the bank controller has drained, and no
+     * BusyNack is owed for a completed retry episode. deliver() wakes
+     * the bank; tryAccept() only moves admission counters, which tick()
+     * never reads, so it needs no wake.
+     */
+    bool quiescent(Cycle now) const override;
+
+    TickKind tickKind() const override { return TickKind::L2Bank; }
 
     /**
      * Parent router node of this bank. When set (STT-RAM-aware schemes

@@ -56,7 +56,7 @@ struct CoreConfig
 };
 
 /** One core: fetches from its stream, issues memory ops to its L1. */
-class Core : public Ticking
+class Core final : public Ticking
 {
   public:
     /**
@@ -72,6 +72,15 @@ class Core : public Ticking
          stats::Group &group);
 
     void tick(Cycle now) override;
+
+    /**
+     * A core is never quiescent: the instruction stream is infinite and
+     * every stalled cycle samples the stall counter, so eliding a core
+     * tick would be observable. Cores stay in the engines' active set
+     * permanently (inherited quiescent() == false); they still benefit
+     * from the kind-batched dispatch.
+     */
+    TickKind tickKind() const override { return TickKind::Core; }
 
     /** Instructions committed since construction (or the last reset). */
     std::uint64_t committed() const { return committed_; }

@@ -7,13 +7,13 @@
 namespace stacknoc::engine {
 
 std::unique_ptr<ExecutionEngine>
-makeEngine(Simulator &sim, int threads)
+makeEngine(Simulator &sim, int threads, bool elide)
 {
     panic_if(threads < 1, "engine thread count must be >= 1, got %d",
              threads);
     if (threads == 1)
-        return std::make_unique<SequentialEngine>(sim);
-    return std::make_unique<ShardedParallelEngine>(sim, threads);
+        return std::make_unique<SequentialEngine>(sim, elide);
+    return std::make_unique<ShardedParallelEngine>(sim, threads, elide);
 }
 
 } // namespace stacknoc::engine

@@ -14,6 +14,7 @@
 #ifndef STACKNOC_ENGINE_ENGINE_HH
 #define STACKNOC_ENGINE_ENGINE_HH
 
+#include <cstdint>
 #include <memory>
 
 #include "common/types.hh"
@@ -29,7 +30,9 @@ namespace stacknoc::engine {
 class ExecutionEngine
 {
   public:
-    explicit ExecutionEngine(Simulator &sim) : sim_(sim) {}
+    explicit ExecutionEngine(Simulator &sim, bool elide = true)
+        : sim_(sim), elide_(elide)
+    {}
     virtual ~ExecutionEngine() = default;
 
     ExecutionEngine(const ExecutionEngine &) = delete;
@@ -56,17 +59,37 @@ class ExecutionEngine
 
     telemetry::CycleProfiler *profiler() const { return profiler_; }
 
+    /** Whether quiescent components are skipped (idle elision). */
+    bool elides() const { return elide_; }
+
+    /**
+     * Component ticks actually executed so far. With elision off this
+     * equals tickSlots(); the gap is the elision win. Observer-only:
+     * the counts never feed back into simulation state, so they are
+     * free to differ between engines (a component another engine
+     * happened to tick while quiescent is still a no-op).
+     */
+    virtual std::uint64_t tickedComponents() const { return ticked_; }
+
+    /** Component-tick opportunities so far (components x cycles). */
+    virtual std::uint64_t tickSlots() const { return slots_; }
+
   protected:
     Simulator &sim_;
     telemetry::CycleProfiler *profiler_ = nullptr;
+    const bool elide_;
+    std::uint64_t ticked_ = 0;
+    std::uint64_t slots_ = 0;
 };
 
 /**
  * Factory: @p threads <= 1 builds a SequentialEngine, anything larger a
  * ShardedParallelEngine with that many shards. Call only after every
- * component has been registered with the Simulator.
+ * component has been registered with the Simulator. @p elide enables
+ * idle elision (the default); false restores the full per-cycle walk.
  */
-std::unique_ptr<ExecutionEngine> makeEngine(Simulator &sim, int threads);
+std::unique_ptr<ExecutionEngine> makeEngine(Simulator &sim, int threads,
+                                            bool elide = true);
 
 } // namespace stacknoc::engine
 

@@ -2,65 +2,109 @@
 
 #include <string>
 
+#include "engine/tick_dispatch.hh"
 #include "telemetry/profile.hh"
 
 namespace stacknoc::engine {
 
 namespace {
 
-/** Kind buckets for the sequential profiler's compute attribution. */
+/** Kind buckets for the profiler's compute attribution, in TickKind
+ *  order (== the batched schedule order). */
 const std::vector<std::string> kKindNames = {
-    "router", "ni", "l1", "l2bank", "core", "mc", "rca", "other",
+    "router", "ni", "rca", "l2bank", "mc", "l1", "core", "other",
 };
 
-std::uint8_t
-kindOfName(const std::string &name)
+} // namespace
+
+SequentialEngine::~SequentialEngine()
 {
-    const auto starts = [&](const char *prefix) {
-        return name.rfind(prefix, 0) == 0;
-    };
-    if (starts("net.router")) return 0;
-    if (starts("net.ni")) return 1;
-    if (starts("l1.")) return 2;
-    if (starts("l2bank")) return 3;
-    if (starts("core")) return 4;
-    if (starts("mc")) return 5;
-    if (starts("sttnoc.rca")) return 6;
-    return 7;
+    unbindFlags();
 }
 
-} // namespace
+void
+SequentialEngine::unbindFlags()
+{
+    for (std::size_t i = 0; i < order_.size(); ++i)
+        order_[i].component->unbindWakeFlag(&active_[i]);
+}
+
+void
+SequentialEngine::ensureSchedule()
+{
+    if (scheduleBuilt_ && scheduleVersion_ == sim_.registryVersion())
+        return;
+    unbindFlags();
+
+    // One shard holds every parallel component in schedule order; the
+    // serial list follows, mirroring the sharded engine's phase order.
+    ShardPlan plan = buildShardPlan(sim_, 1);
+    order_.clear();
+    for (auto &shard : plan.shards)
+        for (const ShardItem &item : shard)
+            order_.push_back(item);
+    for (const ShardItem &item : plan.serial)
+        order_.push_back(item);
+
+    // Everything starts awake; the first tick establishes quiescence.
+    active_.assign(order_.size(), 1);
+    if (elide_) {
+        for (std::size_t i = 0; i < order_.size(); ++i)
+            order_[i].component->bindWakeFlag(&active_[i]);
+    }
+
+    scheduleVersion_ = sim_.registryVersion();
+    scheduleBuilt_ = true;
+}
 
 void
 SequentialEngine::run(Cycle cycles)
 {
+    ensureSchedule();
     if (profiler_ == nullptr) {
-        sim_.run(cycles);
+        runPlain(cycles);
         return;
+    }
+    if (!kindsSet_) {
+        profiler_->setKinds(kKindNames);
+        kindsSet_ = true;
     }
     runProfiled(cycles);
 }
 
 void
-SequentialEngine::buildKindMap()
+SequentialEngine::runPlain(Cycle cycles)
 {
-    kindOf_.clear();
-    kindOf_.reserve(sim_.componentCount());
-    for (const Ticking *c : sim_.components())
-        kindOf_.push_back(kindOfName(c->name()));
-    kindMapVersion_ = sim_.registryVersion();
-    kindMapBuilt_ = true;
-    profiler_->setKinds(kKindNames);
+    const std::size_t n = order_.size();
+    for (Cycle i = 0; i < cycles; ++i) {
+        const Cycle now = sim_.now();
+        if (elide_) {
+            std::uint64_t ticked = 0;
+            for (std::size_t s = 0; s < n; ++s) {
+                if (!active_[s])
+                    continue;
+                const ShardItem &item = order_[s];
+                tickByKind(item, now);
+                ++ticked;
+                if (quiescentByKind(item, now))
+                    active_[s] = 0;
+            }
+            ticked_ += ticked;
+        } else {
+            for (std::size_t s = 0; s < n; ++s)
+                tickByKind(order_[s], now);
+            ticked_ += n;
+        }
+        slots_ += n;
+        sim_.completeCycle();
+    }
 }
 
 void
 SequentialEngine::runProfiled(Cycle cycles)
 {
-    if (!kindMapBuilt_ || kindMapVersion_ != sim_.registryVersion())
-        buildKindMap();
-
     telemetry::CycleProfiler &prof = *profiler_;
-    const auto &components = sim_.components();
+    const std::size_t n = order_.size();
 
     for (Cycle i = 0; i < cycles; ++i) {
         const Cycle now = sim_.now();
@@ -69,12 +113,22 @@ SequentialEngine::runProfiled(Cycle cycles)
         // their sum tracks wall time.
         const double cycle_start = prof.nowSeconds();
         double t_prev = cycle_start;
-        for (std::size_t ord = 0; ord < components.size(); ++ord) {
-            components[ord]->tick(now);
+        std::uint64_t ticked = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+            if (elide_ && !active_[s])
+                continue;
+            const ShardItem &item = order_[s];
+            tickByKind(item, now);
+            ++ticked;
+            if (elide_ && quiescentByKind(item, now))
+                active_[s] = 0;
             const double t = prof.nowSeconds();
-            prof.addKindSeconds(kindOf_[ord], t - t_prev);
+            prof.addKindSeconds(static_cast<std::uint8_t>(item.kind),
+                                t - t_prev);
             t_prev = t;
         }
+        ticked_ += ticked;
+        slots_ += n;
         prof.addPhase(telemetry::EnginePhase::Compute, cycle_start,
                       t_prev);
 

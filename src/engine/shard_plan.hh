@@ -18,10 +18,19 @@ namespace stacknoc::engine {
 struct ShardItem
 {
     Ticking *component = nullptr;
-    /** Registration index in the Simulator — the sequential tick order. */
+    /**
+     * Position in the global kind-batched schedule: all components
+     * sorted by (tickKind, registration index). This is the canonical
+     * within-cycle tick order of every engine — the sequential engine
+     * walks it directly, and the sharded engine's commit phase merges
+     * per-shard stat/trace logs by it — so results are bit-identical
+     * across engines, thread counts, and elision modes.
+     */
     std::uint32_t ordinal = 0;
     /** The affinity key the component was registered with. */
     int affinity = Simulator::kSerialAffinity;
+    /** Batching class, for the engines' devirtualized kind loops. */
+    TickKind kind = TickKind::Other;
 };
 
 /**
@@ -34,6 +43,13 @@ struct ShardItem
  * that is the co-location guarantee system builders rely on (e.g. both
  * layers' routers of one mesh column, so cross-layer TSB pairs never
  * straddle a shard boundary).
+ *
+ * Each list is grouped by TickKind (the schedule sort is kind-major),
+ * so an engine walking a list front to back executes contiguous
+ * per-kind batches. The kind order mirrors the historical registration
+ * order of CmpSystem (routers, NIs, sideband, banks, memory
+ * controllers, L1s, cores), preserving every direct-call ordering
+ * contract between kinds.
  */
 struct ShardPlan
 {

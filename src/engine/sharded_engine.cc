@@ -1,6 +1,7 @@
 #include "engine/sharded_engine.hh"
 
 #include "common/logging.hh"
+#include "engine/tick_dispatch.hh"
 #include "telemetry/profile.hh"
 
 namespace stacknoc::engine {
@@ -25,8 +26,9 @@ spinWait(int spin_iters, Pred pred)
 
 } // namespace
 
-ShardedParallelEngine::ShardedParallelEngine(Simulator &sim, int threads)
-    : ExecutionEngine(sim),
+ShardedParallelEngine::ShardedParallelEngine(Simulator &sim, int threads,
+                                             bool elide)
+    : ExecutionEngine(sim, elide),
       plan_(buildShardPlan(sim, threads)),
       requested_threads_(threads),
       registry_version_(sim.registryVersion())
@@ -41,6 +43,18 @@ ShardedParallelEngine::ShardedParallelEngine(Simulator &sim, int threads)
         shard_state_.push_back(std::make_unique<ShardState>());
         tick_logs_.push_back(&shard_state_.back()->tick_log);
         trace_logs_.push_back(&shard_state_.back()->trace_log);
+        // Everything starts awake; the first tick proves quiescence.
+        shard_state_.back()->active.assign(plan_.shards[s].size(), 1);
+        if (elide_) {
+            auto &st = *shard_state_.back();
+            for (std::size_t i = 0; i < plan_.shards[s].size(); ++i)
+                plan_.shards[s][i].component->bindWakeFlag(&st.active[i]);
+        }
+    }
+    serial_active_.assign(plan_.serial.size(), 1);
+    if (elide_) {
+        for (std::size_t i = 0; i < plan_.serial.size(); ++i)
+            plan_.serial[i].component->bindWakeFlag(&serial_active_[i]);
     }
 
     // Spin only when every shard can own a hardware thread; otherwise
@@ -60,6 +74,25 @@ ShardedParallelEngine::~ShardedParallelEngine()
     epoch_.fetch_add(1, std::memory_order_release);
     for (auto &w : workers_)
         w.join();
+
+    if (elide_) {
+        for (std::size_t s = 0; s < plan_.shards.size(); ++s) {
+            auto &st = *shard_state_[s];
+            for (std::size_t i = 0; i < plan_.shards[s].size(); ++i)
+                plan_.shards[s][i].component->unbindWakeFlag(&st.active[i]);
+        }
+        for (std::size_t i = 0; i < plan_.serial.size(); ++i)
+            plan_.serial[i].component->unbindWakeFlag(&serial_active_[i]);
+    }
+}
+
+std::uint64_t
+ShardedParallelEngine::tickedComponents() const
+{
+    std::uint64_t total = ticked_; // serial-phase ticks
+    for (const auto &st : shard_state_)
+        total += st->ticked;
+    return total;
 }
 
 void
@@ -102,14 +135,53 @@ ShardedParallelEngine::runShard(std::size_t shard, Cycle now)
     ChannelBase::setStagingList(&st.staged_channels);
     stats::setTickLog(&st.tick_log);
     telemetry::setTraceLog(&st.trace_log);
-    for (const ShardItem &item : plan_.shards[shard]) {
-        st.tick_log.beginComponent(item.ordinal);
-        st.trace_log.beginComponent(item.ordinal);
-        item.component->tick(now);
+    const std::vector<ShardItem> &items = plan_.shards[shard];
+    if (elide_) {
+        std::uint64_t ticked = 0;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (!st.active[i])
+                continue;
+            const ShardItem &item = items[i];
+            st.tick_log.beginComponent(item.ordinal);
+            st.trace_log.beginComponent(item.ordinal);
+            tickByKind(item, now);
+            ++ticked;
+            if (quiescentByKind(item, now))
+                st.active[i] = 0;
+        }
+        st.ticked += ticked;
+    } else {
+        for (const ShardItem &item : items) {
+            st.tick_log.beginComponent(item.ordinal);
+            st.trace_log.beginComponent(item.ordinal);
+            tickByKind(item, now);
+        }
+        st.ticked += items.size();
     }
     ChannelBase::setStagingList(nullptr);
     stats::setTickLog(nullptr);
     telemetry::setTraceLog(nullptr);
+}
+
+void
+ShardedParallelEngine::runSerial(Cycle now)
+{
+    const std::vector<ShardItem> &items = plan_.serial;
+    if (elide_) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (!serial_active_[i])
+                continue;
+            const ShardItem &item = items[i];
+            tickByKind(item, now);
+            ++ticked_;
+            if (quiescentByKind(item, now))
+                serial_active_[i] = 0;
+        }
+    } else {
+        for (const ShardItem &item : items)
+            tickByKind(item, now);
+        ticked_ += items.size();
+    }
 }
 
 void
@@ -148,9 +220,9 @@ ShardedParallelEngine::runCycle()
 
     commitStagedState();
 
-    for (const ShardItem &item : plan_.serial)
-        item.component->tick(now);
+    runSerial(now);
 
+    slots_ += plan_.parallelCount() + plan_.serial.size();
     sim_.completeCycle();
 }
 
@@ -188,11 +260,11 @@ ShardedParallelEngine::runCycleProfiled()
     const double t3 = prof.nowSeconds();
     prof.addPhase(EnginePhase::Commit, t2, t3);
 
-    for (const ShardItem &item : plan_.serial)
-        item.component->tick(now);
+    runSerial(now);
     const double t4 = prof.nowSeconds();
     prof.addPhase(EnginePhase::Serial, t3, t4);
 
+    slots_ += plan_.parallelCount() + plan_.serial.size();
     sim_.completeCycle();
     prof.addPhase(EnginePhase::CycleEnd, t4, prof.nowSeconds());
     prof.addCycles(1);

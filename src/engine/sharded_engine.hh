@@ -24,17 +24,20 @@ namespace stacknoc::engine {
  * Ticks spatial shards of the component registry on persistent worker
  * threads, bit-identical to SequentialEngine. Each cycle:
  *
- *  1. Parallel compute phase: every shard ticks its components in
- *     ascending ordinal order with thread-local staging installed, so
- *     channel pushes, stat mutations and trace records are deferred
- *     into per-shard buffers instead of touching shared state.
+ *  1. Parallel compute phase: every shard ticks its active components
+ *     in ascending schedule-ordinal order (kind-batched, devirtualized
+ *     dispatch) with thread-local staging installed, so channel pushes,
+ *     stat mutations and trace records are deferred into per-shard
+ *     buffers instead of touching shared state. With elision on, a
+ *     component reporting quiescent() after its tick leaves the active
+ *     set until a wake re-arms it.
  *  2. Barrier (sense = epoch counter, spin with yield fallback).
  *  3. Commit phase (main thread): staged channel values are spliced
- *     into the live queues; stat and trace logs are merged by component
- *     ordinal — the exact sequential application order — and replayed.
+ *     into the live queues (waking each channel's receiver); stat and
+ *     trace logs are merged by schedule ordinal — the exact sequential
+ *     application order — and replayed.
  *  4. Serial phase (main thread): components registered with
- *     kSerialAffinity tick with staging off (e.g. the RCA fabric, which
- *     reads live router state).
+ *     kSerialAffinity tick with staging off.
  *  5. Cycle-end callbacks and clock advance via Simulator::completeCycle.
  *
  * The main thread executes shard 0 itself, so N shards cost N-1 worker
@@ -46,13 +49,16 @@ class ShardedParallelEngine : public ExecutionEngine
     /**
      * @param threads requested shard count (>= 2). The effective count
      * is capped at the number of distinct affinity keys.
+     * @param elide skip quiescent components (see docs/ENGINE.md).
      */
-    ShardedParallelEngine(Simulator &sim, int threads);
+    ShardedParallelEngine(Simulator &sim, int threads, bool elide = true);
     ~ShardedParallelEngine() override;
 
     void run(Cycle cycles) override;
     const char *name() const override { return "sharded"; }
     int threads() const override { return requested_threads_; }
+
+    std::uint64_t tickedComponents() const override;
 
     /**
      * Install the profiler and size its per-shard slots. Workers read
@@ -73,6 +79,17 @@ class ShardedParallelEngine : public ExecutionEngine
         std::vector<ChannelBase *> staged_channels;
         stats::TickLog tick_log;
         telemetry::TraceLog trace_log;
+        /**
+         * Active flags, 1:1 with the shard's plan items. Written by
+         * the owning worker (deactivation after a quiescent tick) and,
+         * through bound wake pointers, by same-shard direct calls
+         * during the compute phase or by the main thread during
+         * commit/serial/cycle-end — never concurrently, thanks to the
+         * phase barrier.
+         */
+        std::vector<std::uint8_t> active;
+        /** Component ticks this shard executed (occupancy telemetry). */
+        std::uint64_t ticked = 0;
     };
 
     void runCycle();
@@ -83,9 +100,14 @@ class ShardedParallelEngine : public ExecutionEngine
     /** Commit phase body shared by the plain and profiled cycles. */
     void commitStagedState();
 
+    /** Serial-phase body: tick (active) serial components. */
+    void runSerial(Cycle now);
+
     ShardPlan plan_;
     int requested_threads_;
     std::uint64_t registry_version_;
+    /** Active flags for the serial list (main thread only). */
+    std::vector<std::uint8_t> serial_active_;
     /** Barrier spin budget before yielding (0 when oversubscribed). */
     int spin_iters_ = 0;
 

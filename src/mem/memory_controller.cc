@@ -18,6 +18,7 @@ MemoryController::MemoryController(std::string mcname, NodeId node,
 void
 MemoryController::deliver(noc::PacketPtr pkt, Cycle now)
 {
+    wake();
     if (pkt->cls == noc::PacketClass::MemWrite) {
         // Fire-and-forget DRAM writeback; consumes bandwidth budget by
         // occupying an in-flight slot like any other access.

@@ -22,7 +22,7 @@ namespace stacknoc::mem {
  * fixed 320-cycle DRAM access (bounded outstanding requests), and
  * returns MemResp fill data over the response virtual network.
  */
-class MemoryController : public Ticking, public noc::NetworkClient
+class MemoryController final : public Ticking, public noc::NetworkClient
 {
   public:
     /**
@@ -38,6 +38,18 @@ class MemoryController : public Ticking, public noc::NetworkClient
 
     void deliver(noc::PacketPtr pkt, Cycle now) override;
     void tick(Cycle now) override;
+
+    /** Idle iff nothing is queued or being serviced; deliver() wakes. */
+    bool
+    quiescent(Cycle) const override
+    {
+        return queue_.empty() && inflight_.empty();
+    }
+
+    TickKind tickKind() const override
+    {
+        return TickKind::MemoryController;
+    }
 
     std::size_t queueDepth() const { return queue_.size(); }
     std::size_t inFlight() const { return inflight_.size(); }

@@ -28,6 +28,10 @@ NetworkInterface::connect(Link *to_router, Link *from_router)
 {
     toRouter_ = to_router;
     fromRouter_ = from_router;
+    if (toRouter_ != nullptr)
+        toRouter_->credit.setSignalFlag(&creditPending_);
+    if (fromRouter_ != nullptr)
+        fromRouter_->data.setSignalFlag(&dataPending_);
     for (auto &vc : injVcs_)
         vc.credits = params_.vcDepth;
 }
@@ -40,19 +44,40 @@ NetworkInterface::send(PacketPtr pkt, Cycle now)
              pkt->toString().c_str());
     pkt->createdAt = now;
     injectQueue_.push_back(std::move(pkt));
+    wake();
+}
+
+bool
+NetworkInterface::quiescent(Cycle) const
+{
+    if (!idle())
+        return false;
+    if (fromRouter_ && fromRouter_->data.inFlight() != 0)
+        return false;
+    // Injection credits in flight don't block quiescence: tick()
+    // drains them before inject() reads the counters, and an idle NI
+    // has nothing to inject, so a lazy drain on the next send()-driven
+    // wake is bit-identical (see Router::quiescent).
+    return true;
 }
 
 void
 NetworkInterface::tick(Cycle now)
 {
-    // Credits returned by the router's Local input port.
-    if (toRouter_) {
+    // Credits returned by the router's Local input port. The pending
+    // byte is set by every push and re-armed while credits are still
+    // inside the link latency, so the poll is skipped only when the
+    // channel is provably empty.
+    if (toRouter_ && creditPending_ != 0) {
+        creditPending_ = 0;
         while (auto c = toRouter_->credit.receive(now)) {
             auto &vc = injVcs_[static_cast<std::size_t>(c->vc)];
             ++vc.credits;
             panic_if(vc.credits > params_.vcDepth,
                      "NI %d: credit overflow", id_);
         }
+        if (toRouter_->credit.inFlight() != 0)
+            creditPending_ = 1;
     }
     receive(now);
     inject(now);
@@ -66,11 +91,17 @@ NetworkInterface::receive(Cycle now)
     // Arriving flits land in per-VC ejection buffers. Credits return
     // only when a flit is consumed, so a client refusing admission backs
     // traffic up into the router and onward through the network.
-    while (auto lf = fromRouter_->data.receive(now)) {
-        auto &vc = ejectVcs_[static_cast<std::size_t>(lf->vc)];
-        panic_if(static_cast<int>(vc.buffer.size()) >= params_.vcDepth,
-                 "NI %d: ejection buffer overflow", id_);
-        vc.buffer.push_back(lf->flit);
+    if (dataPending_ != 0) {
+        dataPending_ = 0;
+        while (auto lf = fromRouter_->data.receive(now)) {
+            auto &vc = ejectVcs_[static_cast<std::size_t>(lf->vc)];
+            panic_if(static_cast<int>(vc.buffer.size()) >=
+                         params_.vcDepth,
+                     "NI %d: ejection buffer overflow", id_);
+            vc.buffer.push_back(std::move(lf->flit));
+        }
+        if (fromRouter_->data.inFlight() != 0)
+            dataPending_ = 1;
     }
     drainEjectBuffers(now);
 }

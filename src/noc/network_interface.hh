@@ -97,7 +97,7 @@ class ProbeSink
  * Ejection is an infinite sink: every received flit is credited back
  * immediately, so the network always drains at its destinations.
  */
-class NetworkInterface : public Ticking, public PacketSender
+class NetworkInterface final : public Ticking, public PacketSender
 {
   public:
     NetworkInterface(std::string name, NodeId id, const NocParams &params,
@@ -133,6 +133,20 @@ class NetworkInterface : public Ticking, public PacketSender
     void send(PacketPtr pkt, Cycle now) override;
 
     void tick(Cycle now) override;
+
+    /**
+     * Idle iff nothing is queued, serialising, or parked in ejection
+     * buffers (which covers CRC/retransmission holds and admission
+     * stalls), and no flit or credit is still in flight on the local
+     * links. send() wakes the NI, so a sleeping NI cannot strand a
+     * freshly queued packet.
+     */
+    bool quiescent(Cycle now) const override;
+
+    TickKind tickKind() const override
+    {
+        return TickKind::NetworkInterface;
+    }
 
     NodeId nodeId() const { return id_; }
 
@@ -247,6 +261,13 @@ class NetworkInterface : public Ticking, public PacketSender
     std::vector<InjVc> injVcs_;
     std::vector<EjectVc> ejectVcs_;
     int rrInjVc_ = 0;
+
+    /** Push-notification bytes for the local links (bound to the
+     *  channels by connect() via Channel::setSignalFlag): set on every
+     *  push, cleared by the drains once the channel is empty, so the
+     *  tick touches the link queues only when something arrived. */
+    std::uint8_t dataPending_ = 0;
+    std::uint8_t creditPending_ = 0;
 
     stats::Counter &packetsInjected_;
     stats::Counter &packetsEjected_;

@@ -1,12 +1,36 @@
 #include "noc/router.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
 #include "telemetry/trace.hh"
 
 namespace stacknoc::noc {
+
+namespace {
+
+/**
+ * Stable insertion sort for the tiny (typically 1-3 element) candidate
+ * lists of the allocation stages. Produces the exact ordering of
+ * std::stable_sort without its per-call temporary-buffer allocation,
+ * which dominated the switch-allocation profile.
+ */
+template <typename T, typename Less>
+void
+stableSortSmall(std::vector<T> &v, Less less)
+{
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        T x = v[i];
+        std::size_t j = i;
+        for (; j > 0 && less(x, v[j - 1]); --j)
+            v[j] = v[j - 1];
+        v[j] = x;
+    }
+}
+
+} // namespace
 
 Router::Router(std::string rname, NodeId id, const NocParams &params,
                const RoutingFunction &routing, ArbitrationPolicy &policy,
@@ -18,8 +42,18 @@ Router::Router(std::string rname, NodeId id, const NocParams &params,
       packetsForwarded_(net_stats.counter("packets_forwarded"))
 {
     const int vcs = params_.totalVcs();
-    for (auto &ip : in_)
+    panic_if(vcs > 64, "router %d: %d VCs exceed the 64-bit status masks",
+             id_, vcs);
+    for (int pi = 0; pi < kNumDirs; ++pi) {
+        InPort &ip = in_[static_cast<std::size_t>(pi)];
         ip.vcs.resize(static_cast<std::size_t>(vcs));
+        for (int vi = 0; vi < vcs; ++vi) {
+            ip.vcs[static_cast<std::size_t>(vi)].port =
+                static_cast<std::uint8_t>(pi);
+            ip.vcs[static_cast<std::size_t>(vi)].idx =
+                static_cast<std::uint8_t>(vi);
+        }
+    }
     for (auto &op : out_) {
         op.credits.assign(static_cast<std::size_t>(vcs), params_.vcDepth);
         op.vcBusy.assign(static_cast<std::size_t>(vcs), false);
@@ -30,12 +64,19 @@ void
 Router::connectIn(Dir d, Link *link)
 {
     in_[static_cast<std::size_t>(static_cast<int>(d))].link = link;
+    // Pending bytes let the per-tick drains skip polling channels
+    // nothing was pushed on; bound here so every wiring (full systems
+    // and single-router tests alike) gets them.
+    link->data.setSignalFlag(
+        &dataPending_[static_cast<std::size_t>(static_cast<int>(d))]);
 }
 
 void
 Router::connectOut(Dir d, Link *link)
 {
     out_[static_cast<std::size_t>(static_cast<int>(d))].link = link;
+    link->credit.setSignalFlag(
+        &creditPending_[static_cast<std::size_t>(static_cast<int>(d))]);
 }
 
 void
@@ -53,30 +94,39 @@ Router::tick(Cycle now)
 void
 Router::receiveCredits(Cycle now)
 {
-    for (auto &op : out_) {
-        if (!op.link)
+    // A port's pending byte is re-armed while credits remain in
+    // flight (pushed but not yet past the link latency), so no
+    // arrival can be missed.
+    for (int pi = 0; pi < kNumDirs; ++pi) {
+        if (creditPending_[static_cast<std::size_t>(pi)] == 0)
             continue;
+        creditPending_[static_cast<std::size_t>(pi)] = 0;
+        OutPort &op = out_[static_cast<std::size_t>(pi)];
         while (auto c = op.link->credit.receive(now)) {
             auto &credit = op.credits[static_cast<std::size_t>(c->vc)];
             ++credit;
             panic_if(credit > params_.vcDepth,
                      "router %d: credit overflow on vc %d", id_, c->vc);
         }
+        if (op.link->credit.inFlight() != 0)
+            creditPending_[static_cast<std::size_t>(pi)] = 1;
     }
 }
 
 void
 Router::receiveFlits(Cycle now)
 {
-    for (auto &ip : in_) {
-        if (!ip.link)
+    for (int pi = 0; pi < kNumDirs; ++pi) {
+        if (dataPending_[static_cast<std::size_t>(pi)] == 0)
             continue;
+        dataPending_[static_cast<std::size_t>(pi)] = 0;
+        InPort &ip = in_[static_cast<std::size_t>(pi)];
         while (auto lf = ip.link->data.receive(now)) {
             auto &vc = ip.vcs[static_cast<std::size_t>(lf->vc)];
             panic_if(static_cast<int>(vc.buffer.size()) >= params_.vcDepth,
                      "router %d: input buffer overflow on vc %d", id_,
                      lf->vc);
-            Flit flit = lf->flit;
+            Flit flit = std::move(lf->flit);
             flit.arrivedAt = now;
             if (flit.head()) {
                 const Packet &pkt = *flit.pkt;
@@ -91,22 +141,31 @@ Router::receiveFlits(Cycle now)
             vc.buffer.push_back(std::move(flit));
             flitsIn_.inc();
             ++flitsBufferedTotal_;
+            ++bufferedTotal_;
+            if (pi != static_cast<int>(Dir::Local))
+                ++localCongestion_;
             if (vc.buffer.back().head() && was_empty &&
                 vc.status == VcStatus::Idle) {
                 changeStatus(vc, VcStatus::Routing);
             }
         }
+        if (ip.link->data.inFlight() != 0)
+            dataPending_[static_cast<std::size_t>(pi)] = 1;
     }
 }
 
 void
 Router::routeCompute(Cycle)
 {
-    if (routingCount_ == 0)
+    if (stateCount_[static_cast<std::size_t>(VcStatus::Routing)] == 0)
         return;
     for (auto &ip : in_) {
-        for (auto &vc : ip.vcs) {
-            if (vc.status != VcStatus::Routing || vc.buffer.empty())
+        for (std::uint64_t m = ip.stateMask[
+                 static_cast<std::size_t>(VcStatus::Routing)];
+             m != 0; m &= m - 1) {
+            auto &vc = ip.vcs[static_cast<std::size_t>(
+                std::countr_zero(m))];
+            if (vc.buffer.empty())
                 continue;
             const Flit &front = vc.buffer.front();
             panic_if(!front.head(),
@@ -123,7 +182,7 @@ Router::routeCompute(Cycle)
 void
 Router::vcAllocate(Cycle now)
 {
-    if (waitVaCount_ == 0)
+    if (stateCount_[static_cast<std::size_t>(VcStatus::WaitVa)] == 0)
         return;
 
     // Collect every waiting candidate in one pass over the input VCs.
@@ -137,31 +196,48 @@ Router::vcAllocate(Cycle now)
     };
     static thread_local std::vector<Cand> cands;
     cands.clear();
-    int flat = 0;
+    int base = 0;
     for (auto &ip : in_) {
-        for (auto &vc : ip.vcs) {
-            ++flat;
-            if (vc.status != VcStatus::WaitVa || vc.buffer.empty())
+        for (std::uint64_t m = ip.stateMask[
+                 static_cast<std::size_t>(VcStatus::WaitVa)];
+             m != 0; m &= m - 1) {
+            const int vi = std::countr_zero(m);
+            auto &vc = ip.vcs[static_cast<std::size_t>(vi)];
+            if (vc.buffer.empty())
                 continue;
             Packet &pkt = *vc.buffer.front().pkt;
             if (!policy_.eligible(id_, pkt, now))
                 continue;
-            cands.push_back({flat - 1, &vc,
+            cands.push_back({base + vi, &vc,
                              static_cast<int>(vc.outDir),
                              vnetOf(pkt.cls),
                              policy_.priorityClass(id_, pkt, now)});
         }
+        base += static_cast<int>(ip.vcs.size());
     }
     if (cands.empty())
         return;
 
     // Hand each free output VC of each (port, vnet) to the highest-
     // priority candidate; ties break round-robin on the flat VC index.
-    for (int d = 0; d < kNumDirs; ++d) {
+    // Only (port, vnet) pairs that actually have a candidate are
+    // visited, in the same port-major ascending order a full sweep
+    // would use.
+    static thread_local std::vector<int> keys;
+    keys.clear();
+    for (const auto &c : cands) {
+        const int k = c.dir * kNumVnets + c.vnet;
+        if (std::find(keys.begin(), keys.end(), k) == keys.end())
+            keys.push_back(k);
+    }
+    stableSortSmall(keys, [](int a, int b) { return a < b; });
+    for (const int key : keys) {
+        const int d = key / kNumVnets;
+        const int vn = key % kNumVnets;
         OutPort &op = out_[static_cast<std::size_t>(d)];
         if (!op.link)
             continue;
-        for (int vn = 0; vn < kNumVnets; ++vn) {
+        {
             static thread_local std::vector<Cand *> group;
             group.clear();
             for (auto &c : cands) {
@@ -171,9 +247,10 @@ Router::vcAllocate(Cycle now)
             if (group.empty())
                 continue;
 
-            std::vector<int> free_vcs;
-            const int base = params_.vnetBase(vn);
-            for (int v = base; v < base + params_.vcsPerVnet[
+            static thread_local std::vector<int> free_vcs;
+            free_vcs.clear();
+            const int vn_base = params_.vnetBase(vn);
+            for (int v = vn_base; v < vn_base + params_.vcsPerVnet[
                      static_cast<std::size_t>(vn)]; ++v) {
                 if (!op.vcBusy[static_cast<std::size_t>(v)])
                     free_vcs.push_back(v);
@@ -182,7 +259,7 @@ Router::vcAllocate(Cycle now)
                 continue;
 
             if (group.size() > 1) {
-                std::stable_sort(group.begin(), group.end(),
+                stableSortSmall(group,
                     [&](const Cand *a, const Cand *b) {
                         if (a->cls != b->cls)
                             return a->cls < b->cls;
@@ -222,7 +299,7 @@ Router::switchAllocateAndTraverse(Cycle now)
         int cls;
     };
 
-    if (activeCount_ == 0)
+    if (stateCount_[static_cast<std::size_t>(VcStatus::Active)] == 0)
         return;
     // Input stage: each input port nominates up to as many VCs as its
     // incoming link delivers per cycle (a 256-bit TSB keeps its doubled
@@ -231,15 +308,26 @@ Router::switchAllocateAndTraverse(Cycle now)
     nominees.clear();
     for (int pi = 0; pi < kNumDirs; ++pi) {
         InPort &ip = in_[static_cast<std::size_t>(pi)];
+        if (ip.stateMask[static_cast<std::size_t>(VcStatus::Active)] == 0)
+            continue;
         const int vcs = static_cast<int>(ip.vcs.size());
         const int speedup = ip.link ? ip.link->bandwidth : 1;
 
         static thread_local std::vector<Request> ready;
         ready.clear();
-        for (int off = 0; off < vcs; ++off) {
-            const int vi = (ip.rrSaVc + off) % vcs;
+        // Visit active VCs in the round-robin order rrSaVc, rrSaVc+1,
+        // ..., vcs-1, 0, ..., rrSaVc-1: the bits at or above the
+        // pointer in ascending order, then the bits below it.
+        const std::uint64_t below =
+            (std::uint64_t{1} << ip.rrSaVc) - 1;
+        const std::uint64_t active = ip.stateMask[
+            static_cast<std::size_t>(VcStatus::Active)];
+        std::uint64_t rot[2] = {active & ~below, active & below};
+        for (std::uint64_t &half : rot)
+        for (; half != 0; half &= half - 1) {
+            const int vi = std::countr_zero(half);
             VirtualChannel &vc = ip.vcs[static_cast<std::size_t>(vi)];
-            if (vc.status != VcStatus::Active || vc.buffer.empty())
+            if (vc.buffer.empty())
                 continue;
             const Flit &front = vc.buffer.front();
             if (front.arrivedAt >= now || vc.vaDoneAt >= now)
@@ -256,7 +344,7 @@ Router::switchAllocateAndTraverse(Cycle now)
         }
         if (ready.empty())
             continue;
-        std::stable_sort(ready.begin(), ready.end(),
+        stableSortSmall(ready,
             [](const Request &a, const Request &b) {
                 return a.cls < b.cls; // stable: keeps rr order within class
             });
@@ -266,9 +354,23 @@ Router::switchAllocateAndTraverse(Cycle now)
             nominees.push_back(ready[static_cast<std::size_t>(g)]);
         ip.rrSaVc = (ready.front().vcIdx + 1) % vcs;
     }
+    if (nominees.empty())
+        return;
 
     // Output stage: each output port grants up to its link bandwidth.
-    for (int d = 0; d < kNumDirs; ++d) {
+    // Visit only the ports some nominee wants, in ascending port order
+    // as a full sweep would.
+    static thread_local std::vector<int> out_dirs;
+    out_dirs.clear();
+    for (const auto &r : nominees) {
+        const int d = static_cast<int>(r.vc->outDir);
+        if (std::find(out_dirs.begin(), out_dirs.end(), d) ==
+            out_dirs.end()) {
+            out_dirs.push_back(d);
+        }
+    }
+    stableSortSmall(out_dirs, [](int a, int b) { return a < b; });
+    for (const int d : out_dirs) {
         OutPort &op = out_[static_cast<std::size_t>(d)];
         if (!op.link)
             continue;
@@ -280,7 +382,7 @@ Router::switchAllocateAndTraverse(Cycle now)
         }
         if (wants.empty())
             continue;
-        std::stable_sort(wants.begin(), wants.end(),
+        stableSortSmall(wants,
             [&](const Request *a, const Request *b) {
                 if (a->cls != b->cls)
                     return a->cls < b->cls;
@@ -296,12 +398,19 @@ Router::switchAllocateAndTraverse(Cycle now)
             if (sent >= op.link->bandwidth)
                 break;
             VirtualChannel &vc = *r->vc;
-            Flit flit = vc.buffer.front();
+            Flit flit = std::move(vc.buffer.front());
             vc.buffer.pop_front();
+            --bufferedTotal_;
+            if (r->inPortIdx != static_cast<int>(Dir::Local))
+                --localCongestion_;
             ++sent;
             op.rrSa = r->inPortIdx + 1;
 
-            op.link->data.push(now, LinkFlit{flit, vc.outVc});
+            const bool is_head = flit.head();
+            const bool is_tail = flit.tail();
+            // The channel queue keeps the packet alive past the move.
+            Packet *pkt = flit.pkt.get();
+            op.link->data.push(now, LinkFlit{std::move(flit), vc.outVc});
             --op.credits[static_cast<std::size_t>(vc.outVc)];
             flitsOut_.inc();
             ++flitsSwitchedTotal_;
@@ -310,11 +419,11 @@ Router::switchAllocateAndTraverse(Cycle now)
             if (r->ip->link)
                 r->ip->link->credit.push(now, Credit{r->vcIdx});
 
-            if (flit.head()) {
-                policy_.onForward(id_, *flit.pkt, now);
+            if (is_head) {
+                policy_.onForward(id_, *pkt, now);
                 packetsForwarded_.inc();
             }
-            if (flit.tail()) {
+            if (is_tail) {
                 op.vcBusy[static_cast<std::size_t>(vc.outVc)] = false;
                 finishPacket(*r->ip, vc);
             }
@@ -325,17 +434,15 @@ Router::switchAllocateAndTraverse(Cycle now)
 void
 Router::changeStatus(VirtualChannel &vc, VcStatus to)
 {
-    auto delta = [this](VcStatus st, int d) {
-        switch (st) {
-          case VcStatus::Routing: routingCount_ += d; break;
-          case VcStatus::WaitVa: waitVaCount_ += d; break;
-          case VcStatus::Active: activeCount_ += d; break;
-          default: break;
-        }
-    };
-    delta(vc.status, -1);
+    InPort &ip = in_[vc.port];
+    const std::uint64_t bit = std::uint64_t{1} << vc.idx;
+    const auto from = static_cast<std::size_t>(vc.status);
+    const auto dest = static_cast<std::size_t>(to);
+    ip.stateMask[from] &= ~bit;
+    --stateCount_[from];
     vc.status = to;
-    delta(to, +1);
+    ip.stateMask[dest] |= bit;
+    ++stateCount_[dest];
 }
 
 void
@@ -355,11 +462,7 @@ Router::finishPacket(InPort &, VirtualChannel &vc)
 int
 Router::bufferedFlits() const
 {
-    int n = 0;
-    for (const auto &ip : in_)
-        for (const auto &vc : ip.vcs)
-            n += static_cast<int>(vc.buffer.size());
-    return n;
+    return bufferedTotal_;
 }
 
 int
@@ -375,13 +478,32 @@ Router::bufferedFlits(Dir d) const
 int
 Router::localCongestion() const
 {
-    int n = 0;
-    for (int d = 1; d < kNumDirs; ++d) {
-        const auto &ip = in_[static_cast<std::size_t>(d)];
-        for (const auto &vc : ip.vcs)
-            n += static_cast<int>(vc.buffer.size());
+    return localCongestion_;
+}
+
+bool
+Router::quiescent(Cycle) const
+{
+    if (faults_ != nullptr && faults_->spec().stuckRouter == id_)
+        return false;
+    if (bufferedTotal_ != 0 ||
+        stateCount_[static_cast<std::size_t>(VcStatus::Routing)] != 0 ||
+        stateCount_[static_cast<std::size_t>(VcStatus::WaitVa)] != 0 ||
+        stateCount_[static_cast<std::size_t>(VcStatus::Active)] != 0) {
+        return false;
     }
-    return n;
+    for (const auto &ip : in_) {
+        if (ip.link && ip.link->data.inFlight() != 0)
+            return false;
+    }
+    // Credits in flight on the output links do NOT block quiescence:
+    // an empty router makes no decision that reads its credit
+    // counters, and receiveCredits() drains every arrived credit at
+    // the top of the next tick, before any allocation stage looks at
+    // them. Deferring the drain to the next data-driven wake therefore
+    // yields bit-identical state while letting the router sleep
+    // through pure credit-return traffic.
+    return true;
 }
 
 void

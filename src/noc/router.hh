@@ -35,7 +35,7 @@ namespace stacknoc::noc {
  * eligibility consult an ArbitrationPolicy, which is how the STT-RAM-aware
  * scheme re-orders packets.
  */
-class Router : public Ticking
+class Router final : public Ticking
 {
   public:
     Router(std::string name, NodeId id, const NocParams &params,
@@ -49,6 +49,16 @@ class Router : public Ticking
     void connectOut(Dir d, Link *link);
 
     void tick(Cycle now) override;
+
+    /**
+     * Idle iff no flit is buffered, no VC is mid-pipeline, and nothing
+     * is in flight on the incoming data or credit pipes. A router
+     * designated as a stuck-fault site never sleeps: the injector
+     * samples (and counts) the wedge window at every tick.
+     */
+    bool quiescent(Cycle now) const override;
+
+    TickKind tickKind() const override { return TickKind::Router; }
 
     /**
      * Enable fault injection (stuck-router windows). While the
@@ -104,6 +114,7 @@ class Router : public Ticking
 
     const NocParams &params() const { return params_; }
 
+
   private:
     enum class VcStatus { Idle, Routing, WaitVa, Active };
 
@@ -114,6 +125,8 @@ class Router : public Ticking
         Dir outDir = Dir::Local;
         int outVc = -1;
         Cycle vaDoneAt = kCycleNever;
+        std::uint8_t port = 0; //!< owning input port (for mask upkeep)
+        std::uint8_t idx = 0;  //!< VC index within the port
     };
 
     struct InPort
@@ -121,6 +134,12 @@ class Router : public Ticking
         Link *link = nullptr;
         std::vector<VirtualChannel> vcs;
         int rrSaVc = 0; //!< round-robin pointer for the SA input stage
+        /** One bit per VC in each pipeline state, indexed by VcStatus,
+         *  so the allocation stages iterate only occupied VCs instead
+         *  of scanning the whole array. Kept in lockstep with
+         *  VirtualChannel::status by changeStatus(); the Idle slot is
+         *  maintained but never read. */
+        std::array<std::uint64_t, 4> stateMask{};
     };
 
     struct OutPort
@@ -153,10 +172,24 @@ class Router : public Ticking
     std::array<InPort, kNumDirs> in_;
     std::array<OutPort, kNumDirs> out_;
 
-    /** Input VCs per pipeline state, for O(1) idle-stage skips. */
-    int routingCount_ = 0;
-    int waitVaCount_ = 0;
-    int activeCount_ = 0;
+    /** Input VCs per pipeline state (indexed by VcStatus; the Idle
+     *  slot is maintained but never read), for O(1) idle-stage
+     *  skips. */
+    std::array<int, 4> stateCount_{};
+
+    /** Incremental mirrors of the buffer-occupancy sums, so the RCA
+     * sideband snapshot and the quiescence predicate are O(1). */
+    int bufferedTotal_ = 0;
+    int localCongestion_ = 0; //!< buffered flits excluding the Local port
+
+    /**
+     * Per-port push-notification bytes (Channel::setSignalFlag): set
+     * by every push on the port's channel, cleared by the drains once
+     * the channel is empty, so receiveFlits/receiveCredits touch only
+     * ports something was actually pushed on.
+     */
+    std::array<std::uint8_t, kNumDirs> dataPending_{};
+    std::array<std::uint8_t, kNumDirs> creditPending_{};
 
     stats::Counter &flitsIn_;
     stats::Counter &flitsOut_;

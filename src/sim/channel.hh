@@ -14,6 +14,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/ticking.hh"
 
 namespace stacknoc {
 
@@ -49,6 +50,25 @@ class ChannelBase
     virtual void commitStaged() = 0;
 
     /**
+     * Declare @p t the receiving component of this channel: every push
+     * wakes it for idle elision. Immediate pushes wake at push time;
+     * staged pushes wake during commitStaged(), which runs single
+     * threaded after the phase barrier, so a worker thread never touches
+     * another shard's active flags.
+     */
+    void setWakeTarget(Ticking *t) { wake_target_ = t; }
+
+    /**
+     * Register a receiver-owned "something was pushed" byte: every push
+     * also sets *flag to 1 (immediate pushes at push time, staged
+     * pushes during the single-threaded commitStaged()). The receiver
+     * uses it to skip polling empty channels and is responsible for
+     * re-arming the flag while values remain in flight. Same threading
+     * contract as the wake target.
+     */
+    void setSignalFlag(std::uint8_t *flag) { signal_ = flag; }
+
+    /**
      * Install @p list as this thread's staged-channel enrolment list
      * (null restores immediate pushes). Engine use only.
      */
@@ -61,9 +81,20 @@ class ChannelBase
   protected:
     static std::vector<ChannelBase *> *stagingList() { return staging_; }
 
+    void
+    wakeTarget()
+    {
+        if (wake_target_ != nullptr)
+            wake_target_->wake();
+        if (signal_ != nullptr)
+            *signal_ = 1;
+    }
+
   private:
     static inline thread_local std::vector<ChannelBase *> *staging_ =
         nullptr;
+    Ticking *wake_target_ = nullptr;
+    std::uint8_t *signal_ = nullptr;
 };
 
 /**
@@ -97,6 +128,7 @@ class Channel : public ChannelBase
             return;
         }
         queue_.emplace_back(now + latency_, std::move(value));
+        wakeTarget();
     }
 
     void
@@ -105,6 +137,7 @@ class Channel : public ChannelBase
         for (auto &e : staged_)
             queue_.push_back(std::move(e));
         staged_.clear();
+        wakeTarget();
     }
 
     /**

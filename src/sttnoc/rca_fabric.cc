@@ -7,7 +7,8 @@ namespace stacknoc::sttnoc {
 RcaFabric::RcaFabric(noc::Network &net)
     : Ticking("sttnoc.rca_fabric"), net_(net),
       prev_(static_cast<std::size_t>(net.shape().totalNodes()), 0),
-      next_(static_cast<std::size_t>(net.shape().totalNodes()), 0)
+      next_(static_cast<std::size_t>(net.shape().totalNodes()), 0),
+      snapshot_(static_cast<std::size_t>(net.shape().totalNodes()), 0)
 {
 }
 
@@ -15,6 +16,7 @@ void
 RcaFabric::tick(Cycle)
 {
     const int n = net_.shape().totalNodes();
+    std::uint32_t acc = 0;
     for (NodeId id = 0; id < n; ++id) {
         // Aggregate the strongest neighbouring estimate at half weight
         // with the local buffer occupancy (a direction-free rendering
@@ -30,12 +32,42 @@ RcaFabric::tick(Cycle)
             neighbor_max = std::max(neighbor_max,
                                     prev_[static_cast<std::size_t>(nb)]);
         }
-        const std::uint32_t local = static_cast<std::uint32_t>(
-            net_.router(id).localCongestion());
-        next_[static_cast<std::size_t>(id)] =
+        const std::uint32_t local = snapshot_[static_cast<std::size_t>(id)];
+        const std::uint32_t v =
             std::min<std::uint32_t>(local + neighbor_max / 2, 255);
+        next_[static_cast<std::size_t>(id)] = v;
+        acc |= v;
     }
+    nextNonzero_ = acc != 0;
+}
+
+void
+RcaFabric::onCycleEnd(Cycle)
+{
+    // Publish this cycle's diffusion step. When the tick was elided the
+    // quiescence predicate guarantees next_ is still all-zero, so the
+    // swap publishes zeros — exactly what a live tick would have done.
     std::swap(prev_, next_);
+    std::swap(prevNonzero_, nextNonzero_);
+
+    const int n = net_.shape().totalNodes();
+    std::uint32_t acc = 0;
+    for (NodeId id = 0; id < n; ++id) {
+        const std::uint32_t c = static_cast<std::uint32_t>(
+            net_.router(id).localCongestion());
+        snapshot_[static_cast<std::size_t>(id)] = c;
+        acc |= c;
+    }
+    snapNonzero_ = acc != 0;
+
+    if (prevNonzero_ || nextNonzero_ || snapNonzero_)
+        wake();
+}
+
+bool
+RcaFabric::quiescent(Cycle) const
+{
+    return !prevNonzero_ && !nextNonzero_ && !snapNonzero_;
 }
 
 std::uint32_t

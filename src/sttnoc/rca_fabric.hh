@@ -22,13 +22,34 @@ namespace stacknoc::sttnoc {
  * saturating at 8 bits. The double-buffered update gives the one-cycle
  * propagation latency of real sideband wires. Readers see last cycle's
  * values, so tick ordering does not matter.
+ *
+ * The local buffer occupancies are themselves double-buffered: a
+ * cycle-end snapshot (onCycleEnd(), which the owner must register with
+ * Simulator::onCycleEnd) captures every router's localCongestion()
+ * after all router ticks, and the next cycle's tick() reads only that
+ * snapshot. This removes the one serial live read the fabric used to
+ * make, letting it tick inside the parallel phase of the sharded
+ * engine; the sideband lags the live buffers by one extra cycle, which
+ * is within the physical latency the wires model anyway.
  */
-class RcaFabric : public Ticking
+class RcaFabric final : public Ticking
 {
   public:
     explicit RcaFabric(noc::Network &net);
 
     void tick(Cycle now) override;
+
+    /**
+     * Capture the post-tick router congestion and publish this cycle's
+     * diffusion step (the prev/next swap). Must run in every cycle's
+     * end phase, whether or not tick() was elided.
+     */
+    void onCycleEnd(Cycle now);
+
+    /** Idle iff the published, pending, and snapshot values are all 0. */
+    bool quiescent(Cycle now) const override;
+
+    TickKind tickKind() const override { return TickKind::RcaFabric; }
 
     /** @return the diffused congestion value at node @p n (0..255). */
     std::uint32_t value(NodeId n) const;
@@ -37,6 +58,11 @@ class RcaFabric : public Ticking
     noc::Network &net_;
     std::vector<std::uint32_t> prev_;
     std::vector<std::uint32_t> next_;
+    /** Router localCongestion() captured at the end of the last cycle. */
+    std::vector<std::uint32_t> snapshot_;
+    bool prevNonzero_ = false;
+    bool nextNonzero_ = false;
+    bool snapNonzero_ = false;
 };
 
 } // namespace stacknoc::sttnoc

@@ -176,7 +176,7 @@ CmpSystem::CmpSystem(const SystemConfig &config)
 
     // Every component is registered by now; the engine snapshots the
     // registry when it builds its shard plan.
-    engine_ = engine::makeEngine(sim_, config_.threads);
+    engine_ = engine::makeEngine(sim_, config_.threads, config_.elide);
 
     if (config_.profile) {
         profiler_ = std::make_unique<telemetry::CycleProfiler>(
@@ -247,7 +247,16 @@ CmpSystem::buildNetwork()
     if (bankAwarePolicy_) {
         if (*sc.scheme == sttnoc::EstimatorKind::Rca) {
             rcaFabric_ = std::make_unique<sttnoc::RcaFabric>(*net_);
-            sim_.add(rcaFabric_.get());
+            // The fabric ticks from its congestion snapshot, so it can
+            // join the parallel phase on its own shard key (one past
+            // the per-column keys the network components use). The
+            // snapshot + publish step runs at cycle end, after every
+            // router has ticked.
+            sim_.add(rcaFabric_.get(), shape_.nodesPerLayer());
+            sim_.onCycleEnd(
+                [fab = rcaFabric_.get()](Cycle now) {
+                    fab->onCycleEnd(now);
+                });
         }
         bankAwarePolicy_->setEstimator(sttnoc::makeEstimator(
             *sc.scheme, *regions_, *parents_,

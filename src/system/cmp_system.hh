@@ -126,6 +126,14 @@ struct SystemConfig
      */
     int threads = 1;
 
+    /**
+     * Idle elision: skip components whose quiescent() predicate holds
+     * until a channel push or direct call wakes them (bit-identical to
+     * ticking everything; see docs/ENGINE.md). False is the escape
+     * hatch (`--no-elide`) that restores the full per-cycle walk.
+     */
+    bool elide = true;
+
     /** Enable the runtime invariant checkers (strict observers). */
     bool validate = false;
 
@@ -277,6 +285,27 @@ class CmpSystem
 
     const char *engineName() const { return engine_->name(); }
     int engineThreads() const { return engine_->threads(); }
+    bool engineElides() const { return engine_->elides(); }
+
+    /** Component ticks actually executed by the engine. */
+    std::uint64_t engineTickedComponents() const
+    {
+        return engine_->tickedComponents();
+    }
+
+    /** Component ticks a full walk would have executed. */
+    std::uint64_t engineTickSlots() const { return engine_->tickSlots(); }
+
+    /** Mean fraction of components ticked per cycle (1.0 = no elision). */
+    double
+    engineActiveFraction() const
+    {
+        const auto slots = engine_->tickSlots();
+        return slots != 0
+                   ? static_cast<double>(engine_->tickedComponents()) /
+                         static_cast<double>(slots)
+                   : 1.0;
+    }
 
   private:
     void buildNetwork();

@@ -249,6 +249,14 @@ writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
     w.kv("wall_seconds", sys.wallSeconds());
     w.kv("ticks", static_cast<std::uint64_t>(sys.engineTicks()));
     w.kv("ticks_per_sec", sys.ticksPerSecond());
+    // Idle-elision occupancy: component ticks actually executed over
+    // tick slots offered. Observer-only like wall time — the count may
+    // legitimately differ between engines at equal results.
+    w.kv("elide", sys.engineElides());
+    w.kv("ticked_components",
+         static_cast<std::uint64_t>(sys.engineTickedComponents()));
+    w.kv("tick_slots", static_cast<std::uint64_t>(sys.engineTickSlots()));
+    w.kv("active_fraction", sys.engineActiveFraction());
     w.endObject();
 
     // Cycle-accounting profile. Wall-clock like "perf": excluded from
@@ -258,6 +266,7 @@ writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
         w.beginObject();
         w.kv("cycles", static_cast<std::uint64_t>(prof->cycles()));
         w.kv("total_seconds", prof->totalPhaseSeconds());
+        w.kv("active_fraction", sys.engineActiveFraction());
         w.key("phases");
         w.beginObject();
         for (std::size_t p = 0; p < telemetry::kNumEnginePhases; ++p) {

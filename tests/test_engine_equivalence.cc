@@ -1,11 +1,14 @@
 /**
  * @file
- * The sharded parallel engine's determinism contract: running the same
- * system with --threads {2,4,8} must be bit-identical to --threads 1 —
- * every counter, every double-precision average sum, every telemetry
- * trace record, in the same order. Plus unit tests of the shard
- * partition itself (every component assigned exactly once, equal
- * affinity keys co-sharded, cross-layer TSB pairs never split).
+ * The execution engines' determinism contract: running the same system
+ * with --threads {2,4,8} must be bit-identical to --threads 1 — every
+ * counter, every double-precision average sum, every telemetry trace
+ * record, in the same order — and the idle-elision engine must be
+ * bit-identical to the full --no-elide walk across the whole
+ * {elide, no-elide} x {1,2,4,8} threads x seeds x {clean, faults}
+ * cross product. Plus unit tests of the shard partition itself (every
+ * component assigned exactly once, equal affinity keys co-sharded,
+ * cross-layer TSB pairs never split).
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +21,7 @@
 #include <string>
 
 #include "engine/shard_plan.hh"
+#include "fault/fault_spec.hh"
 #include "noc/packet.hh"
 #include "system/cmp_system.hh"
 #include "telemetry/trace.hh"
@@ -27,7 +31,8 @@ using namespace stacknoc;
 namespace {
 
 system::SystemConfig
-baseConfig(std::uint64_t seed, int threads)
+baseConfig(std::uint64_t seed, int threads, bool elide = true,
+           bool with_faults = false)
 {
     system::SystemConfig cfg;
     cfg.meshWidth = 4;
@@ -41,9 +46,20 @@ baseConfig(std::uint64_t seed, int threads)
     cfg.apps = apps;
     cfg.seed = seed;
     cfg.threads = threads;
+    cfg.elide = elide;
     cfg.validate = true;
     cfg.validation.failFast = true;
     cfg.intervalPeriod = 128;
+    if (with_faults) {
+        // Write BER plus link/TSB BER so retry and recovery paths run
+        // under elision (a fuzz staple, see docs/RESILIENCE.md).
+        std::string err;
+        const bool ok = fault::parseFaultSpec(
+            "stt_write_ber=1e-3,link_flit_ber=2e-4,tsb_flit_ber=1e-4",
+            cfg.faults, err);
+        EXPECT_TRUE(ok) << err;
+        cfg.faultsEnabled = true;
+    }
     return cfg;
 }
 
@@ -82,7 +98,8 @@ struct RunDigest
 
 /** Build, warm up and run one system; digest everything observable. */
 RunDigest
-runOnce(std::uint64_t seed, int threads)
+runOnce(std::uint64_t seed, int threads, bool elide = true,
+        bool with_faults = false, Cycle warmup = 200, Cycle cycles = 1500)
 {
     // Fresh id streams so in-process runs mint identical packet ids.
     noc::resetPacketIds();
@@ -94,9 +111,10 @@ runOnce(std::uint64_t seed, int threads)
 
     RunDigest out;
     {
-        system::CmpSystem sys(baseConfig(seed, threads));
-        sys.warmup(200);
-        sys.run(1500);
+        system::CmpSystem sys(
+            baseConfig(seed, threads, elide, with_faults));
+        sys.warmup(warmup);
+        sys.run(cycles);
         tracer.flush();
 
         std::ostringstream stats;
@@ -154,6 +172,45 @@ TEST(EngineEquivalence, TenSeedThreadSweepBitIdentical)
             EXPECT_EQ(ref.metrics, got.metrics)
                 << "metrics diverged: seed " << seed << ", " << threads
                 << " threads";
+        }
+    }
+}
+
+TEST(EngineEquivalence, ElisionCrossProductBitIdentical)
+{
+    // {elide, no-elide} x {1,2,4,8} threads x 10 seeds x {clean,
+    // faults}: every cell must match the elide/1-thread reference for
+    // its (seed, faults) pair. Shorter runs than the ten-seed sweep
+    // keep the 160-run cross product affordable; divergence, if any,
+    // shows within a few hundred cycles because the first elided tick
+    // that should have run skews every downstream stat.
+    const Cycle kWarmup = 100, kCycles = 600;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        for (const bool faults : {false, true}) {
+            const RunDigest ref =
+                runOnce(seed, 1, true, faults, kWarmup, kCycles);
+            ASSERT_FALSE(ref.stats.empty());
+            for (const bool elide : {true, false}) {
+                for (const int threads : {1, 2, 4, 8}) {
+                    if (elide && threads == 1)
+                        continue; // the reference itself
+                    const RunDigest got = runOnce(
+                        seed, threads, elide, faults, kWarmup, kCycles);
+                    const auto ctx = [&] {
+                        std::ostringstream os;
+                        os << "seed " << seed << ", " << threads
+                           << " threads, elide=" << elide
+                           << ", faults=" << faults;
+                        return os.str();
+                    }();
+                    EXPECT_EQ(ref.stats, got.stats)
+                        << "stats diverged: " << ctx;
+                    EXPECT_EQ(ref.trace, got.trace)
+                        << "trace diverged: " << ctx;
+                    EXPECT_EQ(ref.metrics, got.metrics)
+                        << "metrics diverged: " << ctx;
+                }
+            }
         }
     }
 }

@@ -32,6 +32,7 @@ TEST(RcaFabric, IdleNetworkDiffusesToZero)
                      std::make_unique<noc::ZxyRouting>(shape), policy);
     sttnoc::RcaFabric fabric(net);
     sim.add(&fabric);
+    sim.onCycleEnd([&](Cycle now) { fabric.onCycleEnd(now); });
     sim.run(50);
     for (NodeId n = 0; n < shape.totalNodes(); ++n)
         EXPECT_EQ(fabric.value(n), 0u);
@@ -54,6 +55,7 @@ TEST(RcaFabric, CongestionDiffusesToNeighbours)
 
     sttnoc::RcaFabric fabric(net);
     sim.add(&fabric);
+    sim.onCycleEnd([&](Cycle now) { fabric.onCycleEnd(now); });
     for (int i = 0; i < 20; ++i)
         net.ni(5).send(
             noc::makePacket(noc::PacketClass::DataResp, 5, 21), 0);

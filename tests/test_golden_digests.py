@@ -1,0 +1,115 @@
+"""Golden determinism corpus: re-runs stacknoc_run for every recorded
+scenario/workload pair under tests/golden/ and diffs the fresh
+--json-stats output against the checked-in golden with
+tools/stats_diff.py (which skips the wall-clock perf/profile sections,
+so the comparison is a pure determinism digest).
+
+The corpus pins the simulator's observable behavior across refactors:
+any change to tick order, elision, RNG streams, or stat accounting
+shows up as a golden diff and must be an intentional re-record
+(tests/golden/README.md has the regeneration commands).
+
+One pair additionally re-runs with --no-elide and with --threads 4:
+every engine mode must reproduce the identical digest, not just the
+recording configuration.
+
+Written pytest-style (plain asserts, test_* functions) but with no
+pytest dependency: ``python3 tests/test_golden_digests.py
+[path/to/stacknoc_run]`` runs every test function, which is how ctest
+invokes it.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+TESTS = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(TESTS)
+GOLDEN = os.path.join(TESTS, "golden")
+STATS_DIFF = os.path.join(REPO, "tools", "stats_diff.py")
+STACKNOC_RUN = os.environ.get("STACKNOC_RUN", "")
+
+# Keep in sync with tests/golden/README.md.
+BASE_ARGS = ["--mesh", "4x4", "--cycles", "2000", "--warmup", "200",
+             "--seed", "1"]
+MIXES = {
+    "tpcc": ["--app", "tpcc"],
+    "mixed": ["--apps", "tpcc,lbm,mcf,libquantum"],
+}
+SCENARIOS = ["MRAM-64TSB", "MRAM-4TSB", "MRAM-4TSB-WB"]
+
+
+def golden_path(scenario, mix):
+    return os.path.join(GOLDEN, f"{scenario}_{mix}.json")
+
+
+def rerun(scenario, mix, extra=()):
+    fd, out = tempfile.mkstemp(prefix="stacknoc_golden_",
+                               suffix=".json")
+    os.close(fd)
+    cmd = [STACKNOC_RUN, "--scenario", scenario, *MIXES[mix],
+           *BASE_ARGS, *extra, "--json-stats", out]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    assert proc.returncode == 0, \
+        f"{' '.join(cmd)} failed:\n{proc.stderr}"
+    return out
+
+
+def diff_against_golden(scenario, mix, fresh):
+    proc = subprocess.run(
+        [sys.executable, STATS_DIFF, golden_path(scenario, mix), fresh],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, (
+        f"digest diverged from golden {scenario}/{mix}:\n{proc.stdout}"
+        f"\nIf the change is intentional, re-record per "
+        f"tests/golden/README.md.")
+
+
+def test_corpus_files_exist():
+    for scenario in SCENARIOS:
+        for mix in MIXES:
+            path = golden_path(scenario, mix)
+            assert os.path.isfile(path), f"missing golden {path}"
+
+
+def test_goldens_reproduce():
+    for scenario in SCENARIOS:
+        for mix in MIXES:
+            fresh = rerun(scenario, mix)
+            diff_against_golden(scenario, mix, fresh)
+            os.unlink(fresh)
+
+
+def test_golden_reproduces_without_elision():
+    fresh = rerun("MRAM-4TSB-WB", "tpcc", extra=["--no-elide"])
+    diff_against_golden("MRAM-4TSB-WB", "tpcc", fresh)
+    os.unlink(fresh)
+
+
+def test_golden_reproduces_with_threads():
+    fresh = rerun("MRAM-4TSB-WB", "tpcc", extra=["--threads", "4"])
+    diff_against_golden("MRAM-4TSB-WB", "tpcc", fresh)
+    os.unlink(fresh)
+
+
+def main():
+    global STACKNOC_RUN
+    if len(sys.argv) > 1:
+        STACKNOC_RUN = sys.argv[1]
+    assert STACKNOC_RUN and os.path.exists(STACKNOC_RUN), \
+        "pass the stacknoc_run binary path (or set STACKNOC_RUN)"
+    failures = 0
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            try:
+                fn()
+                print(f"PASS {name}")
+            except AssertionError as e:
+                failures += 1
+                print(f"FAIL {name}: {e}")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * The idle-elision quiescence contract (docs/ENGINE.md): a component
+ * reporting quiescent() promises its tick() is a no-op — no state, no
+ * stats, no channel pushes — until an external wake re-arms it. These
+ * tests prove the property per component kind (tick a quiescent
+ * component anyway and verify nothing changed), and unit-test the wake
+ * plumbing: channel pushes wake their receiver (immediate and staged),
+ * and every mutating component entry point wakes conservatively.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "coherence/l1_cache.hh"
+#include "coherence/l2_bank.hh"
+#include "engine/shard_plan.hh"
+#include "mem/memory_controller.hh"
+#include "noc/network.hh"
+#include "noc/routing.hh"
+#include "sim/channel.hh"
+#include "sim/simulator.hh"
+#include "system/cmp_system.hh"
+
+namespace stacknoc {
+namespace {
+
+using coherence::CohKind;
+using coherence::Grant;
+using coherence::HomeMap;
+using coherence::L1Cache;
+using coherence::L2Bank;
+using coherence::L2Config;
+using noc::PacketClass;
+using noc::PacketPtr;
+
+/** Bit-exact digest of every stat in @p g. */
+std::string
+digestGroup(const stats::Group &g)
+{
+    std::ostringstream os;
+    for (const auto &[n, c] : g.allCounters())
+        os << n << "=" << c.value() << "\n";
+    for (const auto &[n, a] : g.allAverages())
+        os << n << " sum=" << a.sum() << " count=" << a.count() << "\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Channel wake plumbing.
+// ---------------------------------------------------------------------
+
+struct StubComponent : Ticking
+{
+    StubComponent() : Ticking("stub") {}
+    void tick(Cycle) override {}
+};
+
+TEST(Wake, ImmediatePushWakesReceiverAtPushTime)
+{
+    StubComponent recv;
+    std::uint8_t flag = 0;
+    recv.bindWakeFlag(&flag);
+
+    Channel<int> ch(1);
+    ch.setWakeTarget(&recv);
+    ch.push(0, 42);
+    EXPECT_EQ(flag, 1);
+
+    recv.unbindWakeFlag(&flag);
+    flag = 0;
+    ch.push(1, 43);
+    EXPECT_EQ(flag, 0) << "unbound flag must not be written";
+}
+
+TEST(Wake, StagedPushWakesAtCommitNotAtPush)
+{
+    StubComponent recv;
+    std::uint8_t flag = 0;
+    recv.bindWakeFlag(&flag);
+
+    Channel<int> ch(1);
+    ch.setWakeTarget(&recv);
+
+    std::vector<ChannelBase *> enrolled;
+    ChannelBase::setStagingList(&enrolled);
+    ch.push(0, 42);
+    ChannelBase::setStagingList(nullptr);
+    EXPECT_EQ(flag, 0) << "staged push must defer the wake to commit";
+    ASSERT_EQ(enrolled.size(), 1u);
+
+    enrolled.front()->commitStaged();
+    EXPECT_EQ(flag, 1) << "commitStaged must wake the receiver";
+    EXPECT_TRUE(ch.receive(1).has_value());
+    recv.unbindWakeFlag(&flag);
+}
+
+TEST(Wake, UnbindOnlyClearsMatchingFlag)
+{
+    StubComponent c;
+    std::uint8_t a = 0, b = 0;
+    c.bindWakeFlag(&a);
+    c.unbindWakeFlag(&b); // not the bound flag: must stay bound
+    c.wake();
+    EXPECT_EQ(a, 1);
+    c.unbindWakeFlag(&a);
+}
+
+// ---------------------------------------------------------------------
+// Router / NetworkInterface.
+// ---------------------------------------------------------------------
+
+class AcceptAll : public noc::NetworkClient
+{
+  public:
+    bool tryAccept(const noc::Packet &) override { return true; }
+    void deliver(PacketPtr, Cycle) override {}
+};
+
+struct NetFixture
+{
+    NetFixture()
+        : shape(4, 4, 2),
+          net(sim, shape, noc::NocParams{},
+              std::make_unique<noc::ZxyRouting>(shape), policy)
+    {
+        for (NodeId n = 0; n < shape.totalNodes(); ++n)
+            net.ni(n).setClient(&client);
+    }
+
+    Simulator sim;
+    MeshShape shape;
+    noc::ArbitrationPolicy policy;
+    AcceptAll client;
+    noc::Network net;
+};
+
+TEST(Quiescence, IdleNetworkIsQuiescentAndTrafficWakesIt)
+{
+    NetFixture f;
+    f.sim.run(50); // nothing injected: everything settles idle
+    const Cycle now = f.sim.now();
+    for (NodeId n = 0; n < f.shape.totalNodes(); ++n) {
+        EXPECT_TRUE(f.net.router(n).quiescent(now)) << "router " << n;
+        EXPECT_TRUE(f.net.ni(n).quiescent(now)) << "ni " << n;
+    }
+
+    // send() must wake the NI at call time, before any tick runs.
+    std::uint8_t ni_flag = 0;
+    f.net.ni(0).bindWakeFlag(&ni_flag);
+    f.net.ni(0).send(noc::makePacket(PacketClass::DataResp, 0, 3), now);
+    EXPECT_EQ(ni_flag, 1);
+    EXPECT_FALSE(f.net.ni(0).quiescent(now));
+    f.net.ni(0).unbindWakeFlag(&ni_flag);
+
+    // The injection must ripple a wake into the attached router via the
+    // local-link channel push once the NI ticks.
+    std::uint8_t router_flag = 0;
+    f.net.router(0).bindWakeFlag(&router_flag);
+    f.sim.run(2);
+    EXPECT_EQ(router_flag, 1) << "local-link push did not wake router";
+    f.net.router(0).unbindWakeFlag(&router_flag);
+
+    // Drain, then everything must return to quiescence.
+    f.sim.run(100);
+    const Cycle later = f.sim.now();
+    for (NodeId n = 0; n < f.shape.totalNodes(); ++n) {
+        EXPECT_TRUE(f.net.router(n).quiescent(later)) << "router " << n;
+        EXPECT_TRUE(f.net.ni(n).quiescent(later)) << "ni " << n;
+    }
+}
+
+/**
+ * The no-op property, end to end: run a trafficked network twice, the
+ * second time ticking every router/NI that claims quiescence an extra
+ * time each cycle. If quiescent() ever lies, the double tick perturbs
+ * stats or buffer state and the digests diverge.
+ */
+std::string
+runNetworkScenario(bool double_tick_quiescent)
+{
+    noc::resetPacketIds();
+    NetFixture f;
+    for (int cycle = 0; cycle < 400; ++cycle) {
+        const Cycle now = f.sim.now();
+        if (cycle < 250 && cycle % 7 == 0) {
+            const NodeId src = static_cast<NodeId>(cycle) % 16;
+            const NodeId dst = (src + 5) % 32;
+            f.net.ni(src).send(
+                noc::makePacket(PacketClass::DataResp, src, dst), now);
+        }
+        if (double_tick_quiescent) {
+            for (NodeId n = 0; n < f.shape.totalNodes(); ++n) {
+                if (f.net.router(n).quiescent(now))
+                    f.net.router(n).tick(now);
+                if (f.net.ni(n).quiescent(now))
+                    f.net.ni(n).tick(now);
+            }
+        }
+        f.sim.step();
+    }
+    std::ostringstream os;
+    os << digestGroup(f.net.stats());
+    for (NodeId n = 0; n < f.shape.totalNodes(); ++n)
+        os << "buf" << n << "=" << f.net.router(n).bufferedFlits()
+           << " cong=" << f.net.router(n).localCongestion() << "\n";
+    return os.str();
+}
+
+TEST(Quiescence, QuiescentRouterAndNiTicksAreNoops)
+{
+    const std::string ref = runNetworkScenario(false);
+    const std::string doubled = runNetworkScenario(true);
+    EXPECT_EQ(ref, doubled);
+}
+
+// ---------------------------------------------------------------------
+// L2 bank (the bank controller).
+// ---------------------------------------------------------------------
+
+struct L2Fixture
+{
+    L2Fixture()
+        : group("cache"),
+          bank("l2bank0", 0, 64, sender, L2Config{}, group)
+    {}
+
+    PacketPtr
+    request(CohKind kind, CoreId core, BlockAddr addr)
+    {
+        auto pkt = noc::makePacket(kind == CohKind::GetM
+                                       ? PacketClass::WriteReq
+                                       : PacketClass::ReadReq,
+                                   core, 64, addr);
+        pkt->destBank = 0;
+        setKind(*pkt, kind, core);
+        pkt->info.flags |= coherence::kFlagL2Hit;
+        return pkt;
+    }
+
+    class RecordingSender : public noc::PacketSender
+    {
+      public:
+        void send(PacketPtr, Cycle) override { ++sent; }
+        std::size_t sent = 0;
+    };
+
+    stats::Group group;
+    RecordingSender sender;
+    L2Bank bank;
+    Cycle now = 0;
+};
+
+TEST(Quiescence, L2BankDeliverWakesAndIdleTickIsNoop)
+{
+    L2Fixture f;
+    EXPECT_TRUE(f.bank.quiescent(0));
+
+    std::uint8_t flag = 0;
+    f.bank.bindWakeFlag(&flag);
+    f.bank.deliver(f.request(CohKind::GetS, 3, 0x100), 0);
+    EXPECT_EQ(flag, 1) << "deliver() must wake the bank";
+    EXPECT_FALSE(f.bank.quiescent(0));
+
+    for (f.now = 0; f.now < 10; ++f.now)
+        f.bank.tick(f.now);
+    // Three-phase protocol: still open until the Unblock arrives.
+    EXPECT_FALSE(f.bank.quiescent(f.now));
+    auto u = noc::makePacket(PacketClass::CohCtrl, 3, 64, 0x100);
+    setKind(*u, CohKind::Unblock, 3);
+    f.bank.deliver(std::move(u), f.now);
+    for (; f.now < 20; ++f.now)
+        f.bank.tick(f.now);
+    EXPECT_TRUE(f.bank.quiescent(f.now));
+
+    // No-op property: extra ticks while quiescent change nothing.
+    const std::string before = digestGroup(f.group);
+    const std::size_t sent_before = f.sender.sent;
+    for (; f.now < 40; ++f.now)
+        f.bank.tick(f.now);
+    EXPECT_EQ(digestGroup(f.group), before);
+    EXPECT_EQ(f.sender.sent, sent_before);
+    EXPECT_TRUE(f.bank.quiescent(f.now));
+    f.bank.unbindWakeFlag(&flag);
+}
+
+// ---------------------------------------------------------------------
+// Memory controller.
+// ---------------------------------------------------------------------
+
+TEST(Quiescence, MemoryControllerDeliverWakesAndIdleTickIsNoop)
+{
+    stats::Group net_stats("network"), mem_stats("mem");
+    noc::NetworkInterface ni("ni64", 64, noc::NocParams{}, net_stats);
+    mem::MemoryController mc("mc64", 64, ni, mem::DramParams{},
+                             mem_stats);
+    EXPECT_TRUE(mc.quiescent(0));
+
+    std::uint8_t flag = 0;
+    mc.bindWakeFlag(&flag);
+    auto req = noc::makePacket(PacketClass::MemReq, 70, 64, 0x100);
+    req->destBank = 6;
+    req->ejectedAt = 0;
+    mc.deliver(std::move(req), 0);
+    EXPECT_EQ(flag, 1) << "deliver() must wake the controller";
+    EXPECT_FALSE(mc.quiescent(0));
+
+    Cycle t = 0;
+    for (; t < 500 && !mc.quiescent(t); ++t)
+        mc.tick(t);
+    EXPECT_TRUE(mc.quiescent(t)) << "DRAM access never drained";
+
+    const std::string before = digestGroup(mem_stats);
+    const std::size_t injected = ni.injectQueueDepth();
+    for (Cycle e = t; e < t + 50; ++e)
+        mc.tick(e);
+    EXPECT_EQ(digestGroup(mem_stats), before);
+    EXPECT_EQ(ni.injectQueueDepth(), injected);
+    mc.unbindWakeFlag(&flag);
+}
+
+// ---------------------------------------------------------------------
+// L1 cache.
+// ---------------------------------------------------------------------
+
+TEST(Quiescence, L1AccessWakesAndQuiescentTickIsNoop)
+{
+    stats::Group group("cache");
+    L2Fixture::RecordingSender sender;
+    coherence::L1Config cfg;
+    cfg.sets = 2;
+    cfg.ways = 2;
+    cfg.mshrs = 4;
+    L1Cache l1("l1.0", 0, sender, HomeMap{}, cfg, group);
+    EXPECT_TRUE(l1.quiescent(0));
+
+    std::uint8_t flag = 0;
+    l1.bindWakeFlag(&flag);
+    int completions = 0;
+    auto done = [&](Cycle) { ++completions; };
+
+    // A miss wakes (conservatively) but completes via deliver(), so the
+    // L1 may stay quiescent: its tick only fires delayed hits.
+    EXPECT_TRUE(l1.access(false, 0x40, true, done, 10));
+    EXPECT_EQ(flag, 1) << "access() must wake the L1";
+    auto data = noc::makePacket(PacketClass::DataResp, 64, 0, 0x40);
+    setKind(*data, CohKind::Data, 0);
+    data->info.aux = static_cast<std::uint16_t>(Grant::S);
+    l1.deliver(std::move(data), 30);
+    EXPECT_EQ(completions, 1);
+
+    // A hit schedules a delayed completion: not quiescent until the
+    // tick that fires it.
+    EXPECT_TRUE(l1.access(false, 0x40, true, done, 40));
+    EXPECT_FALSE(l1.quiescent(40));
+    Cycle t = 40;
+    for (; t < 60 && !l1.quiescent(t); ++t)
+        l1.tick(t);
+    EXPECT_TRUE(l1.quiescent(t));
+    EXPECT_EQ(completions, 2);
+
+    const std::string before = digestGroup(group);
+    for (Cycle e = t; e < t + 20; ++e)
+        l1.tick(e);
+    EXPECT_EQ(completions, 2);
+    EXPECT_EQ(digestGroup(group), before);
+    l1.unbindWakeFlag(&flag);
+}
+
+// ---------------------------------------------------------------------
+// Whole-system schedule properties.
+// ---------------------------------------------------------------------
+
+system::SystemConfig
+smallSystem()
+{
+    system::SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.scenario = system::scenarios::sttram4TsbWb();
+    cfg.apps = {"tpcc"};
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(Quiescence, CoresNeverReportQuiescent)
+{
+    noc::resetPacketIds();
+    system::CmpSystem sys(smallSystem());
+    sys.run(300);
+    const Cycle now = sys.simulator().now();
+
+    const engine::ShardPlan plan =
+        engine::buildShardPlan(sys.simulator(), 1);
+    std::size_t cores = 0;
+    auto check = [&](const engine::ShardItem &item) {
+        if (item.kind != TickKind::Core)
+            return;
+        ++cores;
+        EXPECT_FALSE(item.component->quiescent(now))
+            << "a core claimed quiescence (its workload stream and "
+               "stall accounting run every cycle)";
+    };
+    for (const auto &shard : plan.shards)
+        for (const auto &item : shard)
+            check(item);
+    for (const auto &item : plan.serial)
+        check(item);
+    EXPECT_EQ(cores, 16u);
+}
+
+TEST(Quiescence, ScheduleIsKindBatchedInOrdinalOrder)
+{
+    noc::resetPacketIds();
+    system::CmpSystem sys(smallSystem());
+    const engine::ShardPlan plan =
+        engine::buildShardPlan(sys.simulator(), 1);
+
+    // One shard requested: walking shard 0 then the serial list must
+    // visit strictly ascending ordinals with non-decreasing kinds —
+    // the contiguous per-kind batches the engines rely on.
+    std::vector<const engine::ShardItem *> walk;
+    for (const auto &shard : plan.shards)
+        for (const auto &item : shard)
+            walk.push_back(&item);
+    const std::size_t parallel = walk.size();
+    for (const auto &item : plan.serial)
+        walk.push_back(&item);
+
+    for (std::size_t i = 0; i + 1 < parallel; ++i) {
+        EXPECT_LT(walk[i]->ordinal, walk[i + 1]->ordinal);
+        EXPECT_LE(static_cast<int>(walk[i]->kind),
+                  static_cast<int>(walk[i + 1]->kind));
+    }
+    // Kind order is the historical registration order: routers first,
+    // cores last among the batched kinds.
+    ASSERT_FALSE(walk.empty());
+    EXPECT_EQ(walk.front()->kind, TickKind::Router);
+}
+
+} // namespace
+} // namespace stacknoc

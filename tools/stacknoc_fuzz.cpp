@@ -68,6 +68,7 @@ struct FuzzCase
     std::uint64_t seed = 1;
     Cycle warmup = 0;
     Cycle cycles = 4000;
+    bool elide = true;     //!< idle-elision engine mode (--no-elide off)
     std::string faultSpec; //!< empty = no fault injection
 };
 
@@ -131,6 +132,9 @@ drawCase(std::mt19937_64 &rng, bool with_faults)
     fc.seed = rng();
     fc.warmup = pick(Cycle{0}, Cycle{500});
     fc.cycles = 2000 + rng() % 6000;
+    // Bias toward the elision engine (the shipping default) while still
+    // fuzzing the full-walk path; the mode is pinned in reproducers.
+    fc.elide = pick(1, 1, 1, 0) != 0;
     if (with_faults)
         fc.faultSpec = drawFaultSpec(rng);
     return fc;
@@ -200,6 +204,7 @@ toConfig(const FuzzCase &fc)
     cfg.validate = true;
     cfg.validation.failFast = false; // collect, then minimize
     cfg.threads = g_threads;
+    cfg.elide = fc.elide;
     return cfg;
 }
 
@@ -239,7 +244,8 @@ writeCase(const FuzzCase &fc, const std::string &path)
         << "apps=" << fc.apps << "\n"
         << "seed=" << fc.seed << "\n"
         << "warmup=" << fc.warmup << "\n"
-        << "cycles=" << fc.cycles << "\n";
+        << "cycles=" << fc.cycles << "\n"
+        << "elide=" << (fc.elide ? 1 : 0) << "\n";
     if (!fc.faultSpec.empty())
         out << "fault_spec=" << fc.faultSpec << "\n";
 }
@@ -276,6 +282,7 @@ readCase(const std::string &path)
         else if (key == "seed") fc.seed = std::stoull(val);
         else if (key == "warmup") fc.warmup = std::stoull(val);
         else if (key == "cycles") fc.cycles = std::stoull(val);
+        else if (key == "elide") fc.elide = val != "0";
         else if (key == "fault_spec") fc.faultSpec = val;
         else fatal("unknown reproducer key '%s'", key.c_str());
     }
@@ -288,7 +295,7 @@ describeCase(const FuzzCase &fc)
     std::string desc = detail::format(
         "mesh=%dx%d regions=%d scheme=%s delay=%s hops=%d tech=%s "
         "place=%s buf=%d/%d rp=%d caps=%d/%d apps=%s seed=%llu "
-        "warmup=%llu cycles=%llu",
+        "warmup=%llu cycles=%llu elide=%d",
         fc.mesh, fc.mesh, fc.regions, fc.scheme.c_str(),
         fc.delayMode.c_str(), fc.hops, fc.tech.c_str(),
         fc.placement.c_str(), fc.writeBuffer ? 1 : 0,
@@ -296,7 +303,7 @@ describeCase(const FuzzCase &fc)
         fc.writeCap, fc.apps.c_str(),
         static_cast<unsigned long long>(fc.seed),
         static_cast<unsigned long long>(fc.warmup),
-        static_cast<unsigned long long>(fc.cycles));
+        static_cast<unsigned long long>(fc.cycles), fc.elide ? 1 : 0);
     if (!fc.faultSpec.empty())
         desc += " faults=" + fc.faultSpec;
     return desc;
@@ -342,6 +349,10 @@ usage()
                   for any N
   --faults        fault-campaign mode: every case also draws a bounded
                   --fault-spec (see docs/RESILIENCE.md)
+
+Each case randomly draws the engine's idle-elision mode (biased toward
+on, the shipping default); the drawn mode is pinned in reproducers via
+the elide= key so replays execute the exact engine path.
 )");
     std::exit(2);
 }

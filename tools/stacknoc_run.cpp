@@ -80,6 +80,9 @@ usage()
   --validate-period N  checker sweep period in cycles (default 1)
   --threads N       execution-engine threads (default 1; results are
                     bit-identical for any N, see docs/ENGINE.md)
+  --no-elide        tick every component every cycle instead of skipping
+                    quiescent ones (results are bit-identical either
+                    way; escape hatch / perf baseline)
   --fault-spec SPEC fault-injection campaign, e.g.
                     stt_write_ber=1e-3,tsb_flit_ber=1e-6 (implies the
                     watchdog; see docs/RESILIENCE.md for the grammar)
@@ -102,8 +105,8 @@ const std::vector<std::string> kKnownOptions = {
     "--interval", "--profile", "--chrome-trace", "--heatmap",
     "--heatmap-period", "--power", "--thermal", "--thermal-period",
     "--progress", "--validate", "--validate-period",
-    "--threads", "--fault-spec", "--watchdog", "--timeout-sec",
-    "--list-apps",
+    "--threads", "--no-elide", "--fault-spec", "--watchdog",
+    "--timeout-sec", "--list-apps",
 };
 
 system::Scenario
@@ -275,6 +278,8 @@ main(int argc, char **argv)
                                              10));
             fatal_if(cfg.threads < 1, "--threads must be >= 1");
             ++i;
+        } else if (arg == "--no-elide") {
+            cfg.elide = false;
         } else if (arg == "--fault-spec") {
             std::string err;
             if (!fault::parseFaultSpec(need(i), cfg.faults, err)) {
@@ -445,9 +450,11 @@ main(int argc, char **argv)
                         : static_cast<int>(
                               thermal->hotBanks(1).front().bank));
     }
-    std::printf("engine=%s threads=%d wall_s=%.3f ticks_per_sec=%.0f\n",
-                sys.engineName(), sys.engineThreads(), sys.wallSeconds(),
-                sys.ticksPerSecond());
+    std::printf("engine=%s threads=%d elide=%d active_fraction=%.3f "
+                "wall_s=%.3f ticks_per_sec=%.0f\n",
+                sys.engineName(), sys.engineThreads(),
+                sys.engineElides() ? 1 : 0, sys.engineActiveFraction(),
+                sys.wallSeconds(), sys.ticksPerSecond());
     if (const auto *prof = sys.profiler())
         prof->writeTable(std::cout, sys.wallSeconds());
     if (dump_stats)

@@ -55,6 +55,7 @@ struct SweepResult
     double p95NetLatency = 0.0;
     double wallSeconds = 0.0;
     double ticksPerSec = 0.0;
+    double activeFraction = 0.0; //!< child's perf.active_fraction
     double totalEnergyUJ = 0.0; //!< child's metrics.energy_uj.total
     double peakTempC = 0.0;     //!< child's thermal.peak_c (0 if off)
     /** Engine-phase wall-time breakdown (child's profile.phases). */
@@ -190,6 +191,7 @@ runJob(const SweepOptions &opt, const SweepJob &job, int idx)
     res.p95NetLatency = num(metrics, "p95_network_latency");
     res.wallSeconds = num(perf, "wall_seconds");
     res.ticksPerSec = num(perf, "ticks_per_sec");
+    res.activeFraction = num(perf, "active_fraction");
     if (const auto *energy = metrics->find("energy_uj");
         energy && energy->isObject())
         res.totalEnergyUJ = num(energy, "total");
@@ -225,6 +227,7 @@ writeRun(telemetry::JsonWriter &w, const SweepResult &r)
     w.kv("p95_network_latency", r.p95NetLatency);
     w.kv("wall_seconds", r.wallSeconds);
     w.kv("ticks_per_sec", r.ticksPerSec);
+    w.kv("active_fraction", r.activeFraction);
     w.kv("total_energy_uj", r.totalEnergyUJ);
     w.kv("peak_temp_c", r.peakTempC);
     w.key("profile_phases");
@@ -388,12 +391,12 @@ main(int argc, char **argv)
     w.beginObject();
     w.kv("bench", "throughput");
     w.kv("tool", "stacknoc_sweep");
-    // Version 3: run records gain total_energy_uj and peak_temp_c
-    // (children run with --thermal unless --no-thermal). Version 2
-    // added profile_phases. Readers should ignore unknown fields but
-    // may key behavior off this stamp; version-2 readers keep working,
-    // the new fields only add.
-    w.kv("schema_version", 3);
+    // Version 4: run records gain active_fraction (idle-elision
+    // occupancy from the child's perf section). Version 3 added
+    // total_energy_uj and peak_temp_c; version 2 added profile_phases.
+    // Readers should ignore unknown fields but may key behavior off
+    // this stamp; older readers keep working, the new fields only add.
+    w.kv("schema_version", 4);
     w.key("grid");
     w.beginObject();
     w.kv("cycles", static_cast<std::uint64_t>(opt.cycles));
