@@ -3,7 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
+#include "server/client.hh"
+#include "server/protocol.hh"
+#include "snapshot/checkpoint.hh"
 #include "system/stats_export.hh"
 
 namespace stacknoc::bench {
@@ -32,6 +36,8 @@ env()
     e.appCap = static_cast<int>(envU64("STTNOC_APPS", 0));
     if (const char *p = std::getenv("STTNOC_JSON"); p && *p)
         e.jsonPath = p;
+    if (const char *p = std::getenv("STTNOC_SERVER"); p && *p)
+        e.serverSocket = p;
     return e;
 }
 
@@ -43,11 +49,114 @@ capApps(std::vector<std::string> apps, const BenchEnv &e)
     return apps;
 }
 
+namespace {
+
+/**
+ * Submit one run to the campaign server (STTNOC_SERVER). Fills only
+ * the headline RunResult fields from the result payload. @return false
+ * when the caller should simulate in-process instead: connection or
+ * protocol failure, or a scenario the wire protocol cannot express.
+ */
+bool
+runOneViaServer(const system::Scenario &scenario,
+                const std::vector<std::string> &apps, const BenchEnv &e,
+                RunResult &r)
+{
+    server::JobRequest req;
+    req.scenario = scenario.name;
+    req.apps = apps;
+    req.seed = e.seed;
+    req.warmup = e.warmup;
+    req.cycles = e.measure;
+
+    // The server resolves scenarios by name; a harness that customised
+    // scenario fields beyond the named design point cannot go over the
+    // wire. Compare canonical warm specs to detect that exactly.
+    system::SystemConfig want;
+    if (!server::buildConfig(req, want).empty())
+        return false;
+    system::SystemConfig have = want;
+    have.scenario = scenario;
+    if (snapshot::canonicalWarmSpec(have, e.warmup) !=
+        snapshot::canonicalWarmSpec(want, e.warmup))
+        return false;
+
+    server::Connection conn;
+    std::string err;
+    if (!conn.connectTo(e.serverSocket, err)) {
+        std::fprintf(stderr, "bench: %s\n", err.c_str());
+        return false;
+    }
+    std::string cmd;
+    {
+        std::ostringstream os;
+        telemetry::JsonWriter w(os);
+        w.beginObject();
+        w.kv("cmd", "run");
+        server::writeJobRequestMembers(w, req);
+        w.endObject();
+        cmd = os.str();
+    }
+    if (!conn.sendLine(cmd, err))
+        return false;
+
+    std::string line;
+    while (conn.readLine(line, err)) {
+        std::string perr;
+        const auto doc = telemetry::JsonValue::parse(line, &perr);
+        if (!doc || !doc->isObject())
+            continue;
+        const auto *ev = doc->find("event");
+        const std::string kind =
+            ev != nullptr && ev->isString() ? ev->asString() : "";
+        if (kind == "error") {
+            const auto *reason = doc->find("reason");
+            std::fprintf(stderr, "bench: server error: %s\n",
+                         reason != nullptr && reason->isString()
+                             ? reason->asString().c_str()
+                             : "?");
+            return false;
+        }
+        if (kind != "result")
+            continue;
+        const auto *data = doc->find("data");
+        if (data == nullptr || !data->isObject())
+            return false;
+        const auto num = [&](const char *key) {
+            const auto *v = data->find(key);
+            return v != nullptr && v->isNumber() ? v->asDouble() : 0.0;
+        };
+        r = RunResult{};
+        r.minIpc = num("min_ipc");
+        r.meanIpc = num("mean_ipc");
+        r.instructionThroughput = num("instruction_throughput");
+        r.netLatency = num("avg_network_latency");
+        r.queueLatency = num("avg_bank_queue_latency");
+        r.uncoreLatency = num("avg_uncore_latency");
+        r.energyUJ = num("total_energy_uj");
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
 RunResult
 runOne(const system::Scenario &scenario,
        const std::vector<std::string> &apps, const BenchEnv &e,
        const std::function<void(system::SystemConfig &)> &mutate)
 {
+    // A mutate hook changes the config in ways a server request cannot
+    // carry, so those runs always simulate in-process.
+    if (!e.serverSocket.empty() && !mutate) {
+        RunResult r;
+        if (runOneViaServer(scenario, apps, e, r))
+            return r;
+        std::fprintf(stderr,
+                     "bench: falling back to in-process run for %s\n",
+                     scenario.name.c_str());
+    }
+
     system::SystemConfig cfg;
     cfg.scenario = scenario;
     cfg.apps = apps;

@@ -11,6 +11,10 @@
  *   STTNOC_SEED    experiment seed         (default 1)
  *   STTNOC_APPS    cap on apps per panel   (default 0 = all)
  *   STTNOC_JSON    append one JSON line per run to this file
+ *   STTNOC_SERVER  submit runs to the stacknoc_serve campaign server
+ *                  on this Unix socket instead of simulating in-process
+ *                  (headline metrics only; falls back to in-process for
+ *                  runs the wire protocol cannot express)
  */
 
 #ifndef STACKNOC_BENCH_BENCH_UTIL_HH
@@ -35,6 +39,10 @@ struct BenchEnv
     std::uint64_t seed = 1;
     int appCap = 0; //!< 0 = no cap
     std::string jsonPath; //!< empty = no JSON-lines output
+    /** Campaign-server socket; empty = simulate in-process. Server
+     *  runs fill only the headline RunResult fields (IPC, throughput,
+     *  latencies, energy) — distributions and probes stay zero. */
+    std::string serverSocket;
 };
 
 /** @return knobs parsed from the environment. */

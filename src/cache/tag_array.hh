@@ -12,6 +12,10 @@
 
 #include "common/types.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::cache {
 
 /** One cached block. `state` is protocol-defined (MESI for the L1s). */
@@ -76,6 +80,8 @@ class TagArray
     }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoints entries + LRU clock
+
     std::size_t setBase(BlockAddr addr) const;
 
     int numSets_;

@@ -67,6 +67,22 @@ bool
 L1Cache::access(bool is_write, BlockAddr addr, bool l2_hit_hint,
                 std::function<void(Cycle)> on_done, Cycle now)
 {
+    return accessImpl(is_write, addr, l2_hit_hint,
+                      Completion{nullptr, std::move(on_done)}, now);
+}
+
+bool
+L1Cache::access(bool is_write, BlockAddr addr, bool l2_hit_hint,
+                std::shared_ptr<bool> done_flag, Cycle now)
+{
+    return accessImpl(is_write, addr, l2_hit_hint,
+                      Completion{std::move(done_flag), nullptr}, now);
+}
+
+bool
+L1Cache::accessImpl(bool is_write, BlockAddr addr, bool l2_hit_hint,
+                    Completion on_done, Cycle now)
+{
     // Conservative idle-elision wake: hits schedule a delayed completion
     // that only this cache's tick can fire.
     wake();

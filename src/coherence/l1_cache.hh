@@ -11,6 +11,7 @@
 #define STACKNOC_COHERENCE_L1_CACHE_HH
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -20,6 +21,10 @@
 #include "sim/ticking.hh"
 #include "noc/network_interface.hh"
 #include "coherence/messages.hh"
+
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
 
 namespace stacknoc::coherence {
 
@@ -86,6 +91,15 @@ class L1Cache final : public Ticking, public noc::NetworkClient
     bool access(bool is_write, BlockAddr addr, bool l2_hit_hint,
                 std::function<void(Cycle)> on_done, Cycle now);
 
+    /**
+     * Same as above, but the completion is a plain done-flag set when
+     * the operation finishes. This is the production (core) path: flag
+     * completions survive checkpoint save/restore, whereas the
+     * std::function form cannot be serialised.
+     */
+    bool access(bool is_write, BlockAddr addr, bool l2_hit_hint,
+                std::shared_ptr<bool> done_flag, Cycle now);
+
     void deliver(noc::PacketPtr pkt, Cycle now) override;
     void tick(Cycle now) override;
 
@@ -118,13 +132,39 @@ class L1Cache final : public Ticking, public noc::NetworkClient
     const cache::TagArray &tags() const { return tags_; }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
+    /**
+     * A pending completion: either a serialisable done-flag (production
+     * core path) or an opaque callback (test harnesses). Checkpointing
+     * refuses callback completions — only flags can be re-bound on load.
+     */
+    struct Completion
+    {
+        std::shared_ptr<bool> flag;
+        std::function<void(Cycle)> fn;
+
+        void
+        operator()(Cycle t)
+        {
+            if (flag)
+                *flag = true;
+            if (fn)
+                fn(t);
+        }
+
+        explicit operator bool() const { return flag != nullptr || !!fn; }
+    };
+
     struct Mshr
     {
         bool isWrite;
         Cycle startedAt;
-        std::function<void(Cycle)> onDone;
+        Completion onDone;
     };
 
+    bool accessImpl(bool is_write, BlockAddr addr, bool l2_hit_hint,
+                    Completion on_done, Cycle now);
     void sendRequest(noc::PacketClass cls, CohKind kind, BlockAddr addr,
                      bool l2_hit_hint, Cycle now);
     void completeMiss(BlockAddr addr, L1State final_state, Cycle now);
@@ -139,7 +179,7 @@ class L1Cache final : public Ticking, public noc::NetworkClient
 
     std::unordered_map<BlockAddr, Mshr> mshrs_;
     std::unordered_set<BlockAddr> pendingPutM_;
-    std::vector<std::pair<Cycle, std::function<void(Cycle)>>> delayed_;
+    std::vector<std::pair<Cycle, Completion>> delayed_;
 
     stats::Counter &hits_;
     stats::Counter &misses_;

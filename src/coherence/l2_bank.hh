@@ -30,6 +30,10 @@ namespace stacknoc::fault {
 class FaultInjector;
 } // namespace stacknoc::fault
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::coherence {
 
 /** L2 bank configuration. */
@@ -173,6 +177,10 @@ class L2Bank final : public Ticking, public noc::NetworkClient
     const mem::BankController &bankController() const { return ctrl_; }
 
   private:
+    /** Checkpointing rebuilds the bank-controller completion callbacks
+     *  (always respondAndFinish bound to this bank + an address). */
+    friend class snapshot::StateIO;
+
     enum class Phase {
         BankAccess,  //!< waiting for the data array
         WaitMem,     //!< fill outstanding at a memory controller

@@ -14,6 +14,10 @@
 
 namespace stacknoc {
 
+namespace snapshot {
+class StateIO;
+} // namespace snapshot
+
 /**
  * xoshiro256** generator (Blackman & Vigna). Small, fast, and good enough
  * statistical quality for workload synthesis.
@@ -43,6 +47,7 @@ class Rng
     std::uint32_t burstLength(double continue_prob, std::uint32_t max_len);
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore of s_
     std::uint64_t s_[4];
 };
 

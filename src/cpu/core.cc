@@ -61,10 +61,10 @@ Core::issue(Cycle now)
         if (e.op.dependsOnPrev && lastMemDone_ && !*lastMemDone_)
             return;
         e.done = std::make_shared<bool>(false);
-        std::shared_ptr<bool> flag = e.done;
-        const bool ok = l1_.access(
-            e.op.isWrite, e.op.addr, e.op.l2Hit,
-            [flag](Cycle) { *flag = true; }, now);
+        // Pass the flag itself (not a lambda over it) so the pending
+        // completion is a plain datum the checkpointer can serialise.
+        const bool ok = l1_.access(e.op.isWrite, e.op.addr, e.op.l2Hit,
+                                   e.done, now);
         if (!ok) {
             e.done.reset();
             if (e.op.isWrite) {

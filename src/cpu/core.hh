@@ -21,6 +21,10 @@
 #include "sim/ticking.hh"
 #include "coherence/l1_cache.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::cpu {
 
 /** One instruction from a workload stream. */
@@ -94,6 +98,8 @@ class Core final : public Ticking
     std::size_t robOccupancy() const { return rob_.size(); }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     struct RobEntry
     {
         TraceOp op;

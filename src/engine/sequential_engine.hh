@@ -12,6 +12,10 @@
 #include "engine/engine.hh"
 #include "engine/shard_plan.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::engine {
 
 /**
@@ -44,6 +48,8 @@ class SequentialEngine : public ExecutionEngine
     int threads() const override { return 1; }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoints the active set
+
     /** (Re)build the schedule when the registry changed; rebind flags. */
     void ensureSchedule();
     void unbindFlags();

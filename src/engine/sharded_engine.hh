@@ -18,6 +18,10 @@
 #include "sim/stats.hh"
 #include "telemetry/trace.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::engine {
 
 /**
@@ -72,6 +76,10 @@ class ShardedParallelEngine : public ExecutionEngine
     const ShardPlan &plan() const { return plan_; }
 
   private:
+    /** Checkpointing maps the per-shard active flags to and from
+     *  schedule ordinals between run() calls (phase barrier holds). */
+    friend class snapshot::StateIO;
+
     /** Per-shard deferral buffers, one cache-line-separated allocation
      *  per shard to keep workers from false-sharing. */
     struct ShardState

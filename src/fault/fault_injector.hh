@@ -26,6 +26,10 @@
 #include "fault/fault_spec.hh"
 #include "sim/stats.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::fault {
 
 /**
@@ -51,6 +55,7 @@ class SplitMix64
     double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore of state_
     std::uint64_t state_;
 };
 
@@ -152,6 +157,8 @@ class FaultInjector
     const stats::Group &stats() const { return stats_; }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoints the per-site streams
+
     /** Inline like the draw methods: called from noc code that does
      *  not link stacknoc_fault. */
     double

@@ -23,6 +23,10 @@ namespace stacknoc::fault {
 class FaultInjector;
 } // namespace stacknoc::fault
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::mem {
 
 /** Sentinel: no packet attached to a request for tracing purposes. */
@@ -127,6 +131,8 @@ class BankController
     const BankModel &bank() const { return bank_; }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     struct InFlight
     {
         BankRequest req;

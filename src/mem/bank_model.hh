@@ -11,6 +11,10 @@
 #include "sim/stats.hh"
 #include "mem/tech.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::mem {
 
 /**
@@ -63,6 +67,8 @@ class BankModel
     std::uint64_t writesTotal() const { return writesTotal_; }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     CacheTech tech_;
     const BankTechParams &params_;
     Cycle busyUntil_ = 0;

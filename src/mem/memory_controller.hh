@@ -15,6 +15,10 @@
 #include "noc/network_interface.hh"
 #include "mem/tech.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::mem {
 
 /**
@@ -55,6 +59,8 @@ class MemoryController final : public Ticking, public noc::NetworkClient
     std::size_t inFlight() const { return inflight_.size(); }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     struct Access
     {
         noc::PacketPtr pkt;

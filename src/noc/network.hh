@@ -19,6 +19,10 @@
 #include "noc/routing.hh"
 #include "noc/topology.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::noc {
 
 /**
@@ -91,6 +95,7 @@ class Network
     }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoints the NI-router links
     NocParams params_;
     stats::Group stats_;
     Topology topo_;

@@ -21,6 +21,10 @@ namespace stacknoc::fault {
 class FaultInjector;
 } // namespace stacknoc::fault
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::noc {
 
 /** Anything that can receive packets from its local NI. */
@@ -217,6 +221,8 @@ class NetworkInterface final : public Ticking, public PacketSender
     }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     struct InjVc
     {
         PacketPtr pkt;   //!< packet being serialised (null when free)

@@ -110,6 +110,29 @@ resetPacketIds()
     next_seq.fill(0);
 }
 
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+savePacketIdStreams()
+{
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+    for (std::size_t i = 0; i < kMaxIdStreams; ++i) {
+        if (next_seq[i] != 0)
+            out.emplace_back(static_cast<std::uint32_t>(i), next_seq[i]);
+    }
+    return out;
+}
+
+void
+restorePacketIdStreams(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> &streams)
+{
+    next_seq.fill(0);
+    for (const auto &[idx, seq] : streams) {
+        panic_if(idx >= kMaxIdStreams,
+                 "restorePacketIdStreams: stream %u out of range", idx);
+        next_seq[idx] = seq;
+    }
+}
+
 PacketPtr
 makePacket(PacketClass cls, NodeId src, NodeId dest, BlockAddr addr,
            int data_flits)

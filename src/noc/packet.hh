@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -169,6 +171,20 @@ PacketPtr makePacket(PacketClass cls, NodeId src, NodeId dest,
  * runs; never while a simulation is live.
  */
 void resetPacketIds();
+
+/**
+ * Snapshot the per-source id streams as (stream index, next sequence)
+ * pairs for the non-zero streams. Checkpoint use only, between runs.
+ */
+std::vector<std::pair<std::uint32_t, std::uint64_t>> savePacketIdStreams();
+
+/**
+ * Restore the id streams saved by savePacketIdStreams(). Streams not
+ * listed are rewound to zero, so a restored process mints exactly the
+ * ids the checkpointed run would have.
+ */
+void restorePacketIdStreams(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> &streams);
 
 } // namespace stacknoc::noc
 

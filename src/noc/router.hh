@@ -27,6 +27,10 @@ namespace stacknoc::fault {
 class FaultInjector;
 } // namespace stacknoc::fault
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::noc {
 
 /**
@@ -116,6 +120,10 @@ class Router final : public Ticking
 
 
   private:
+    /** Checkpointing serialises VC buffers/pipeline state and pending
+     *  bytes, and recomputes the derived masks/counts on load. */
+    friend class snapshot::StateIO;
+
     enum class VcStatus { Idle, Routing, WaitVa, Active };
 
     struct VirtualChannel

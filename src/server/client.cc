@@ -1,0 +1,109 @@
+#include "server/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace stacknoc::server {
+
+Connection::~Connection() { close(); }
+
+void
+Connection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+bool
+Connection::connectTo(const std::string &path, std::string &err)
+{
+    close();
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        close();
+        return false;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "connect '" + path + "': " + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Connection::sendLine(const std::string &line, std::string &err)
+{
+    if (fd_ < 0) {
+        err = "not connected";
+        return false;
+    }
+    const std::string msg = line + "\n";
+    std::size_t off = 0;
+    while (off < msg.size()) {
+        const ssize_t n =
+            ::write(fd_, msg.data() + off, msg.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            err = std::string("write: ") + std::strerror(errno);
+            close();
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+Connection::readLine(std::string &line, std::string &err)
+{
+    err.clear();
+    while (true) {
+        const std::size_t pos = buf_.find('\n');
+        if (pos != std::string::npos) {
+            line = buf_.substr(0, pos);
+            buf_.erase(0, pos + 1);
+            return true;
+        }
+        if (fd_ < 0)
+            return false; // clean EOF already seen
+        char chunk[65536];
+        const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0)
+            err = std::string("read: ") + std::strerror(errno);
+        const bool partial = !buf_.empty();
+        if (partial) {
+            line = buf_;
+            buf_.clear();
+        }
+        close();
+        if (partial && err.empty())
+            return true;
+        return false;
+    }
+}
+
+} // namespace stacknoc::server

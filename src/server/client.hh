@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Blocking client-side connection to a stacknoc_serve socket.
+ *
+ * Thin line-oriented wrapper over a Unix-domain stream socket: send
+ * one NDJSON command per sendLine(), read one server event per
+ * readLine(). Used by tools/stacknoc_client and by stacknoc_sweep's
+ * --server mode.
+ */
+
+#ifndef STACKNOC_SERVER_CLIENT_HH
+#define STACKNOC_SERVER_CLIENT_HH
+
+#include <string>
+
+namespace stacknoc::server {
+
+class Connection
+{
+  public:
+    Connection() = default;
+    ~Connection();
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    /** Connect to the Unix socket at @p path. */
+    bool connectTo(const std::string &path, std::string &err);
+
+    /** Send @p line plus a trailing newline. */
+    bool sendLine(const std::string &line, std::string &err);
+
+    /**
+     * Block until one full line arrives. @return false on EOF or
+     * error (distinguish via @p err: empty on clean EOF).
+     */
+    bool readLine(std::string &line, std::string &err);
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace stacknoc::server
+
+#endif // STACKNOC_SERVER_CLIENT_HH

@@ -1,0 +1,544 @@
+#include "server/server.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "server/protocol.hh"
+#include "telemetry/json.hh"
+
+namespace stacknoc::server {
+
+using telemetry::JsonValue;
+using telemetry::JsonWriter;
+
+namespace {
+
+std::string
+eventLine(const std::function<void(JsonWriter &)> &body)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    body(w);
+    w.endObject();
+    return os.str();
+}
+
+} // namespace
+
+CampaignServer::CampaignServer(Options opt) : opt_(std::move(opt)) {}
+
+CampaignServer::~CampaignServer()
+{
+    killWorkers();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    for (auto &[fd, c] : clients_)
+        ::close(fd);
+    if (!opt_.socketPath.empty())
+        ::unlink(opt_.socketPath.c_str());
+}
+
+bool
+CampaignServer::spawnWorker(Worker &w, std::string &err)
+{
+    int toPipe[2];   // server writes -> worker stdin
+    int fromPipe[2]; // worker stdout -> server reads
+    if (::pipe(toPipe) != 0) {
+        err = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    if (::pipe(fromPipe) != 0) {
+        err = std::string("pipe: ") + std::strerror(errno);
+        ::close(toPipe[0]);
+        ::close(toPipe[1]);
+        return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        err = std::string("fork: ") + std::strerror(errno);
+        ::close(toPipe[0]);
+        ::close(toPipe[1]);
+        ::close(fromPipe[0]);
+        ::close(fromPipe[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Worker child: stdin/stdout are the job pipes; stderr passes
+        // through to the server's stderr for diagnostics.
+        ::dup2(toPipe[0], STDIN_FILENO);
+        ::dup2(fromPipe[1], STDOUT_FILENO);
+        ::close(toPipe[0]);
+        ::close(toPipe[1]);
+        ::close(fromPipe[0]);
+        ::close(fromPipe[1]);
+        if (listenFd_ >= 0)
+            ::close(listenFd_);
+        ::execl(opt_.workerExe.c_str(), opt_.workerExe.c_str(),
+                "--worker", "--ckpt-dir", opt_.ckptDir.c_str(),
+                static_cast<char *>(nullptr));
+        std::fprintf(stderr, "stacknoc_serve: exec '%s' failed: %s\n",
+                     opt_.workerExe.c_str(), std::strerror(errno));
+        ::_exit(127);
+    }
+    ::close(toPipe[0]);
+    ::close(fromPipe[1]);
+    w.pid = pid;
+    w.toFd = toPipe[1];
+    w.fromFd = fromPipe[0];
+    w.outBuf.clear();
+    w.busy = false;
+    w.jobId = 0;
+    return true;
+}
+
+bool
+CampaignServer::start(std::string &err)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+
+    if (!opt_.ckptDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt_.ckptDir, ec);
+        if (ec) {
+            err = "cannot create checkpoint dir '" + opt_.ckptDir +
+                  "': " + ec.message();
+            return false;
+        }
+    }
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.socketPath.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + opt_.socketPath;
+        return false;
+    }
+    std::strncpy(addr.sun_path, opt_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opt_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = "bind '" + opt_.socketPath +
+              "': " + std::strerror(errno);
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        err = std::string("listen: ") + std::strerror(errno);
+        return false;
+    }
+
+    workers_.resize(static_cast<std::size_t>(opt_.workers));
+    for (auto &w : workers_)
+        if (!spawnWorker(w, err))
+            return false;
+    return true;
+}
+
+void
+CampaignServer::sendToClient(int fd, const std::string &line)
+{
+    if (clients_.find(fd) == clients_.end())
+        return; // submitter went away; drop the event
+    std::string msg = line + "\n";
+    std::size_t off = 0;
+    while (off < msg.size()) {
+        const ssize_t n =
+            ::write(fd, msg.data() + off, msg.size() - off);
+        if (n <= 0) {
+            closeClient(fd);
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+CampaignServer::closeClient(int fd)
+{
+    const auto it = clients_.find(fd);
+    if (it == clients_.end())
+        return;
+    ::close(fd);
+    clients_.erase(it);
+    // Orphan any queued/in-flight jobs: they still run (to fill the
+    // cache) but their events have nowhere to go.
+    for (auto &j : queue_)
+        if (j.clientFd == fd)
+            j.clientFd = -1;
+    for (auto &[id, j] : inflight_)
+        if (j.clientFd == fd)
+            j.clientFd = -1;
+}
+
+void
+CampaignServer::dispatchJobs()
+{
+    for (auto &w : workers_) {
+        if (queue_.empty())
+            return;
+        if (w.busy || w.pid < 0)
+            continue;
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        const std::string line = job.workerLine + "\n";
+        std::size_t off = 0;
+        bool failed = false;
+        while (off < line.size()) {
+            const ssize_t n =
+                ::write(w.toFd, line.data() + off, line.size() - off);
+            if (n <= 0) {
+                failed = true;
+                break;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        if (failed) {
+            sendToClient(job.clientFd,
+                         eventLine([&](JsonWriter &jw) {
+                             jw.kv("event", "error");
+                             jw.kv("id", job.id);
+                             jw.kv("reason", "worker pipe write failed");
+                         }));
+            continue;
+        }
+        w.busy = true;
+        w.jobId = job.id;
+        inflight_.emplace(job.id, std::move(job));
+    }
+}
+
+void
+CampaignServer::handleClientLine(Client &c, const std::string &line)
+{
+    std::string perr;
+    const auto doc = JsonValue::parse(line, &perr);
+    if (!doc || !doc->isObject()) {
+        sendToClient(c.fd, eventLine([&](JsonWriter &w) {
+                         w.kv("event", "error");
+                         w.kv("id", std::uint64_t{0});
+                         w.kv("reason", "bad command json: " + perr);
+                     }));
+        return;
+    }
+    const JsonValue *cmd = doc->find("cmd");
+    const std::string cmdName =
+        cmd != nullptr && cmd->isString() ? cmd->asString() : "";
+
+    if (cmdName == "status") {
+        int busy = 0;
+        for (const auto &w : workers_)
+            busy += w.busy ? 1 : 0;
+        sendToClient(c.fd, eventLine([&](JsonWriter &w) {
+                         w.kv("event", "status");
+                         w.kv("workers",
+                              static_cast<int>(workers_.size()));
+                         w.kv("busy", busy);
+                         w.kv("queued",
+                              static_cast<std::uint64_t>(queue_.size()));
+                         w.kv("cache_entries",
+                              static_cast<std::uint64_t>(cache_.size()));
+                         w.kv("cache_hits", cacheHits_);
+                         w.kv("completed", completed_);
+                     }));
+        return;
+    }
+    if (cmdName == "shutdown") {
+        sendToClient(c.fd, eventLine([&](JsonWriter &w) {
+                         w.kv("event", "bye");
+                     }));
+        shutdown_ = true;
+        return;
+    }
+    if (cmdName != "run") {
+        sendToClient(c.fd, eventLine([&](JsonWriter &w) {
+                         w.kv("event", "error");
+                         w.kv("id", std::uint64_t{0});
+                         w.kv("reason",
+                              "unknown cmd '" + cmdName +
+                                  "' (run|status|shutdown)");
+                     }));
+        return;
+    }
+
+    JobRequest req;
+    if (const std::string err = parseJobRequest(*doc, req);
+        !err.empty()) {
+        sendToClient(c.fd, eventLine([&](JsonWriter &w) {
+                         w.kv("event", "error");
+                         w.kv("id", std::uint64_t{0});
+                         w.kv("reason", err);
+                     }));
+        return;
+    }
+    // Resolve the config now so bad requests fail at submission, not
+    // in a worker.
+    {
+        system::SystemConfig cfg;
+        if (const std::string err = buildConfig(req, cfg);
+            !err.empty()) {
+            sendToClient(c.fd, eventLine([&](JsonWriter &w) {
+                             w.kv("event", "error");
+                             w.kv("id", std::uint64_t{0});
+                             w.kv("reason", err);
+                         }));
+            return;
+        }
+    }
+
+    const std::uint64_t id = nextJobId_++;
+    const std::uint64_t key = cacheKeyDigest(req);
+    const auto cached = cache_.find(key);
+
+    sendToClient(c.fd, eventLine([&](JsonWriter &w) {
+                     w.kv("event", "accepted");
+                     w.kv("id", id);
+                     w.kv("cache",
+                          cached != cache_.end() ? "hit" : "miss");
+                     w.kv("key", hexKey(key));
+                 }));
+
+    if (cached != cache_.end()) {
+        ++cacheHits_;
+        std::ostringstream os;
+        os << "{\"event\":\"result\",\"id\":" << id
+           << ",\"cached\":true,\"key\":\"" << hexKey(key)
+           << "\",\"data\":" << cached->second << "}";
+        sendToClient(c.fd, os.str());
+        return;
+    }
+
+    Job job;
+    job.id = id;
+    job.clientFd = c.fd;
+    job.key = key;
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("id", id);
+        writeJobRequestMembers(w, req);
+        w.endObject();
+        job.workerLine = os.str();
+    }
+    queue_.push_back(std::move(job));
+    dispatchJobs();
+}
+
+void
+CampaignServer::handleWorkerLine(Worker &w, const std::string &line)
+{
+    std::string perr;
+    const auto doc = JsonValue::parse(line, &perr);
+    if (!doc || !doc->isObject()) {
+        std::fprintf(stderr,
+                     "stacknoc_serve: bad worker line (%s): %s\n",
+                     perr.c_str(), line.c_str());
+        return;
+    }
+    const JsonValue *ev = doc->find("event");
+    const std::string kind =
+        ev != nullptr && ev->isString() ? ev->asString() : "";
+    std::uint64_t id = 0;
+    if (const JsonValue *m = doc->find("id");
+        m != nullptr && m->isNumber())
+        id = static_cast<std::uint64_t>(m->asDouble());
+
+    const auto jobIt = inflight_.find(id);
+    const int clientFd =
+        jobIt != inflight_.end() ? jobIt->second.clientFd : -1;
+
+    if (kind == "interval") {
+        sendToClient(clientFd, line);
+        return;
+    }
+    if (kind == "error") {
+        sendToClient(clientFd, line);
+        // A job-level error ends the job; free the worker.
+        if (w.jobId == id) {
+            w.busy = false;
+            w.jobId = 0;
+        }
+        inflight_.erase(id);
+        dispatchJobs();
+        return;
+    }
+    if (kind == "result") {
+        const JsonValue *data = doc->find("data");
+        std::string dataStr =
+            data != nullptr ? jsonValueToString(*data) : "null";
+        std::uint64_t key = jobIt != inflight_.end()
+                                ? jobIt->second.key
+                                : std::uint64_t{0};
+        cache_[key] = dataStr;
+        ++completed_;
+        {
+            std::ostringstream os;
+            os << "{\"event\":\"result\",\"id\":" << id
+               << ",\"cached\":false,\"key\":\"" << hexKey(key)
+               << "\",\"data\":" << dataStr << "}";
+            sendToClient(clientFd, os.str());
+        }
+        if (w.jobId == id) {
+            w.busy = false;
+            w.jobId = 0;
+        }
+        inflight_.erase(id);
+        dispatchJobs();
+        return;
+    }
+    std::fprintf(stderr, "stacknoc_serve: unknown worker event: %s\n",
+                 line.c_str());
+}
+
+void
+CampaignServer::killWorkers()
+{
+    for (auto &w : workers_) {
+        if (w.toFd >= 0)
+            ::close(w.toFd); // EOF ends the worker loop
+        if (w.fromFd >= 0)
+            ::close(w.fromFd);
+        w.toFd = w.fromFd = -1;
+    }
+    for (auto &w : workers_) {
+        if (w.pid > 0) {
+            int status = 0;
+            ::waitpid(w.pid, &status, 0);
+            w.pid = -1;
+        }
+    }
+}
+
+int
+CampaignServer::run()
+{
+    while (!shutdown_) {
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd_, POLLIN, 0});
+        for (const auto &w : workers_)
+            if (w.fromFd >= 0)
+                fds.push_back({w.fromFd, POLLIN, 0});
+        for (const auto &[fd, c] : clients_)
+            fds.push_back({fd, POLLIN, 0});
+
+        const int rc = ::poll(fds.data(),
+                              static_cast<nfds_t>(fds.size()), -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "stacknoc_serve: poll: %s\n",
+                         std::strerror(errno));
+            return 1;
+        }
+
+        for (const auto &p : fds) {
+            if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            if (p.fd == listenFd_) {
+                const int cfd = ::accept(listenFd_, nullptr, nullptr);
+                if (cfd >= 0)
+                    clients_[cfd] = Client{cfd, {}};
+                continue;
+            }
+            // Worker pipe?
+            bool isWorker = false;
+            for (auto &w : workers_) {
+                if (w.fromFd != p.fd)
+                    continue;
+                isWorker = true;
+                char buf[65536];
+                const ssize_t n = ::read(p.fd, buf, sizeof buf);
+                if (n > 0) {
+                    w.outBuf.append(buf, static_cast<std::size_t>(n));
+                    std::size_t pos;
+                    while ((pos = w.outBuf.find('\n')) !=
+                           std::string::npos) {
+                        const std::string line = w.outBuf.substr(0, pos);
+                        w.outBuf.erase(0, pos + 1);
+                        if (!line.empty())
+                            handleWorkerLine(w, line);
+                    }
+                } else {
+                    // Worker died. Fail its job, reap, respawn.
+                    ::close(w.fromFd);
+                    ::close(w.toFd);
+                    w.fromFd = w.toFd = -1;
+                    int status = 0;
+                    ::waitpid(w.pid, &status, 0);
+                    w.pid = -1;
+                    if (w.busy) {
+                        const auto it = inflight_.find(w.jobId);
+                        const int cfd = it != inflight_.end()
+                                            ? it->second.clientFd
+                                            : -1;
+                        sendToClient(
+                            cfd, eventLine([&](JsonWriter &jw) {
+                                jw.kv("event", "error");
+                                jw.kv("id", w.jobId);
+                                jw.kv("reason",
+                                      "worker process died mid-job");
+                            }));
+                        inflight_.erase(w.jobId);
+                        w.busy = false;
+                        w.jobId = 0;
+                    }
+                    std::string err;
+                    if (!spawnWorker(w, err))
+                        std::fprintf(stderr,
+                                     "stacknoc_serve: respawn failed: "
+                                     "%s\n",
+                                     err.c_str());
+                    else
+                        dispatchJobs();
+                }
+                break;
+            }
+            if (isWorker)
+                continue;
+            // Client socket.
+            const auto it = clients_.find(p.fd);
+            if (it == clients_.end())
+                continue;
+            char buf[65536];
+            const ssize_t n = ::read(p.fd, buf, sizeof buf);
+            if (n <= 0) {
+                closeClient(p.fd);
+                continue;
+            }
+            it->second.inBuf.append(buf, static_cast<std::size_t>(n));
+            std::size_t pos;
+            while ((pos = it->second.inBuf.find('\n')) !=
+                   std::string::npos) {
+                const std::string line = it->second.inBuf.substr(0, pos);
+                it->second.inBuf.erase(0, pos + 1);
+                if (!line.empty())
+                    handleClientLine(it->second, line);
+                if (shutdown_ ||
+                    clients_.find(p.fd) == clients_.end())
+                    break;
+            }
+            if (shutdown_)
+                break;
+        }
+    }
+    killWorkers();
+    return 0;
+}
+
+} // namespace stacknoc::server

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The resident campaign server behind tools/stacknoc_serve.
+ *
+ * Accepts NDJSON commands on a Unix-domain stream socket (see
+ * server/protocol.hh for the grammar), schedules "run" requests over a
+ * persistent pool of worker processes, streams each job's interval
+ * events back to the submitting client, and caches completed results
+ * keyed by the full-config digest: resubmitting an identical request
+ * is served from memory without re-simulation, which the determinism
+ * contract makes exact, not approximate.
+ *
+ * Warm-state reuse happens inside the workers (see server/worker.hh):
+ * requests that share a warm configuration — same scenario/seed/
+ * warm-up, any engine knobs or measured length — skip warm-up via the
+ * shared checkpoint directory.
+ *
+ * Single-threaded: one poll() loop owns the listener, every client
+ * connection and every worker pipe. Workers are separate processes, so
+ * the loop only shuttles lines; a worker crash fails its job with an
+ * "error" event and the worker is respawned.
+ */
+
+#ifndef STACKNOC_SERVER_SERVER_HH
+#define STACKNOC_SERVER_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace stacknoc::server {
+
+class CampaignServer
+{
+  public:
+    struct Options
+    {
+        std::string socketPath;
+        int workers = 1;
+        /** Warm-checkpoint directory ("" disables warm reuse). */
+        std::string ckptDir;
+        /** Executable to spawn workers from (this binary). */
+        std::string workerExe;
+    };
+
+    explicit CampaignServer(Options opt);
+    ~CampaignServer();
+
+    CampaignServer(const CampaignServer &) = delete;
+    CampaignServer &operator=(const CampaignServer &) = delete;
+
+    /** Bind the socket and spawn the worker pool. */
+    bool start(std::string &err);
+
+    /** Serve until a shutdown command. @return process exit code. */
+    int run();
+
+  private:
+    struct Client
+    {
+        int fd = -1;
+        std::string inBuf;
+    };
+    struct Worker
+    {
+        pid_t pid = -1;
+        int toFd = -1;   //!< server -> worker stdin
+        int fromFd = -1; //!< worker stdout -> server
+        std::string outBuf;
+        bool busy = false;
+        std::uint64_t jobId = 0;
+    };
+    struct Job
+    {
+        std::uint64_t id = 0;
+        int clientFd = -1;
+        std::uint64_t key = 0;
+        std::string workerLine;
+    };
+
+    bool spawnWorker(Worker &w, std::string &err);
+    void dispatchJobs();
+    void handleClientLine(Client &c, const std::string &line);
+    void handleWorkerLine(Worker &w, const std::string &line);
+    void sendToClient(int fd, const std::string &line);
+    void closeClient(int fd);
+    void killWorkers();
+
+    Options opt_;
+    int listenFd_ = -1;
+    std::vector<Worker> workers_;
+    std::map<int, Client> clients_;
+    std::deque<Job> queue_;
+    /** In-flight jobs by id (owner lookup for worker events). */
+    std::map<std::uint64_t, Job> inflight_;
+    /** Completed results: cache key digest -> result "data" JSON. */
+    std::map<std::uint64_t, std::string> cache_;
+    std::uint64_t nextJobId_ = 1;
+    std::uint64_t completed_ = 0;
+    std::uint64_t cacheHits_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace stacknoc::server
+
+#endif // STACKNOC_SERVER_SERVER_HH

@@ -1,0 +1,221 @@
+#include "server/worker.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "noc/packet.hh"
+#include "server/protocol.hh"
+#include "snapshot/checkpoint.hh"
+#include "snapshot/state_io.hh"
+#include "system/cmp_system.hh"
+
+namespace stacknoc::server {
+
+namespace {
+
+using telemetry::JsonValue;
+using telemetry::JsonWriter;
+
+void
+emit(std::ostream &out, const std::string &line)
+{
+    out << line << "\n";
+    out.flush();
+}
+
+void
+emitError(std::ostream &out, std::uint64_t id, const std::string &reason)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("event", "error");
+    w.kv("id", id);
+    w.kv("reason", reason);
+    w.endObject();
+    emit(out, os.str());
+}
+
+/** Run one job; emits interval/result/error events itself. */
+void
+runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
+       const std::string &ckptDir)
+{
+    system::SystemConfig cfg;
+    if (const std::string err = buildConfig(req, cfg); !err.empty()) {
+        emitError(out, id, err);
+        return;
+    }
+
+    noc::resetPacketIds();
+    auto sysPtr = std::make_unique<system::CmpSystem>(cfg);
+
+    const std::uint64_t warmKey =
+        snapshot::warmConfigDigest(cfg, req.warmup);
+    const std::filesystem::path ckptPath =
+        ckptDir.empty()
+            ? std::filesystem::path{}
+            : std::filesystem::path(ckptDir) /
+                  ("ckpt_" + hexKey(warmKey) + ".bin");
+
+    bool warmRestored = false;
+    bool warmSaved = false;
+    Cycle restoredCycle = 0;
+    if (!ckptPath.empty() && std::filesystem::exists(ckptPath)) {
+        std::ifstream in(ckptPath, std::ios::binary);
+        if (in) {
+            const std::string err = snapshot::restoreCheckpoint(
+                *sysPtr, in, warmKey, &restoredCycle);
+            if (err.empty()) {
+                warmRestored = true;
+            } else {
+                // A stale or corrupt warm cache entry must never fail
+                // the job — rebuild the system and warm up from cold.
+                sysPtr.reset();
+                noc::resetPacketIds();
+                sysPtr = std::make_unique<system::CmpSystem>(cfg);
+            }
+        }
+    }
+    system::CmpSystem &sys = *sysPtr;
+    if (!warmRestored) {
+        sys.warmupBegin();
+        sys.run(req.warmup);
+        sys.warmupEnd();
+        if (!ckptPath.empty()) {
+            const std::filesystem::path tmp =
+                ckptPath.string() + ".tmp." +
+                std::to_string(static_cast<long>(::getpid()));
+            std::ofstream o(tmp, std::ios::binary);
+            if (o) {
+                snapshot::saveCheckpoint(sys, o, warmKey);
+                o.close();
+                std::error_code ec;
+                std::filesystem::rename(tmp, ckptPath, ec);
+                warmSaved = !ec;
+                if (ec)
+                    std::filesystem::remove(tmp, ec);
+            }
+        }
+    }
+
+    // Measured phase, chunked at the interval period so progress
+    // streams out while the run is in flight. Chunked run() calls are
+    // equivalent to one call — the engine has no run()-boundary state.
+    Cycle done = 0;
+    const Cycle step = req.interval > 0 ? req.interval : req.cycles;
+    while (done < req.cycles) {
+        const Cycle n = std::min<Cycle>(step, req.cycles - done);
+        sys.run(n);
+        done += n;
+        if (req.interval > 0 && done < req.cycles) {
+            const auto m = sys.metrics();
+            std::ostringstream os;
+            JsonWriter w(os);
+            w.beginObject();
+            w.kv("event", "interval");
+            w.kv("id", id);
+            w.kv("cycle",
+                 static_cast<std::uint64_t>(sys.simulator().now()));
+            w.kv("measured",
+                 static_cast<std::uint64_t>(done));
+            w.kv("mean_ipc", m.meanIpc());
+            w.kv("avg_network_latency", m.avgNetworkLatency);
+            w.endObject();
+            emit(out, os.str());
+        }
+    }
+    sys.finalizeTelemetry();
+
+    const auto m = sys.metrics();
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("event", "result");
+    w.kv("id", id);
+    w.key("data");
+    w.beginObject();
+    w.kv("scenario", cfg.scenario.name);
+    {
+        std::string joined;
+        for (const auto &a : req.apps) {
+            if (!joined.empty())
+                joined += ",";
+            joined += a;
+        }
+        w.kv("apps", joined);
+    }
+    w.kv("seed", req.seed);
+    w.kv("warmup", static_cast<std::uint64_t>(req.warmup));
+    w.kv("cycles", static_cast<std::uint64_t>(req.cycles));
+    w.kv("threads", req.threads);
+    w.kv("elide", req.elide);
+    w.kv("mean_ipc", m.meanIpc());
+    w.kv("min_ipc", m.minIpc());
+    w.kv("instruction_throughput", m.instructionThroughput());
+    w.kv("avg_network_latency", m.avgNetworkLatency);
+    w.kv("p50_network_latency", m.p50NetworkLatency);
+    w.kv("p95_network_latency", m.p95NetworkLatency);
+    w.kv("p99_network_latency", m.p99NetworkLatency);
+    w.kv("avg_bank_queue_latency", m.avgBankQueueLatency);
+    w.kv("avg_uncore_latency", m.avgUncoreLatency);
+    w.kv("total_energy_uj", m.energy.totalUJ());
+    w.kv("wall_seconds", sys.wallSeconds());
+    w.kv("ticks_per_sec", sys.ticksPerSecond());
+    w.kv("active_fraction", sys.engineActiveFraction());
+    w.kv("stats_digest", hexKey(snapshot::statsDigest(sys)));
+    w.kv("warm_restored", warmRestored);
+    w.kv("warm_saved", warmSaved);
+    if (warmRestored)
+        w.kv("restored_from_cycle",
+             static_cast<std::uint64_t>(restoredCycle));
+    w.endObject();
+    w.endObject();
+    emit(out, os.str());
+}
+
+} // namespace
+
+int
+runWorkerLoop(std::istream &in, std::ostream &out,
+              const std::string &ckptDir)
+{
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string perr;
+        const auto doc = JsonValue::parse(line, &perr);
+        if (!doc) {
+            emitError(out, 0, "bad job json: " + perr);
+            continue;
+        }
+        std::uint64_t id = 0;
+        if (const JsonValue *m = doc->find("id");
+            m != nullptr && m->isNumber())
+            id = static_cast<std::uint64_t>(m->asDouble());
+        JobRequest req;
+        if (const std::string err = parseJobRequest(*doc, req);
+            !err.empty()) {
+            emitError(out, id, err);
+            continue;
+        }
+        try {
+            runJob(out, id, req, ckptDir);
+        } catch (const std::exception &e) {
+            emitError(out, id, std::string("job failed: ") + e.what());
+        }
+    }
+    return 0;
+}
+
+} // namespace stacknoc::server

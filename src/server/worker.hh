@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The campaign worker: one simulation job at a time, checkpoint-warmed.
+ *
+ * A worker is a child process of stacknoc_serve (spawned with
+ * `stacknoc_serve --worker --ckpt-dir D`). It reads one job object per
+ * line on stdin — a JobRequest plus the server-assigned "id" — runs the
+ * simulation, and emits NDJSON events on stdout:
+ *
+ *     {"event":"interval","id":N,...}   while measuring (if requested)
+ *     {"event":"result","id":N,"data":{...}}   on success
+ *     {"event":"error","id":N,"reason":"..."}  on failure
+ *
+ * Warm-state reuse: before warming up, the worker looks for
+ * `ckpt_<warm-key>.bin` in the checkpoint directory (warm key =
+ * snapshot::warmConfigDigest, which excludes engine knobs and measured
+ * cycles). On a hit it restores and skips warm-up entirely; on a miss
+ * it warms up and writes the checkpoint via atomic rename, so later
+ * sweep points sharing the warm configuration start warm. The restored
+ * run is bit-identical to the uninterrupted one by the snapshot
+ * contract, so reuse never changes results.
+ *
+ * Workers are processes, not threads, because the packet-id streams
+ * are process-global: one simulation per address space keeps job
+ * results independent of scheduling.
+ */
+
+#ifndef STACKNOC_SERVER_WORKER_HH
+#define STACKNOC_SERVER_WORKER_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace stacknoc::server {
+
+/**
+ * Run the worker loop until EOF on @p in. Events go to @p out, one
+ * JSON object per line, flushed per event.
+ * @param ckptDir directory for warm checkpoints ("" disables reuse).
+ * @return process exit code (0 on clean EOF).
+ */
+int runWorkerLoop(std::istream &in, std::ostream &out,
+                  const std::string &ckptDir);
+
+} // namespace stacknoc::server
+
+#endif // STACKNOC_SERVER_WORKER_HH

@@ -18,6 +18,10 @@
 
 namespace stacknoc {
 
+namespace snapshot {
+class StateIO;
+} // namespace snapshot
+
 /**
  * Type-erased base of every Channel, carrying the staged-push (double
  * buffer) machinery used by the sharded parallel execution engine.
@@ -180,6 +184,11 @@ class Channel : public ChannelBase
     Cycle latency() const { return latency_; }
 
   private:
+    /** Checkpointing reads queue_ (with delivery times) and appends
+     *  restored entries without calling wakeTarget(): the engine active
+     *  set is restored separately, and a restore-time wake would differ
+     *  from the saved run's flag state. */
+    friend class snapshot::StateIO;
     Cycle latency_;
     std::deque<std::pair<Cycle, T>> queue_;
     /** Values pushed during a parallel compute phase, pre-commit. */

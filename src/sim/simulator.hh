@@ -15,6 +15,10 @@
 
 namespace stacknoc {
 
+namespace snapshot {
+class StateIO;
+} // namespace snapshot
+
 /**
  * Owns the global clock and the registry of Ticking components.
  *
@@ -84,6 +88,7 @@ class Simulator
     void completeCycle();
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint restore of the clock
     Cycle now_ = 0;
     std::vector<Ticking *> components_;
     std::vector<int> affinities_;

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Cross-reference tables shared by every component's save/load pass.
+ *
+ * Two kinds of state are aliased between components and must keep their
+ * sharing structure across a checkpoint round trip:
+ *
+ *  - PacketPtr: one Packet may sit in several places at once (a router
+ *    VC buffer flit-by-flit, a Tbe blocked queue, an NI committedPkt).
+ *    The save pass writes each distinct Packet once (first encounter)
+ *    and refers back by table index afterwards; the load pass rebuilds
+ *    the exact same shared_ptr graph.
+ *
+ *  - std::shared_ptr<bool> completion flags: a Core ROB entry and the
+ *    L1 MSHR that will complete it point at the same bool (and
+ *    lastMemDone_ may alias it again). Same first-encounter scheme.
+ */
+
+#ifndef STACKNOC_SNAPSHOT_CONTEXT_HH
+#define STACKNOC_SNAPSHOT_CONTEXT_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "noc/packet.hh"
+#include "snapshot/serialize.hh"
+
+namespace stacknoc::snapshot {
+
+namespace tag {
+constexpr std::uint8_t kNull = 0; //!< empty pointer
+constexpr std::uint8_t kNew = 1;  //!< body follows; assign next index
+constexpr std::uint8_t kRef = 2;  //!< u32 index of an earlier kNew
+} // namespace tag
+
+/** Save-side tables. One per checkpoint save pass. */
+class SaveCtx
+{
+  public:
+    void
+    putPacket(Saver &s, const noc::PacketPtr &pkt)
+    {
+        if (!pkt) {
+            s.u8(tag::kNull);
+            return;
+        }
+        const auto it = packets_.find(pkt.get());
+        if (it != packets_.end()) {
+            s.u8(tag::kRef);
+            s.u32(it->second);
+            return;
+        }
+        packets_.emplace(pkt.get(),
+                         static_cast<std::uint32_t>(packets_.size()));
+        s.u8(tag::kNew);
+        const noc::Packet &p = *pkt;
+        s.u64(p.id);
+        s.u8(static_cast<std::uint8_t>(p.cls));
+        s.i32(p.src);
+        s.i32(p.dest);
+        s.i32(p.numFlits);
+        s.u64(p.addr);
+        s.i32(p.destBank);
+        s.u8(p.info.kind);
+        s.u8(p.info.flags);
+        s.u16(p.info.aux);
+        s.u32(p.info.origin);
+        s.u64(p.createdAt);
+        s.u64(p.injectedAt);
+        s.u64(p.ejectedAt);
+        s.i16(p.probeStamp);
+        s.i32(p.probeParent);
+        s.u64(p.firstHeldAt);
+    }
+
+    void
+    putFlag(Saver &s, const std::shared_ptr<bool> &flag)
+    {
+        if (!flag) {
+            s.u8(tag::kNull);
+            return;
+        }
+        const auto it = flags_.find(flag.get());
+        if (it != flags_.end()) {
+            s.u8(tag::kRef);
+            s.u32(it->second);
+            return;
+        }
+        flags_.emplace(flag.get(),
+                       static_cast<std::uint32_t>(flags_.size()));
+        s.u8(tag::kNew);
+        s.b(*flag);
+    }
+
+  private:
+    std::map<const noc::Packet *, std::uint32_t> packets_;
+    std::map<const bool *, std::uint32_t> flags_;
+};
+
+/** Load-side tables, mirroring SaveCtx. */
+class LoadCtx
+{
+  public:
+    noc::PacketPtr
+    getPacket(Loader &l)
+    {
+        switch (l.u8()) {
+          case tag::kNull:
+            return nullptr;
+          case tag::kRef: {
+            const std::uint32_t idx = l.u32();
+            if (idx >= packets_.size())
+                throw SnapshotError("bad packet back-reference");
+            return packets_[idx];
+          }
+          case tag::kNew: {
+            auto pkt = std::make_shared<noc::Packet>();
+            noc::Packet &p = *pkt;
+            p.id = l.u64();
+            p.cls = static_cast<noc::PacketClass>(l.u8());
+            p.src = l.i32();
+            p.dest = l.i32();
+            p.numFlits = l.i32();
+            p.addr = l.u64();
+            p.destBank = l.i32();
+            p.info.kind = l.u8();
+            p.info.flags = l.u8();
+            p.info.aux = l.u16();
+            p.info.origin = l.u32();
+            p.createdAt = l.u64();
+            p.injectedAt = l.u64();
+            p.ejectedAt = l.u64();
+            p.probeStamp = l.i16();
+            p.probeParent = l.i32();
+            p.firstHeldAt = l.u64();
+            packets_.push_back(pkt);
+            return pkt;
+          }
+          default:
+            throw SnapshotError("bad packet tag");
+        }
+    }
+
+    std::shared_ptr<bool>
+    getFlag(Loader &l)
+    {
+        switch (l.u8()) {
+          case tag::kNull:
+            return nullptr;
+          case tag::kRef: {
+            const std::uint32_t idx = l.u32();
+            if (idx >= flags_.size())
+                throw SnapshotError("bad flag back-reference");
+            return flags_[idx];
+          }
+          case tag::kNew: {
+            auto flag = std::make_shared<bool>(l.b());
+            flags_.push_back(flag);
+            return flag;
+          }
+          default:
+            throw SnapshotError("bad flag tag");
+        }
+    }
+
+  private:
+    std::vector<noc::PacketPtr> packets_;
+    std::vector<std::shared_ptr<bool>> flags_;
+};
+
+} // namespace stacknoc::snapshot
+
+#endif // STACKNOC_SNAPSHOT_CONTEXT_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Byte-buffer serialization primitives for simulator checkpoints.
+ *
+ * A Saver appends fixed-width little-endian-ordered scalars to a byte
+ * vector; a Loader reads them back in the same order. Nothing here knows
+ * about components — per-component field order is owned by
+ * snapshot::StateIO, and the framing (magic, version, digests) by
+ * snapshot/checkpoint.hh. All failures surface as SnapshotError, which
+ * the checkpoint layer converts into a one-line rejection reason.
+ */
+
+#ifndef STACKNOC_SNAPSHOT_SERIALIZE_HH
+#define STACKNOC_SNAPSHOT_SERIALIZE_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stacknoc::snapshot {
+
+/** Any malformed-checkpoint condition (truncation, bad tags, ...). */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** FNV-1a 64-bit, the digest used for config keys and payload checks. */
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t h = kFnvOffset)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnv1a(const std::string &s, std::uint64_t h = kFnvOffset)
+{
+    return fnv1a(s.data(), s.size(), h);
+}
+
+/** Append-only scalar writer. */
+class Saver
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Doubles travel as raw bits: bit-identity is the whole point. */
+    void d(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Sequential scalar reader over a byte buffer; throws on underflow. */
+class Loader
+{
+  public:
+    Loader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Loader(const std::vector<std::uint8_t> &buf)
+        : Loader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (pos_ >= size_)
+            throw SnapshotError("checkpoint payload truncated");
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo | (u8() << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (static_cast<std::uint32_t>(u16()) << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (static_cast<std::uint64_t>(u32()) << 32);
+    }
+
+    std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool b() { return u8() != 0; }
+    double d() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (size_ - pos_ < n)
+            throw SnapshotError("checkpoint payload truncated");
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace stacknoc::snapshot
+
+#endif // STACKNOC_SNAPSHOT_SERIALIZE_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Whole-system checkpoint save/restore.
+ *
+ * StateIO is befriended by every stateful component and serialises the
+ * complete behavioural state of a CmpSystem: workload streams, cores,
+ * L1s, L2 banks (directory, TBEs, bank controllers), memory controllers,
+ * every router/NI/link of the network, the bank-aware policy and its
+ * estimator, the RCA fabric, the fault-injector site streams, the
+ * global packet-id streams, and the engines' idle-elision active sets.
+ *
+ * Contract: a checkpoint is taken at the warm-up boundary (immediately
+ * after CmpSystem::warmupEnd()) and restored into a freshly constructed,
+ * never-run CmpSystem built from the same scenario/seed configuration.
+ * The restored run then produces stats bit-identical to the
+ * uninterrupted run at any --threads and with elision on or off.
+ * Observer-only state (stats groups, probes, samplers, profiler) is NOT
+ * serialised: at the warm boundary all stats are zero and the probes
+ * re-baseline from the restored plain counters via ProbeHub::onReset.
+ *
+ * Systems running with validation enabled cannot be checkpointed or
+ * restored (the validation hub's census state is not serialised).
+ */
+
+#ifndef STACKNOC_SNAPSHOT_STATE_IO_HH
+#define STACKNOC_SNAPSHOT_STATE_IO_HH
+
+#include <cstdint>
+
+#include "snapshot/serialize.hh"
+
+namespace stacknoc::system {
+class CmpSystem;
+} // namespace stacknoc::system
+
+namespace stacknoc::cpu {
+class Core;
+} // namespace stacknoc::cpu
+
+namespace stacknoc::coherence {
+class L1Cache;
+class L2Bank;
+} // namespace stacknoc::coherence
+
+namespace stacknoc::mem {
+class BankController;
+class MemoryController;
+} // namespace stacknoc::mem
+
+namespace stacknoc::noc {
+class NetworkInterface;
+class Router;
+struct Link;
+} // namespace stacknoc::noc
+
+namespace stacknoc::cache {
+class TagArray;
+} // namespace stacknoc::cache
+
+namespace stacknoc::workload {
+class SyntheticStream;
+} // namespace stacknoc::workload
+
+namespace stacknoc::sttnoc {
+class BankAwarePolicy;
+class RcaFabric;
+} // namespace stacknoc::sttnoc
+
+namespace stacknoc::fault {
+class FaultInjector;
+} // namespace stacknoc::fault
+
+namespace stacknoc::snapshot {
+
+class SaveCtx;
+class LoadCtx;
+class Loader;
+class Saver;
+
+/**
+ * The single (friended) entry point for component state serialisation.
+ * All methods are static; the class exists only so components can grant
+ * access with one friend declaration.
+ */
+class StateIO
+{
+  public:
+    /**
+     * Serialise the complete behavioural state of @p sys into @p s.
+     * @throws SnapshotError when the system holds non-serialisable
+     * state (validation enabled, or a test-only callback completion).
+     */
+    static void save(const system::CmpSystem &sys, Saver &s);
+
+    /**
+     * Restore @p sys — freshly constructed from the same configuration,
+     * never run — from @p l. The caller completes the restore with
+     * CmpSystem::warmupEnd() (probe re-baseline + measurement start).
+     * @throws SnapshotError on any structural mismatch or truncation.
+     */
+    static void load(system::CmpSystem &sys, Loader &l);
+
+    /** Implementation behind snapshot::statsDigest (needs friendship). */
+    static std::uint64_t digest(const system::CmpSystem &sys);
+
+  private:
+    // Per-component passes. Private static members (not file-local
+    // helpers) because friendship does not transfer to free functions.
+    static void saveStream(Saver &s, const workload::SyntheticStream &st);
+    static void loadStream(Loader &l, workload::SyntheticStream &st);
+    static void saveCore(Saver &s, SaveCtx &ctx, const cpu::Core &core);
+    static void loadCore(Loader &l, LoadCtx &ctx, cpu::Core &core);
+    static void saveL1(Saver &s, SaveCtx &ctx,
+                       const coherence::L1Cache &l1);
+    static void loadL1(Loader &l, LoadCtx &ctx, coherence::L1Cache &l1);
+    static void saveBank(Saver &s, SaveCtx &ctx,
+                         const coherence::L2Bank &bank);
+    static void loadBank(Loader &l, LoadCtx &ctx,
+                         coherence::L2Bank &bank);
+    static void saveBankCtrl(Saver &s, const mem::BankController &ctrl);
+    static void loadBankCtrl(Loader &l, mem::BankController &ctrl,
+                             coherence::L2Bank &owner);
+    static void saveMc(Saver &s, SaveCtx &ctx,
+                       const mem::MemoryController &mc);
+    static void loadMc(Loader &l, LoadCtx &ctx,
+                       mem::MemoryController &mc);
+    static void saveRouter(Saver &s, SaveCtx &ctx,
+                           const noc::Router &r);
+    static void loadRouter(Loader &l, LoadCtx &ctx, noc::Router &r);
+    static void saveNi(Saver &s, SaveCtx &ctx,
+                       const noc::NetworkInterface &ni);
+    static void loadNi(Loader &l, LoadCtx &ctx,
+                       noc::NetworkInterface &ni);
+    static void saveLink(Saver &s, SaveCtx &ctx, const noc::Link &link);
+    static void loadLink(Loader &l, LoadCtx &ctx, noc::Link &link);
+    static void saveTags(Saver &s, const cache::TagArray &tags);
+    static void loadTags(Loader &l, cache::TagArray &tags);
+    static void savePolicy(Saver &s, const sttnoc::BankAwarePolicy &p);
+    static void loadPolicy(Loader &l, sttnoc::BankAwarePolicy &p);
+    static void saveFabric(Saver &s, const sttnoc::RcaFabric &f);
+    static void loadFabric(Loader &l, sttnoc::RcaFabric &f);
+    static void saveFaults(Saver &s, const fault::FaultInjector &fi);
+    static void loadFaults(Loader &l, fault::FaultInjector &fi);
+    static void saveEngine(Saver &s, const system::CmpSystem &sys);
+    static void loadEngine(Loader &l, system::CmpSystem &sys);
+};
+
+/**
+ * FNV-1a digest over every stats group of @p sys (counters, averages
+ * with bit-exact sums, distributions, histograms) plus the per-core
+ * committed-instruction counts and the current cycle. Two runs are
+ * "bit-identical" exactly when these digests match; interval/heatmap
+ * snapshots and wall-clock telemetry are deliberately excluded.
+ */
+std::uint64_t statsDigest(const system::CmpSystem &sys);
+
+} // namespace stacknoc::snapshot
+
+#endif // STACKNOC_SNAPSHOT_STATE_IO_HH

@@ -24,6 +24,10 @@
 #include "sttnoc/parent_map.hh"
 #include "sttnoc/region_map.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::sttnoc {
 
 /**
@@ -120,6 +124,8 @@ class BankAwarePolicy : public noc::ArbitrationPolicy,
     const SttAwareParams &params() const { return params_; }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     /** @return bank id if @p pkt is a reorderable request to a child of
      *  @p router, else kInvalidBank. */
     BankId managedBank(NodeId router, const noc::Packet &pkt) const;

@@ -20,6 +20,10 @@
 #include "sttnoc/parent_map.hh"
 #include "sttnoc/region_map.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::sttnoc {
 
 class RcaFabric;
@@ -157,6 +161,8 @@ class WindowEstimator : public CongestionEstimator
     Cycle baseRtt(BankId child) const;
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     struct ChildState
     {
         std::uint64_t forwarded = 0;

@@ -13,6 +13,10 @@
 #include "sim/ticking.hh"
 #include "noc/network.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::sttnoc {
 
 /**
@@ -55,6 +59,8 @@ class RcaFabric final : public Ticking
     std::uint32_t value(NodeId n) const;
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     noc::Network &net_;
     std::vector<std::uint32_t> prev_;
     std::vector<std::uint32_t> next_;

@@ -40,6 +40,10 @@
 #include "telemetry/profile.hh"
 #include "validate/checker.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::system {
 
 /** Full-system configuration. */
@@ -185,6 +189,7 @@ class CmpSystem
     const SystemConfig &config() const { return config_; }
 
     Simulator &simulator() { return sim_; }
+    const Simulator &simulator() const { return sim_; }
     noc::Network &network() { return *net_; }
     const noc::Network &network() const { return *net_; }
     cpu::Core &core(int i) { return *cores_.at(std::size_t(i)); }
@@ -308,6 +313,8 @@ class CmpSystem
     }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     void buildNetwork();
     void buildMemorySystem();
     void buildCores();

@@ -108,4 +108,31 @@ figureSix()
             sttram4TsbSS(), sttram4TsbRca(), sttram4TsbWb()};
 }
 
+bool
+byName(const std::string &name, Scenario &out)
+{
+    if (name == "SRAM-64TSB") { out = sram64Tsb(); return true; }
+    if (name == "MRAM-64TSB") { out = sttram64Tsb(); return true; }
+    if (name == "MRAM-4TSB") { out = sttram4Tsb(); return true; }
+    if (name == "MRAM-4TSB-SS") { out = sttram4TsbSS(); return true; }
+    if (name == "MRAM-4TSB-RCA") { out = sttram4TsbRca(); return true; }
+    if (name == "MRAM-4TSB-WB") { out = sttram4TsbWb(); return true; }
+    if (name == "BUFF-20") { out = sttramBuff20(); return true; }
+    if (name == "+1VC") { out = sttram4TsbWbPlus1Vc(); return true; }
+    if (name == "MRAM-RP") { out = sttramReadPriority(); return true; }
+    if (name == "MRAM-4TSB-WB+RP") {
+        out = sttram4TsbWbReadPriority();
+        return true;
+    }
+    return false;
+}
+
+const char *
+knownNames()
+{
+    return "SRAM-64TSB, MRAM-64TSB, MRAM-4TSB, MRAM-4TSB-SS, "
+           "MRAM-4TSB-RCA, MRAM-4TSB-WB, BUFF-20, +1VC, MRAM-RP, "
+           "MRAM-4TSB-WB+RP";
+}
+
 } // namespace stacknoc::system::scenarios

@@ -97,6 +97,15 @@ Scenario sttram4TsbWbReadPriority();
 /** The six Figure-6/8 design scenarios in presentation order. */
 std::array<Scenario, 6> figureSix();
 
+/**
+ * Look up a scenario by its CLI name (e.g. "MRAM-4TSB-WB").
+ * @return true and fill @p out on success; false for unknown names.
+ */
+bool byName(const std::string &name, Scenario &out);
+
+/** The accepted scenario names, for error messages / usage text. */
+const char *knownNames();
+
 } // namespace scenarios
 
 } // namespace stacknoc::system

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <thread>
 
@@ -233,6 +234,15 @@ writeJsonStats(std::ostream &os, const CmpSystem &sys, const RunInfo &info)
     w.kv("measured_cycles",
          static_cast<std::uint64_t>(info.measuredCycles));
     w.kv("timed_out", info.timedOut);
+    if (info.restored)
+        w.kv("restored_from_cycle",
+             static_cast<std::uint64_t>(info.restoredFromCycle));
+    if (info.hasStatsDigest) {
+        char buf[19];
+        std::snprintf(buf, sizeof buf, "0x%016llx",
+                      static_cast<unsigned long long>(info.statsDigest));
+        w.kv("stats_digest", std::string(buf));
+    }
     w.endObject();
 
     writeMetrics(w, sys.metrics());

@@ -28,6 +28,16 @@ struct RunInfo
 
     /** Run was cut short by a wall-clock --timeout-sec guard. */
     bool timedOut = false;
+
+    /** Run was warm-started from a checkpoint (--restore). */
+    bool restored = false;
+
+    /** Cycle the restored checkpoint was captured at. */
+    Cycle restoredFromCycle = 0;
+
+    /** Emit the stats digest under "run" (set by --digest). */
+    bool hasStatsDigest = false;
+    std::uint64_t statsDigest = 0;
 };
 
 /**

@@ -24,6 +24,10 @@
 #include "cpu/core.hh"
 #include "workload/app_profiles.hh"
 
+namespace stacknoc::snapshot {
+class StateIO;
+} // namespace stacknoc::snapshot
+
 namespace stacknoc::workload {
 
 /** Generator knobs independent of the application profile. */
@@ -114,6 +118,8 @@ class SyntheticStream : public cpu::InstructionStream
     std::uint64_t emittedMisses() const { return misses_; }
 
   private:
+    friend class snapshot::StateIO; //!< checkpoint save/restore
+
     BlockAddr freshAddress(int bank);
     BlockAddr missAddress();
     cpu::TraceOp makeMiss();

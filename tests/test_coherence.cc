@@ -343,11 +343,11 @@ TEST(L1, StoreBufferBackpressureRejectsStores)
     BackloggedSender sender;
     L1Cache l1("l1.0", 0, sender, HomeMap{}, L1Fixture::cfg(), group);
     sender.fakeBacklog = coherence::kStoreBufferDepth;
-    EXPECT_FALSE(l1.access(true, 0x40, true, nullptr, 0));
+    EXPECT_FALSE(l1.access(true, 0x40, true, std::function<void(Cycle)>{}, 0));
     // Loads are unaffected by store-buffer pressure.
-    EXPECT_TRUE(l1.access(false, 0x41, true, nullptr, 0));
+    EXPECT_TRUE(l1.access(false, 0x41, true, std::function<void(Cycle)>{}, 0));
     sender.fakeBacklog = 0;
-    EXPECT_TRUE(l1.access(true, 0x40, true, nullptr, 1));
+    EXPECT_TRUE(l1.access(true, 0x40, true, std::function<void(Cycle)>{}, 1));
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The checkpoint/restore contract: a run restored from a warm-boundary
+ * checkpoint must produce stats bit-identical to the uninterrupted run,
+ * at any --threads and with elision on or off, for clean and faulty
+ * configurations — across the {seeds} x {1,4 threads} x {elide,
+ * no-elide} x {clean, faults} cross product. Plus rejection tests:
+ * corruption, truncation, version and warm-config mismatches must fail
+ * with a one-line reason, never a crash or a silently wrong run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_spec.hh"
+#include "noc/packet.hh"
+#include "snapshot/checkpoint.hh"
+#include "snapshot/state_io.hh"
+#include "system/cmp_system.hh"
+
+using namespace stacknoc;
+
+namespace {
+
+constexpr Cycle kWarmup = 1200;
+constexpr Cycle kCycles = 2500;
+
+system::SystemConfig
+baseConfig(std::uint64_t seed, int threads, bool elide,
+           bool with_faults)
+{
+    system::SystemConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.scenario = system::scenarios::sttram4TsbWb();
+    std::vector<std::string> apps;
+    const std::vector<std::string> mix{"tpcc", "lbm", "mcf",
+                                       "libquantum"};
+    for (int c = 0; c < 16; ++c)
+        apps.push_back(mix[static_cast<std::size_t>(c) % 4]);
+    cfg.apps = apps;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    cfg.elide = elide;
+    cfg.stream.numBanks = 16;
+    if (with_faults) {
+        std::string err;
+        const bool ok = fault::parseFaultSpec(
+            "stt_write_ber=1e-3,link_flit_ber=2e-4,tsb_flit_ber=1e-4",
+            cfg.faults, err);
+        EXPECT_TRUE(ok) << err;
+        cfg.faultsEnabled = true;
+    }
+    return cfg;
+}
+
+/** Uninterrupted reference run: warmup + measure, one process. */
+std::uint64_t
+runUninterrupted(const system::SystemConfig &cfg)
+{
+    noc::resetPacketIds();
+    system::CmpSystem sys(cfg);
+    sys.warmup(kWarmup);
+    sys.run(kCycles);
+    return snapshot::statsDigest(sys);
+}
+
+/** Capture a checkpoint at the warm boundary of a fresh run. */
+std::string
+captureCheckpoint(const system::SystemConfig &cfg)
+{
+    noc::resetPacketIds();
+    system::CmpSystem sys(cfg);
+    sys.warmupBegin();
+    sys.run(kWarmup);
+    sys.warmupEnd();
+    std::ostringstream out(std::ios::binary);
+    snapshot::saveCheckpoint(sys, out,
+                             snapshot::warmConfigDigest(cfg, kWarmup));
+    return out.str();
+}
+
+/** Restore the checkpoint into a fresh system and run to completion. */
+std::uint64_t
+runRestored(const system::SystemConfig &cfg, const std::string &ckpt)
+{
+    noc::resetPacketIds();
+    system::CmpSystem sys(cfg);
+    std::istringstream in(ckpt, std::ios::binary);
+    const std::string err = snapshot::restoreCheckpoint(
+        sys, in, snapshot::warmConfigDigest(cfg, kWarmup));
+    EXPECT_EQ(err, "");
+    sys.run(kCycles);
+    return snapshot::statsDigest(sys);
+}
+
+} // namespace
+
+TEST(Snapshot, RoundTripBitIdentityMatrix)
+{
+    for (const bool faults : {false, true}) {
+        for (const std::uint64_t seed : {1ull, 23ull}) {
+            // The reference digest and the checkpoint both come from
+            // the canonical sequential elided configuration...
+            const auto ref_cfg = baseConfig(seed, 1, true, faults);
+            const std::uint64_t ref = runUninterrupted(ref_cfg);
+            const std::string ckpt = captureCheckpoint(ref_cfg);
+            ASSERT_FALSE(ckpt.empty());
+
+            // ...and every restore target must reproduce it exactly,
+            // whatever engine the restored run uses.
+            for (const int threads : {1, 4}) {
+                for (const bool elide : {true, false}) {
+                    const auto cfg =
+                        baseConfig(seed, threads, elide, faults);
+                    EXPECT_EQ(runRestored(cfg, ckpt), ref)
+                        << "seed=" << seed << " threads=" << threads
+                        << " elide=" << elide << " faults=" << faults;
+                }
+            }
+        }
+    }
+}
+
+TEST(Snapshot, WarmDigestIgnoresEngineKnobs)
+{
+    const auto a = baseConfig(1, 1, true, false);
+    auto b = baseConfig(1, 4, false, false);
+    b.intervalPeriod = 64; // observer-only
+    EXPECT_EQ(snapshot::warmConfigDigest(a, kWarmup),
+              snapshot::warmConfigDigest(b, kWarmup));
+
+    auto c = baseConfig(1, 1, true, false);
+    c.seed = 2;
+    EXPECT_NE(snapshot::warmConfigDigest(a, kWarmup),
+              snapshot::warmConfigDigest(c, kWarmup));
+    EXPECT_NE(snapshot::warmConfigDigest(a, kWarmup),
+              snapshot::warmConfigDigest(a, kWarmup + 1));
+}
+
+TEST(Snapshot, RejectsCorruptionTruncationAndMismatch)
+{
+    const auto cfg = baseConfig(5, 1, true, false);
+    const std::string ckpt = captureCheckpoint(cfg);
+    const std::uint64_t digest =
+        snapshot::warmConfigDigest(cfg, kWarmup);
+
+    const auto restoreErr = [&](const std::string &bytes,
+                                std::uint64_t expect) {
+        noc::resetPacketIds();
+        system::CmpSystem sys(cfg);
+        std::istringstream in(bytes, std::ios::binary);
+        return snapshot::restoreCheckpoint(sys, in, expect);
+    };
+
+    // The pristine checkpoint restores.
+    EXPECT_EQ(restoreErr(ckpt, digest), "");
+
+    // Warm-config mismatch.
+    EXPECT_NE(restoreErr(ckpt, digest ^ 1).find("different warm"),
+              std::string::npos);
+
+    // Bad magic.
+    std::string bad = ckpt;
+    bad[0] = 'X';
+    EXPECT_NE(restoreErr(bad, digest).find("bad magic"),
+              std::string::npos);
+
+    // Unsupported format version.
+    bad = ckpt;
+    bad[8] = static_cast<char>(snapshot::kFormatVersion + 1);
+    EXPECT_NE(restoreErr(bad, digest).find("version"),
+              std::string::npos);
+
+    // Payload corruption is caught by the checksum.
+    bad = ckpt;
+    bad[bad.size() / 2] ^= char(0xff);
+    EXPECT_NE(restoreErr(bad, digest).find("checksum"),
+              std::string::npos);
+
+    // Truncation.
+    bad = ckpt.substr(0, ckpt.size() - 16);
+    EXPECT_NE(restoreErr(bad, digest).find("truncated"),
+              std::string::npos);
+    bad = ckpt.substr(0, 10);
+    EXPECT_NE(restoreErr(bad, digest).find("truncated"),
+              std::string::npos);
+}
+
+TEST(Snapshot, RefusesValidationSystems)
+{
+    auto cfg = baseConfig(1, 1, true, false);
+    cfg.validate = true;
+    noc::resetPacketIds();
+    system::CmpSystem sys(cfg);
+    sys.warmupBegin();
+    sys.run(64);
+    sys.warmupEnd();
+    std::ostringstream out(std::ios::binary);
+    EXPECT_THROW(snapshot::saveCheckpoint(
+                     sys, out, snapshot::warmConfigDigest(cfg, 64)),
+                 snapshot::SnapshotError);
+}

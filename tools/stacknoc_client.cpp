@@ -1,0 +1,202 @@
+/**
+ * @file
+ * stacknoc_client — command-line client for stacknoc_serve.
+ *
+ *     stacknoc_client --socket PATH run [job flags...]
+ *     stacknoc_client --socket PATH status
+ *     stacknoc_client --socket PATH shutdown
+ *
+ * "run" submits one job and prints every server event for it (one JSON
+ * object per line) until the result or an error arrives. Exit code: 0
+ * on result, 1 on an error event or connection failure, 2 on usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "server/client.hh"
+#include "server/protocol.hh"
+#include "telemetry/json.hh"
+
+using stacknoc::server::Connection;
+using stacknoc::server::JobRequest;
+using stacknoc::telemetry::JsonValue;
+using stacknoc::telemetry::JsonWriter;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH run [job flags]\n"
+        "       %s --socket PATH status\n"
+        "       %s --socket PATH shutdown\n"
+        "\n"
+        "job flags (defaults in brackets):\n"
+        "  --scenario NAME     scenario [MRAM-4TSB-WB]\n"
+        "  --regions N         TSB region override [scenario default]\n"
+        "  --apps A,B,...      app mix, round-robin over cores [tpcc]\n"
+        "  --seed N            workload seed [1]\n"
+        "  --warmup N          warm-up cycles [3000]\n"
+        "  --cycles N          measured cycles [20000]\n"
+        "  --mesh WxH          mesh dimensions [8x8]\n"
+        "  --threads N         engine threads [1]\n"
+        "  --no-elide          disable idle elision\n"
+        "  --interval N        stream interval events every N cycles [off]\n"
+        "  --fault-spec SPEC   fault campaign spec [clean]\n"
+        "  --real-tags         use the real L2 tag model\n",
+        argv0, argv0, argv0);
+}
+
+bool
+parseMesh(const std::string &s, int &w, int &h)
+{
+    const std::size_t x = s.find('x');
+    if (x == std::string::npos)
+        return false;
+    w = std::atoi(s.substr(0, x).c_str());
+    h = std::atoi(s.substr(x + 1).c_str());
+    return w >= 1 && h >= 1;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    std::istringstream is(s);
+    while (std::getline(is, cur, ','))
+        if (!cur.empty())
+            out.push_back(cur);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string subcommand;
+    JobRequest req;
+
+    int i = 1;
+    const auto need = [&](const char *what) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s requires a value\n", argv[0],
+                         what);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            socketPath = need("--socket");
+        } else if (arg == "--scenario") {
+            req.scenario = need("--scenario");
+        } else if (arg == "--regions") {
+            req.regions = std::atoi(need("--regions"));
+        } else if (arg == "--apps") {
+            req.apps = splitCsv(need("--apps"));
+        } else if (arg == "--seed") {
+            req.seed = std::strtoull(need("--seed"), nullptr, 10);
+        } else if (arg == "--warmup") {
+            req.warmup = std::strtoull(need("--warmup"), nullptr, 10);
+        } else if (arg == "--cycles") {
+            req.cycles = std::strtoull(need("--cycles"), nullptr, 10);
+        } else if (arg == "--mesh") {
+            if (!parseMesh(need("--mesh"), req.meshWidth,
+                           req.meshHeight)) {
+                std::fprintf(stderr, "%s: bad --mesh (want WxH)\n",
+                             argv[0]);
+                return 2;
+            }
+        } else if (arg == "--threads") {
+            req.threads = std::atoi(need("--threads"));
+        } else if (arg == "--no-elide") {
+            req.elide = false;
+        } else if (arg == "--interval") {
+            req.interval = std::strtoull(need("--interval"), nullptr, 10);
+        } else if (arg == "--fault-spec") {
+            req.faultSpec = need("--fault-spec");
+        } else if (arg == "--real-tags") {
+            req.realTags = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && subcommand.empty()) {
+            subcommand = arg;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (socketPath.empty() ||
+        (subcommand != "run" && subcommand != "status" &&
+         subcommand != "shutdown")) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    Connection conn;
+    std::string err;
+    if (!conn.connectTo(socketPath, err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 1;
+    }
+
+    std::string cmdLine;
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("cmd", subcommand);
+        if (subcommand == "run")
+            stacknoc::server::writeJobRequestMembers(w, req);
+        w.endObject();
+        cmdLine = os.str();
+    }
+    if (!conn.sendLine(cmdLine, err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 1;
+    }
+
+    // Print events until the terminal one for this command.
+    std::string line;
+    while (conn.readLine(line, err)) {
+        if (line.empty())
+            continue;
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
+        std::string perr;
+        const auto doc = JsonValue::parse(line, &perr);
+        if (!doc || !doc->isObject())
+            continue;
+        const JsonValue *ev = doc->find("event");
+        const std::string kind =
+            ev != nullptr && ev->isString() ? ev->asString() : "";
+        if (kind == "error")
+            return 1;
+        if (subcommand == "run" && kind == "result")
+            return 0;
+        if (subcommand == "status" && kind == "status")
+            return 0;
+        if (subcommand == "shutdown" && kind == "bye")
+            return 0;
+    }
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "%s: server closed the connection\n", argv[0]);
+    return 1;
+}

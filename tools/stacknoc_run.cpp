@@ -25,6 +25,8 @@
 
 #include "common/cli.hh"
 #include "fault/fault_spec.hh"
+#include "snapshot/checkpoint.hh"
+#include "snapshot/state_io.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/trace.hh"
 #include "system/cmp_system.hh"
@@ -90,6 +92,15 @@ usage()
                     for N cycles with traffic in flight (0 disables)
   --timeout-sec S   wall-clock guard: stop the run after S seconds,
                     flush partial stats, exit 124
+  --save-checkpoint FILE  serialise the full warm state to FILE right
+                    after the warm-up boundary, then run as usual
+  --restore FILE    skip warm-up: restore the warm state from FILE and
+                    run the measured cycles (stats are bit-identical to
+                    the uninterrupted run at any --threads/--no-elide;
+                    a corrupt or incompatible FILE exits 2 with a
+                    one-line reason; incompatible with --validate)
+  --digest          print "stats_digest 0x..." after the run (FNV-1a
+                    over every stats group; bit-identity comparator)
   --list-apps       print the Table 3 application names and exit
 
 All observability flags are strict observers: simulation results are
@@ -106,24 +117,18 @@ const std::vector<std::string> kKnownOptions = {
     "--heatmap-period", "--power", "--thermal", "--thermal-period",
     "--progress", "--validate", "--validate-period",
     "--threads", "--no-elide", "--fault-spec", "--watchdog",
-    "--timeout-sec", "--list-apps",
+    "--timeout-sec", "--save-checkpoint", "--restore", "--digest",
+    "--list-apps",
 };
 
 system::Scenario
 scenarioByName(const std::string &name)
 {
-    using namespace system::scenarios;
-    if (name == "SRAM-64TSB") return sram64Tsb();
-    if (name == "MRAM-64TSB") return sttram64Tsb();
-    if (name == "MRAM-4TSB") return sttram4Tsb();
-    if (name == "MRAM-4TSB-SS") return sttram4TsbSS();
-    if (name == "MRAM-4TSB-RCA") return sttram4TsbRca();
-    if (name == "MRAM-4TSB-WB") return sttram4TsbWb();
-    if (name == "BUFF-20") return sttramBuff20();
-    if (name == "+1VC") return sttram4TsbWbPlus1Vc();
-    if (name == "MRAM-RP") return sttramReadPriority();
-    if (name == "MRAM-4TSB-WB+RP") return sttram4TsbWbReadPriority();
-    fatal("unknown scenario '%s'", name.c_str());
+    system::Scenario s;
+    fatal_if(!system::scenarios::byName(name, s),
+             "unknown scenario '%s' (known: %s)", name.c_str(),
+             system::scenarios::knownNames());
+    return s;
 }
 
 std::vector<std::string>
@@ -166,6 +171,9 @@ main(int argc, char **argv)
     std::vector<std::string> app_list{"tpcc"};
     long long watchdog_opt = -1; // -1 unset, 0 off, >0 stallCycles
     double timeout_sec = 0.0;
+    std::string save_ckpt_path;
+    std::string restore_path;
+    bool print_digest = false;
 
     auto need = [&](int i) {
         if (i + 1 >= argc)
@@ -298,6 +306,12 @@ main(int argc, char **argv)
             timeout_sec = std::strtod(need(i).c_str(), nullptr);
             fatal_if(timeout_sec <= 0.0, "--timeout-sec must be > 0");
             ++i;
+        } else if (arg == "--save-checkpoint") {
+            save_ckpt_path = need(i); ++i;
+        } else if (arg == "--restore") {
+            restore_path = need(i); ++i;
+        } else if (arg == "--digest") {
+            print_digest = true;
         } else if (arg == "--list-apps") {
             for (const auto &a : workload::appTable())
                 std::printf("%-16s %s\n", a.name.c_str(),
@@ -337,6 +351,24 @@ main(int argc, char **argv)
     if (watchdog_opt > 0)
         cfg.watchdog.stallCycles = static_cast<Cycle>(watchdog_opt);
 
+    // Checkpoints exclude the validation hub's census state, so neither
+    // end of the snapshot path may run with the checkers on.
+    if (cfg.validate &&
+        (!restore_path.empty() || !save_ckpt_path.empty())) {
+        std::fprintf(stderr,
+                     "stacknoc_run: --validate is incompatible with "
+                     "--restore/--save-checkpoint (checker state is not "
+                     "checkpointed)\n");
+        return 2;
+    }
+    if (!restore_path.empty() && !save_ckpt_path.empty()) {
+        std::fprintf(stderr,
+                     "stacknoc_run: --restore and --save-checkpoint are "
+                     "mutually exclusive (checkpoints are taken at the "
+                     "warm-up boundary, which a restored run skips)\n");
+        return 2;
+    }
+
     std::unique_ptr<telemetry::CsvTraceSink> trace_sink;
     std::unique_ptr<telemetry::MemoryTraceSink> chrome_sink;
     std::unique_ptr<telemetry::TeeTraceSink> tee_sink;
@@ -368,6 +400,37 @@ main(int argc, char **argv)
 
     system::CmpSystem sys(cfg);
 
+    const std::uint64_t warm_digest =
+        snapshot::warmConfigDigest(cfg, warmup);
+    bool restored = false;
+    Cycle restored_cycle = 0;
+    if (!restore_path.empty()) {
+        std::ifstream in(restore_path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr,
+                         "stacknoc_run: cannot open checkpoint '%s'\n",
+                         restore_path.c_str());
+            return 2;
+        }
+        const std::string err = snapshot::restoreCheckpoint(
+            sys, in, warm_digest, &restored_cycle);
+        if (!err.empty()) {
+            std::fprintf(stderr, "stacknoc_run: %s\n", err.c_str());
+            return 2;
+        }
+        restored = true;
+    }
+    auto write_checkpoint = [&]() {
+        if (save_ckpt_path.empty())
+            return;
+        std::ofstream out(save_ckpt_path, std::ios::binary);
+        fatal_if(!out, "cannot open checkpoint file '%s'",
+                 save_ckpt_path.c_str());
+        snapshot::saveCheckpoint(sys, out, warm_digest);
+        fatal_if(!out, "error writing checkpoint file '%s'",
+                 save_ckpt_path.c_str());
+    };
+
     bool timed_out = false;
     if (timeout_sec > 0.0) {
         // Chunked execution so the wall-clock guard can interrupt a run
@@ -388,11 +451,17 @@ main(int argc, char **argv)
             }
             return left;
         };
-        sys.warmupBegin();
-        Cycle left = run_chunked(warmup);
-        if (left == 0) {
-            sys.warmupEnd();
+        Cycle left = 0;
+        if (restored) {
             left = run_chunked(cycles);
+        } else {
+            sys.warmupBegin();
+            left = run_chunked(warmup);
+            if (left == 0) {
+                sys.warmupEnd();
+                write_checkpoint();
+                left = run_chunked(cycles);
+            }
         }
         timed_out = left > 0;
         if (timed_out) {
@@ -405,8 +474,13 @@ main(int argc, char **argv)
                              sys.simulator().now()),
                          static_cast<unsigned long long>(left));
         }
+    } else if (restored) {
+        sys.run(cycles);
     } else {
-        sys.warmup(warmup);
+        sys.warmupBegin();
+        sys.run(warmup);
+        sys.warmupEnd();
+        write_checkpoint();
         sys.run(cycles);
     }
 
@@ -430,6 +504,9 @@ main(int argc, char **argv)
                 cfg.scenario.name.c_str(), cores,
                 static_cast<unsigned long long>(cycles),
                 static_cast<unsigned long long>(cfg.seed));
+    if (restored)
+        std::printf("restored_from_cycle=%llu\n",
+                    static_cast<unsigned long long>(restored_cycle));
     std::printf("mean_ipc=%.4f min_ipc=%.4f instr_throughput=%.2f\n",
                 m.meanIpc(), m.minIpc(), m.instructionThroughput());
     std::printf("net_latency=%.2f bank_queue_latency=%.2f "
@@ -457,6 +534,11 @@ main(int argc, char **argv)
                 sys.wallSeconds(), sys.ticksPerSecond());
     if (const auto *prof = sys.profiler())
         prof->writeTable(std::cout, sys.wallSeconds());
+    const std::uint64_t stats_digest =
+        print_digest ? snapshot::statsDigest(sys) : 0;
+    if (print_digest)
+        std::printf("stats_digest 0x%016llx\n",
+                    static_cast<unsigned long long>(stats_digest));
     if (dump_stats)
         sys.dumpStats(std::cout);
 
@@ -502,6 +584,10 @@ main(int argc, char **argv)
         info.warmupCycles = warmup;
         info.measuredCycles = cycles;
         info.timedOut = timed_out;
+        info.restored = restored;
+        info.restoredFromCycle = restored_cycle;
+        info.hasStatsDigest = print_digest;
+        info.statsDigest = stats_digest;
         system::writeJsonStats(out, sys, info);
     }
     return timed_out ? 124 : 0;

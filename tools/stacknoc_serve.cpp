@@ -1,0 +1,123 @@
+/**
+ * @file
+ * stacknoc_serve — the simulation campaign server.
+ *
+ * Listens on a Unix-domain socket for NDJSON commands (see
+ * docs/SERVER.md and src/server/protocol.hh), runs jobs on a pool of
+ * worker processes with warm-checkpoint reuse, and caches results by
+ * full-config digest.
+ *
+ * Also hosts the worker entry point: `stacknoc_serve --worker` turns
+ * this process into a job worker reading stdin / writing stdout; the
+ * server spawns its pool that way, so there is exactly one binary.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "server/server.hh"
+#include "server/worker.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--workers N] [--ckpt-dir D]\n"
+                 "\n"
+                 "  --socket PATH   Unix socket to listen on (required)\n"
+                 "  --workers N     worker-process pool size (default 1)\n"
+                 "  --ckpt-dir D    warm-checkpoint directory shared by\n"
+                 "                  workers (default: none, no warm reuse)\n"
+                 "  --worker        internal: run as a pool worker\n",
+                 argv0);
+}
+
+std::string
+selfExe(const char *argv0)
+{
+    // /proc/self/exe survives PATH lookups and cwd changes; argv[0] is
+    // the fallback on filesystems where /proc is absent.
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string ckptDir;
+    int workers = 1;
+    bool workerMode = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s requires a value\n",
+                             argv[0], what);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socketPath = need("--socket");
+        } else if (arg == "--workers") {
+            workers = std::atoi(need("--workers"));
+        } else if (arg == "--ckpt-dir") {
+            ckptDir = need("--ckpt-dir");
+        } else if (arg == "--worker") {
+            workerMode = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (workerMode)
+        return stacknoc::server::runWorkerLoop(std::cin, std::cout,
+                                               ckptDir);
+
+    if (socketPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (workers < 1) {
+        std::fprintf(stderr, "%s: --workers must be >= 1\n", argv[0]);
+        return 2;
+    }
+
+    stacknoc::server::CampaignServer::Options opt;
+    opt.socketPath = socketPath;
+    opt.workers = workers;
+    opt.ckptDir = ckptDir;
+    opt.workerExe = selfExe(argv[0]);
+
+    stacknoc::server::CampaignServer server(std::move(opt));
+    std::string err;
+    if (!server.start(err)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "stacknoc_serve: listening on %s (%d worker%s)\n",
+                 socketPath.c_str(), workers, workers == 1 ? "" : "s");
+    return server.run();
+}

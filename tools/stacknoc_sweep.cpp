@@ -10,14 +10,25 @@
  * --speedup-threads) and records it alongside the grid, seeding the
  * perf trajectory tracked in BENCH_throughput.json.
  *
+ * Every run record carries a config_digest — the campaign-server cache
+ * key for that design point — which makes campaigns resumable:
+ * --resume reloads a partial artifact and re-runs only the grid points
+ * it is missing. With --server SOCKET the sweep submits jobs to a
+ * running stacknoc_serve instead of spawning child processes, so
+ * repeated sweeps hit the server's result cache and sweep points
+ * sharing a warm configuration reuse warm checkpoints.
+ *
  *   stacknoc_sweep --out BENCH_throughput.json
  *   stacknoc_sweep --schemes MRAM-4TSB,MRAM-4TSB-WB --seeds 3 --jobs 8
+ *   stacknoc_sweep --server /tmp/stacknoc.sock --resume
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -25,10 +36,14 @@
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "server/client.hh"
+#include "server/protocol.hh"
 #include "telemetry/json.hh"
 
 using namespace stacknoc;
@@ -49,6 +64,10 @@ struct SweepResult
 {
     SweepJob job;
     bool ok = false;
+    /** Child's specific exit code (128+signal if killed); 0 when ok. */
+    int exitCode = 0;
+    std::string configDigest; //!< campaign cache key for this point
+    std::string statsDigest;  //!< child's full-stats digest ("0x...")
     double meanIpc = 0.0;
     double instrThroughput = 0.0;
     double avgNetLatency = 0.0;
@@ -80,6 +99,8 @@ struct SweepOptions
     bool speedup = true;
     bool profile = true;
     bool thermal = true;
+    bool resume = false;
+    std::string server; //!< stacknoc_serve socket; empty = children
 };
 
 std::vector<std::string>
@@ -115,6 +136,13 @@ usage()
   --no-profile       don't fold the engine-phase profile into run records
   --no-thermal       don't run children with --thermal (run records then
                      carry zero total_energy_uj / peak_temp_c)
+  --resume           reload an existing --out artifact and skip grid
+                     points whose config_digest is already present with
+                     ok:true (interrupted campaigns pick up where they
+                     stopped)
+  --server SOCKET    submit jobs to a running stacknoc_serve on this
+                     Unix socket instead of spawning child processes
+                     (run records then carry no thermal/profile data)
 )");
     std::exit(2);
 }
@@ -123,15 +151,69 @@ const std::vector<std::string> kKnownOptions = {
     "--schemes", "--regions", "--mixes", "--seeds", "--cycles",
     "--warmup", "--jobs", "--threads", "--runner", "--out",
     "--speedup-scenario", "--speedup-threads", "--no-speedup",
-    "--no-profile", "--no-thermal",
+    "--no-profile", "--no-thermal", "--resume", "--server",
 };
 
-/** Run one child, parse its --json-stats output. */
+/** The campaign-server request equivalent to one sweep job. */
+server::JobRequest
+toRequest(const SweepOptions &opt, const SweepJob &job)
+{
+    server::JobRequest req;
+    req.scenario = job.scenario;
+    req.regions = job.regions;
+    req.apps = splitList(job.mix, ',');
+    req.seed = job.seed;
+    req.warmup = opt.warmup;
+    req.cycles = opt.cycles;
+    req.threads = job.threads;
+    return req;
+}
+
+/**
+ * fork/exec @p args (argv[0] is the binary), stdout/stderr to
+ * /dev/null. @return the child's specific exit code, 128+signal if it
+ * was killed, or -1 if the spawn itself failed.
+ */
+int
+runChild(const std::vector<std::string> &args)
+{
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return -1;
+    if (pid == 0) {
+        const int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            ::dup2(devnull, STDOUT_FILENO);
+            ::dup2(devnull, STDERR_FILENO);
+            ::close(devnull);
+        }
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0)
+        return -1;
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return -1;
+}
+
+/** Run one child via fork/exec, parse its --json-stats output. */
 SweepResult
 runJob(const SweepOptions &opt, const SweepJob &job, int idx)
 {
     SweepResult res;
     res.job = job;
+    res.configDigest =
+        server::hexKey(server::cacheKeyDigest(toRequest(opt, job)));
 
     const std::string json_path =
         (std::filesystem::temp_directory_path() /
@@ -139,27 +221,35 @@ runJob(const SweepOptions &opt, const SweepJob &job, int idx)
                         static_cast<int>(::getpid()), idx))
             .string();
 
-    std::string cmd = opt.runner;
-    cmd += " --scenario " + job.scenario;
-    cmd += detail::format(" --regions %d", job.regions);
-    cmd += " --apps " + job.mix;
-    cmd += detail::format(" --seed %llu",
-                          static_cast<unsigned long long>(job.seed));
-    cmd += detail::format(" --cycles %llu",
-                          static_cast<unsigned long long>(opt.cycles));
-    cmd += detail::format(" --warmup %llu",
-                          static_cast<unsigned long long>(opt.warmup));
-    cmd += detail::format(" --threads %d", job.threads);
+    std::vector<std::string> args{
+        opt.runner,
+        "--scenario", job.scenario,
+        "--regions", detail::format("%d", job.regions),
+        "--apps", job.mix,
+        "--seed",
+        detail::format("%llu", static_cast<unsigned long long>(job.seed)),
+        "--cycles",
+        detail::format("%llu",
+                       static_cast<unsigned long long>(opt.cycles)),
+        "--warmup",
+        detail::format("%llu",
+                       static_cast<unsigned long long>(opt.warmup)),
+        "--threads", detail::format("%d", job.threads),
+        "--digest",
+        "--json-stats", json_path,
+    };
     if (opt.profile)
-        cmd += " --profile";
+        args.push_back("--profile");
     if (opt.thermal)
-        cmd += " --thermal"; // implies --power
-    cmd += " --json-stats " + json_path;
-    cmd += " > /dev/null 2>&1";
+        args.push_back("--thermal"); // implies --power
 
-    const int rc = std::system(cmd.c_str());
+    const int rc = runChild(args);
+    res.exitCode = rc;
     if (rc != 0) {
-        warn("sweep: child failed (rc=%d): %s", rc, cmd.c_str());
+        warn("sweep: child failed (exit=%d): %s %s r%d %s seed=%llu",
+             rc, opt.runner.c_str(), job.scenario.c_str(), job.regions,
+             job.mix.c_str(),
+             static_cast<unsigned long long>(job.seed));
         return res;
     }
 
@@ -171,14 +261,17 @@ runJob(const SweepOptions &opt, const SweepJob &job, int idx)
     std::string err;
     const auto doc = telemetry::JsonValue::parse(buf.str(), &err);
     if (!doc) {
-        warn("sweep: bad child json (%s): %s", err.c_str(), cmd.c_str());
+        warn("sweep: bad child json (%s) for %s seed=%llu", err.c_str(),
+             job.scenario.c_str(),
+             static_cast<unsigned long long>(job.seed));
         return res;
     }
 
     const auto *metrics = doc->find("metrics");
     const auto *perf = doc->find("perf");
     if (!metrics || !perf) {
-        warn("sweep: child json missing metrics/perf: %s", cmd.c_str());
+        warn("sweep: child json missing metrics/perf for %s",
+             job.scenario.c_str());
         return res;
     }
     auto num = [](const telemetry::JsonValue *obj, const char *key) {
@@ -207,8 +300,157 @@ runJob(const SweepOptions &opt, const SweepJob &job, int idx)
                     res.phases.emplace_back(name, v.asDouble());
         }
     }
+    if (const auto *run = doc->find("run"); run && run->isObject())
+        if (const auto *d = run->find("stats_digest");
+            d && d->isString())
+            res.statsDigest = d->asString();
     res.ok = true;
     return res;
+}
+
+/**
+ * Run all @p jobs through a stacknoc_serve campaign server: submit
+ * every request up-front (the server parallelises across its worker
+ * pool and serves repeats from its result cache), then harvest events.
+ * @return false if the connection fails before every job completes.
+ */
+bool
+runJobsViaServer(const SweepOptions &opt,
+                 const std::vector<SweepJob> &jobs,
+                 std::vector<SweepResult> &results)
+{
+    server::Connection conn;
+    std::string err;
+    if (!conn.connectTo(opt.server, err)) {
+        warn("sweep: %s", err.c_str());
+        return false;
+    }
+
+    // accepted events arrive in submission order, which maps the
+    // server-assigned job ids onto our indices.
+    std::deque<std::size_t> awaitingAccept;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        results[i].job = jobs[i];
+        const server::JobRequest req = toRequest(opt, jobs[i]);
+        results[i].configDigest =
+            server::hexKey(server::cacheKeyDigest(req));
+        std::ostringstream os;
+        telemetry::JsonWriter w(os);
+        w.beginObject();
+        w.kv("cmd", "run");
+        server::writeJobRequestMembers(w, req);
+        w.endObject();
+        if (!conn.sendLine(os.str(), err)) {
+            warn("sweep: %s", err.c_str());
+            return false;
+        }
+        awaitingAccept.push_back(i);
+    }
+
+    std::map<std::uint64_t, std::size_t> byId;
+    std::size_t outstanding = jobs.size();
+    std::string line;
+    while (outstanding > 0 && conn.readLine(line, err)) {
+        std::string perr;
+        const auto doc = telemetry::JsonValue::parse(line, &perr);
+        if (!doc || !doc->isObject())
+            continue;
+        const auto *ev = doc->find("event");
+        const std::string kind =
+            ev && ev->isString() ? ev->asString() : "";
+        std::uint64_t id = 0;
+        if (const auto *m = doc->find("id"); m && m->isNumber())
+            id = static_cast<std::uint64_t>(m->asDouble());
+
+        if (kind == "accepted") {
+            if (!awaitingAccept.empty()) {
+                byId[id] = awaitingAccept.front();
+                awaitingAccept.pop_front();
+            }
+            continue;
+        }
+        const auto owner = byId.find(id);
+        if (owner == byId.end())
+            continue;
+        SweepResult &res = results[owner->second];
+        if (kind == "error") {
+            const auto *reason = doc->find("reason");
+            warn("sweep: server error on %s: %s",
+                 res.job.scenario.c_str(),
+                 reason && reason->isString()
+                     ? reason->asString().c_str()
+                     : "?");
+            res.exitCode = 1;
+            --outstanding;
+            continue;
+        }
+        if (kind != "result")
+            continue;
+        const auto *data = doc->find("data");
+        if (data && data->isObject()) {
+            const auto num = [&](const char *key) {
+                const auto *v = data->find(key);
+                return v && v->isNumber() ? v->asDouble() : 0.0;
+            };
+            res.meanIpc = num("mean_ipc");
+            res.instrThroughput = num("instruction_throughput");
+            res.avgNetLatency = num("avg_network_latency");
+            res.p95NetLatency = num("p95_network_latency");
+            res.wallSeconds = num("wall_seconds");
+            res.ticksPerSec = num("ticks_per_sec");
+            res.activeFraction = num("active_fraction");
+            res.totalEnergyUJ = num("total_energy_uj");
+            if (const auto *d = data->find("stats_digest");
+                d && d->isString())
+                res.statsDigest = d->asString();
+            res.ok = true;
+        } else {
+            res.exitCode = 1;
+        }
+        --outstanding;
+    }
+    if (outstanding > 0) {
+        warn("sweep: server connection lost with %zu job(s) pending%s%s",
+             outstanding, err.empty() ? "" : ": ", err.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Load ok:true grid records from a previous artifact, keyed by
+ * config_digest, so --resume can skip and re-emit them verbatim.
+ */
+std::map<std::string, std::string>
+loadResume(const std::string &path)
+{
+    std::map<std::string, std::string> records;
+    std::ifstream in(path);
+    if (!in)
+        return records;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    const auto doc = telemetry::JsonValue::parse(buf.str(), &err);
+    if (!doc || !doc->isObject()) {
+        warn("sweep: cannot resume from '%s': %s", path.c_str(),
+             err.empty() ? "not a JSON object" : err.c_str());
+        return records;
+    }
+    const auto *runs = doc->find("runs");
+    if (!runs || !runs->isArray())
+        return records;
+    for (const telemetry::JsonValue &r : runs->elements()) {
+        if (!r.isObject())
+            continue;
+        const auto *ok = r.find("ok");
+        const auto *digest = r.find("config_digest");
+        if (ok && ok->type() == telemetry::JsonValue::Type::Bool &&
+            ok->asBool() && digest && digest->isString())
+            records[digest->asString()] =
+                server::jsonValueToString(r);
+    }
+    return records;
 }
 
 void
@@ -221,6 +463,9 @@ writeRun(telemetry::JsonWriter &w, const SweepResult &r)
     w.kv("seed", static_cast<std::uint64_t>(r.job.seed));
     w.kv("threads", r.job.threads);
     w.kv("ok", r.ok);
+    w.kv("exit_code", r.exitCode);
+    w.kv("config_digest", r.configDigest);
+    w.kv("stats_digest", r.statsDigest);
     w.kv("mean_ipc", r.meanIpc);
     w.kv("instruction_throughput", r.instrThroughput);
     w.kv("avg_network_latency", r.avgNetLatency);
@@ -297,6 +542,10 @@ main(int argc, char **argv)
             opt.profile = false;
         } else if (arg == "--no-thermal") {
             opt.thermal = false;
+        } else if (arg == "--resume") {
+            opt.resume = true;
+        } else if (arg == "--server") {
+            opt.server = need(i); ++i;
         } else {
             cli::reportUnknownOption("stacknoc_sweep", arg,
                                      kKnownOptions);
@@ -310,7 +559,8 @@ main(int argc, char **argv)
                       "stacknoc_run")
                          .string();
     }
-    fatal_if(!std::filesystem::exists(opt.runner),
+    fatal_if(opt.server.empty() &&
+                 !std::filesystem::exists(opt.runner),
              "runner '%s' not found (use --runner)", opt.runner.c_str());
     if (opt.jobs <= 0) {
         opt.jobs = static_cast<int>(std::thread::hardware_concurrency());
@@ -346,43 +596,94 @@ main(int argc, char **argv)
         }
     }
 
-    std::fprintf(stderr, "sweep: %zu job(s) across %d process(es)\n",
-                 jobs.size(), opt.jobs);
+    // --resume: skip grid points an earlier (interrupted) campaign
+    // already completed; their records are re-emitted verbatim.
+    std::vector<std::string> resumedRecords;
+    if (opt.resume) {
+        const auto prior = loadResume(opt.out);
+        if (!prior.empty()) {
+            std::vector<SweepJob> pending;
+            for (const auto &j : jobs) {
+                if (j.tag == "grid") {
+                    const std::string digest = server::hexKey(
+                        server::cacheKeyDigest(toRequest(opt, j)));
+                    if (const auto it = prior.find(digest);
+                        it != prior.end()) {
+                        resumedRecords.push_back(it->second);
+                        continue;
+                    }
+                }
+                pending.push_back(j);
+            }
+            std::fprintf(stderr,
+                         "sweep: resume skips %zu completed grid "
+                         "point(s) from %s\n",
+                         resumedRecords.size(), opt.out.c_str());
+            jobs = std::move(pending);
+        }
+    }
 
     std::vector<SweepResult> results(jobs.size());
-    std::mutex m;
-    std::size_t next = 0;
-    auto worker = [&] {
-        for (;;) {
-            std::size_t idx;
-            {
-                std::lock_guard<std::mutex> lk(m);
-                if (next >= jobs.size())
-                    return;
-                idx = next++;
-            }
-            results[idx] =
-                runJob(opt, jobs[idx], static_cast<int>(idx));
-            std::lock_guard<std::mutex> lk(m);
+    if (!opt.server.empty()) {
+        std::fprintf(stderr, "sweep: %zu job(s) via server %s\n",
+                     jobs.size(), opt.server.c_str());
+        if (!runJobsViaServer(opt, jobs, results))
+            return 1;
+        for (std::size_t i = 0; i < results.size(); ++i)
             std::fprintf(stderr, "  [%zu/%zu] %s r%d %s seed=%llu "
                          "t%d %s\n",
-                         idx + 1, jobs.size(),
-                         jobs[idx].scenario.c_str(), jobs[idx].regions,
-                         jobs[idx].mix.c_str(),
-                         static_cast<unsigned long long>(jobs[idx].seed),
-                         jobs[idx].threads,
-                         results[idx].ok ? "ok" : "FAILED");
-        }
-    };
-    std::vector<std::thread> pool;
-    for (int t = 0; t < opt.jobs; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+                         i + 1, results.size(),
+                         jobs[i].scenario.c_str(), jobs[i].regions,
+                         jobs[i].mix.c_str(),
+                         static_cast<unsigned long long>(jobs[i].seed),
+                         jobs[i].threads,
+                         results[i].ok ? "ok" : "FAILED");
+    } else {
+        std::fprintf(stderr,
+                     "sweep: %zu job(s) across %d process(es)\n",
+                     jobs.size(), opt.jobs);
+        std::mutex m;
+        std::size_t next = 0;
+        auto worker = [&] {
+            for (;;) {
+                std::size_t idx;
+                {
+                    std::lock_guard<std::mutex> lk(m);
+                    if (next >= jobs.size())
+                        return;
+                    idx = next++;
+                }
+                results[idx] =
+                    runJob(opt, jobs[idx], static_cast<int>(idx));
+                std::lock_guard<std::mutex> lk(m);
+                std::fprintf(stderr, "  [%zu/%zu] %s r%d %s seed=%llu "
+                             "t%d %s\n",
+                             idx + 1, jobs.size(),
+                             jobs[idx].scenario.c_str(),
+                             jobs[idx].regions,
+                             jobs[idx].mix.c_str(),
+                             static_cast<unsigned long long>(
+                                 jobs[idx].seed),
+                             jobs[idx].threads,
+                             results[idx].ok ? "ok" : "FAILED");
+            }
+        };
+        std::vector<std::thread> pool;
+        for (int t = 0; t < opt.jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
 
     int failed = 0;
-    for (const auto &r : results)
-        failed += r.ok ? 0 : 1;
+    int firstExit = 0;
+    for (const auto &r : results) {
+        if (r.ok)
+            continue;
+        ++failed;
+        if (firstExit == 0)
+            firstExit = r.exitCode > 0 ? r.exitCode : 1;
+    }
 
     // Merge into the benchmark artifact.
     std::ofstream out(opt.out);
@@ -391,12 +692,13 @@ main(int argc, char **argv)
     w.beginObject();
     w.kv("bench", "throughput");
     w.kv("tool", "stacknoc_sweep");
-    // Version 4: run records gain active_fraction (idle-elision
-    // occupancy from the child's perf section). Version 3 added
+    // Version 5: run records gain exit_code, config_digest (the
+    // campaign-server cache key, also the --resume identity) and
+    // stats_digest. Version 4 added active_fraction; version 3 added
     // total_energy_uj and peak_temp_c; version 2 added profile_phases.
     // Readers should ignore unknown fields but may key behavior off
     // this stamp; older readers keep working, the new fields only add.
-    w.kv("schema_version", 4);
+    w.kv("schema_version", 5);
     w.key("grid");
     w.beginObject();
     w.kv("cycles", static_cast<std::uint64_t>(opt.cycles));
@@ -405,11 +707,25 @@ main(int argc, char **argv)
     w.kv("threads", opt.threads);
     // Interprets the speedup number: a 4-thread engine on a 1-core host
     // cannot beat sequential no matter how good the sharding is.
-    w.kv("hardware_threads",
-         static_cast<int>(std::thread::hardware_concurrency()));
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    w.kv("hardware_threads", hw);
+    if (opt.speedup && hw < opt.speedupThreads) {
+        w.kv("limitation",
+             detail::format(
+                 "recorded on a %d-hardware-thread host: the %d-thread "
+                 "speedup measurement is oversubscribed and expected "
+                 "to be <= 1x; re-record on a multi-core host for a "
+                 "meaningful parallel-engine number",
+                 hw, opt.speedupThreads));
+    }
     w.endObject();
     w.key("runs");
     w.beginArray();
+    for (const auto &rec : resumedRecords) {
+        std::string err;
+        if (const auto v = telemetry::JsonValue::parse(rec, &err))
+            server::writeJsonValue(w, *v);
+    }
     for (const auto &r : results)
         if (r.job.tag == "grid")
             writeRun(w, r);
@@ -447,7 +763,12 @@ main(int argc, char **argv)
     w.endObject();
     out << "\n";
 
-    std::printf("sweep: %zu job(s), %d failed, artifact %s\n",
-                results.size(), failed, opt.out.c_str());
-    return failed == 0 ? 0 : 1;
+    std::printf("sweep: %zu job(s) (%zu resumed), %d failed, "
+                "artifact %s\n",
+                results.size() + resumedRecords.size(),
+                resumedRecords.size(), failed, opt.out.c_str());
+    // A failed campaign exits with the first child's specific code so
+    // callers can tell a simulation abort from a bad checkpoint (2),
+    // a missing binary (127) or a crash (128+signal).
+    return failed == 0 ? 0 : firstExit;
 }
