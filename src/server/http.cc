@@ -1,0 +1,124 @@
+#include "server/http.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stacknoc::server {
+
+namespace {
+
+/** Header block cap; a request line + headers beyond this is hostile. */
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+/** Body cap: JobRequest JSON is tiny; 1 MiB is generous. */
+constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
+bool
+iequalsPrefix(const std::string &line, const char *prefix)
+{
+    std::size_t i = 0;
+    for (; prefix[i] != '\0'; ++i) {
+        if (i >= line.size() ||
+            std::tolower(static_cast<unsigned char>(line[i])) !=
+                std::tolower(static_cast<unsigned char>(prefix[i])))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+parseHttpRequest(std::string &buf, HttpRequest &req, std::string &err)
+{
+    const std::size_t headerEnd = buf.find("\r\n\r\n");
+    if (headerEnd == std::string::npos) {
+        if (buf.size() > kMaxHeaderBytes) {
+            err = "header block too large";
+            return -1;
+        }
+        return 0;
+    }
+    const std::string head = buf.substr(0, headerEnd);
+    const std::size_t bodyStart = headerEnd + 4;
+
+    // Request line: METHOD SP TARGET SP HTTP/1.x
+    const std::size_t lineEnd = head.find("\r\n");
+    const std::string reqLine =
+        lineEnd == std::string::npos ? head : head.substr(0, lineEnd);
+    const std::size_t sp1 = reqLine.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : reqLine.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        reqLine.compare(sp2 + 1, 5, "HTTP/") != 0) {
+        err = "malformed request line";
+        return -1;
+    }
+    req.method = reqLine.substr(0, sp1);
+    req.path = reqLine.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    // Headers: only Content-Length matters.
+    std::size_t contentLength = 0;
+    std::size_t pos = lineEnd == std::string::npos ? head.size()
+                                                   : lineEnd + 2;
+    while (pos < head.size()) {
+        std::size_t next = head.find("\r\n", pos);
+        if (next == std::string::npos)
+            next = head.size();
+        const std::string line = head.substr(pos, next - pos);
+        if (iequalsPrefix(line, "content-length:")) {
+            const char *v = line.c_str() + 15;
+            contentLength = static_cast<std::size_t>(
+                std::strtoull(v, nullptr, 10));
+        }
+        pos = next + 2;
+    }
+    if (contentLength > kMaxBodyBytes) {
+        err = "body too large";
+        return -1;
+    }
+    if (buf.size() - bodyStart < contentLength)
+        return 0;
+
+    req.body = buf.substr(bodyStart, contentLength);
+    buf.erase(0, bodyStart + contentLength);
+    return 1;
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 400:
+        return "Bad Request";
+    case 404:
+        return "Not Found";
+    case 405:
+        return "Method Not Allowed";
+    case 500:
+        return "Internal Server Error";
+    default:
+        return "Unknown";
+    }
+}
+
+std::string
+httpResponse(int status, const std::string &contentType,
+             const std::string &body)
+{
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "HTTP/1.1 %d %s\r\n"
+                  "Content-Type: %s\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n"
+                  "\r\n",
+                  status, httpStatusText(status), contentType.c_str(),
+                  body.size());
+    return head + body;
+}
+
+} // namespace stacknoc::server

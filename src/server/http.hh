@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 request parsing and response rendering for the
+ * campaign server's TCP front end (`stacknoc_serve --http PORT`).
+ *
+ * Deliberately tiny: enough of HTTP to serve `GET /metrics`,
+ * `GET /status` and `POST /run` to curl, Prometheus scrapers and
+ * off-host scripts. One request per connection (every response sends
+ * `Connection: close`), bodies are delimited by `Content-Length` only
+ * (no chunked encoding), headers beyond Content-Length are ignored.
+ * The CampaignServer owns the sockets; this file is pure
+ * byte-in/byte-out so it is unit-testable without a socket.
+ */
+
+#ifndef STACKNOC_SERVER_HTTP_HH
+#define STACKNOC_SERVER_HTTP_HH
+
+#include <string>
+
+namespace stacknoc::server {
+
+struct HttpRequest
+{
+    std::string method; //!< "GET", "POST", ... (upper-case as sent)
+    std::string path;   //!< request target, e.g. "/metrics"
+    std::string body;   //!< Content-Length bytes (may be empty)
+};
+
+/**
+ * Try to parse one complete request from the front of @p buf,
+ * consuming it on success.
+ *
+ * @return 1 and fill @p req when a full request was consumed; 0 when
+ *         more bytes are needed; -1 (with a one-line @p err) on a
+ *         malformed or oversized request — the caller should answer
+ *         400 and close.
+ */
+int parseHttpRequest(std::string &buf, HttpRequest &req,
+                     std::string &err);
+
+/** Render a full response with Content-Length and Connection: close. */
+std::string httpResponse(int status, const std::string &contentType,
+                         const std::string &body);
+
+/** Canonical reason phrase ("OK", "Not Found", ...). */
+const char *httpStatusText(int status);
+
+/** The Prometheus text exposition content type. */
+inline const char *
+metricsContentType()
+{
+    return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+} // namespace stacknoc::server
+
+#endif // STACKNOC_SERVER_HTTP_HH

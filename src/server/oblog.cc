@@ -1,0 +1,79 @@
+#include "server/oblog.hh"
+
+#include <filesystem>
+#include <sstream>
+
+namespace stacknoc::server {
+
+bool
+EventLog::open(const std::string &path, std::uint64_t rotateBytes,
+               std::string &err)
+{
+    path_ = path;
+    if (rotateBytes > 0)
+        rotateBytes_ = rotateBytes;
+    out_.open(path, std::ios::trunc);
+    if (!out_) {
+        err = "cannot open log file '" + path + "'";
+        return false;
+    }
+    written_ = 0;
+    start_ = std::chrono::steady_clock::now();
+    return true;
+}
+
+std::uint64_t
+EventLog::monoUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+}
+
+void
+EventLog::event(const char *kind,
+                const std::function<void(telemetry::JsonWriter &)>
+                    &fields)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t wallMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    std::ostringstream os;
+    telemetry::JsonWriter w(os);
+    w.beginObject();
+    w.kv("v", kSchemaVersion);
+    w.kv("ts_ms", wallMs);
+    w.kv("mono_us", monoUs());
+    w.kv("event", kind);
+    if (fields)
+        fields(w);
+    w.endObject();
+    const std::string line = os.str();
+    out_ << line << "\n";
+    out_.flush();
+    written_ += line.size() + 1;
+    if (written_ > rotateBytes_)
+        rotate();
+}
+
+void
+EventLog::rotate()
+{
+    out_.close();
+    std::error_code ec;
+    std::filesystem::rename(path_, path_ + ".1", ec);
+    // A failed rename (e.g. cross-device log path) truncates in place
+    // rather than growing without bound.
+    out_.open(path_, std::ios::trunc);
+    written_ = 0;
+    if (out_.is_open())
+        event("log_rotated", [&](telemetry::JsonWriter &w) {
+            w.kv("previous", ec ? "" : (path_ + ".1"));
+        });
+}
+
+} // namespace stacknoc::server

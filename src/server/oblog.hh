@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The campaign server's job-lifecycle event log (`stacknoc_serve
+ * --log-json FILE`): one schema-versioned NDJSON object per line,
+ * wall- and monotonically-stamped, capturing every job's path through
+ * the fleet — submission, dispatch, per-phase durations, completion or
+ * failure — plus worker spawns/deaths and checkpoint evictions.
+ *
+ * Line shape (members beyond these are event-specific):
+ *
+ *     {"v":1,"ts_ms":<wall ms since epoch>,"mono_us":<us since the
+ *      log opened, steady clock>,"event":"<kind>", ...}
+ *
+ * `mono_us` is the timeline tools key on (tools/serve_trace.py renders
+ * it directly as Chrome-trace microseconds); `ts_ms` is for humans and
+ * cross-host correlation. The schema version `v` bumps on any
+ * incompatible member change; new optional members may appear without
+ * a bump.
+ *
+ * Rotation: when the file exceeds the byte cap after a write, it is
+ * renamed to `FILE.1` (replacing any previous `FILE.1`) and a fresh
+ * file is started with a `log_rotated` event, so at most two
+ * generations exist on disk.
+ */
+
+#ifndef STACKNOC_SERVER_OBLOG_HH
+#define STACKNOC_SERVER_OBLOG_HH
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "telemetry/json.hh"
+
+namespace stacknoc::server {
+
+class EventLog
+{
+  public:
+    /** Bumped on any incompatible change to existing line members. */
+    static constexpr int kSchemaVersion = 1;
+
+    /** Default rotation cap: 16 MiB per generation. */
+    static constexpr std::uint64_t kDefaultRotateBytes = 16ull << 20;
+
+    EventLog() = default;
+
+    /**
+     * Open (truncating) @p path. @p rotateBytes of 0 keeps the default
+     * cap. @return false with a one-line @p err on failure.
+     */
+    bool open(const std::string &path, std::uint64_t rotateBytes,
+              std::string &err);
+
+    bool enabled() const { return out_.is_open(); }
+
+    /**
+     * Append one event line; @p fields writes the event-specific
+     * members into the already-open object. No-op when disabled, so
+     * call sites need no guards.
+     */
+    void event(const char *kind,
+               const std::function<void(telemetry::JsonWriter &)>
+                   &fields = {});
+
+    /** Microseconds since open() on the steady clock. */
+    std::uint64_t monoUs() const;
+
+  private:
+    void rotate();
+
+    std::string path_;
+    std::ofstream out_;
+    std::uint64_t rotateBytes_ = kDefaultRotateBytes;
+    std::uint64_t written_ = 0;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace stacknoc::server
+
+#endif // STACKNOC_SERVER_OBLOG_HH

@@ -8,13 +8,17 @@
 #include <sstream>
 #include <utility>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "server/http.hh"
 #include "server/protocol.hh"
+#include "snapshot/checkpoint.hh"
 #include "telemetry/json.hh"
 
 namespace stacknoc::server {
@@ -35,6 +39,115 @@ eventLine(const std::function<void(JsonWriter &)> &body)
     return os.str();
 }
 
+std::uint64_t
+memberU64(const JsonValue &obj, const char *key)
+{
+    const JsonValue *m = obj.find(key);
+    return m != nullptr && m->isNumber()
+               ? static_cast<std::uint64_t>(m->asDouble())
+               : 0;
+}
+
+bool
+memberBool(const JsonValue &obj, const char *key)
+{
+    const JsonValue *m = obj.find(key);
+    return m != nullptr && m->type() == JsonValue::Type::Bool &&
+           m->asBool();
+}
+
+// Metric family names and help strings, in one place so the catalogue
+// in docs/SERVER.md has a single source of truth to mirror.
+constexpr const char *kJobsSubmitted = "stacknoc_jobs_submitted_total";
+constexpr const char *kJobsCompleted = "stacknoc_jobs_completed_total";
+constexpr const char *kJobsFailed = "stacknoc_jobs_failed_total";
+constexpr const char *kJobsRejected = "stacknoc_jobs_rejected_total";
+constexpr const char *kCacheHits = "stacknoc_cache_hits_total";
+constexpr const char *kCacheMisses = "stacknoc_cache_misses_total";
+constexpr const char *kCacheEntries = "stacknoc_cache_entries";
+constexpr const char *kCacheBytes = "stacknoc_cache_bytes";
+constexpr const char *kQueueDepth = "stacknoc_queue_depth";
+constexpr const char *kQueueWait = "stacknoc_queue_wait_us";
+constexpr const char *kJobPhase = "stacknoc_job_phase_us";
+constexpr const char *kSimCycles = "stacknoc_sim_cycles_total";
+constexpr const char *kCkptRestores = "stacknoc_ckpt_restores_total";
+constexpr const char *kCkptColdWarms =
+    "stacknoc_ckpt_cold_warms_total";
+constexpr const char *kCkptSaves = "stacknoc_ckpt_saves_total";
+constexpr const char *kCkptEvictions = "stacknoc_ckpt_evictions_total";
+constexpr const char *kCkptBytes = "stacknoc_ckpt_bytes";
+constexpr const char *kCkptFiles = "stacknoc_ckpt_files";
+constexpr const char *kWorkers = "stacknoc_workers";
+constexpr const char *kWorkersBusy = "stacknoc_workers_busy";
+constexpr const char *kWorkerRespawns =
+    "stacknoc_worker_respawns_total";
+constexpr const char *kWorkerBusyFraction =
+    "stacknoc_worker_busy_fraction";
+constexpr const char *kWorkerJobs = "stacknoc_worker_jobs_total";
+constexpr const char *kHttpRequests = "stacknoc_http_requests_total";
+constexpr const char *kUptime = "stacknoc_uptime_seconds";
+constexpr const char *kBuildInfo = "stacknoc_build_info";
+
+const char *
+helpOf(const char *name)
+{
+    // One catalogue entry per family; keep alphabetised with the
+    // constants above.
+    if (name == kJobsSubmitted)
+        return "Run requests accepted (cache hits included)";
+    if (name == kJobsCompleted)
+        return "Jobs completed by a worker";
+    if (name == kJobsFailed)
+        return "Jobs ended by a worker error or death";
+    if (name == kJobsRejected)
+        return "Run requests rejected at submission";
+    if (name == kCacheHits)
+        return "Submissions served from the result cache";
+    if (name == kCacheMisses)
+        return "Submissions that required simulation";
+    if (name == kCacheEntries)
+        return "Entries in the result cache";
+    if (name == kCacheBytes)
+        return "Bytes of cached result payloads";
+    if (name == kQueueDepth)
+        return "Jobs waiting for a worker";
+    if (name == kQueueWait)
+        return "Microseconds jobs waited in queue before dispatch";
+    if (name == kJobPhase)
+        return "Per-phase job durations in microseconds";
+    if (name == kSimCycles)
+        return "Measured simulation cycles completed by workers";
+    if (name == kCkptRestores)
+        return "Jobs that restored a warm checkpoint";
+    if (name == kCkptColdWarms)
+        return "Jobs that warmed up from cold";
+    if (name == kCkptSaves)
+        return "Warm checkpoints published by workers";
+    if (name == kCkptEvictions)
+        return "Warm checkpoints evicted by the LRU byte cap";
+    if (name == kCkptBytes)
+        return "Bytes of warm checkpoints on disk";
+    if (name == kCkptFiles)
+        return "Warm checkpoint files on disk";
+    if (name == kWorkers)
+        return "Worker pool size";
+    if (name == kWorkersBusy)
+        return "Workers currently running a job";
+    if (name == kWorkerRespawns)
+        return "Worker processes respawned after dying";
+    if (name == kWorkerBusyFraction)
+        return "Fraction of server uptime each worker spent busy";
+    if (name == kWorkerJobs)
+        return "Jobs dispatched to each worker";
+    if (name == kHttpRequests)
+        return "HTTP requests by endpoint";
+    if (name == kUptime)
+        return "Seconds since the server started";
+    if (name == kBuildInfo)
+        return "Constant 1, labelled with version and protocol";
+    return "";
+}
+
 } // namespace
 
 CampaignServer::CampaignServer(Options opt) : opt_(std::move(opt)) {}
@@ -44,10 +157,23 @@ CampaignServer::~CampaignServer()
     killWorkers();
     if (listenFd_ >= 0)
         ::close(listenFd_);
+    if (httpListenFd_ >= 0)
+        ::close(httpListenFd_);
     for (auto &[fd, c] : clients_)
+        ::close(fd);
+    for (auto &[fd, h] : httpClients_)
         ::close(fd);
     if (!opt_.socketPath.empty())
         ::unlink(opt_.socketPath.c_str());
+}
+
+std::uint64_t
+CampaignServer::monoUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - startTp_)
+            .count());
 }
 
 bool
@@ -85,6 +211,8 @@ CampaignServer::spawnWorker(Worker &w, std::string &err)
         ::close(fromPipe[1]);
         if (listenFd_ >= 0)
             ::close(listenFd_);
+        if (httpListenFd_ >= 0)
+            ::close(httpListenFd_);
         ::execl(opt_.workerExe.c_str(), opt_.workerExe.c_str(),
                 "--worker", "--ckpt-dir", opt_.ckptDir.c_str(),
                 static_cast<char *>(nullptr));
@@ -100,6 +228,12 @@ CampaignServer::spawnWorker(Worker &w, std::string &err)
     w.outBuf.clear();
     w.busy = false;
     w.jobId = 0;
+    w.busySinceUs = 0;
+    const std::size_t idx = static_cast<std::size_t>(&w - workers_.data());
+    log_.event("worker_spawned", [&](JsonWriter &jw) {
+        jw.kv("worker", static_cast<std::uint64_t>(idx));
+        jw.kv("pid", static_cast<std::int64_t>(pid));
+    });
     return true;
 }
 
@@ -107,6 +241,7 @@ bool
 CampaignServer::start(std::string &err)
 {
     ::signal(SIGPIPE, SIG_IGN);
+    startTp_ = std::chrono::steady_clock::now();
 
     if (!opt_.ckptDir.empty()) {
         std::error_code ec;
@@ -117,6 +252,10 @@ CampaignServer::start(std::string &err)
             return false;
         }
     }
+
+    if (!opt_.logJsonPath.empty() &&
+        !log_.open(opt_.logJsonPath, opt_.logRotateBytes, err))
+        return false;
 
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0) {
@@ -143,11 +282,96 @@ CampaignServer::start(std::string &err)
         return false;
     }
 
+    if (opt_.httpPort >= 0) {
+        httpListenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (httpListenFd_ < 0) {
+            err = std::string("http socket: ") + std::strerror(errno);
+            return false;
+        }
+        const int one = 1;
+        ::setsockopt(httpListenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+        sockaddr_in haddr{};
+        haddr.sin_family = AF_INET;
+        haddr.sin_addr.s_addr = htonl(INADDR_ANY);
+        haddr.sin_port =
+            htons(static_cast<std::uint16_t>(opt_.httpPort));
+        if (::bind(httpListenFd_,
+                   reinterpret_cast<sockaddr *>(&haddr),
+                   sizeof haddr) != 0) {
+            err = "http bind port " + std::to_string(opt_.httpPort) +
+                  ": " + std::strerror(errno);
+            return false;
+        }
+        if (::listen(httpListenFd_, 64) != 0) {
+            err = std::string("http listen: ") + std::strerror(errno);
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t blen = sizeof bound;
+        if (::getsockname(httpListenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &blen) == 0)
+            httpPort_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+
+    // Pre-create every metric family so the first scrape already
+    // exposes the full catalogue at zero.
+    for (const char *name :
+         {kJobsSubmitted, kJobsCompleted, kJobsFailed, kJobsRejected,
+          kCacheHits, kCacheMisses, kSimCycles, kCkptRestores,
+          kCkptColdWarms, kCkptSaves, kCkptEvictions, kWorkerRespawns})
+        metrics_.counter(name, helpOf(name));
+    for (const char *name :
+         {kCacheEntries, kCacheBytes, kQueueDepth, kCkptBytes,
+          kCkptFiles, kWorkers, kWorkersBusy, kUptime})
+        metrics_.gauge(name, helpOf(name));
+    metrics_.histogram(kQueueWait, helpOf(kQueueWait));
+    for (const char *phase :
+         {"restore", "warm", "measure", "publish", "total"})
+        metrics_.histogram(kJobPhase, helpOf(kJobPhase),
+                           std::string("phase=\"") + phase + "\"");
+    for (const char *ep : {"metrics", "status", "run", "other"})
+        metrics_.counter(kHttpRequests, helpOf(kHttpRequests),
+                         std::string("endpoint=\"") + ep + "\"");
+    metrics_
+        .gauge(kBuildInfo, helpOf(kBuildInfo),
+               std::string("version=\"") + kServerVersion +
+                   "\",protocol=\"" +
+                   std::to_string(kProtocolVersion) + "\"")
+        .set(1.0);
+
+    log_.event("server_start", [&](JsonWriter &jw) {
+        jw.kv("version", kServerVersion);
+        jw.kv("protocol", kProtocolVersion);
+        jw.kv("socket", opt_.socketPath);
+        jw.kv("http_port", httpPort_);
+        jw.kv("workers", opt_.workers);
+        jw.kv("ckpt_dir", opt_.ckptDir);
+        jw.kv("ckpt_cap_bytes", opt_.ckptCapBytes);
+    });
+
     workers_.resize(static_cast<std::size_t>(opt_.workers));
     for (auto &w : workers_)
         if (!spawnWorker(w, err))
             return false;
+
+    // A previous server's leftovers count against the cap immediately.
+    enforceCkptCap();
     return true;
+}
+
+void
+CampaignServer::sendRaw(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n <= 0)
+            return;
+        off += static_cast<std::size_t>(n);
+    }
 }
 
 void
@@ -179,11 +403,38 @@ CampaignServer::closeClient(int fd)
     // Orphan any queued/in-flight jobs: they still run (to fill the
     // cache) but their events have nowhere to go.
     for (auto &j : queue_)
-        if (j.clientFd == fd)
+        if (j.transport == Transport::Unix && j.clientFd == fd)
             j.clientFd = -1;
     for (auto &[id, j] : inflight_)
-        if (j.clientFd == fd)
+        if (j.transport == Transport::Unix && j.clientFd == fd)
             j.clientFd = -1;
+}
+
+void
+CampaignServer::closeHttpClient(int fd)
+{
+    const auto it = httpClients_.find(fd);
+    if (it == httpClients_.end())
+        return;
+    ::close(fd);
+    httpClients_.erase(it);
+    for (auto &j : queue_)
+        if (j.transport == Transport::Http && j.clientFd == fd)
+            j.clientFd = -1;
+    for (auto &[id, j] : inflight_)
+        if (j.transport == Transport::Http && j.clientFd == fd)
+            j.clientFd = -1;
+}
+
+void
+CampaignServer::finishHttpJob(int fd, int status,
+                              const std::string &body)
+{
+    const auto it = httpClients_.find(fd);
+    if (it == httpClients_.end())
+        return; // requester gave up; the job still filled the cache
+    sendRaw(fd, httpResponse(status, "application/json", body));
+    closeHttpClient(fd);
 }
 
 void
@@ -209,18 +460,231 @@ CampaignServer::dispatchJobs()
             off += static_cast<std::size_t>(n);
         }
         if (failed) {
-            sendToClient(job.clientFd,
-                         eventLine([&](JsonWriter &jw) {
-                             jw.kv("event", "error");
-                             jw.kv("id", job.id);
-                             jw.kv("reason", "worker pipe write failed");
-                         }));
+            metrics_.counter(kJobsFailed, helpOf(kJobsFailed)).inc();
+            ++failed_;
+            const std::string reason = "worker pipe write failed";
+            log_.event("job_failed", [&](JsonWriter &jw) {
+                jw.kv("id", job.id);
+                jw.kv("key", hexKey(job.key));
+                jw.kv("reason", reason);
+            });
+            const std::string ev = eventLine([&](JsonWriter &jw) {
+                jw.kv("event", "error");
+                jw.kv("id", job.id);
+                jw.kv("reason", reason);
+            });
+            if (job.transport == Transport::Http)
+                finishHttpJob(job.clientFd, 500, ev);
+            else
+                sendToClient(job.clientFd, ev);
             continue;
         }
+        const std::uint64_t now = monoUs();
+        job.dispatchUs = now;
+        const std::uint64_t wait = now - job.submitUs;
+        metrics_.histogram(kQueueWait, helpOf(kQueueWait)).sample(wait);
+        const std::size_t idx =
+            static_cast<std::size_t>(&w - workers_.data());
+        metrics_
+            .counter(kWorkerJobs, helpOf(kWorkerJobs),
+                     "worker=\"" + std::to_string(idx) + "\"")
+            .inc();
         w.busy = true;
         w.jobId = job.id;
+        w.busySinceUs = now;
+        log_.event("job_dispatched", [&](JsonWriter &jw) {
+            jw.kv("id", job.id);
+            jw.kv("key", hexKey(job.key));
+            jw.kv("worker", static_cast<std::uint64_t>(idx));
+            jw.kv("worker_pid", static_cast<std::int64_t>(w.pid));
+            jw.kv("queue_wait_us", wait);
+        });
         inflight_.emplace(job.id, std::move(job));
     }
+}
+
+void
+CampaignServer::refreshGauges()
+{
+    metrics_.gauge(kQueueDepth, helpOf(kQueueDepth))
+        .set(static_cast<double>(queue_.size()));
+    metrics_.gauge(kCacheEntries, helpOf(kCacheEntries))
+        .set(static_cast<double>(cache_.size()));
+    metrics_.gauge(kCacheBytes, helpOf(kCacheBytes))
+        .set(static_cast<double>(cacheBytes_));
+    metrics_.gauge(kWorkers, helpOf(kWorkers))
+        .set(static_cast<double>(workers_.size()));
+    int busy = 0;
+    for (const auto &w : workers_)
+        busy += w.busy ? 1 : 0;
+    metrics_.gauge(kWorkersBusy, helpOf(kWorkersBusy))
+        .set(static_cast<double>(busy));
+    const std::uint64_t up = monoUs();
+    metrics_.gauge(kUptime, helpOf(kUptime))
+        .set(static_cast<double>(up) / 1e6);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const Worker &w = workers_[i];
+        std::uint64_t busyUs = w.busyAccumUs;
+        if (w.busy)
+            busyUs += up - w.busySinceUs;
+        metrics_
+            .gauge(kWorkerBusyFraction, helpOf(kWorkerBusyFraction),
+                   "worker=\"" + std::to_string(i) + "\"")
+            .set(up > 0 ? static_cast<double>(busyUs) /
+                              static_cast<double>(up)
+                        : 0.0);
+    }
+    if (!opt_.ckptDir.empty()) {
+        const auto usage = snapshot::ckptDirUsage(opt_.ckptDir);
+        metrics_.gauge(kCkptBytes, helpOf(kCkptBytes))
+            .set(static_cast<double>(usage.bytes));
+        metrics_.gauge(kCkptFiles, helpOf(kCkptFiles))
+            .set(static_cast<double>(usage.files));
+    }
+}
+
+std::string
+CampaignServer::renderMetrics()
+{
+    refreshGauges();
+    std::ostringstream os;
+    metrics_.renderPrometheus(os);
+    return os.str();
+}
+
+std::string
+CampaignServer::statusJson()
+{
+    int busy = 0;
+    for (const auto &w : workers_)
+        busy += w.busy ? 1 : 0;
+    return eventLine([&](JsonWriter &w) {
+        w.kv("event", "status");
+        w.kv("version", kServerVersion);
+        w.kv("uptime_sec",
+             static_cast<double>(monoUs()) / 1e6);
+        w.kv("workers", static_cast<int>(workers_.size()));
+        w.kv("busy", busy);
+        w.kv("queued", static_cast<std::uint64_t>(queue_.size()));
+        w.kv("cache_entries",
+             static_cast<std::uint64_t>(cache_.size()));
+        w.kv("cache_hits", cacheHits_);
+        w.kv("completed", completed_);
+        w.kv("jobs_failed", failed_);
+        w.kv("worker_respawns", respawns_);
+    });
+}
+
+void
+CampaignServer::enforceCkptCap()
+{
+    if (opt_.ckptDir.empty() || opt_.ckptCapBytes == 0)
+        return;
+    const auto evicted =
+        snapshot::evictCheckpointsLru(opt_.ckptDir, opt_.ckptCapBytes);
+    for (const auto &e : evicted) {
+        metrics_.counter(kCkptEvictions, helpOf(kCkptEvictions)).inc();
+        log_.event("ckpt_evicted", [&](JsonWriter &jw) {
+            jw.kv("file", e.file);
+            jw.kv("bytes", e.bytes);
+        });
+    }
+}
+
+void
+CampaignServer::submitRun(const JsonValue &doc, Transport transport,
+                          int clientFd)
+{
+    const auto reject = [&](const std::string &reason) {
+        metrics_.counter(kJobsRejected, helpOf(kJobsRejected)).inc();
+        const std::string ev = eventLine([&](JsonWriter &w) {
+            w.kv("event", "error");
+            w.kv("id", std::uint64_t{0});
+            w.kv("reason", reason);
+        });
+        if (transport == Transport::Http)
+            finishHttpJob(clientFd, 400, ev);
+        else
+            sendToClient(clientFd, ev);
+    };
+
+    JobRequest req;
+    if (const std::string err = parseJobRequest(doc, req);
+        !err.empty()) {
+        reject(err);
+        return;
+    }
+    // Resolve the config now so bad requests fail at submission, not
+    // in a worker.
+    {
+        system::SystemConfig cfg;
+        if (const std::string err = buildConfig(req, cfg);
+            !err.empty()) {
+            reject(err);
+            return;
+        }
+    }
+
+    const std::uint64_t id = nextJobId_++;
+    const std::uint64_t key = cacheKeyDigest(req);
+    const auto cached = cache_.find(key);
+    const bool hit = cached != cache_.end();
+
+    metrics_.counter(kJobsSubmitted, helpOf(kJobsSubmitted)).inc();
+    metrics_
+        .counter(hit ? kCacheHits : kCacheMisses,
+                 helpOf(hit ? kCacheHits : kCacheMisses))
+        .inc();
+    log_.event("job_submitted", [&](JsonWriter &jw) {
+        jw.kv("id", id);
+        jw.kv("key", hexKey(key));
+        jw.kv("cache", hit ? "hit" : "miss");
+        jw.kv("transport",
+              transport == Transport::Http ? "http" : "unix");
+    });
+
+    if (transport == Transport::Unix)
+        sendToClient(clientFd, eventLine([&](JsonWriter &w) {
+                         w.kv("event", "accepted");
+                         w.kv("id", id);
+                         w.kv("cache", hit ? "hit" : "miss");
+                         w.kv("key", hexKey(key));
+                     }));
+
+    if (hit) {
+        ++cacheHits_;
+        std::ostringstream os;
+        os << "{\"event\":\"result\",\"id\":" << id
+           << ",\"cached\":true,\"key\":\"" << hexKey(key)
+           << "\",\"data\":" << cached->second << "}";
+        log_.event("job_served_cached", [&](JsonWriter &jw) {
+            jw.kv("id", id);
+            jw.kv("key", hexKey(key));
+        });
+        if (transport == Transport::Http)
+            finishHttpJob(clientFd, 200, os.str());
+        else
+            sendToClient(clientFd, os.str());
+        return;
+    }
+
+    Job job;
+    job.id = id;
+    job.transport = transport;
+    job.clientFd = clientFd;
+    job.key = key;
+    job.submitUs = monoUs();
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("id", id);
+        writeJobRequestMembers(w, req);
+        w.endObject();
+        job.workerLine = os.str();
+    }
+    queue_.push_back(std::move(job));
+    dispatchJobs();
 }
 
 void
@@ -241,21 +705,7 @@ CampaignServer::handleClientLine(Client &c, const std::string &line)
         cmd != nullptr && cmd->isString() ? cmd->asString() : "";
 
     if (cmdName == "status") {
-        int busy = 0;
-        for (const auto &w : workers_)
-            busy += w.busy ? 1 : 0;
-        sendToClient(c.fd, eventLine([&](JsonWriter &w) {
-                         w.kv("event", "status");
-                         w.kv("workers",
-                              static_cast<int>(workers_.size()));
-                         w.kv("busy", busy);
-                         w.kv("queued",
-                              static_cast<std::uint64_t>(queue_.size()));
-                         w.kv("cache_entries",
-                              static_cast<std::uint64_t>(cache_.size()));
-                         w.kv("cache_hits", cacheHits_);
-                         w.kv("completed", completed_);
-                     }));
+        sendToClient(c.fd, statusJson());
         return;
     }
     if (cmdName == "shutdown") {
@@ -275,69 +725,82 @@ CampaignServer::handleClientLine(Client &c, const std::string &line)
                      }));
         return;
     }
+    submitRun(*doc, Transport::Unix, c.fd);
+}
 
-    JobRequest req;
-    if (const std::string err = parseJobRequest(*doc, req);
-        !err.empty()) {
-        sendToClient(c.fd, eventLine([&](JsonWriter &w) {
-                         w.kv("event", "error");
-                         w.kv("id", std::uint64_t{0});
-                         w.kv("reason", err);
-                     }));
+void
+CampaignServer::handleHttpRequest(HttpClient &h,
+                                  const std::string &method,
+                                  const std::string &path,
+                                  const std::string &body)
+{
+    const auto countEndpoint = [&](const char *ep) {
+        metrics_
+            .counter(kHttpRequests, helpOf(kHttpRequests),
+                     std::string("endpoint=\"") + ep + "\"")
+            .inc();
+    };
+
+    if (path == "/metrics" && method == "GET") {
+        countEndpoint("metrics");
+        sendRaw(h.fd, httpResponse(200, metricsContentType(),
+                                   renderMetrics()));
+        closeHttpClient(h.fd);
         return;
     }
-    // Resolve the config now so bad requests fail at submission, not
-    // in a worker.
-    {
-        system::SystemConfig cfg;
-        if (const std::string err = buildConfig(req, cfg);
-            !err.empty()) {
-            sendToClient(c.fd, eventLine([&](JsonWriter &w) {
-                             w.kv("event", "error");
-                             w.kv("id", std::uint64_t{0});
-                             w.kv("reason", err);
-                         }));
+    if (path == "/status" && method == "GET") {
+        countEndpoint("status");
+        sendRaw(h.fd,
+                httpResponse(200, "application/json", statusJson()));
+        closeHttpClient(h.fd);
+        return;
+    }
+    if (path == "/run" && method == "POST") {
+        countEndpoint("run");
+        std::string perr;
+        const auto doc = JsonValue::parse(body, &perr);
+        if (!doc || !doc->isObject()) {
+            sendRaw(h.fd,
+                    httpResponse(400, "application/json",
+                                 eventLine([&](JsonWriter &w) {
+                                     w.kv("event", "error");
+                                     w.kv("reason",
+                                          "bad request json: " + perr);
+                                 })));
+            closeHttpClient(h.fd);
             return;
         }
-    }
-
-    const std::uint64_t id = nextJobId_++;
-    const std::uint64_t key = cacheKeyDigest(req);
-    const auto cached = cache_.find(key);
-
-    sendToClient(c.fd, eventLine([&](JsonWriter &w) {
-                     w.kv("event", "accepted");
-                     w.kv("id", id);
-                     w.kv("cache",
-                          cached != cache_.end() ? "hit" : "miss");
-                     w.kv("key", hexKey(key));
-                 }));
-
-    if (cached != cache_.end()) {
-        ++cacheHits_;
-        std::ostringstream os;
-        os << "{\"event\":\"result\",\"id\":" << id
-           << ",\"cached\":true,\"key\":\"" << hexKey(key)
-           << "\",\"data\":" << cached->second << "}";
-        sendToClient(c.fd, os.str());
+        h.jobPending = true;
+        submitRun(*doc, Transport::Http, h.fd);
         return;
     }
-
-    Job job;
-    job.id = id;
-    job.clientFd = c.fd;
-    job.key = key;
-    {
-        std::ostringstream os;
-        JsonWriter w(os);
-        w.beginObject();
-        w.kv("id", id);
-        writeJobRequestMembers(w, req);
-        w.endObject();
-        job.workerLine = os.str();
+    countEndpoint("other");
+    if (path == "/metrics" || path == "/status" || path == "/run") {
+        sendRaw(h.fd, httpResponse(405, "text/plain",
+                                   "method not allowed\n"));
+    } else {
+        sendRaw(h.fd,
+                httpResponse(404, "text/plain",
+                             "unknown path (GET /metrics, GET /status, "
+                             "POST /run)\n"));
     }
-    queue_.push_back(std::move(job));
-    dispatchJobs();
+    closeHttpClient(h.fd);
+}
+
+void
+CampaignServer::handleHttpClient(HttpClient &h)
+{
+    HttpRequest req;
+    std::string err;
+    const int rc = parseHttpRequest(h.inBuf, req, err);
+    if (rc == 0)
+        return; // need more bytes
+    if (rc < 0) {
+        sendRaw(h.fd, httpResponse(400, "text/plain", err + "\n"));
+        closeHttpClient(h.fd);
+        return;
+    }
+    handleHttpRequest(h, req.method, req.path, req.body);
 }
 
 void
@@ -360,50 +823,201 @@ CampaignServer::handleWorkerLine(Worker &w, const std::string &line)
         id = static_cast<std::uint64_t>(m->asDouble());
 
     const auto jobIt = inflight_.find(id);
-    const int clientFd =
-        jobIt != inflight_.end() ? jobIt->second.clientFd : -1;
+    const Job *job = jobIt != inflight_.end() ? &jobIt->second : nullptr;
+    const int clientFd = job != nullptr ? job->clientFd : -1;
+    const bool isHttp =
+        job != nullptr && job->transport == Transport::Http;
+    const std::size_t widx =
+        static_cast<std::size_t>(&w - workers_.data());
 
-    if (kind == "interval") {
-        sendToClient(clientFd, line);
-        return;
-    }
-    if (kind == "error") {
-        sendToClient(clientFd, line);
-        // A job-level error ends the job; free the worker.
-        if (w.jobId == id) {
+    const auto freeWorker = [&] {
+        if (w.jobId == id && w.busy) {
+            w.busyAccumUs += monoUs() - w.busySinceUs;
             w.busy = false;
             w.jobId = 0;
         }
+    };
+
+    if (kind == "interval") {
+        // Interval events stream to socket clients only; an HTTP run
+        // gets a single response when the job ends.
+        if (!isHttp)
+            sendToClient(clientFd, line);
+        return;
+    }
+    if (kind == "error") {
+        metrics_.counter(kJobsFailed, helpOf(kJobsFailed)).inc();
+        ++failed_;
+        const JsonValue *r = doc->find("reason");
+        log_.event("job_failed", [&](JsonWriter &jw) {
+            jw.kv("id", id);
+            if (job != nullptr)
+                jw.kv("key", hexKey(job->key));
+            jw.kv("worker", static_cast<std::uint64_t>(widx));
+            jw.kv("reason", r != nullptr && r->isString()
+                                ? r->asString()
+                                : std::string());
+        });
+        if (isHttp)
+            finishHttpJob(clientFd, 500, line);
+        else
+            sendToClient(clientFd, line);
+        freeWorker();
         inflight_.erase(id);
         dispatchJobs();
         return;
     }
     if (kind == "result") {
         const JsonValue *data = doc->find("data");
-        std::string dataStr =
+        const std::string dataStr =
             data != nullptr ? jsonValueToString(*data) : "null";
-        std::uint64_t key = jobIt != inflight_.end()
-                                ? jobIt->second.key
-                                : std::uint64_t{0};
-        cache_[key] = dataStr;
+        const JsonValue *timing = doc->find("timing");
+        const std::string timingStr =
+            timing != nullptr && timing->isObject()
+                ? jsonValueToString(*timing)
+                : "";
+        const std::uint64_t key = job != nullptr ? job->key : 0;
+        if (cache_.emplace(key, dataStr).second)
+            cacheBytes_ += dataStr.size();
         ++completed_;
+        metrics_.counter(kJobsCompleted, helpOf(kJobsCompleted)).inc();
+
+        // Fold the worker's phase timings and warm provenance into the
+        // registry and the lifecycle log.
+        std::uint64_t phaseTotal = 0;
+        if (timing != nullptr && timing->isObject()) {
+            for (const char *phase :
+                 {"restore", "warm", "measure", "publish"}) {
+                const std::uint64_t us = memberU64(
+                    *timing, (std::string(phase) + "_us").c_str());
+                phaseTotal += us;
+                metrics_
+                    .histogram(kJobPhase, helpOf(kJobPhase),
+                               std::string("phase=\"") + phase + "\"")
+                    .sample(us);
+            }
+            metrics_
+                .histogram(kJobPhase, helpOf(kJobPhase),
+                           "phase=\"total\"")
+                .sample(phaseTotal);
+        }
+        if (data != nullptr && data->isObject()) {
+            const bool restored = memberBool(*data, "warm_restored");
+            metrics_
+                .counter(restored ? kCkptRestores : kCkptColdWarms,
+                         helpOf(restored ? kCkptRestores
+                                         : kCkptColdWarms))
+                .inc();
+            if (memberBool(*data, "warm_saved"))
+                metrics_.counter(kCkptSaves, helpOf(kCkptSaves)).inc();
+            metrics_.counter(kSimCycles, helpOf(kSimCycles))
+                .inc(memberU64(*data, "cycles"));
+        }
+        log_.event("job_completed", [&](JsonWriter &jw) {
+            jw.kv("id", id);
+            jw.kv("key", hexKey(key));
+            jw.kv("worker", static_cast<std::uint64_t>(widx));
+            jw.kv("worker_pid", static_cast<std::int64_t>(w.pid));
+            if (job != nullptr)
+                jw.kv("queue_wait_us",
+                      job->dispatchUs - job->submitUs);
+            if (timing != nullptr && timing->isObject()) {
+                jw.kv("restore_us", memberU64(*timing, "restore_us"));
+                jw.kv("warm_us", memberU64(*timing, "warm_us"));
+                jw.kv("measure_us", memberU64(*timing, "measure_us"));
+                jw.kv("publish_us", memberU64(*timing, "publish_us"));
+                jw.kv("total_us", phaseTotal);
+                jw.kv("cycle", memberU64(*timing, "end_cycle"));
+            }
+            if (data != nullptr && data->isObject()) {
+                jw.kv("warm", memberBool(*data, "warm_restored")
+                                  ? "restored"
+                                  : "cold");
+                if (const JsonValue *d = data->find("stats_digest");
+                    d != nullptr && d->isString())
+                    jw.kv("stats_digest", d->asString());
+            }
+        });
+
         {
             std::ostringstream os;
             os << "{\"event\":\"result\",\"id\":" << id
                << ",\"cached\":false,\"key\":\"" << hexKey(key)
-               << "\",\"data\":" << dataStr << "}";
-            sendToClient(clientFd, os.str());
+               << "\"";
+            if (!timingStr.empty())
+                os << ",\"timing\":" << timingStr;
+            os << ",\"data\":" << dataStr << "}";
+            if (isHttp)
+                finishHttpJob(clientFd, 200, os.str());
+            else
+                sendToClient(clientFd, os.str());
         }
-        if (w.jobId == id) {
-            w.busy = false;
-            w.jobId = 0;
-        }
+        freeWorker();
         inflight_.erase(id);
+        // The worker may have just published a checkpoint; keep the
+        // directory under its cap before the next dispatch adds more.
+        if (data != nullptr && data->isObject() &&
+            memberBool(*data, "warm_saved"))
+            enforceCkptCap();
         dispatchJobs();
         return;
     }
     std::fprintf(stderr, "stacknoc_serve: unknown worker event: %s\n",
                  line.c_str());
+}
+
+void
+CampaignServer::onWorkerDeath(Worker &w)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(&w - workers_.data());
+    ::close(w.fromFd);
+    ::close(w.toFd);
+    w.fromFd = w.toFd = -1;
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    log_.event("worker_died", [&](JsonWriter &jw) {
+        jw.kv("worker", static_cast<std::uint64_t>(idx));
+        jw.kv("pid", static_cast<std::int64_t>(w.pid));
+        jw.kv("job", w.busy ? w.jobId : 0);
+    });
+    w.pid = -1;
+    if (w.busy) {
+        metrics_.counter(kJobsFailed, helpOf(kJobsFailed)).inc();
+        ++failed_;
+        const auto it = inflight_.find(w.jobId);
+        const Job *job = it != inflight_.end() ? &it->second : nullptr;
+        log_.event("job_failed", [&](JsonWriter &jw) {
+            jw.kv("id", w.jobId);
+            if (job != nullptr)
+                jw.kv("key", hexKey(job->key));
+            jw.kv("worker", static_cast<std::uint64_t>(idx));
+            jw.kv("reason", "worker process died mid-job");
+        });
+        const std::string ev = eventLine([&](JsonWriter &jw) {
+            jw.kv("event", "error");
+            jw.kv("id", w.jobId);
+            jw.kv("reason", "worker process died mid-job");
+        });
+        if (job != nullptr && job->transport == Transport::Http)
+            finishHttpJob(job->clientFd, 500, ev);
+        else if (job != nullptr)
+            sendToClient(job->clientFd, ev);
+        inflight_.erase(w.jobId);
+        w.busyAccumUs += monoUs() - w.busySinceUs;
+        w.busy = false;
+        w.jobId = 0;
+    }
+    std::string err;
+    if (!spawnWorker(w, err)) {
+        std::fprintf(stderr, "stacknoc_serve: respawn failed: %s\n",
+                     err.c_str());
+    } else {
+        ++respawns_;
+        metrics_.counter(kWorkerRespawns, helpOf(kWorkerRespawns))
+            .inc();
+        dispatchJobs();
+    }
 }
 
 void
@@ -431,10 +1045,14 @@ CampaignServer::run()
     while (!shutdown_) {
         std::vector<pollfd> fds;
         fds.push_back({listenFd_, POLLIN, 0});
+        if (httpListenFd_ >= 0)
+            fds.push_back({httpListenFd_, POLLIN, 0});
         for (const auto &w : workers_)
             if (w.fromFd >= 0)
                 fds.push_back({w.fromFd, POLLIN, 0});
         for (const auto &[fd, c] : clients_)
+            fds.push_back({fd, POLLIN, 0});
+        for (const auto &[fd, h] : httpClients_)
             fds.push_back({fd, POLLIN, 0});
 
         const int rc = ::poll(fds.data(),
@@ -456,6 +1074,13 @@ CampaignServer::run()
                     clients_[cfd] = Client{cfd, {}};
                 continue;
             }
+            if (httpListenFd_ >= 0 && p.fd == httpListenFd_) {
+                const int cfd =
+                    ::accept(httpListenFd_, nullptr, nullptr);
+                if (cfd >= 0)
+                    httpClients_[cfd] = HttpClient{cfd, {}, false};
+                continue;
+            }
             // Worker pipe?
             bool isWorker = false;
             for (auto &w : workers_) {
@@ -475,42 +1100,27 @@ CampaignServer::run()
                             handleWorkerLine(w, line);
                     }
                 } else {
-                    // Worker died. Fail its job, reap, respawn.
-                    ::close(w.fromFd);
-                    ::close(w.toFd);
-                    w.fromFd = w.toFd = -1;
-                    int status = 0;
-                    ::waitpid(w.pid, &status, 0);
-                    w.pid = -1;
-                    if (w.busy) {
-                        const auto it = inflight_.find(w.jobId);
-                        const int cfd = it != inflight_.end()
-                                            ? it->second.clientFd
-                                            : -1;
-                        sendToClient(
-                            cfd, eventLine([&](JsonWriter &jw) {
-                                jw.kv("event", "error");
-                                jw.kv("id", w.jobId);
-                                jw.kv("reason",
-                                      "worker process died mid-job");
-                            }));
-                        inflight_.erase(w.jobId);
-                        w.busy = false;
-                        w.jobId = 0;
-                    }
-                    std::string err;
-                    if (!spawnWorker(w, err))
-                        std::fprintf(stderr,
-                                     "stacknoc_serve: respawn failed: "
-                                     "%s\n",
-                                     err.c_str());
-                    else
-                        dispatchJobs();
+                    onWorkerDeath(w);
                 }
                 break;
             }
             if (isWorker)
                 continue;
+            // HTTP client?
+            if (const auto hit = httpClients_.find(p.fd);
+                hit != httpClients_.end()) {
+                char buf[65536];
+                const ssize_t n = ::read(p.fd, buf, sizeof buf);
+                if (n <= 0) {
+                    closeHttpClient(p.fd);
+                    continue;
+                }
+                hit->second.inBuf.append(buf,
+                                         static_cast<std::size_t>(n));
+                if (!hit->second.jobPending)
+                    handleHttpClient(hit->second);
+                continue;
+            }
             // Client socket.
             const auto it = clients_.find(p.fd);
             if (it == clients_.end())
@@ -537,6 +1147,11 @@ CampaignServer::run()
                 break;
         }
     }
+    log_.event("server_stop", [&](JsonWriter &jw) {
+        jw.kv("uptime_sec", static_cast<double>(monoUs()) / 1e6);
+        jw.kv("completed", completed_);
+        jw.kv("failed", failed_);
+    });
     killWorkers();
     return 0;
 }

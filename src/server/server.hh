@@ -13,9 +13,20 @@
  * Warm-state reuse happens inside the workers (see server/worker.hh):
  * requests that share a warm configuration — same scenario/seed/
  * warm-up, any engine knobs or measured length — skip warm-up via the
- * shared checkpoint directory.
+ * shared checkpoint directory. With --ckpt-cap-bytes the server keeps
+ * that directory under an LRU byte cap.
  *
- * Single-threaded: one poll() loop owns the listener, every client
+ * Fleet observability (docs/SERVER.md "Observability"): a
+ * MetricsRegistry counts jobs, queueing, cache, checkpoint and worker
+ * health; an EventLog (--log-json) records every job's lifecycle as
+ * NDJSON; and an optional HTTP front end (--http PORT) serves
+ * GET /metrics (Prometheus text exposition), GET /status (JSON) and
+ * POST /run (JobRequest JSON) to off-host clients beside the socket.
+ * All of it is observer-only with respect to simulation: the workers'
+ * result payloads and stats digests are byte-identical with every
+ * observability feature on or off.
+ *
+ * Single-threaded: one poll() loop owns the listeners, every client
  * connection and every worker pipe. Workers are separate processes, so
  * the loop only shuttles lines; a worker crash fails its job with an
  * "error" event and the worker is respawned.
@@ -32,7 +43,13 @@
 
 #include <sys/types.h>
 
+#include "server/metrics.hh"
+#include "server/oblog.hh"
+
 namespace stacknoc::server {
+
+/** Human-facing server version, reported in status and /metrics. */
+constexpr const char *kServerVersion = "1.1";
 
 class CampaignServer
 {
@@ -43,8 +60,16 @@ class CampaignServer
         int workers = 1;
         /** Warm-checkpoint directory ("" disables warm reuse). */
         std::string ckptDir;
+        /** LRU byte cap on the checkpoint dir (0 = unbounded). */
+        std::uint64_t ckptCapBytes = 0;
         /** Executable to spawn workers from (this binary). */
         std::string workerExe;
+        /** TCP port for the HTTP front end (-1 off, 0 ephemeral). */
+        int httpPort = -1;
+        /** Job-lifecycle NDJSON log path ("" disables). */
+        std::string logJsonPath;
+        /** Log rotation cap in bytes (0 = EventLog default). */
+        std::uint64_t logRotateBytes = 0;
     };
 
     explicit CampaignServer(Options opt);
@@ -53,17 +78,28 @@ class CampaignServer
     CampaignServer(const CampaignServer &) = delete;
     CampaignServer &operator=(const CampaignServer &) = delete;
 
-    /** Bind the socket and spawn the worker pool. */
+    /** Bind the socket(s) and spawn the worker pool. */
     bool start(std::string &err);
 
     /** Serve until a shutdown command. @return process exit code. */
     int run();
 
+    /** Actual HTTP port after start() (-1 when disabled). */
+    int httpPort() const { return httpPort_; }
+
   private:
+    enum class Transport { Unix, Http };
+
     struct Client
     {
         int fd = -1;
         std::string inBuf;
+    };
+    struct HttpClient
+    {
+        int fd = -1;
+        std::string inBuf;
+        bool jobPending = false; //!< response deferred to job end
     };
     struct Worker
     {
@@ -73,36 +109,71 @@ class CampaignServer
         std::string outBuf;
         bool busy = false;
         std::uint64_t jobId = 0;
+        std::uint64_t busySinceUs = 0; //!< monoUs() at dispatch
+        std::uint64_t busyAccumUs = 0; //!< total busy time, past jobs
     };
     struct Job
     {
         std::uint64_t id = 0;
+        Transport transport = Transport::Unix;
         int clientFd = -1;
         std::uint64_t key = 0;
         std::string workerLine;
+        std::uint64_t submitUs = 0;   //!< monoUs() at submission
+        std::uint64_t dispatchUs = 0; //!< monoUs() at dispatch
     };
 
     bool spawnWorker(Worker &w, std::string &err);
     void dispatchJobs();
     void handleClientLine(Client &c, const std::string &line);
     void handleWorkerLine(Worker &w, const std::string &line);
+    void handleHttpClient(HttpClient &h);
+    void handleHttpRequest(HttpClient &h, const std::string &method,
+                           const std::string &path,
+                           const std::string &body);
+    /** Validate+enqueue one run request. Shared by socket and HTTP. */
+    void submitRun(const telemetry::JsonValue &doc, Transport transport,
+                   int clientFd);
+    void finishHttpJob(int fd, int status, const std::string &body);
     void sendToClient(int fd, const std::string &line);
+    void sendRaw(int fd, const std::string &bytes);
     void closeClient(int fd);
+    void closeHttpClient(int fd);
     void killWorkers();
+    void onWorkerDeath(Worker &w);
+
+    /** Refresh point-in-time gauges before a scrape or status. */
+    void refreshGauges();
+    std::string statusJson();
+    std::string renderMetrics();
+    void enforceCkptCap();
+
+    /** Microseconds since start() on the steady clock. */
+    std::uint64_t monoUs() const;
 
     Options opt_;
     int listenFd_ = -1;
+    int httpListenFd_ = -1;
+    int httpPort_ = -1;
     std::vector<Worker> workers_;
     std::map<int, Client> clients_;
+    std::map<int, HttpClient> httpClients_;
     std::deque<Job> queue_;
     /** In-flight jobs by id (owner lookup for worker events). */
     std::map<std::uint64_t, Job> inflight_;
     /** Completed results: cache key digest -> result "data" JSON. */
     std::map<std::uint64_t, std::string> cache_;
+    std::uint64_t cacheBytes_ = 0;
     std::uint64_t nextJobId_ = 1;
     std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
     std::uint64_t cacheHits_ = 0;
+    std::uint64_t respawns_ = 0;
     bool shutdown_ = false;
+    std::chrono::steady_clock::time_point startTp_{};
+
+    MetricsRegistry metrics_;
+    EventLog log_;
 };
 
 } // namespace stacknoc::server

@@ -1,6 +1,7 @@
 #include "server/worker.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -30,6 +31,16 @@ emit(std::ostream &out, const std::string &line)
 {
     out << line << "\n";
     out.flush();
+}
+
+/** Wall microseconds between two steady-clock marks. */
+std::uint64_t
+usBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+            .count());
 }
 
 void
@@ -67,16 +78,27 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
             : std::filesystem::path(ckptDir) /
                   ("ckpt_" + hexKey(warmKey) + ".bin");
 
+    // Per-phase wall timings travel in a "timing" sibling of the result
+    // "data" member: the data payload stays deterministic (and cacheable
+    // byte-for-byte) while the server folds the timings into its phase
+    // histograms and lifecycle log.
+    using Clock = std::chrono::steady_clock;
+    std::uint64_t restoreUs = 0, warmUs = 0, measureUs = 0,
+                  publishUs = 0;
+
     bool warmRestored = false;
     bool warmSaved = false;
     Cycle restoredCycle = 0;
     if (!ckptPath.empty() && std::filesystem::exists(ckptPath)) {
+        const auto t0 = Clock::now();
         std::ifstream in(ckptPath, std::ios::binary);
         if (in) {
             const std::string err = snapshot::restoreCheckpoint(
                 *sysPtr, in, warmKey, &restoredCycle);
             if (err.empty()) {
                 warmRestored = true;
+                // Reuse counts as recency for the server's LRU cap.
+                snapshot::touchCheckpoint(ckptPath.string());
             } else {
                 // A stale or corrupt warm cache entry must never fail
                 // the job — rebuild the system and warm up from cold.
@@ -85,12 +107,16 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
                 sysPtr = std::make_unique<system::CmpSystem>(cfg);
             }
         }
+        restoreUs = usBetween(t0, Clock::now());
     }
     system::CmpSystem &sys = *sysPtr;
     if (!warmRestored) {
+        const auto t0 = Clock::now();
         sys.warmupBegin();
         sys.run(req.warmup);
         sys.warmupEnd();
+        warmUs = usBetween(t0, Clock::now());
+        const auto tPub = Clock::now();
         if (!ckptPath.empty()) {
             const std::filesystem::path tmp =
                 ckptPath.string() + ".tmp." +
@@ -106,11 +132,13 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
                     std::filesystem::remove(tmp, ec);
             }
         }
+        publishUs = usBetween(tPub, Clock::now());
     }
 
     // Measured phase, chunked at the interval period so progress
     // streams out while the run is in flight. Chunked run() calls are
     // equivalent to one call — the engine has no run()-boundary state.
+    const auto tMeasure = Clock::now();
     Cycle done = 0;
     const Cycle step = req.interval > 0 ? req.interval : req.cycles;
     while (done < req.cycles) {
@@ -135,6 +163,7 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
         }
     }
     sys.finalizeTelemetry();
+    measureUs = usBetween(tMeasure, Clock::now());
 
     const auto m = sys.metrics();
     std::ostringstream os;
@@ -142,6 +171,14 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
     w.beginObject();
     w.kv("event", "result");
     w.kv("id", id);
+    w.key("timing");
+    w.beginObject();
+    w.kv("restore_us", restoreUs);
+    w.kv("warm_us", warmUs);
+    w.kv("measure_us", measureUs);
+    w.kv("publish_us", publishUs);
+    w.kv("end_cycle", static_cast<std::uint64_t>(sys.simulator().now()));
+    w.endObject();
     w.key("data");
     w.beginObject();
     w.kv("scenario", cfg.scenario.name);

@@ -1,7 +1,9 @@
 #include "snapshot/checkpoint.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <filesystem>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -198,6 +200,94 @@ restoreCheckpoint(system::CmpSystem &sys, std::istream &in,
     if (restoredCycle != nullptr)
         *restoredCycle = cycle;
     return {};
+}
+
+namespace {
+
+bool
+isCheckpointEntry(const std::filesystem::directory_entry &e)
+{
+    if (!e.is_regular_file())
+        return false;
+    const std::string name = e.path().filename().string();
+    return name.rfind("ckpt_", 0) == 0 && name.size() > 9 &&
+           name.compare(name.size() - 4, 4, ".bin") == 0;
+}
+
+} // namespace
+
+CkptDirUsage
+ckptDirUsage(const std::string &dir)
+{
+    CkptDirUsage usage;
+    if (dir.empty())
+        return usage;
+    std::error_code ec;
+    for (const auto &e : std::filesystem::directory_iterator(dir, ec)) {
+        if (!isCheckpointEntry(e))
+            continue;
+        std::error_code sec;
+        const auto size = e.file_size(sec);
+        if (sec)
+            continue; // raced with a concurrent delete
+        usage.bytes += size;
+        ++usage.files;
+    }
+    return usage;
+}
+
+std::vector<CkptEviction>
+evictCheckpointsLru(const std::string &dir, std::uint64_t capBytes)
+{
+    std::vector<CkptEviction> evicted;
+    if (dir.empty())
+        return evicted;
+
+    struct Entry
+    {
+        std::filesystem::path path;
+        std::filesystem::file_time_type mtime;
+        std::uint64_t bytes = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &e : std::filesystem::directory_iterator(dir, ec)) {
+        if (!isCheckpointEntry(e))
+            continue;
+        std::error_code sec;
+        const auto size = e.file_size(sec);
+        const auto mtime = e.last_write_time(sec);
+        if (sec)
+            continue;
+        entries.push_back({e.path(), mtime, size});
+        total += size;
+    }
+    if (total <= capBytes)
+        return evicted;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Entry &e : entries) {
+        if (total <= capBytes)
+            break;
+        std::error_code rec;
+        if (!std::filesystem::remove(e.path, rec) || rec)
+            continue; // a concurrent server got it first
+        total -= e.bytes;
+        evicted.push_back({e.path.filename().string(), e.bytes});
+    }
+    return evicted;
+}
+
+void
+touchCheckpoint(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
 }
 
 } // namespace stacknoc::snapshot

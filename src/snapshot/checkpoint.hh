@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -81,6 +82,47 @@ void saveCheckpoint(const system::CmpSystem &sys, std::ostream &out,
 std::string restoreCheckpoint(system::CmpSystem &sys, std::istream &in,
                               std::uint64_t expectedDigest,
                               Cycle *restoredCycle = nullptr);
+
+// --- Checkpoint-directory accounting and eviction ---------------------
+//
+// Warm checkpoints (`ckpt_<warm-key>.bin` under the server's
+// --ckpt-dir) are a cache: every entry is re-creatable from its
+// scenario and seed, so the directory can be capped. Eviction is
+// least-recently-used on the filesystem write timestamp — restorers
+// bump it (touchCheckpoint) so reuse counts as recency — and deletes
+// are single unlinks, atomic with respect to concurrent restorers: a
+// worker that already opened the file keeps a valid descriptor.
+
+/** Aggregate size of the `ckpt_*.bin` entries in @p dir. */
+struct CkptDirUsage
+{
+    std::uint64_t bytes = 0;
+    std::uint64_t files = 0;
+};
+
+/** Scan @p dir ("" or missing directory yields zeros). */
+CkptDirUsage ckptDirUsage(const std::string &dir);
+
+/** One eviction, for logging and accounting. */
+struct CkptEviction
+{
+    std::string file; //!< file name (not the full path)
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Delete least-recently-written `ckpt_*.bin` entries in @p dir until
+ * the aggregate size is <= @p capBytes. @return the evicted entries,
+ * oldest first (empty when already under the cap or @p dir is "").
+ */
+std::vector<CkptEviction> evictCheckpointsLru(const std::string &dir,
+                                              std::uint64_t capBytes);
+
+/**
+ * Best-effort bump of @p path's write timestamp to now, marking a
+ * restored checkpoint as recently used for LRU eviction.
+ */
+void touchCheckpoint(const std::string &path);
 
 } // namespace stacknoc::snapshot
 

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Convert a stacknoc_serve --log-json event log into a Chrome trace.
+
+    serve_trace.py ev.ndjson > trace.json      # load in ui.perfetto.dev
+
+Follows the repo's chrome-trace pid conventions (src/telemetry/
+chrome_trace.cc): pid 1 is simulated time, pid 2 is engine wall time;
+this exporter adds pid 3, "campaign fleet", on the event log's
+monotonic wall timeline (`mono_us` maps directly to trace microseconds).
+
+Rows (tids) under pid 3:
+    tid 0            the server: queue-wait slices, one per job
+    tid 100 + N      worker N: one slice per job, with nested phase
+                     slices (restore / warm / measure / publish)
+                     reconstructed from the reported durations
+
+Instant events mark failures, cache-served jobs, worker deaths/spawns,
+checkpoint evictions and log rotation.
+"""
+
+import json
+import sys
+
+FLEET_PID = 3
+SERVER_TID = 0
+WORKER_TID_BASE = 100
+
+
+def meta(name, value, tid=None):
+    e = {"ph": "M", "pid": FLEET_PID, "name": name,
+         "args": {"name": value}}
+    if tid is not None:
+        e["tid"] = tid
+    return e
+
+
+def slice_x(name, ts, dur, tid, args=None):
+    e = {"ph": "X", "pid": FLEET_PID, "tid": tid, "name": name,
+         "ts": ts, "dur": max(dur, 1), "cat": "fleet"}
+    if args:
+        e["args"] = args
+    return e
+
+
+def instant(name, ts, tid, args=None):
+    e = {"ph": "i", "pid": FLEET_PID, "tid": tid, "name": name,
+         "ts": ts, "s": "t", "cat": "fleet"}
+    if args:
+        e["args"] = args
+    return e
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] in ("-h", "--help"):
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    events = []
+    schema_warned = False
+    try:
+        log = open(sys.argv[1], encoding="utf-8")
+    except OSError as e:
+        print(f"serve_trace: {e}", file=sys.stderr)
+        return 2
+    with log:
+        for lineno, line in enumerate(log, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except ValueError as e:
+                print(f"serve_trace: line {lineno}: {e}",
+                      file=sys.stderr)
+                continue
+            if ev.get("v") != 1 and not schema_warned:
+                print(f"serve_trace: line {lineno}: schema v"
+                      f"{ev.get('v')} (this tool reads v1); "
+                      "proceeding anyway", file=sys.stderr)
+                schema_warned = True
+            events.append(ev)
+
+    out = [meta("process_name", "campaign fleet"),
+           meta("thread_name", "server", SERVER_TID)]
+    workers_seen = set()
+    submitted = {}   # id -> job_submitted event
+    dispatched = {}  # id -> job_dispatched event
+
+    def worker_tid(n):
+        tid = WORKER_TID_BASE + n
+        if n not in workers_seen:
+            workers_seen.add(n)
+            out.append(meta("thread_name", f"worker {n}", tid))
+        return tid
+
+    for ev in events:
+        kind = ev.get("event")
+        ts = ev.get("mono_us", 0)
+        jid = ev.get("id")
+
+        if kind == "job_submitted":
+            submitted[jid] = ev
+        elif kind == "job_dispatched":
+            dispatched[jid] = ev
+            sub = submitted.get(jid)
+            if sub is not None:
+                out.append(slice_x(f"queue job {jid}",
+                                   sub["mono_us"],
+                                   ts - sub["mono_us"], SERVER_TID,
+                                   {"key": ev.get("key")}))
+        elif kind == "job_completed":
+            disp = dispatched.pop(jid, None)
+            tid = worker_tid(disp["worker"]) if disp else SERVER_TID
+            start = disp["mono_us"] if disp else ts
+            args = {k: ev[k] for k in
+                    ("key", "warm", "stats_digest", "cycle",
+                     "queue_wait_us") if k in ev}
+            out.append(slice_x(f"job {jid}", start, ts - start, tid,
+                               args))
+            # Nested phase slices, stacked in execution order from
+            # dispatch; durations are worker-reported.
+            phase_ts = start
+            for phase in ("restore", "warm", "measure", "publish"):
+                dur = ev.get(f"{phase}_us", 0)
+                if dur > 0:
+                    out.append(slice_x(phase, phase_ts, dur, tid))
+                    phase_ts += dur
+        elif kind == "job_failed":
+            disp = dispatched.pop(jid, None)
+            tid = worker_tid(disp["worker"]) if disp \
+                else (worker_tid(ev["worker"]) if "worker" in ev
+                      else SERVER_TID)
+            if disp is not None:
+                out.append(slice_x(f"job {jid} (failed)",
+                                   disp["mono_us"],
+                                   ts - disp["mono_us"], tid))
+            out.append(instant(f"job {jid} failed", ts, tid,
+                               {"reason": ev.get("reason")}))
+        elif kind == "job_served_cached":
+            out.append(instant(f"job {jid} cache hit", ts, SERVER_TID,
+                               {"key": ev.get("key")}))
+        elif kind == "worker_spawned":
+            out.append(instant("worker spawned", ts,
+                               worker_tid(ev["worker"]),
+                               {"pid": ev.get("pid")}))
+        elif kind == "worker_died":
+            out.append(instant("worker died", ts,
+                               worker_tid(ev["worker"]),
+                               {"pid": ev.get("pid"),
+                                "job": ev.get("job")}))
+        elif kind == "ckpt_evicted":
+            out.append(instant("ckpt evicted", ts, SERVER_TID,
+                               {"file": ev.get("file"),
+                                "bytes": ev.get("bytes")}))
+        elif kind in ("server_start", "server_stop", "log_rotated"):
+            out.append(instant(kind, ts, SERVER_TID))
+
+    json.dump({"traceEvents": out}, sys.stdout)
+    print(f"serve_trace: {len(events)} log events -> {len(out)} trace "
+          f"events", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,25 @@
  * stacknoc_client — command-line client for stacknoc_serve.
  *
  *     stacknoc_client --socket PATH run [job flags...]
- *     stacknoc_client --socket PATH status
+ *     stacknoc_client --socket PATH status [--watch SEC]
  *     stacknoc_client --socket PATH shutdown
  *
  * "run" submits one job and prints every server event for it (one JSON
  * object per line) until the result or an error arrives. Exit code: 0
  * on result, 1 on an error event or connection failure, 2 on usage.
+ *
+ * "status --watch SEC" polls the server every SEC seconds (fractional
+ * ok) and prints a one-line human summary per poll until interrupted
+ * or the server goes away.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "server/client.hh"
 #include "server/protocol.hh"
@@ -34,7 +40,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s --socket PATH run [job flags]\n"
-        "       %s --socket PATH status\n"
+        "       %s --socket PATH status [--watch SEC]\n"
         "       %s --socket PATH shutdown\n"
         "\n"
         "job flags (defaults in brackets):\n"
@@ -49,7 +55,11 @@ usage(const char *argv0)
         "  --no-elide          disable idle elision\n"
         "  --interval N        stream interval events every N cycles [off]\n"
         "  --fault-spec SPEC   fault campaign spec [clean]\n"
-        "  --real-tags         use the real L2 tag model\n",
+        "  --real-tags         use the real L2 tag model\n"
+        "\n"
+        "status flags:\n"
+        "  --watch SEC         poll every SEC seconds (fractional ok)\n"
+        "                      and print a one-line summary per poll\n",
         argv0, argv0, argv0);
 }
 
@@ -76,6 +86,75 @@ splitCsv(const std::string &s)
     return out;
 }
 
+double
+statusNum(const JsonValue &doc, const char *key)
+{
+    const JsonValue *m = doc.find(key);
+    return m != nullptr && m->isNumber() ? m->asDouble() : 0.0;
+}
+
+/** One human line per poll for `status --watch`. */
+std::string
+statusSummary(const JsonValue &doc)
+{
+    const JsonValue *v = doc.find("version");
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "up %.1fs v%s | workers %d busy %d | queued %d | "
+        "completed %d failed %d | cache %d entries, %d hits | "
+        "respawns %d",
+        statusNum(doc, "uptime_sec"),
+        v != nullptr && v->isString() ? v->asString().c_str() : "?",
+        static_cast<int>(statusNum(doc, "workers")),
+        static_cast<int>(statusNum(doc, "busy")),
+        static_cast<int>(statusNum(doc, "queued")),
+        static_cast<int>(statusNum(doc, "completed")),
+        static_cast<int>(statusNum(doc, "jobs_failed")),
+        static_cast<int>(statusNum(doc, "cache_entries")),
+        static_cast<int>(statusNum(doc, "cache_hits")),
+        static_cast<int>(statusNum(doc, "worker_respawns")));
+    return buf;
+}
+
+/**
+ * Poll status once over a fresh connection. @return 0 on success, 1 on
+ * failure (summary printed / error reported either way).
+ */
+int
+pollStatusOnce(const char *argv0, const std::string &socketPath)
+{
+    Connection conn;
+    std::string err;
+    if (!conn.connectTo(socketPath, err) ||
+        !conn.sendLine("{\"cmd\":\"status\"}", err)) {
+        std::fprintf(stderr, "%s: %s\n", argv0, err.c_str());
+        return 1;
+    }
+    std::string line;
+    while (conn.readLine(line, err)) {
+        if (line.empty())
+            continue;
+        const auto doc = JsonValue::parse(line);
+        if (!doc || !doc->isObject())
+            continue;
+        const JsonValue *ev = doc->find("event");
+        const std::string kind =
+            ev != nullptr && ev->isString() ? ev->asString() : "";
+        if (kind == "error")
+            return 1;
+        if (kind == "status") {
+            std::printf("%s\n", statusSummary(*doc).c_str());
+            std::fflush(stdout);
+            return 0;
+        }
+    }
+    std::fprintf(stderr, "%s: %s\n", argv0,
+                 err.empty() ? "server closed the connection"
+                             : err.c_str());
+    return 1;
+}
+
 } // namespace
 
 int
@@ -83,6 +162,7 @@ main(int argc, char **argv)
 {
     std::string socketPath;
     std::string subcommand;
+    double watchSec = -1.0;
     JobRequest req;
 
     int i = 1;
@@ -127,6 +207,13 @@ main(int argc, char **argv)
             req.faultSpec = need("--fault-spec");
         } else if (arg == "--real-tags") {
             req.realTags = true;
+        } else if (arg == "--watch") {
+            watchSec = std::atof(need("--watch"));
+            if (watchSec <= 0) {
+                std::fprintf(stderr, "%s: --watch wants seconds > 0\n",
+                             argv[0]);
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -145,6 +232,24 @@ main(int argc, char **argv)
          subcommand != "shutdown")) {
         usage(argv[0]);
         return 2;
+    }
+    if (watchSec > 0 && subcommand != "status") {
+        std::fprintf(stderr, "%s: --watch only applies to status\n",
+                     argv[0]);
+        return 2;
+    }
+
+    if (watchSec > 0) {
+        // Live summary loop: one line per poll, fresh connection each
+        // time so a restarted server picks back up. Ends (exit 1) when
+        // the server goes away.
+        for (;;) {
+            if (const int rc = pollStatusOnce(argv[0], socketPath);
+                rc != 0)
+                return rc;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(watchSec));
+        }
     }
 
     Connection conn;

@@ -28,15 +28,25 @@ namespace {
 void
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s --socket PATH [--workers N] [--ckpt-dir D]\n"
-                 "\n"
-                 "  --socket PATH   Unix socket to listen on (required)\n"
-                 "  --workers N     worker-process pool size (default 1)\n"
-                 "  --ckpt-dir D    warm-checkpoint directory shared by\n"
-                 "                  workers (default: none, no warm reuse)\n"
-                 "  --worker        internal: run as a pool worker\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--workers N] [--ckpt-dir D]\n"
+        "          [--ckpt-cap-bytes N] [--http PORT] [--log-json FILE]\n"
+        "          [--log-rotate-bytes N]\n"
+        "\n"
+        "  --socket PATH        Unix socket to listen on (required)\n"
+        "  --workers N          worker-process pool size (default 1)\n"
+        "  --ckpt-dir D         warm-checkpoint directory shared by\n"
+        "                       workers (default: none, no warm reuse)\n"
+        "  --ckpt-cap-bytes N   LRU byte cap on the checkpoint dir\n"
+        "                       (default 0 = unbounded)\n"
+        "  --http PORT          also serve GET /metrics, GET /status and\n"
+        "                       POST /run over TCP; PORT 0 picks an\n"
+        "                       ephemeral port (printed on stderr)\n"
+        "  --log-json FILE      job-lifecycle NDJSON event log\n"
+        "  --log-rotate-bytes N log rotation cap (default 16 MiB)\n"
+        "  --worker             internal: run as a pool worker\n",
+        argv0);
 }
 
 std::string
@@ -60,7 +70,11 @@ main(int argc, char **argv)
 {
     std::string socketPath;
     std::string ckptDir;
+    std::string logJsonPath;
+    unsigned long long ckptCapBytes = 0;
+    unsigned long long logRotateBytes = 0;
     int workers = 1;
+    int httpPort = -1;
     bool workerMode = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -79,6 +93,16 @@ main(int argc, char **argv)
             workers = std::atoi(need("--workers"));
         } else if (arg == "--ckpt-dir") {
             ckptDir = need("--ckpt-dir");
+        } else if (arg == "--ckpt-cap-bytes") {
+            ckptCapBytes = std::strtoull(need("--ckpt-cap-bytes"),
+                                         nullptr, 10);
+        } else if (arg == "--http") {
+            httpPort = std::atoi(need("--http"));
+        } else if (arg == "--log-json") {
+            logJsonPath = need("--log-json");
+        } else if (arg == "--log-rotate-bytes") {
+            logRotateBytes = std::strtoull(need("--log-rotate-bytes"),
+                                           nullptr, 10);
         } else if (arg == "--worker") {
             workerMode = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -104,12 +128,20 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s: --workers must be >= 1\n", argv[0]);
         return 2;
     }
+    if (httpPort > 65535) {
+        std::fprintf(stderr, "%s: --http port out of range\n", argv[0]);
+        return 2;
+    }
 
     stacknoc::server::CampaignServer::Options opt;
     opt.socketPath = socketPath;
     opt.workers = workers;
     opt.ckptDir = ckptDir;
+    opt.ckptCapBytes = ckptCapBytes;
     opt.workerExe = selfExe(argv[0]);
+    opt.httpPort = httpPort;
+    opt.logJsonPath = logJsonPath;
+    opt.logRotateBytes = logRotateBytes;
 
     stacknoc::server::CampaignServer server(std::move(opt));
     std::string err;
@@ -119,5 +151,9 @@ main(int argc, char **argv)
     }
     std::fprintf(stderr, "stacknoc_serve: listening on %s (%d worker%s)\n",
                  socketPath.c_str(), workers, workers == 1 ? "" : "s");
+    // Tests parse this line to discover an ephemeral --http 0 port.
+    if (server.httpPort() >= 0)
+        std::fprintf(stderr, "stacknoc_serve: http on port %d\n",
+                     server.httpPort());
     return server.run();
 }
