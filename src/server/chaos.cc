@@ -1,0 +1,82 @@
+#include "server/chaos.hh"
+
+#include <cstdlib>
+
+namespace stacknoc::server {
+
+namespace {
+
+/** SplitMix64 step; the standard finalizer gives a full avalanche, so
+ *  consecutive (jobId, attempt) keys draw independently. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+chaosGrammar()
+{
+    return "kill-worker=P,corrupt-ckpt=P,slow-worker=P  (each term "
+           "optional, P in [0,1])";
+}
+
+std::string
+parseChaosSpec(const std::string &spec, ChaosSpec &out)
+{
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string term = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (term.empty())
+            return "empty chaos term";
+        const std::size_t eq = term.find('=');
+        if (eq == std::string::npos)
+            return "chaos term '" + term + "' has no '=P'";
+        const std::string key = term.substr(0, eq);
+        const std::string val = term.substr(eq + 1);
+        char *end = nullptr;
+        const double p = std::strtod(val.c_str(), &end);
+        if (val.empty() || end == nullptr || *end != '\0')
+            return "chaos probability '" + val + "' is not a number";
+        if (p < 0.0 || p > 1.0)
+            return "chaos probability " + val + " outside [0,1]";
+        if (key == "kill-worker")
+            out.killWorker = p;
+        else if (key == "corrupt-ckpt")
+            out.corruptCkpt = p;
+        else if (key == "slow-worker")
+            out.slowWorker = p;
+        else
+            return "unknown chaos key '" + key + "'";
+    }
+    return "";
+}
+
+bool
+chaosDraw(const ChaosSpec &spec, ChaosSite site, std::uint64_t jobId,
+          int attempt, double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    std::uint64_t x = spec.seed;
+    x = splitmix64(x ^ (jobId * 0x100000001b3ull));
+    x = splitmix64(x ^ (static_cast<std::uint64_t>(attempt) << 32) ^
+                   static_cast<std::uint64_t>(site));
+    // 53-bit mantissa → uniform double in [0,1).
+    const double u =
+        static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+    return u < p;
+}
+
+} // namespace stacknoc::server

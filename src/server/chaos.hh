@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Seed-deterministic failure injection for the campaign fleet
+ * (`stacknoc_serve --chaos SPEC [--chaos-seed N]`), off by default.
+ * The server validates the spec at startup (malformed = exit 2 with
+ * the grammar) and forwards it verbatim to every worker it spawns;
+ * the injection itself happens worker-side, where the failures are
+ * real — a chaos kill is a genuine SIGKILL mid-phase, not a simulated
+ * flag — so the recovery machinery under test is the production path.
+ *
+ * Grammar (comma-separated key=value, probabilities in [0,1]):
+ *
+ *     kill-worker=P    SIGKILL the worker halfway through the
+ *                      measured phase of a job
+ *     corrupt-ckpt=P   flip one payload byte of the warm checkpoint
+ *                      the worker just published
+ *     slow-worker=P    stall mid-measure (kSlowStallMs) so a
+ *                      --job-deadline-sec guard fires
+ *
+ * Determinism: every draw is keyed by (chaos seed, job id, attempt,
+ * site) through SplitMix64, so a given campaign replays identically —
+ * and a retried attempt re-draws, which is what lets a killed job
+ * succeed on retry. Chaos never touches simulated state: a surviving
+ * job's stats_digest is identical to an undisturbed run by the
+ * determinism contract, which tests/test_server_chaos.py pins.
+ */
+
+#ifndef STACKNOC_SERVER_CHAOS_HH
+#define STACKNOC_SERVER_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace stacknoc::server {
+
+struct ChaosSpec
+{
+    double killWorker = 0.0;  //!< P(SIGKILL mid-measure) per attempt
+    double corruptCkpt = 0.0; //!< P(corrupt just-published checkpoint)
+    double slowWorker = 0.0;  //!< P(stall mid-measure) per attempt
+    std::uint64_t seed = 1;
+
+    bool any() const
+    {
+        return killWorker > 0.0 || corruptCkpt > 0.0 || slowWorker > 0.0;
+    }
+};
+
+/** Stall length of a slow-worker injection, milliseconds. */
+constexpr int kSlowStallMs = 3000;
+
+/** Draw sites, part of every draw key. */
+enum class ChaosSite : std::uint64_t
+{
+    KillWorker = 1,
+    CorruptCkpt = 2,
+    SlowWorker = 3,
+};
+
+/**
+ * Parse the `--chaos` grammar into @p out (seed untouched). @return
+ * empty string on success, else a one-line reason; the caller prints
+ * the grammar and exits 2.
+ */
+std::string parseChaosSpec(const std::string &spec, ChaosSpec &out);
+
+/** The one-line grammar, for usage and error messages. */
+const char *chaosGrammar();
+
+/**
+ * Deterministic Bernoulli draw for @p site of job @p jobId, attempt
+ * @p attempt: true with probability @p p under the spec's seed.
+ */
+bool chaosDraw(const ChaosSpec &spec, ChaosSite site,
+               std::uint64_t jobId, int attempt, double p);
+
+} // namespace stacknoc::server
+
+#endif // STACKNOC_SERVER_CHAOS_HH

@@ -25,8 +25,10 @@ bool
 Connection::connectTo(const std::string &path, std::string &err)
 {
     close();
+    lastErrno_ = 0;
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) {
+        lastErrno_ = errno;
         err = std::string("socket: ") + std::strerror(errno);
         return false;
     }
@@ -40,11 +42,34 @@ Connection::connectTo(const std::string &path, std::string &err)
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
     if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
+        lastErrno_ = errno;
         err = "connect '" + path + "': " + std::strerror(errno);
         close();
         return false;
     }
     return true;
+}
+
+bool
+Connection::connectWithRetry(const std::string &path, int retries,
+                             int backoffMs, std::string &err)
+{
+    int delayMs = backoffMs > 0 ? backoffMs : 1;
+    for (int attempt = 0;; ++attempt) {
+        if (connectTo(path, err))
+            return true;
+        // Only a server that is down or restarting is worth waiting
+        // for: the socket file not yet bound (ENOENT), nobody
+        // listening (ECONNREFUSED), or a backlog spike (EAGAIN).
+        const bool transient = lastErrno_ == ENOENT ||
+                               lastErrno_ == ECONNREFUSED ||
+                               lastErrno_ == EAGAIN;
+        if (!transient || attempt >= retries)
+            return false;
+        ::usleep(static_cast<useconds_t>(delayMs) * 1000);
+        if (delayMs < 30000)
+            delayMs *= 2;
+    }
 }
 
 bool

@@ -27,6 +27,15 @@ class Connection
     /** Connect to the Unix socket at @p path. */
     bool connectTo(const std::string &path, std::string &err);
 
+    /**
+     * connectTo with up to @p retries re-attempts on refusal or a
+     * missing socket (exponential backoff from @p backoffMs), so
+     * clients ride out a server restart instead of failing on the
+     * first ECONNREFUSED. Non-transient errors fail immediately.
+     */
+    bool connectWithRetry(const std::string &path, int retries,
+                          int backoffMs, std::string &err);
+
     /** Send @p line plus a trailing newline. */
     bool sendLine(const std::string &line, std::string &err);
 
@@ -41,6 +50,7 @@ class Connection
 
   private:
     int fd_ = -1;
+    int lastErrno_ = 0; //!< errno of the last failed connectTo()
     std::string buf_;
 };
 

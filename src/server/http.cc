@@ -100,6 +100,8 @@ httpStatusText(int status)
         return "Method Not Allowed";
     case 500:
         return "Internal Server Error";
+    case 503:
+        return "Service Unavailable";
     default:
         return "Unknown";
     }

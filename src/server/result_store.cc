@@ -1,0 +1,320 @@
+#include "server/result_store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "snapshot/serialize.hh"
+
+namespace stacknoc::server {
+
+namespace {
+
+const char kRecordMagic[4] = {'S', 'N', 'R', 'C'};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 8;
+
+/** Guard against absurd sizes from a corrupt length field. */
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+std::string
+segmentName(std::uint64_t n)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "results-%06llu.seg",
+                  static_cast<unsigned long long>(n));
+    return buf;
+}
+
+} // namespace
+
+ResultStore::~ResultStore()
+{
+    if (journal_.is_open())
+        journal_.close();
+}
+
+void
+ResultStore::setSegmentCapBytes(std::uint64_t cap)
+{
+    if (cap > 0)
+        segmentCapBytes_ = cap;
+}
+
+std::uint64_t
+ResultStore::loadFile(
+    const std::string &path,
+    const std::function<void(std::uint64_t, const std::string &)>
+        &onRecord)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0;
+    std::uint64_t validPrefix = 0;
+    std::string payload;
+    unsigned char hdr[kHeaderBytes];
+    const std::string name =
+        std::filesystem::path(path).filename().string();
+    while (true) {
+        in.read(reinterpret_cast<char *>(hdr), sizeof hdr);
+        const std::streamsize got = in.gcount();
+        if (got == 0)
+            break; // clean end of file
+        if (got < static_cast<std::streamsize>(sizeof hdr)) {
+            ++stats_.skippedRecords;
+            std::fprintf(stderr,
+                         "stacknoc_serve: result store: %s: truncated "
+                         "record header at offset %llu; tail skipped\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(validPrefix));
+            break;
+        }
+        if (std::memcmp(hdr, kRecordMagic, sizeof kRecordMagic) != 0) {
+            ++stats_.skippedRecords;
+            std::fprintf(stderr,
+                         "stacknoc_serve: result store: %s: bad record "
+                         "magic at offset %llu; tail skipped\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(validPrefix));
+            break; // cannot re-sync without a trusted length
+        }
+        const std::uint32_t version = getU32(hdr + 4);
+        const std::uint64_t key = getU64(hdr + 8);
+        const std::uint32_t size = getU32(hdr + 16);
+        const std::uint64_t fnv = getU64(hdr + 20);
+        if (size > kMaxPayloadBytes) {
+            ++stats_.skippedRecords;
+            std::fprintf(stderr,
+                         "stacknoc_serve: result store: %s: implausible "
+                         "payload size %u at offset %llu; tail skipped\n",
+                         name.c_str(), size,
+                         static_cast<unsigned long long>(validPrefix));
+            break;
+        }
+        payload.resize(size);
+        in.read(payload.data(), size);
+        if (in.gcount() < static_cast<std::streamsize>(size)) {
+            ++stats_.skippedRecords;
+            std::fprintf(stderr,
+                         "stacknoc_serve: result store: %s: truncated "
+                         "payload at offset %llu; tail skipped\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(validPrefix));
+            break;
+        }
+        // The header is intact, so the record is self-delimiting:
+        // version and checksum problems skip THIS record and re-sync
+        // on the next one.
+        if (version != kStoreVersion) {
+            ++stats_.skippedRecords;
+            std::fprintf(stderr,
+                         "stacknoc_serve: result store: %s: record "
+                         "schema version %u unsupported (this build "
+                         "reads %u); record skipped\n",
+                         name.c_str(), version, kStoreVersion);
+        } else if (snapshot::fnv1a(payload.data(), payload.size()) !=
+                   fnv) {
+            ++stats_.skippedRecords;
+            std::fprintf(stderr,
+                         "stacknoc_serve: result store: %s: payload "
+                         "checksum mismatch for key 0x%016llx; record "
+                         "skipped\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(key));
+        } else {
+            ++stats_.recoveredRecords;
+            if (onRecord)
+                onRecord(key, payload);
+        }
+        validPrefix += sizeof hdr + size;
+    }
+    return validPrefix;
+}
+
+bool
+ResultStore::openJournal(std::string &err)
+{
+    journal_.open(journalPath_,
+                  std::ios::binary | std::ios::out | std::ios::app);
+    if (!journal_) {
+        err = "cannot open result journal '" + journalPath_ +
+              "' for append";
+        return false;
+    }
+    return true;
+}
+
+bool
+ResultStore::open(
+    const std::string &dir,
+    const std::function<void(std::uint64_t, const std::string &)>
+        &onRecord,
+    std::string &err)
+{
+    dir_ = dir;
+    if (dir_.empty())
+        return true;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        err = "cannot create result store dir '" + dir_ +
+              "': " + ec.message();
+        dir_.clear();
+        return false;
+    }
+
+    // Sealed segments replay oldest-first (names sort by sequence
+    // number), then the journal; duplicate keys keep the first payload
+    // because the server's cache inserts with emplace.
+    std::vector<std::filesystem::path> segments;
+    for (const auto &e : std::filesystem::directory_iterator(dir_, ec)) {
+        if (!e.is_regular_file())
+            continue;
+        const std::string name = e.path().filename().string();
+        if (name.rfind("results-", 0) == 0 && name.size() > 12 &&
+            name.compare(name.size() - 4, 4, ".seg") == 0) {
+            segments.push_back(e.path());
+            const std::uint64_t n = std::strtoull(
+                name.c_str() + std::strlen("results-"), nullptr, 10);
+            nextSegment_ = std::max(nextSegment_, n + 1);
+        }
+    }
+    std::sort(segments.begin(), segments.end());
+    for (const auto &seg : segments) {
+        loadFile(seg.string(), onRecord);
+        ++stats_.segments;
+        std::error_code sec;
+        stats_.bytes += std::filesystem::file_size(seg, sec);
+    }
+
+    journalPath_ =
+        (std::filesystem::path(dir_) / "results.wal").string();
+    if (std::filesystem::exists(journalPath_, ec)) {
+        const std::uint64_t valid = loadFile(journalPath_, onRecord);
+        std::error_code sec;
+        const std::uint64_t size =
+            std::filesystem::file_size(journalPath_, sec);
+        if (!sec && valid < size) {
+            // Trim the torn tail so future appends extend a clean
+            // prefix rather than burying records behind garbage.
+            std::filesystem::resize_file(journalPath_, valid, sec);
+            std::fprintf(stderr,
+                         "stacknoc_serve: result store: journal "
+                         "truncated from %llu to %llu bytes after "
+                         "recovery\n",
+                         static_cast<unsigned long long>(size),
+                         static_cast<unsigned long long>(valid));
+        }
+        journalBytes_ = valid;
+        stats_.bytes += valid;
+    }
+    return openJournal(err);
+}
+
+bool
+ResultStore::append(std::uint64_t key, const std::string &payload)
+{
+    if (dir_.empty())
+        return false;
+    std::string rec;
+    rec.reserve(kHeaderBytes + payload.size());
+    rec.append(kRecordMagic, sizeof kRecordMagic);
+    putU32(rec, kStoreVersion);
+    putU64(rec, key);
+    putU32(rec, static_cast<std::uint32_t>(payload.size()));
+    putU64(rec, snapshot::fnv1a(payload.data(), payload.size()));
+    rec += payload;
+
+    if (!journal_.is_open()) {
+        std::string err;
+        if (!openJournal(err)) {
+            ++stats_.appendFailures;
+            return false;
+        }
+    }
+    journal_.write(rec.data(),
+                   static_cast<std::streamsize>(rec.size()));
+    journal_.flush();
+    if (!journal_) {
+        // Disk full or journal gone: report once per failure, clear
+        // the stream so a later append can try again, never crash.
+        ++stats_.appendFailures;
+        std::fprintf(stderr,
+                     "stacknoc_serve: result store: append of key "
+                     "0x%016llx failed (disk full or journal "
+                     "unwritable); result kept in memory only\n",
+                     static_cast<unsigned long long>(key));
+        journal_.clear();
+        return false;
+    }
+    ++stats_.appends;
+    journalBytes_ += rec.size();
+    stats_.bytes += rec.size();
+    if (journalBytes_ >= segmentCapBytes_)
+        seal();
+    return true;
+}
+
+void
+ResultStore::seal()
+{
+    if (dir_.empty() || journalBytes_ == 0)
+        return;
+    journal_.flush();
+    journal_.close();
+    const std::string seg =
+        (std::filesystem::path(dir_) / segmentName(nextSegment_))
+            .string();
+    std::error_code ec;
+    std::filesystem::rename(journalPath_, seg, ec);
+    if (ec) {
+        // Keep appending to the journal; sealing is an optimisation.
+        std::fprintf(stderr,
+                     "stacknoc_serve: result store: seal rename to %s "
+                     "failed: %s\n",
+                     seg.c_str(), ec.message().c_str());
+    } else {
+        ++nextSegment_;
+        ++stats_.segments;
+        journalBytes_ = 0;
+    }
+    std::string err;
+    if (!openJournal(err))
+        std::fprintf(stderr, "stacknoc_serve: result store: %s\n",
+                     err.c_str());
+}
+
+} // namespace stacknoc::server

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The campaign server's durable result store: an on-disk, append-only
+ * journal of completed result payloads keyed by the result-cache key
+ * digest (`stacknoc_serve --store-dir D`), loaded on startup so a
+ * restarted server serves byte-identical cached payloads without
+ * re-simulating.
+ *
+ * Layout on disk: a directory of sealed segments
+ * `results-<NNNNNN>.seg` plus one active journal `results.wal`.
+ * Records are appended to the journal and flushed per append; when the
+ * journal passes the segment cap (or on clean shutdown, see seal())
+ * it is published as the next sealed segment by an atomic rename, so a
+ * reader never observes a half-written *segment* — only the journal
+ * can have a torn tail, and the record format makes that detectable.
+ *
+ * Record layout (all integers little-endian):
+ *
+ *     offset  size  field
+ *     0       4     record magic "SNRC"
+ *     4       4     record schema version (kStoreVersion)
+ *     8       8     cache key digest (cacheKeyDigest of the request)
+ *     16      4     payload size in bytes
+ *     20      8     FNV-1a of the payload
+ *     28      ...   payload (the result "data" JSON, verbatim bytes)
+ *
+ * Recovery contract: loading NEVER fails the server. A record with an
+ * unknown (future) schema version or a payload checksum mismatch is
+ * skipped individually (the self-delimiting header survives, so the
+ * reader re-syncs on the next record); a truncated or garbage tail
+ * ends that file's scan. Every skip is counted and reported with a
+ * one-line reason; a corrupt journal tail is additionally truncated
+ * back to the last valid record so subsequent appends extend a clean
+ * file. The version policy matches the checkpoint container: bump
+ * kStoreVersion on any incompatible payload change, never migrate —
+ * results are re-creatable by re-running the job.
+ */
+
+#ifndef STACKNOC_SERVER_RESULT_STORE_HH
+#define STACKNOC_SERVER_RESULT_STORE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace stacknoc::server {
+
+class ResultStore
+{
+  public:
+    /** Bumped on any incompatible record or payload change. */
+    static constexpr std::uint32_t kStoreVersion = 1;
+
+    /** Journal size that triggers sealing into a segment. */
+    static constexpr std::uint64_t kDefaultSegmentCapBytes = 8ull << 20;
+
+    /** Load/recovery accounting, surfaced as server metrics. */
+    struct Stats
+    {
+        std::uint64_t recoveredRecords = 0; //!< loaded on open()
+        std::uint64_t skippedRecords = 0;   //!< bad version/checksum/tail
+        std::uint64_t segments = 0;         //!< sealed segments on disk
+        std::uint64_t appends = 0;          //!< successful append() calls
+        std::uint64_t appendFailures = 0;   //!< failed append() calls
+        std::uint64_t bytes = 0;            //!< journal + segment bytes
+    };
+
+    ResultStore() = default;
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Open the store rooted at @p dir (created if missing), replay
+     * every sealed segment then the journal through @p onRecord
+     * (oldest first; the caller deduplicates — the server's cache
+     * keeps the first payload per key), and leave the journal open
+     * for appends. Recovery never fails: corrupt records and torn
+     * tails are skipped and counted (stats().skippedRecords) with a
+     * one-line reason on stderr. @return false with @p err only when
+     * the directory itself cannot be created or the journal cannot be
+     * opened for writing.
+     */
+    bool open(const std::string &dir,
+              const std::function<void(std::uint64_t key,
+                                       const std::string &payload)>
+                  &onRecord,
+              std::string &err);
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /**
+     * Append one record and flush it. Failures (disk full, journal
+     * unwritable) are counted, reported once per failure on stderr,
+     * and never propagate — the in-memory cache still holds the
+     * result. Rolls the journal into a sealed segment past the cap.
+     * @return true when the record reached the journal.
+     */
+    bool append(std::uint64_t key, const std::string &payload);
+
+    /**
+     * Publish the active journal as a sealed segment (atomic rename)
+     * and start a fresh one. Called on graceful shutdown/drain; a
+     * no-op when the journal is empty or the store is disabled.
+     */
+    void seal();
+
+    const Stats &stats() const { return stats_; }
+
+    /** Segment-cap override for tests (0 keeps the default). */
+    void setSegmentCapBytes(std::uint64_t cap);
+
+  private:
+    bool openJournal(std::string &err);
+    /** @return bytes of valid prefix in @p path after replay. */
+    std::uint64_t loadFile(const std::string &path,
+                           const std::function<void(
+                               std::uint64_t, const std::string &)>
+                               &onRecord);
+
+    std::string dir_;
+    std::string journalPath_;
+    std::ofstream journal_;
+    std::uint64_t journalBytes_ = 0;
+    std::uint64_t nextSegment_ = 1;
+    std::uint64_t segmentCapBytes_ = kDefaultSegmentCapBytes;
+    Stats stats_;
+};
+
+} // namespace stacknoc::server
+
+#endif // STACKNOC_SERVER_RESULT_STORE_HH

@@ -1,5 +1,6 @@
 #include "server/server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -62,6 +63,10 @@ constexpr const char *kJobsSubmitted = "stacknoc_jobs_submitted_total";
 constexpr const char *kJobsCompleted = "stacknoc_jobs_completed_total";
 constexpr const char *kJobsFailed = "stacknoc_jobs_failed_total";
 constexpr const char *kJobsRejected = "stacknoc_jobs_rejected_total";
+constexpr const char *kJobsShed = "stacknoc_jobs_shed_total";
+constexpr const char *kJobRetries = "stacknoc_job_retries_total";
+constexpr const char *kJobDeadlineKills =
+    "stacknoc_job_deadline_kills_total";
 constexpr const char *kCacheHits = "stacknoc_cache_hits_total";
 constexpr const char *kCacheMisses = "stacknoc_cache_misses_total";
 constexpr const char *kCacheEntries = "stacknoc_cache_entries";
@@ -75,6 +80,8 @@ constexpr const char *kCkptColdWarms =
     "stacknoc_ckpt_cold_warms_total";
 constexpr const char *kCkptSaves = "stacknoc_ckpt_saves_total";
 constexpr const char *kCkptEvictions = "stacknoc_ckpt_evictions_total";
+constexpr const char *kCkptRestoreFallbacks =
+    "stacknoc_ckpt_restore_fallbacks_total";
 constexpr const char *kCkptBytes = "stacknoc_ckpt_bytes";
 constexpr const char *kCkptFiles = "stacknoc_ckpt_files";
 constexpr const char *kWorkers = "stacknoc_workers";
@@ -85,6 +92,14 @@ constexpr const char *kWorkerBusyFraction =
     "stacknoc_worker_busy_fraction";
 constexpr const char *kWorkerJobs = "stacknoc_worker_jobs_total";
 constexpr const char *kHttpRequests = "stacknoc_http_requests_total";
+constexpr const char *kStoreRecovered =
+    "stacknoc_store_recovered_records";
+constexpr const char *kStoreSkipped = "stacknoc_store_skipped_records";
+constexpr const char *kStoreAppends = "stacknoc_store_appends_total";
+constexpr const char *kStoreAppendFailures =
+    "stacknoc_store_append_failures_total";
+constexpr const char *kStoreSegments = "stacknoc_store_segments";
+constexpr const char *kStoreBytes = "stacknoc_store_bytes";
 constexpr const char *kUptime = "stacknoc_uptime_seconds";
 constexpr const char *kBuildInfo = "stacknoc_build_info";
 
@@ -98,9 +113,16 @@ helpOf(const char *name)
     if (name == kJobsCompleted)
         return "Jobs completed by a worker";
     if (name == kJobsFailed)
-        return "Jobs ended by a worker error or death";
+        return "Jobs that ended in a final error (after any retries)";
     if (name == kJobsRejected)
         return "Run requests rejected at submission";
+    if (name == kJobsShed)
+        return "Run requests shed by admission control (queue full)";
+    if (name == kJobRetries)
+        return "Job attempts re-dispatched after a worker death or "
+               "deadline kill";
+    if (name == kJobDeadlineKills)
+        return "Workers killed for exceeding the job deadline";
     if (name == kCacheHits)
         return "Submissions served from the result cache";
     if (name == kCacheMisses)
@@ -125,6 +147,9 @@ helpOf(const char *name)
         return "Warm checkpoints published by workers";
     if (name == kCkptEvictions)
         return "Warm checkpoints evicted by the LRU byte cap";
+    if (name == kCkptRestoreFallbacks)
+        return "Warm restores that fell back to a cold warm-up "
+               "(evicted or corrupt checkpoint)";
     if (name == kCkptBytes)
         return "Bytes of warm checkpoints on disk";
     if (name == kCkptFiles)
@@ -141,11 +166,39 @@ helpOf(const char *name)
         return "Jobs dispatched to each worker";
     if (name == kHttpRequests)
         return "HTTP requests by endpoint";
+    if (name == kStoreRecovered)
+        return "Result-store records recovered at startup";
+    if (name == kStoreSkipped)
+        return "Result-store records skipped at startup (corrupt, "
+               "truncated or unknown version)";
+    if (name == kStoreAppends)
+        return "Results appended to the durable store";
+    if (name == kStoreAppendFailures)
+        return "Result-store appends that failed (disk full or "
+               "journal unwritable)";
+    if (name == kStoreSegments)
+        return "Sealed result-store segments on disk";
+    if (name == kStoreBytes)
+        return "Bytes in the result store (journal + segments)";
     if (name == kUptime)
         return "Seconds since the server started";
     if (name == kBuildInfo)
         return "Constant 1, labelled with version and protocol";
     return "";
+}
+
+// SIGTERM self-pipe: the handler only writes one byte; the poll loop
+// reads it and starts the graceful drain on the main thread, so no
+// server state is ever touched from signal context.
+int gSigWriteFd = -1;
+
+void
+onSigTerm(int)
+{
+    if (gSigWriteFd >= 0) {
+        const char b = 't';
+        [[maybe_unused]] const ssize_t n = ::write(gSigWriteFd, &b, 1);
+    }
 }
 
 } // namespace
@@ -159,6 +212,13 @@ CampaignServer::~CampaignServer()
         ::close(listenFd_);
     if (httpListenFd_ >= 0)
         ::close(httpListenFd_);
+    if (sigFd_ >= 0) {
+        ::close(sigFd_);
+        if (gSigWriteFd >= 0) {
+            ::close(gSigWriteFd);
+            gSigWriteFd = -1;
+        }
+    }
     for (auto &[fd, c] : clients_)
         ::close(fd);
     for (auto &[fd, h] : httpClients_)
@@ -213,9 +273,34 @@ CampaignServer::spawnWorker(Worker &w, std::string &err)
             ::close(listenFd_);
         if (httpListenFd_ >= 0)
             ::close(httpListenFd_);
-        ::execl(opt_.workerExe.c_str(), opt_.workerExe.c_str(),
-                "--worker", "--ckpt-dir", opt_.ckptDir.c_str(),
-                static_cast<char *>(nullptr));
+        if (sigFd_ >= 0)
+            ::close(sigFd_);
+        if (gSigWriteFd >= 0)
+            ::close(gSigWriteFd);
+        if (opt_.chaos.any()) {
+            // Workers do the injecting; the spec rides the exec line.
+            std::string spec;
+            if (opt_.chaos.killWorker > 0.0)
+                spec += "kill-worker=" +
+                        std::to_string(opt_.chaos.killWorker);
+            if (opt_.chaos.corruptCkpt > 0.0)
+                spec += std::string(spec.empty() ? "" : ",") +
+                        "corrupt-ckpt=" +
+                        std::to_string(opt_.chaos.corruptCkpt);
+            if (opt_.chaos.slowWorker > 0.0)
+                spec += std::string(spec.empty() ? "" : ",") +
+                        "slow-worker=" +
+                        std::to_string(opt_.chaos.slowWorker);
+            const std::string seed = std::to_string(opt_.chaos.seed);
+            ::execl(opt_.workerExe.c_str(), opt_.workerExe.c_str(),
+                    "--worker", "--ckpt-dir", opt_.ckptDir.c_str(),
+                    "--chaos", spec.c_str(), "--chaos-seed",
+                    seed.c_str(), static_cast<char *>(nullptr));
+        } else {
+            ::execl(opt_.workerExe.c_str(), opt_.workerExe.c_str(),
+                    "--worker", "--ckpt-dir", opt_.ckptDir.c_str(),
+                    static_cast<char *>(nullptr));
+        }
         std::fprintf(stderr, "stacknoc_serve: exec '%s' failed: %s\n",
                      opt_.workerExe.c_str(), std::strerror(errno));
         ::_exit(127);
@@ -229,6 +314,7 @@ CampaignServer::spawnWorker(Worker &w, std::string &err)
     w.busy = false;
     w.jobId = 0;
     w.busySinceUs = 0;
+    w.deadlineKilled = false;
     const std::size_t idx = static_cast<std::size_t>(&w - workers_.data());
     log_.event("worker_spawned", [&](JsonWriter &jw) {
         jw.kv("worker", static_cast<std::uint64_t>(idx));
@@ -256,6 +342,38 @@ CampaignServer::start(std::string &err)
     if (!opt_.logJsonPath.empty() &&
         !log_.open(opt_.logJsonPath, opt_.logRotateBytes, err))
         return false;
+
+    if (!opt_.storeDir.empty()) {
+        // Replay the durable store into the result cache before any
+        // client connects: a restarted server serves prior results
+        // byte-identically. emplace keeps the first payload per key,
+        // matching the store's oldest-first replay order.
+        if (!store_.open(
+                opt_.storeDir,
+                [&](std::uint64_t key, const std::string &payload) {
+                    if (cache_.emplace(key, payload).second)
+                        cacheBytes_ += payload.size();
+                },
+                err))
+            return false;
+        log_.event("store_opened", [&](JsonWriter &jw) {
+            jw.kv("dir", opt_.storeDir);
+            jw.kv("recovered", store_.stats().recoveredRecords);
+            jw.kv("skipped", store_.stats().skippedRecords);
+            jw.kv("segments", store_.stats().segments);
+            jw.kv("bytes", store_.stats().bytes);
+        });
+    }
+
+    // SIGTERM drains gracefully via a self-pipe in the poll set.
+    {
+        int sp[2];
+        if (::pipe(sp) == 0) {
+            sigFd_ = sp[0];
+            gSigWriteFd = sp[1];
+            ::signal(SIGTERM, onSigTerm);
+        }
+    }
 
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0) {
@@ -319,13 +437,26 @@ CampaignServer::start(std::string &err)
     // exposes the full catalogue at zero.
     for (const char *name :
          {kJobsSubmitted, kJobsCompleted, kJobsFailed, kJobsRejected,
-          kCacheHits, kCacheMisses, kSimCycles, kCkptRestores,
-          kCkptColdWarms, kCkptSaves, kCkptEvictions, kWorkerRespawns})
+          kJobsShed, kJobRetries, kJobDeadlineKills, kCacheHits,
+          kCacheMisses, kSimCycles, kCkptRestores, kCkptColdWarms,
+          kCkptSaves, kCkptEvictions, kCkptRestoreFallbacks,
+          kWorkerRespawns})
         metrics_.counter(name, helpOf(name));
     for (const char *name :
          {kCacheEntries, kCacheBytes, kQueueDepth, kCkptBytes,
           kCkptFiles, kWorkers, kWorkersBusy, kUptime})
         metrics_.gauge(name, helpOf(name));
+    if (store_.enabled()) {
+        for (const char *name : {kStoreAppends, kStoreAppendFailures})
+            metrics_.counter(name, helpOf(name));
+        for (const char *name : {kStoreRecovered, kStoreSkipped,
+                                 kStoreSegments, kStoreBytes})
+            metrics_.gauge(name, helpOf(name));
+        metrics_.gauge(kStoreRecovered, helpOf(kStoreRecovered))
+            .set(static_cast<double>(store_.stats().recoveredRecords));
+        metrics_.gauge(kStoreSkipped, helpOf(kStoreSkipped))
+            .set(static_cast<double>(store_.stats().skippedRecords));
+    }
     metrics_.histogram(kQueueWait, helpOf(kQueueWait));
     for (const char *phase :
          {"restore", "warm", "measure", "publish", "total"})
@@ -349,6 +480,11 @@ CampaignServer::start(std::string &err)
         jw.kv("workers", opt_.workers);
         jw.kv("ckpt_dir", opt_.ckptDir);
         jw.kv("ckpt_cap_bytes", opt_.ckptCapBytes);
+        jw.kv("store_dir", opt_.storeDir);
+        jw.kv("max_queue", opt_.maxQueue);
+        jw.kv("job_retries", opt_.jobRetries);
+        jw.kv("job_deadline_sec", opt_.jobDeadlineSec);
+        jw.kv("chaos", opt_.chaos.any());
     });
 
     workers_.resize(static_cast<std::size_t>(opt_.workers));
@@ -437,17 +573,40 @@ CampaignServer::finishHttpJob(int fd, int status,
     closeHttpClient(fd);
 }
 
+std::string
+CampaignServer::workerLineFor(const Job &job) const
+{
+    // Rebuilt per dispatch: the attempt number keys the worker's chaos
+    // draws, and "cold" rides only the final retry.
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("id", job.id);
+    w.kv("attempt", job.attempt);
+    if (job.forceCold)
+        w.kv("cold", true);
+    writeJobRequestMembers(w, job.req);
+    w.endObject();
+    return os.str();
+}
+
 void
 CampaignServer::dispatchJobs()
 {
+    const std::uint64_t ready = monoUs();
     for (auto &w : workers_) {
-        if (queue_.empty())
-            return;
         if (w.busy || w.pid < 0)
             continue;
-        Job job = std::move(queue_.front());
-        queue_.pop_front();
-        const std::string line = job.workerLine + "\n";
+        // First job past its backoff gate; retries keep queue order.
+        auto jit = queue_.begin();
+        for (; jit != queue_.end(); ++jit)
+            if (jit->notBeforeUs <= ready)
+                break;
+        if (jit == queue_.end())
+            return;
+        Job job = std::move(*jit);
+        queue_.erase(jit);
+        const std::string line = workerLineFor(job) + "\n";
         std::size_t off = 0;
         bool failed = false;
         while (off < line.size()) {
@@ -460,27 +619,15 @@ CampaignServer::dispatchJobs()
             off += static_cast<std::size_t>(n);
         }
         if (failed) {
-            metrics_.counter(kJobsFailed, helpOf(kJobsFailed)).inc();
-            ++failed_;
-            const std::string reason = "worker pipe write failed";
-            log_.event("job_failed", [&](JsonWriter &jw) {
-                jw.kv("id", job.id);
-                jw.kv("key", hexKey(job.key));
-                jw.kv("reason", reason);
-            });
-            const std::string ev = eventLine([&](JsonWriter &jw) {
-                jw.kv("event", "error");
-                jw.kv("id", job.id);
-                jw.kv("reason", reason);
-            });
-            if (job.transport == Transport::Http)
-                finishHttpJob(job.clientFd, 500, ev);
-            else
-                sendToClient(job.clientFd, ev);
+            failAttempt(std::move(job), "worker pipe write failed");
             continue;
         }
         const std::uint64_t now = monoUs();
         job.dispatchUs = now;
+        if (opt_.jobDeadlineSec > 0)
+            job.deadlineUs =
+                now + static_cast<std::uint64_t>(opt_.jobDeadlineSec) *
+                          1000000ull;
         const std::uint64_t wait = now - job.submitUs;
         metrics_.histogram(kQueueWait, helpOf(kQueueWait)).sample(wait);
         const std::size_t idx =
@@ -498,9 +645,135 @@ CampaignServer::dispatchJobs()
             jw.kv("worker", static_cast<std::uint64_t>(idx));
             jw.kv("worker_pid", static_cast<std::int64_t>(w.pid));
             jw.kv("queue_wait_us", wait);
+            jw.kv("attempt", job.attempt);
+            if (job.forceCold)
+                jw.kv("cold", true);
         });
         inflight_.emplace(job.id, std::move(job));
     }
+}
+
+void
+CampaignServer::finalFail(Job &&job, const std::string &reason)
+{
+    metrics_.counter(kJobsFailed, helpOf(kJobsFailed)).inc();
+    ++failed_;
+    log_.event("job_failed", [&](JsonWriter &jw) {
+        jw.kv("id", job.id);
+        jw.kv("key", hexKey(job.key));
+        jw.kv("reason", reason);
+        jw.kv("attempts", job.attempt);
+    });
+    const std::string ev = eventLine([&](JsonWriter &jw) {
+        jw.kv("event", "error");
+        jw.kv("id", job.id);
+        jw.kv("reason", reason);
+        jw.kv("attempts", job.attempt);
+        jw.key("attempt_history");
+        jw.beginArray();
+        for (const auto &h : job.history)
+            jw.value(h);
+        jw.endArray();
+    });
+    if (job.transport == Transport::Http)
+        finishHttpJob(job.clientFd, 500, ev);
+    else
+        sendToClient(job.clientFd, ev);
+}
+
+void
+CampaignServer::failAttempt(Job &&job, const std::string &reason)
+{
+    job.history.push_back("attempt " + std::to_string(job.attempt) +
+                          ": " + reason);
+    if (job.attempt > opt_.jobRetries) {
+        finalFail(std::move(job), reason);
+        return;
+    }
+    // Exponential backoff; the poll timeout wakes the loop when the
+    // gate opens. The final attempt runs cold in case the warm
+    // checkpoint itself is what kills the worker.
+    const std::uint64_t backoffUs =
+        (static_cast<std::uint64_t>(
+             opt_.jobBackoffMs > 0 ? opt_.jobBackoffMs : 1)
+         << (job.attempt - 1)) *
+        1000ull;
+    job.attempt += 1;
+    job.forceCold = job.attempt > opt_.jobRetries;
+    job.notBeforeUs = monoUs() + backoffUs;
+    metrics_.counter(kJobRetries, helpOf(kJobRetries)).inc();
+    ++retried_;
+    log_.event("job_retried", [&](JsonWriter &jw) {
+        jw.kv("id", job.id);
+        jw.kv("key", hexKey(job.key));
+        jw.kv("attempt", job.attempt);
+        jw.kv("backoff_ms", backoffUs / 1000);
+        jw.kv("cold", job.forceCold);
+        jw.kv("reason", reason);
+    });
+    queue_.push_back(std::move(job));
+}
+
+void
+CampaignServer::checkDeadlines()
+{
+    if (opt_.jobDeadlineSec <= 0)
+        return;
+    const std::uint64_t now = monoUs();
+    for (auto &w : workers_) {
+        if (!w.busy || w.pid <= 0 || w.deadlineKilled)
+            continue;
+        const auto it = inflight_.find(w.jobId);
+        if (it == inflight_.end() || it->second.deadlineUs == 0 ||
+            now < it->second.deadlineUs)
+            continue;
+        // The kill surfaces as pipe EOF; onWorkerDeath routes the job
+        // through failAttempt with the deadline reason.
+        w.deadlineKilled = true;
+        ++deadlineKills_;
+        metrics_.counter(kJobDeadlineKills, helpOf(kJobDeadlineKills))
+            .inc();
+        log_.event("job_deadline_kill", [&](JsonWriter &jw) {
+            jw.kv("id", w.jobId);
+            jw.kv("key", hexKey(it->second.key));
+            jw.kv("worker_pid", static_cast<std::int64_t>(w.pid));
+            jw.kv("deadline_sec", opt_.jobDeadlineSec);
+        });
+        ::kill(w.pid, SIGKILL);
+    }
+}
+
+int
+CampaignServer::pollTimeoutMs() const
+{
+    std::uint64_t next = UINT64_MAX;
+    for (const auto &j : queue_)
+        if (j.notBeforeUs > 0)
+            next = std::min(next, j.notBeforeUs);
+    if (opt_.jobDeadlineSec > 0)
+        for (const auto &[id, j] : inflight_)
+            if (j.deadlineUs > 0)
+                next = std::min(next, j.deadlineUs);
+    if (next == UINT64_MAX)
+        return -1;
+    const std::uint64_t now = monoUs();
+    if (next <= now)
+        return 0;
+    return static_cast<int>(
+        std::min<std::uint64_t>((next - now) / 1000 + 1, 60000));
+}
+
+void
+CampaignServer::beginDrain()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    log_.event("server_draining", [&](JsonWriter &jw) {
+        jw.kv("queued", static_cast<std::uint64_t>(queue_.size()));
+        jw.kv("inflight",
+              static_cast<std::uint64_t>(inflight_.size()));
+    });
 }
 
 void
@@ -541,6 +814,12 @@ CampaignServer::refreshGauges()
         metrics_.gauge(kCkptFiles, helpOf(kCkptFiles))
             .set(static_cast<double>(usage.files));
     }
+    if (store_.enabled()) {
+        metrics_.gauge(kStoreSegments, helpOf(kStoreSegments))
+            .set(static_cast<double>(store_.stats().segments));
+        metrics_.gauge(kStoreBytes, helpOf(kStoreBytes))
+            .set(static_cast<double>(store_.stats().bytes));
+    }
 }
 
 std::string
@@ -571,7 +850,16 @@ CampaignServer::statusJson()
         w.kv("cache_hits", cacheHits_);
         w.kv("completed", completed_);
         w.kv("jobs_failed", failed_);
+        w.kv("jobs_retried", retried_);
+        w.kv("jobs_shed", shed_);
+        w.kv("deadline_kills", deadlineKills_);
         w.kv("worker_respawns", respawns_);
+        w.kv("draining", draining_);
+        if (store_.enabled()) {
+            w.kv("store_recovered", store_.stats().recoveredRecords);
+            w.kv("store_skipped", store_.stats().skippedRecords);
+            w.kv("store_appends", store_.stats().appends);
+        }
     });
 }
 
@@ -625,11 +913,61 @@ CampaignServer::submitRun(const JsonValue &doc, Transport transport,
         }
     }
 
-    const std::uint64_t id = nextJobId_++;
     const std::uint64_t key = cacheKeyDigest(req);
     const auto cached = cache_.find(key);
     const bool hit = cached != cache_.end();
 
+    // Admission control: cache hits always answer (no worker needed),
+    // but new work is refused while draining and shed when the queue
+    // is at its bound — with enough structure for the client to retry.
+    if (!hit && draining_) {
+        metrics_.counter(kJobsRejected, helpOf(kJobsRejected)).inc();
+        const std::string ev = eventLine([&](JsonWriter &w) {
+            w.kv("event", "error");
+            w.kv("id", std::uint64_t{0});
+            w.kv("reason", "server draining; not accepting new jobs");
+            w.kv("draining", true);
+        });
+        if (transport == Transport::Http)
+            finishHttpJob(clientFd, 503, ev);
+        else
+            sendToClient(clientFd, ev);
+        return;
+    }
+    if (!hit && opt_.maxQueue > 0 &&
+        queue_.size() >= static_cast<std::size_t>(opt_.maxQueue)) {
+        metrics_.counter(kJobsShed, helpOf(kJobsShed)).inc();
+        ++shed_;
+        // Rough drain-time estimate: jobs ahead over pool width, at
+        // a conservative 250 ms per job, capped so clients never park
+        // for long on a transient spike.
+        const std::uint64_t ahead = queue_.size() + inflight_.size();
+        const std::uint64_t retryMs = std::min<std::uint64_t>(
+            250 * (ahead / std::max<std::size_t>(workers_.size(), 1) +
+                   1),
+            10000);
+        log_.event("job_shed", [&](JsonWriter &jw) {
+            jw.kv("key", hexKey(key));
+            jw.kv("queued", static_cast<std::uint64_t>(queue_.size()));
+            jw.kv("retry_after_ms", retryMs);
+        });
+        const std::string ev = eventLine([&](JsonWriter &w) {
+            w.kv("event", "error");
+            w.kv("id", std::uint64_t{0});
+            w.kv("reason", "queue full (" +
+                               std::to_string(queue_.size()) +
+                               " jobs waiting); retry later");
+            w.kv("shed", true);
+            w.kv("retry_after_ms", retryMs);
+        });
+        if (transport == Transport::Http)
+            finishHttpJob(clientFd, 503, ev);
+        else
+            sendToClient(clientFd, ev);
+        return;
+    }
+
+    const std::uint64_t id = nextJobId_++;
     metrics_.counter(kJobsSubmitted, helpOf(kJobsSubmitted)).inc();
     metrics_
         .counter(hit ? kCacheHits : kCacheMisses,
@@ -673,16 +1011,8 @@ CampaignServer::submitRun(const JsonValue &doc, Transport transport,
     job.transport = transport;
     job.clientFd = clientFd;
     job.key = key;
+    job.req = req;
     job.submitUs = monoUs();
-    {
-        std::ostringstream os;
-        JsonWriter w(os);
-        w.beginObject();
-        w.kv("id", id);
-        writeJobRequestMembers(w, req);
-        w.endObject();
-        job.workerLine = os.str();
-    }
     queue_.push_back(std::move(job));
     dispatchJobs();
 }
@@ -845,25 +1175,51 @@ CampaignServer::handleWorkerLine(Worker &w, const std::string &line)
             sendToClient(clientFd, line);
         return;
     }
-    if (kind == "error") {
-        metrics_.counter(kJobsFailed, helpOf(kJobsFailed)).inc();
-        ++failed_;
+    if (kind == "note") {
+        // Advisory worker events; never terminal for the job.
+        const JsonValue *k = doc->find("kind");
+        const std::string noteKind =
+            k != nullptr && k->isString() ? k->asString() : "";
         const JsonValue *r = doc->find("reason");
-        log_.event("job_failed", [&](JsonWriter &jw) {
-            jw.kv("id", id);
-            if (job != nullptr)
-                jw.kv("key", hexKey(job->key));
-            jw.kv("worker", static_cast<std::uint64_t>(widx));
-            jw.kv("reason", r != nullptr && r->isString()
-                                ? r->asString()
-                                : std::string());
-        });
-        if (isHttp)
-            finishHttpJob(clientFd, 500, line);
-        else
-            sendToClient(clientFd, line);
+        if (noteKind == "warm_fallback") {
+            metrics_
+                .counter(kCkptRestoreFallbacks,
+                         helpOf(kCkptRestoreFallbacks))
+                .inc();
+            log_.event("ckpt_restore_fallback", [&](JsonWriter &jw) {
+                jw.kv("id", id);
+                if (job != nullptr)
+                    jw.kv("key", hexKey(job->key));
+                jw.kv("worker", static_cast<std::uint64_t>(widx));
+                jw.kv("reason", r != nullptr && r->isString()
+                                    ? r->asString()
+                                    : std::string());
+            });
+        }
+        return;
+    }
+    if (kind == "error") {
+        const JsonValue *r = doc->find("reason");
+        const std::string reason = r != nullptr && r->isString()
+                                       ? r->asString()
+                                       : "worker error";
         freeWorker();
-        inflight_.erase(id);
+        if (job != nullptr) {
+            Job owned = std::move(jobIt->second);
+            inflight_.erase(jobIt);
+            // A worker-reported error is deterministic (bad request,
+            // simulation failure): a retry would only repeat it, so it
+            // is final regardless of the retry budget.
+            finalFail(std::move(owned), reason);
+        } else {
+            metrics_.counter(kJobsFailed, helpOf(kJobsFailed)).inc();
+            ++failed_;
+            log_.event("job_failed", [&](JsonWriter &jw) {
+                jw.kv("id", id);
+                jw.kv("worker", static_cast<std::uint64_t>(widx));
+                jw.kv("reason", reason);
+            });
+        }
         dispatchJobs();
         return;
     }
@@ -877,8 +1233,22 @@ CampaignServer::handleWorkerLine(Worker &w, const std::string &line)
                 ? jsonValueToString(*timing)
                 : "";
         const std::uint64_t key = job != nullptr ? job->key : 0;
-        if (cache_.emplace(key, dataStr).second)
+        if (cache_.emplace(key, dataStr).second) {
             cacheBytes_ += dataStr.size();
+            // First result per key also becomes durable; append
+            // failures are counted, never fatal (memory still serves).
+            if (store_.enabled() && job != nullptr) {
+                if (store_.append(key, dataStr))
+                    metrics_
+                        .counter(kStoreAppends, helpOf(kStoreAppends))
+                        .inc();
+                else
+                    metrics_
+                        .counter(kStoreAppendFailures,
+                                 helpOf(kStoreAppendFailures))
+                        .inc();
+            }
+        }
         ++completed_;
         metrics_.counter(kJobsCompleted, helpOf(kJobsCompleted)).inc();
 
@@ -918,9 +1288,11 @@ CampaignServer::handleWorkerLine(Worker &w, const std::string &line)
             jw.kv("key", hexKey(key));
             jw.kv("worker", static_cast<std::uint64_t>(widx));
             jw.kv("worker_pid", static_cast<std::int64_t>(w.pid));
-            if (job != nullptr)
+            if (job != nullptr) {
                 jw.kv("queue_wait_us",
                       job->dispatchUs - job->submitUs);
+                jw.kv("attempt", job->attempt);
+            }
             if (timing != nullptr && timing->isObject()) {
                 jw.kv("restore_us", memberU64(*timing, "restore_us"));
                 jw.kv("warm_us", memberU64(*timing, "warm_us"));
@@ -944,6 +1316,8 @@ CampaignServer::handleWorkerLine(Worker &w, const std::string &line)
             os << "{\"event\":\"result\",\"id\":" << id
                << ",\"cached\":false,\"key\":\"" << hexKey(key)
                << "\"";
+            if (job != nullptr && job->attempt > 1)
+                os << ",\"attempts\":" << job->attempt;
             if (!timingStr.empty())
                 os << ",\"timing\":" << timingStr;
             os << ",\"data\":" << dataStr << "}";
@@ -980,34 +1354,28 @@ CampaignServer::onWorkerDeath(Worker &w)
         jw.kv("worker", static_cast<std::uint64_t>(idx));
         jw.kv("pid", static_cast<std::int64_t>(w.pid));
         jw.kv("job", w.busy ? w.jobId : 0);
+        jw.kv("deadline_kill", w.deadlineKilled);
+        jw.kv("exit_status", status);
     });
     w.pid = -1;
     if (w.busy) {
-        metrics_.counter(kJobsFailed, helpOf(kJobsFailed)).inc();
-        ++failed_;
+        const std::string reason =
+            w.deadlineKilled
+                ? "job exceeded --job-deadline-sec " +
+                      std::to_string(opt_.jobDeadlineSec) +
+                      "; worker killed"
+                : "worker process died mid-job";
         const auto it = inflight_.find(w.jobId);
-        const Job *job = it != inflight_.end() ? &it->second : nullptr;
-        log_.event("job_failed", [&](JsonWriter &jw) {
-            jw.kv("id", w.jobId);
-            if (job != nullptr)
-                jw.kv("key", hexKey(job->key));
-            jw.kv("worker", static_cast<std::uint64_t>(idx));
-            jw.kv("reason", "worker process died mid-job");
-        });
-        const std::string ev = eventLine([&](JsonWriter &jw) {
-            jw.kv("event", "error");
-            jw.kv("id", w.jobId);
-            jw.kv("reason", "worker process died mid-job");
-        });
-        if (job != nullptr && job->transport == Transport::Http)
-            finishHttpJob(job->clientFd, 500, ev);
-        else if (job != nullptr)
-            sendToClient(job->clientFd, ev);
-        inflight_.erase(w.jobId);
+        if (it != inflight_.end()) {
+            Job job = std::move(it->second);
+            inflight_.erase(it);
+            failAttempt(std::move(job), reason);
+        }
         w.busyAccumUs += monoUs() - w.busySinceUs;
         w.busy = false;
         w.jobId = 0;
     }
+    w.deadlineKilled = false;
     std::string err;
     if (!spawnWorker(w, err)) {
         std::fprintf(stderr, "stacknoc_serve: respawn failed: %s\n",
@@ -1043,8 +1411,12 @@ int
 CampaignServer::run()
 {
     while (!shutdown_) {
+        if (draining_ && queue_.empty() && inflight_.empty())
+            break; // drained: every accepted job has resolved
         std::vector<pollfd> fds;
         fds.push_back({listenFd_, POLLIN, 0});
+        if (sigFd_ >= 0)
+            fds.push_back({sigFd_, POLLIN, 0});
         if (httpListenFd_ >= 0)
             fds.push_back({httpListenFd_, POLLIN, 0});
         for (const auto &w : workers_)
@@ -1055,8 +1427,11 @@ CampaignServer::run()
         for (const auto &[fd, h] : httpClients_)
             fds.push_back({fd, POLLIN, 0});
 
-        const int rc = ::poll(fds.data(),
-                              static_cast<nfds_t>(fds.size()), -1);
+        // Finite timeout only when a retry backoff gate or a job
+        // deadline needs the loop to wake without fd traffic.
+        const int rc =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   pollTimeoutMs());
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
@@ -1064,10 +1439,19 @@ CampaignServer::run()
                          std::strerror(errno));
             return 1;
         }
+        checkDeadlines();
+        dispatchJobs();
 
         for (const auto &p : fds) {
             if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0)
                 continue;
+            if (sigFd_ >= 0 && p.fd == sigFd_) {
+                char buf[16];
+                [[maybe_unused]] const ssize_t n =
+                    ::read(sigFd_, buf, sizeof buf);
+                beginDrain();
+                continue;
+            }
             if (p.fd == listenFd_) {
                 const int cfd = ::accept(listenFd_, nullptr, nullptr);
                 if (cfd >= 0)
@@ -1147,10 +1531,12 @@ CampaignServer::run()
                 break;
         }
     }
+    store_.seal(); // publish the journal before the process can exit
     log_.event("server_stop", [&](JsonWriter &jw) {
         jw.kv("uptime_sec", static_cast<double>(monoUs()) / 1e6);
         jw.kv("completed", completed_);
         jw.kv("failed", failed_);
+        jw.kv("drained", draining_);
     });
     killWorkers();
     return 0;

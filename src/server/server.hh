@@ -16,20 +16,34 @@
  * shared checkpoint directory. With --ckpt-cap-bytes the server keeps
  * that directory under an LRU byte cap.
  *
+ * Self-healing (docs/RESILIENCE.md "Fleet tier"): with --store-dir the
+ * result cache is backed by a durable on-disk store (ResultStore) and
+ * reloaded on startup, so a restarted server serves prior results
+ * byte-identically. A job whose worker dies — signal, nonzero exit,
+ * pipe EOF — or exceeds --job-deadline-sec is re-dispatched up to
+ * --job-retries times with exponential backoff, the final attempt
+ * forced cold in case the warm checkpoint itself is the poison; the
+ * client still sees exactly one result or one final error carrying the
+ * attempt history. --max-queue bounds the queue, shedding load with a
+ * structured retry_after_ms error (HTTP 503), and SIGTERM drains
+ * gracefully: finish accepted jobs, seal the store, reject new
+ * submissions. --chaos injects worker-side failures to prove all of
+ * this (see server/chaos.hh).
+ *
  * Fleet observability (docs/SERVER.md "Observability"): a
- * MetricsRegistry counts jobs, queueing, cache, checkpoint and worker
- * health; an EventLog (--log-json) records every job's lifecycle as
- * NDJSON; and an optional HTTP front end (--http PORT) serves
- * GET /metrics (Prometheus text exposition), GET /status (JSON) and
- * POST /run (JobRequest JSON) to off-host clients beside the socket.
- * All of it is observer-only with respect to simulation: the workers'
- * result payloads and stats digests are byte-identical with every
- * observability feature on or off.
+ * MetricsRegistry counts jobs, queueing, cache, checkpoint, store,
+ * retry and worker health; an EventLog (--log-json) records every
+ * job's lifecycle as NDJSON; and an optional HTTP front end (--http
+ * PORT) serves GET /metrics (Prometheus text exposition), GET /status
+ * (JSON) and POST /run (JobRequest JSON) to off-host clients beside
+ * the socket. All of it is observer-only with respect to simulation:
+ * the workers' result payloads and stats digests are byte-identical
+ * with every observability feature on or off.
  *
  * Single-threaded: one poll() loop owns the listeners, every client
- * connection and every worker pipe. Workers are separate processes, so
- * the loop only shuttles lines; a worker crash fails its job with an
- * "error" event and the worker is respawned.
+ * connection, every worker pipe and the signal self-pipe. Workers are
+ * separate processes, so the loop only shuttles lines; a worker crash
+ * retries its job and the worker is respawned.
  */
 
 #ifndef STACKNOC_SERVER_SERVER_HH
@@ -43,13 +57,16 @@
 
 #include <sys/types.h>
 
+#include "server/chaos.hh"
 #include "server/metrics.hh"
 #include "server/oblog.hh"
+#include "server/protocol.hh"
+#include "server/result_store.hh"
 
 namespace stacknoc::server {
 
 /** Human-facing server version, reported in status and /metrics. */
-constexpr const char *kServerVersion = "1.1";
+constexpr const char *kServerVersion = "1.2";
 
 class CampaignServer
 {
@@ -70,6 +87,18 @@ class CampaignServer
         std::string logJsonPath;
         /** Log rotation cap in bytes (0 = EventLog default). */
         std::uint64_t logRotateBytes = 0;
+        /** Durable result store directory ("" disables). */
+        std::string storeDir;
+        /** Queue bound; submissions beyond it are shed (0 = none). */
+        int maxQueue = 0;
+        /** Re-dispatches after a worker death or deadline kill. */
+        int jobRetries = 2;
+        /** Base retry backoff, doubled per retry. */
+        int jobBackoffMs = 200;
+        /** Per-attempt wall deadline; 0 disables the watchdog. */
+        int jobDeadlineSec = 0;
+        /** Failure injection (off unless --chaos was given). */
+        ChaosSpec chaos;
     };
 
     explicit CampaignServer(Options opt);
@@ -111,6 +140,7 @@ class CampaignServer
         std::uint64_t jobId = 0;
         std::uint64_t busySinceUs = 0; //!< monoUs() at dispatch
         std::uint64_t busyAccumUs = 0; //!< total busy time, past jobs
+        bool deadlineKilled = false;   //!< killed by the job watchdog
     };
     struct Job
     {
@@ -118,9 +148,15 @@ class CampaignServer
         Transport transport = Transport::Unix;
         int clientFd = -1;
         std::uint64_t key = 0;
-        std::string workerLine;
-        std::uint64_t submitUs = 0;   //!< monoUs() at submission
-        std::uint64_t dispatchUs = 0; //!< monoUs() at dispatch
+        JobRequest req;
+        int attempt = 1;
+        bool forceCold = false; //!< final attempt skips warm restore
+        /** One failure reason per exhausted attempt. */
+        std::vector<std::string> history;
+        std::uint64_t submitUs = 0;    //!< monoUs() at submission
+        std::uint64_t dispatchUs = 0;  //!< monoUs() at dispatch
+        std::uint64_t notBeforeUs = 0; //!< retry backoff gate
+        std::uint64_t deadlineUs = 0;  //!< watchdog kill time (0 none)
     };
 
     bool spawnWorker(Worker &w, std::string &err);
@@ -142,6 +178,19 @@ class CampaignServer
     void killWorkers();
     void onWorkerDeath(Worker &w);
 
+    /** The NDJSON line dispatched to a worker for @p job. */
+    std::string workerLineFor(const Job &job) const;
+    /** Retry @p job after @p reason, or fail it for good. */
+    void failAttempt(Job &&job, const std::string &reason);
+    /** Emit the final error (with attempt history) for @p job. */
+    void finalFail(Job &&job, const std::string &reason);
+    /** SIGKILL workers whose job passed its deadline. */
+    void checkDeadlines();
+    /** poll() timeout to the next backoff or deadline (-1 = none). */
+    int pollTimeoutMs() const;
+    /** Stop accepting jobs; run() exits once the queue drains. */
+    void beginDrain();
+
     /** Refresh point-in-time gauges before a scrape or status. */
     void refreshGauges();
     std::string statusJson();
@@ -155,6 +204,7 @@ class CampaignServer
     int listenFd_ = -1;
     int httpListenFd_ = -1;
     int httpPort_ = -1;
+    int sigFd_ = -1; //!< read end of the SIGTERM self-pipe
     std::vector<Worker> workers_;
     std::map<int, Client> clients_;
     std::map<int, HttpClient> httpClients_;
@@ -167,11 +217,16 @@ class CampaignServer
     std::uint64_t nextJobId_ = 1;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
+    std::uint64_t retried_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t deadlineKills_ = 0;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t respawns_ = 0;
     bool shutdown_ = false;
+    bool draining_ = false;
     std::chrono::steady_clock::time_point startTp_{};
 
+    ResultStore store_;
     MetricsRegistry metrics_;
     EventLog log_;
 };

@@ -1,8 +1,11 @@
 #include "server/worker.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <fstream>
@@ -56,10 +59,53 @@ emitError(std::ostream &out, std::uint64_t id, const std::string &reason)
     emit(out, os.str());
 }
 
-/** Run one job; emits interval/result/error events itself. */
+void
+emitNote(std::ostream &out, std::uint64_t id, const std::string &kind,
+         const std::string &reason)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("event", "note");
+    w.kv("id", id);
+    w.kv("kind", kind);
+    w.kv("reason", reason);
+    w.endObject();
+    emit(out, os.str());
+}
+
+/**
+ * corrupt-ckpt chaos: flip one payload byte of the checkpoint at
+ * @p path. Offset 44 is the first payload byte (past the container
+ * header), so the flip lands under the payload FNV and a later
+ * restore fails the checksum — exercising the warm-fallback path, not
+ * a container-format error.
+ */
+void
+corruptCheckpointPayload(const std::filesystem::path &path)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec || size <= 44)
+        return;
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!f)
+        return;
+    const std::streamoff pos =
+        44 + static_cast<std::streamoff>((size - 44) / 2);
+    f.seekg(pos);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0xff);
+    f.seekp(pos);
+    f.write(&b, 1);
+}
+
+/** Run one job; emits interval/note/result/error events itself. */
 void
 runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
-       const std::string &ckptDir)
+       const std::string &ckptDir, const ChaosSpec &chaos, int attempt,
+       bool forceCold)
 {
     system::SystemConfig cfg;
     if (const std::string err = buildConfig(req, cfg); !err.empty()) {
@@ -89,8 +135,13 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
     bool warmRestored = false;
     bool warmSaved = false;
     Cycle restoredCycle = 0;
-    if (!ckptPath.empty() && std::filesystem::exists(ckptPath)) {
+    std::string fallbackReason;
+    if (!ckptPath.empty() && !forceCold) {
+        // Open directly instead of probing with exists(): LRU eviction
+        // can unlink the checkpoint at any moment, and a probe would
+        // only widen that race. ENOENT is an ordinary miss.
         const auto t0 = Clock::now();
+        errno = 0;
         std::ifstream in(ckptPath, std::ios::binary);
         if (in) {
             const std::string err = snapshot::restoreCheckpoint(
@@ -100,15 +151,21 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
                 // Reuse counts as recency for the server's LRU cap.
                 snapshot::touchCheckpoint(ckptPath.string());
             } else {
-                // A stale or corrupt warm cache entry must never fail
-                // the job — rebuild the system and warm up from cold.
+                // A stale, truncated, or corrupt warm cache entry must
+                // never fail the job — rebuild and warm up from cold.
+                fallbackReason = err;
                 sysPtr.reset();
                 noc::resetPacketIds();
                 sysPtr = std::make_unique<system::CmpSystem>(cfg);
             }
+        } else if (errno != 0 && errno != ENOENT) {
+            fallbackReason = std::string("checkpoint open failed: ") +
+                             std::strerror(errno);
         }
         restoreUs = usBetween(t0, Clock::now());
     }
+    if (!fallbackReason.empty())
+        emitNote(out, id, "warm_fallback", fallbackReason);
     system::CmpSystem &sys = *sysPtr;
     if (!warmRestored) {
         const auto t0 = Clock::now();
@@ -131,9 +188,22 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
                 if (ec)
                     std::filesystem::remove(tmp, ec);
             }
+            if (warmSaved &&
+                chaosDraw(chaos, ChaosSite::CorruptCkpt, id, attempt,
+                          chaos.corruptCkpt))
+                corruptCheckpointPayload(ckptPath);
         }
         publishUs = usBetween(tPub, Clock::now());
     }
+
+    // Chaos draws are fixed before the measured phase so the kill/stall
+    // site (halfway through) is deterministic for a given attempt.
+    const bool chaosKill = chaosDraw(chaos, ChaosSite::KillWorker, id,
+                                     attempt, chaos.killWorker);
+    const bool chaosSlow =
+        !chaosKill && chaosDraw(chaos, ChaosSite::SlowWorker, id,
+                                attempt, chaos.slowWorker);
+    bool chaosFired = false;
 
     // Measured phase, chunked at the interval period so progress
     // streams out while the run is in flight. Chunked run() calls are
@@ -145,6 +215,15 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
         const Cycle n = std::min<Cycle>(step, req.cycles - done);
         sys.run(n);
         done += n;
+        if (!chaosFired && done * 2 >= req.cycles) {
+            chaosFired = true;
+            if (chaosKill) {
+                out.flush();
+                ::raise(SIGKILL); // a real mid-phase crash, no cleanup
+            }
+            if (chaosSlow)
+                ::usleep(static_cast<useconds_t>(kSlowStallMs) * 1000);
+        }
         if (req.interval > 0 && done < req.cycles) {
             const auto m = sys.metrics();
             std::ostringstream os;
@@ -224,7 +303,7 @@ runJob(std::ostream &out, std::uint64_t id, const JobRequest &req,
 
 int
 runWorkerLoop(std::istream &in, std::ostream &out,
-              const std::string &ckptDir)
+              const std::string &ckptDir, const ChaosSpec &chaos)
 {
     std::string line;
     while (std::getline(in, line)) {
@@ -240,6 +319,14 @@ runWorkerLoop(std::istream &in, std::ostream &out,
         if (const JsonValue *m = doc->find("id");
             m != nullptr && m->isNumber())
             id = static_cast<std::uint64_t>(m->asDouble());
+        int attempt = 1;
+        if (const JsonValue *m = doc->find("attempt");
+            m != nullptr && m->isNumber())
+            attempt = static_cast<int>(m->asDouble());
+        bool forceCold = false;
+        if (const JsonValue *m = doc->find("cold");
+            m != nullptr && m->type() == JsonValue::Type::Bool)
+            forceCold = m->asBool();
         JobRequest req;
         if (const std::string err = parseJobRequest(*doc, req);
             !err.empty()) {
@@ -247,7 +334,7 @@ runWorkerLoop(std::istream &in, std::ostream &out,
             continue;
         }
         try {
-            runJob(out, id, req, ckptDir);
+            runJob(out, id, req, ckptDir, chaos, attempt, forceCold);
         } catch (const std::exception &e) {
             emitError(out, id, std::string("job failed: ") + e.what());
         }

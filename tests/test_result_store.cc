@@ -1,0 +1,312 @@
+/**
+ * @file
+ * ResultStore recovery contract: every corruption we can write to disk
+ * — torn tails, flipped payload bytes, records from a future schema,
+ * empty and unwritable journals — loads without failing the caller,
+ * with the right records recovered and the right skip counters.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/result_store.hh"
+
+namespace fs = std::filesystem;
+using stacknoc::server::ResultStore;
+
+namespace {
+
+/** Fresh scratch dir per test, removed on teardown. */
+class ResultStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("stacknoc_store_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    fs::path wal() const { return dir_ / "results.wal"; }
+
+    /** Open a store on dir_, collecting replayed records. */
+    bool
+    openCollect(ResultStore &store,
+                std::vector<std::pair<std::uint64_t, std::string>> &out,
+                std::string &err)
+    {
+        return store.open(
+            dir_.string(),
+            [&](std::uint64_t key, const std::string &payload) {
+                out.emplace_back(key, payload);
+            },
+            err);
+    }
+
+    fs::path dir_;
+};
+
+/** Byte-level surgery helpers. */
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const fs::path &p, const std::string &bytes)
+{
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Record layout constants mirrored from result_store.cc. */
+constexpr std::size_t kHeader = 28;
+constexpr std::size_t kVersionOff = 4;
+constexpr std::size_t kPayloadOff = kHeader;
+
+TEST_F(ResultStoreTest, RoundTripAcrossReopen)
+{
+    {
+        ResultStore store;
+        std::string err;
+        ASSERT_TRUE(store.open(dir_.string(), nullptr, err)) << err;
+        EXPECT_TRUE(store.enabled());
+        EXPECT_TRUE(store.append(1, "{\"a\":1}"));
+        EXPECT_TRUE(store.append(2, "{\"b\":2}"));
+        EXPECT_TRUE(store.append(3, std::string(1000, 'x')));
+        EXPECT_EQ(store.stats().appends, 3u);
+    }
+    ResultStore store;
+    std::vector<std::pair<std::uint64_t, std::string>> got;
+    std::string err;
+    ASSERT_TRUE(openCollect(store, got, err)) << err;
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].first, 1u);
+    EXPECT_EQ(got[0].second, "{\"a\":1}");
+    EXPECT_EQ(got[1].second, "{\"b\":2}");
+    EXPECT_EQ(got[2].second, std::string(1000, 'x'));
+    EXPECT_EQ(store.stats().recoveredRecords, 3u);
+    EXPECT_EQ(store.stats().skippedRecords, 0u);
+}
+
+TEST_F(ResultStoreTest, DisabledWhenDirEmpty)
+{
+    ResultStore store;
+    std::string err;
+    ASSERT_TRUE(store.open("", nullptr, err));
+    EXPECT_FALSE(store.enabled());
+    EXPECT_FALSE(store.append(1, "payload"));
+}
+
+TEST_F(ResultStoreTest, EmptyJournalLoadsCleanly)
+{
+    writeFile(wal(), "");
+    ResultStore store;
+    std::vector<std::pair<std::uint64_t, std::string>> got;
+    std::string err;
+    ASSERT_TRUE(openCollect(store, got, err)) << err;
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(store.stats().recoveredRecords, 0u);
+    EXPECT_EQ(store.stats().skippedRecords, 0u);
+}
+
+TEST_F(ResultStoreTest, TruncatedTailIsTrimmedAndAppendable)
+{
+    {
+        ResultStore store;
+        std::string err;
+        ASSERT_TRUE(store.open(dir_.string(), nullptr, err)) << err;
+        ASSERT_TRUE(store.append(10, "{\"keep\":true}"));
+        ASSERT_TRUE(store.append(11, "{\"torn\":true}"));
+    }
+    // Tear the second record mid-payload, as a crash mid-write would.
+    const std::string bytes = readFile(wal());
+    writeFile(wal(), bytes.substr(0, bytes.size() - 5));
+
+    std::vector<std::pair<std::uint64_t, std::string>> got;
+    std::string err;
+    std::uint64_t firstLen = 0;
+    {
+        ResultStore store;
+        ASSERT_TRUE(openCollect(store, got, err)) << err;
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_EQ(got[0].first, 10u);
+        EXPECT_EQ(store.stats().recoveredRecords, 1u);
+        EXPECT_EQ(store.stats().skippedRecords, 1u);
+        // The torn tail must be gone so appends extend a clean prefix.
+        firstLen = kHeader + got[0].second.size();
+        EXPECT_EQ(fs::file_size(wal()), firstLen);
+        ASSERT_TRUE(store.append(12, "{\"after\":true}"));
+    }
+    got.clear();
+    ResultStore store;
+    ASSERT_TRUE(openCollect(store, got, err)) << err;
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].first, 10u);
+    EXPECT_EQ(got[1].first, 12u);
+    EXPECT_EQ(store.stats().skippedRecords, 0u);
+}
+
+TEST_F(ResultStoreTest, BitFlippedPayloadSkipsOnlyThatRecord)
+{
+    std::string p1 = "{\"r\":1}", p2 = "{\"r\":2}", p3 = "{\"r\":3}";
+    {
+        ResultStore store;
+        std::string err;
+        ASSERT_TRUE(store.open(dir_.string(), nullptr, err)) << err;
+        ASSERT_TRUE(store.append(1, p1));
+        ASSERT_TRUE(store.append(2, p2));
+        ASSERT_TRUE(store.append(3, p3));
+    }
+    std::string bytes = readFile(wal());
+    // Flip one payload byte of the middle record; the self-delimiting
+    // header must let the reader re-sync on record 3.
+    const std::size_t rec2Payload =
+        (kHeader + p1.size()) + kPayloadOff + 2;
+    bytes[rec2Payload] = static_cast<char>(bytes[rec2Payload] ^ 0xff);
+    writeFile(wal(), bytes);
+
+    ResultStore store;
+    std::vector<std::pair<std::uint64_t, std::string>> got;
+    std::string err;
+    ASSERT_TRUE(openCollect(store, got, err)) << err;
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].first, 1u);
+    EXPECT_EQ(got[1].first, 3u);
+    EXPECT_EQ(got[1].second, p3);
+    EXPECT_EQ(store.stats().recoveredRecords, 2u);
+    EXPECT_EQ(store.stats().skippedRecords, 1u);
+}
+
+TEST_F(ResultStoreTest, UnknownFutureVersionSkipsAndContinues)
+{
+    std::string p1 = "{\"v\":1}", p2 = "{\"v\":2}";
+    {
+        ResultStore store;
+        std::string err;
+        ASSERT_TRUE(store.open(dir_.string(), nullptr, err)) << err;
+        ASSERT_TRUE(store.append(1, p1));
+        ASSERT_TRUE(store.append(2, p2));
+    }
+    std::string bytes = readFile(wal());
+    bytes[kVersionOff] = 99; // record 1 now claims schema version 99
+    writeFile(wal(), bytes);
+
+    ResultStore store;
+    std::vector<std::pair<std::uint64_t, std::string>> got;
+    std::string err;
+    ASSERT_TRUE(openCollect(store, got, err)) << err;
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].first, 2u);
+    EXPECT_EQ(store.stats().recoveredRecords, 1u);
+    EXPECT_EQ(store.stats().skippedRecords, 1u);
+}
+
+TEST_F(ResultStoreTest, GarbageTailStopsScanWithoutCrashing)
+{
+    {
+        ResultStore store;
+        std::string err;
+        ASSERT_TRUE(store.open(dir_.string(), nullptr, err)) << err;
+        ASSERT_TRUE(store.append(7, "{\"ok\":true}"));
+    }
+    std::string bytes = readFile(wal());
+    bytes += std::string(64, '\xAB'); // not a record header
+    writeFile(wal(), bytes);
+
+    ResultStore store;
+    std::vector<std::pair<std::uint64_t, std::string>> got;
+    std::string err;
+    ASSERT_TRUE(openCollect(store, got, err)) << err;
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(store.stats().skippedRecords, 1u);
+}
+
+TEST_F(ResultStoreTest, SealsIntoSegmentsAndReplaysInOrder)
+{
+    {
+        ResultStore store;
+        std::string err;
+        ASSERT_TRUE(store.open(dir_.string(), nullptr, err)) << err;
+        store.setSegmentCapBytes(1); // force a roll every append
+        for (std::uint64_t k = 1; k <= 5; ++k)
+            ASSERT_TRUE(
+                store.append(k, "{\"k\":" + std::to_string(k) + "}"));
+        EXPECT_EQ(store.stats().segments, 5u);
+    }
+    ResultStore store;
+    std::vector<std::pair<std::uint64_t, std::string>> got;
+    std::string err;
+    ASSERT_TRUE(openCollect(store, got, err)) << err;
+    ASSERT_EQ(got.size(), 5u);
+    for (std::uint64_t k = 1; k <= 5; ++k)
+        EXPECT_EQ(got[k - 1].first, k); // oldest segment first
+    // Appends after a reopen land in a fresh journal, not a segment.
+    ASSERT_TRUE(store.append(6, "{\"k\":6}"));
+}
+
+TEST_F(ResultStoreTest, DuplicateKeysReplayOldestFirst)
+{
+    {
+        ResultStore store;
+        std::string err;
+        ASSERT_TRUE(store.open(dir_.string(), nullptr, err)) << err;
+        ASSERT_TRUE(store.append(42, "{\"first\":true}"));
+        ASSERT_TRUE(store.append(42, "{\"second\":true}"));
+    }
+    ResultStore store;
+    std::vector<std::pair<std::uint64_t, std::string>> got;
+    std::string err;
+    ASSERT_TRUE(openCollect(store, got, err)) << err;
+    ASSERT_EQ(got.size(), 2u);
+    // The server dedups with emplace, so first-wins requires the
+    // store to replay in append order.
+    std::map<std::uint64_t, std::string> cache;
+    for (const auto &[k, v] : got)
+        cache.emplace(k, v);
+    EXPECT_EQ(cache[42], "{\"first\":true}");
+}
+
+TEST_F(ResultStoreTest, UnwritableJournalFailsOpenWithReason)
+{
+    fs::create_directories(wal()); // a directory where the wal goes
+    ResultStore store;
+    std::string err;
+    EXPECT_FALSE(store.open(dir_.string(), nullptr, err));
+    EXPECT_NE(err.find("result journal"), std::string::npos);
+}
+
+TEST_F(ResultStoreTest, DiskFullAppendIsCountedNotFatal)
+{
+    if (!fs::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    // results.wal -> /dev/full: opens writable, every flush ENOSPCs —
+    // the canonical disk-full simulation.
+    fs::create_symlink("/dev/full", wal());
+    ResultStore store;
+    std::string err;
+    ASSERT_TRUE(store.open(dir_.string(), nullptr, err)) << err;
+    EXPECT_FALSE(store.append(1, "{\"lost\":true}"));
+    EXPECT_FALSE(store.append(2, "{\"lost\":true}"));
+    EXPECT_EQ(store.stats().appendFailures, 2u);
+    EXPECT_EQ(store.stats().appends, 0u);
+}
+
+} // namespace

@@ -181,7 +181,7 @@ def test_metrics_campaign():
         assert series["stacknoc_cache_bytes"] > 0
         assert series["stacknoc_ckpt_files"] == 1
         assert series["stacknoc_uptime_seconds"] > 0
-        assert series['stacknoc_build_info{version="1.1",protocol="1"}'] \
+        assert series['stacknoc_build_info{version="1.2",protocol="1"}'] \
             == 1
 
         # Queue-wait histogram sanity: one sample per dispatched job,
@@ -213,7 +213,7 @@ def test_metrics_campaign():
         assert status["completed"] == \
             series["stacknoc_jobs_completed_total"]
         # Extended status members.
-        assert status["version"] == "1.1"
+        assert status["version"] == "1.2"
         assert status["uptime_sec"] > 0
         assert status["jobs_failed"] == 0
         assert status["worker_respawns"] == 0
@@ -378,7 +378,7 @@ def test_client_watch_and_error_exit():
         proc.kill()
         proc.wait()
         for line in lines:
-            assert re.search(r"up \d+\.\ds v1\.1 \| workers 1", line), \
+            assert re.search(r"up \d+\.\ds v1\.2 \| workers 1", line), \
                 lines
 
         # Any error event exits non-zero (audited in

@@ -21,6 +21,17 @@ exits non-zero if any enabled check fails:
         --min-cache-hit-rate R      hits / (hits + misses) >= R
                                     (skipped when there were no
                                     submissions)
+        --max-metric NAME=V         the named series (bare name or full
+                                    name{labels} key) must be <= V;
+                                    repeatable. A missing series fails
+                                    the check — the band exists to
+                                    prove the fleet stayed healthy.
+        --min-metric NAME=V         same, but the series must be >= V;
+                                    repeatable. Used after a chaos run
+                                    to prove injected failures actually
+                                    happened (e.g. job_retries_total)
+                                    while the failure budget held
+                                    (e.g. jobs_failed_total).
 
   Format validation --check-format SCRAPE.prom [--min-series N]
       Validates text exposition format v0.0.4: every series line parses,
@@ -199,9 +210,59 @@ def histogram_p95(series, fam, label_filter=None):
     return buckets[-1][0]
 
 
-def check_metrics(path, max_qwait_p95, min_hit_rate):
-    _, series, _ = parse_exposition(path)
+def parse_metric_bound(spec):
+    """Split a NAME=VALUE band spec; exits 2 on malformed input."""
+    name, eq, value = spec.rpartition("=")
+    if not name or not eq:
+        print(f"perf_sentinel: bad metric bound {spec!r} "
+              f"(want NAME=VALUE)")
+        sys.exit(2)
+    try:
+        return name, float(value)
+    except ValueError:
+        print(f"perf_sentinel: bad metric bound value in {spec!r}")
+        sys.exit(2)
+
+
+def series_value(series, name):
+    """Look up a series by full key or by bare family name.
+
+    A bare name with exactly one labelled variant resolves to it, so
+    bands don't need to spell out label bodies that may change.
+    """
+    if name in series:
+        return series[name]
+    matches = [v for k, v in series.items() if name_of(k) == name]
+    return matches[0] if len(matches) == 1 else None
+
+
+def check_metric_bounds(path, series, max_bounds, min_bounds):
     ok = True
+    for spec in max_bounds:
+        name, bound = parse_metric_bound(spec)
+        value = series_value(series, name)
+        if value is None:
+            ok = fail(f"{path}: --max-metric {name}: series not found")
+        elif value > bound:
+            ok = fail(f"{path}: {name} = {value:g} > {bound:g}")
+        else:
+            print(f"perf_sentinel: {name} = {value:g} <= {bound:g}")
+    for spec in min_bounds:
+        name, bound = parse_metric_bound(spec)
+        value = series_value(series, name)
+        if value is None:
+            ok = fail(f"{path}: --min-metric {name}: series not found")
+        elif value < bound:
+            ok = fail(f"{path}: {name} = {value:g} < {bound:g}")
+        else:
+            print(f"perf_sentinel: {name} = {value:g} >= {bound:g}")
+    return ok
+
+
+def check_metrics(path, max_qwait_p95, min_hit_rate, max_bounds=(),
+                  min_bounds=()):
+    _, series, _ = parse_exposition(path)
+    ok = check_metric_bounds(path, series, max_bounds, min_bounds)
     if max_qwait_p95 is not None:
         p95 = histogram_p95(series, "stacknoc_queue_wait_us", {})
         if p95 is None:
@@ -295,6 +356,12 @@ def main():
     ap.add_argument("--metrics", help="Prometheus scrape to health-check")
     ap.add_argument("--max-queue-wait-p95-us", type=float, default=None)
     ap.add_argument("--min-cache-hit-rate", type=float, default=None)
+    ap.add_argument("--max-metric", action="append", default=[],
+                    metavar="NAME=V",
+                    help="named series must be <= V (repeatable)")
+    ap.add_argument("--min-metric", action="append", default=[],
+                    metavar="NAME=V",
+                    help="named series must be >= V (repeatable)")
     ap.add_argument("--check-format",
                     help="Prometheus scrape to validate")
     ap.add_argument("--min-series", type=int, default=12,
@@ -312,7 +379,8 @@ def main():
         ok = check_format(args.check_format, args.min_series) and ok
     if args.metrics:
         ok = check_metrics(args.metrics, args.max_queue_wait_p95_us,
-                           args.min_cache_hit_rate) and ok
+                           args.min_cache_hit_rate, args.max_metric,
+                           args.min_metric) and ok
     if args.baseline:
         ok = check_throughput(args.baseline, args.fresh,
                               args.tolerance) and ok

@@ -59,7 +59,13 @@ usage(const char *argv0)
         "\n"
         "status flags:\n"
         "  --watch SEC         poll every SEC seconds (fractional ok)\n"
-        "                      and print a one-line summary per poll\n",
+        "                      and print a one-line summary per poll\n"
+        "\n"
+        "connection flags (any subcommand):\n"
+        "  --connect-retries N    re-attempt a refused/missing socket\n"
+        "                         up to N times [0]\n"
+        "  --connect-backoff-ms N base retry backoff, doubled per\n"
+        "                         retry [100]\n",
         argv0, argv0, argv0);
 }
 
@@ -122,11 +128,12 @@ statusSummary(const JsonValue &doc)
  * failure (summary printed / error reported either way).
  */
 int
-pollStatusOnce(const char *argv0, const std::string &socketPath)
+pollStatusOnce(const char *argv0, const std::string &socketPath,
+               int retries, int backoffMs)
 {
     Connection conn;
     std::string err;
-    if (!conn.connectTo(socketPath, err) ||
+    if (!conn.connectWithRetry(socketPath, retries, backoffMs, err) ||
         !conn.sendLine("{\"cmd\":\"status\"}", err)) {
         std::fprintf(stderr, "%s: %s\n", argv0, err.c_str());
         return 1;
@@ -163,6 +170,8 @@ main(int argc, char **argv)
     std::string socketPath;
     std::string subcommand;
     double watchSec = -1.0;
+    int connectRetries = 0;
+    int connectBackoffMs = 100;
     JobRequest req;
 
     int i = 1;
@@ -207,6 +216,10 @@ main(int argc, char **argv)
             req.faultSpec = need("--fault-spec");
         } else if (arg == "--real-tags") {
             req.realTags = true;
+        } else if (arg == "--connect-retries") {
+            connectRetries = std::atoi(need("--connect-retries"));
+        } else if (arg == "--connect-backoff-ms") {
+            connectBackoffMs = std::atoi(need("--connect-backoff-ms"));
         } else if (arg == "--watch") {
             watchSec = std::atof(need("--watch"));
             if (watchSec <= 0) {
@@ -244,7 +257,9 @@ main(int argc, char **argv)
         // time so a restarted server picks back up. Ends (exit 1) when
         // the server goes away.
         for (;;) {
-            if (const int rc = pollStatusOnce(argv[0], socketPath);
+            if (const int rc =
+                    pollStatusOnce(argv[0], socketPath, connectRetries,
+                                   connectBackoffMs);
                 rc != 0)
                 return rc;
             std::this_thread::sleep_for(
@@ -254,7 +269,8 @@ main(int argc, char **argv)
 
     Connection conn;
     std::string err;
-    if (!conn.connectTo(socketPath, err)) {
+    if (!conn.connectWithRetry(socketPath, connectRetries,
+                               connectBackoffMs, err)) {
         std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
         return 1;
     }

@@ -32,7 +32,9 @@ usage(const char *argv0)
         stderr,
         "usage: %s --socket PATH [--workers N] [--ckpt-dir D]\n"
         "          [--ckpt-cap-bytes N] [--http PORT] [--log-json FILE]\n"
-        "          [--log-rotate-bytes N]\n"
+        "          [--log-rotate-bytes N] [--store-dir D] [--max-queue N]\n"
+        "          [--job-retries N] [--job-backoff-ms N]\n"
+        "          [--job-deadline-sec N] [--chaos SPEC] [--chaos-seed N]\n"
         "\n"
         "  --socket PATH        Unix socket to listen on (required)\n"
         "  --workers N          worker-process pool size (default 1)\n"
@@ -45,8 +47,20 @@ usage(const char *argv0)
         "                       ephemeral port (printed on stderr)\n"
         "  --log-json FILE      job-lifecycle NDJSON event log\n"
         "  --log-rotate-bytes N log rotation cap (default 16 MiB)\n"
+        "  --store-dir D        durable result store: results persist\n"
+        "                       here and reload on restart\n"
+        "  --max-queue N        shed submissions beyond N queued jobs\n"
+        "                       (default 0 = unbounded)\n"
+        "  --job-retries N      re-dispatches after a worker death or\n"
+        "                       deadline kill (default 2)\n"
+        "  --job-backoff-ms N   base retry backoff, doubled per retry\n"
+        "                       (default 200)\n"
+        "  --job-deadline-sec N kill and retry a worker past this\n"
+        "                       per-attempt deadline (default 0 = off)\n"
+        "  --chaos SPEC         failure injection: %s\n"
+        "  --chaos-seed N       chaos draw seed (default 1)\n"
         "  --worker             internal: run as a pool worker\n",
-        argv0);
+        argv0, stacknoc::server::chaosGrammar());
 }
 
 std::string
@@ -71,10 +85,17 @@ main(int argc, char **argv)
     std::string socketPath;
     std::string ckptDir;
     std::string logJsonPath;
+    std::string storeDir;
+    std::string chaosSpec;
     unsigned long long ckptCapBytes = 0;
     unsigned long long logRotateBytes = 0;
+    unsigned long long chaosSeed = 1;
     int workers = 1;
     int httpPort = -1;
+    int maxQueue = 0;
+    int jobRetries = 2;
+    int jobBackoffMs = 200;
+    int jobDeadlineSec = 0;
     bool workerMode = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -103,6 +124,21 @@ main(int argc, char **argv)
         } else if (arg == "--log-rotate-bytes") {
             logRotateBytes = std::strtoull(need("--log-rotate-bytes"),
                                            nullptr, 10);
+        } else if (arg == "--store-dir") {
+            storeDir = need("--store-dir");
+        } else if (arg == "--max-queue") {
+            maxQueue = std::atoi(need("--max-queue"));
+        } else if (arg == "--job-retries") {
+            jobRetries = std::atoi(need("--job-retries"));
+        } else if (arg == "--job-backoff-ms") {
+            jobBackoffMs = std::atoi(need("--job-backoff-ms"));
+        } else if (arg == "--job-deadline-sec") {
+            jobDeadlineSec = std::atoi(need("--job-deadline-sec"));
+        } else if (arg == "--chaos") {
+            chaosSpec = need("--chaos");
+        } else if (arg == "--chaos-seed") {
+            chaosSeed =
+                std::strtoull(need("--chaos-seed"), nullptr, 10);
         } else if (arg == "--worker") {
             workerMode = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -116,9 +152,22 @@ main(int argc, char **argv)
         }
     }
 
+    stacknoc::server::ChaosSpec chaos;
+    chaos.seed = chaosSeed;
+    if (!chaosSpec.empty()) {
+        const std::string cerr =
+            stacknoc::server::parseChaosSpec(chaosSpec, chaos);
+        if (!cerr.empty()) {
+            std::fprintf(stderr, "%s: bad --chaos spec: %s\n  grammar: %s\n",
+                         argv[0], cerr.c_str(),
+                         stacknoc::server::chaosGrammar());
+            return 2;
+        }
+    }
+
     if (workerMode)
         return stacknoc::server::runWorkerLoop(std::cin, std::cout,
-                                               ckptDir);
+                                               ckptDir, chaos);
 
     if (socketPath.empty()) {
         usage(argv[0]);
@@ -132,6 +181,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s: --http port out of range\n", argv[0]);
         return 2;
     }
+    if (jobRetries < 0 || jobBackoffMs < 0 || jobDeadlineSec < 0 ||
+        maxQueue < 0) {
+        std::fprintf(stderr,
+                     "%s: --job-retries/--job-backoff-ms/"
+                     "--job-deadline-sec/--max-queue must be >= 0\n",
+                     argv[0]);
+        return 2;
+    }
 
     stacknoc::server::CampaignServer::Options opt;
     opt.socketPath = socketPath;
@@ -142,6 +199,12 @@ main(int argc, char **argv)
     opt.httpPort = httpPort;
     opt.logJsonPath = logJsonPath;
     opt.logRotateBytes = logRotateBytes;
+    opt.storeDir = storeDir;
+    opt.maxQueue = maxQueue;
+    opt.jobRetries = jobRetries;
+    opt.jobBackoffMs = jobBackoffMs;
+    opt.jobDeadlineSec = jobDeadlineSec;
+    opt.chaos = chaos;
 
     stacknoc::server::CampaignServer server(std::move(opt));
     std::string err;

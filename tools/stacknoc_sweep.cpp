@@ -101,6 +101,8 @@ struct SweepOptions
     bool thermal = true;
     bool resume = false;
     std::string server; //!< stacknoc_serve socket; empty = children
+    int connectRetries = 0;    //!< --server connect re-attempts
+    int connectBackoffMs = 100; //!< base backoff, doubled per retry
 };
 
 std::vector<std::string>
@@ -143,6 +145,10 @@ usage()
   --server SOCKET    submit jobs to a running stacknoc_serve on this
                      Unix socket instead of spawning child processes
                      (run records then carry no thermal/profile data)
+  --connect-retries N    with --server: re-attempt a refused/missing
+                     socket up to N times (default 0)
+  --connect-backoff-ms N base connect retry backoff, doubled per retry
+                     (default 100)
 )");
     std::exit(2);
 }
@@ -152,6 +158,7 @@ const std::vector<std::string> kKnownOptions = {
     "--warmup", "--jobs", "--threads", "--runner", "--out",
     "--speedup-scenario", "--speedup-threads", "--no-speedup",
     "--no-profile", "--no-thermal", "--resume", "--server",
+    "--connect-retries", "--connect-backoff-ms",
 };
 
 /** The campaign-server request equivalent to one sweep job. */
@@ -321,7 +328,8 @@ runJobsViaServer(const SweepOptions &opt,
 {
     server::Connection conn;
     std::string err;
-    if (!conn.connectTo(opt.server, err)) {
+    if (!conn.connectWithRetry(opt.server, opt.connectRetries,
+                               opt.connectBackoffMs, err)) {
         warn("sweep: %s", err.c_str());
         return false;
     }
@@ -546,6 +554,10 @@ main(int argc, char **argv)
             opt.resume = true;
         } else if (arg == "--server") {
             opt.server = need(i); ++i;
+        } else if (arg == "--connect-retries") {
+            opt.connectRetries = std::atoi(need(i).c_str()); ++i;
+        } else if (arg == "--connect-backoff-ms") {
+            opt.connectBackoffMs = std::atoi(need(i).c_str()); ++i;
         } else {
             cli::reportUnknownOption("stacknoc_sweep", arg,
                                      kKnownOptions);
